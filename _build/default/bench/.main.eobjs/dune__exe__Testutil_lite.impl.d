@@ -1,0 +1,1 @@
+bench/testutil_lite.ml: Generator Graph Graphtheory Iri List Printf Random Rdf Term Tgraphs Triple Variable

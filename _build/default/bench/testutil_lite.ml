@@ -1,0 +1,52 @@
+(* Seed-driven random fixtures for the benchmark harness (a dependency-free
+   sibling of test/util/testutil.ml). *)
+
+open Rdf
+
+let graph_of_seed ?(nodes = 6) ?(preds = 2) ?(triples = 14) seed =
+  Generator.random_graph ~seed ~n:nodes
+    ~predicates:(List.init preds (fun i -> Printf.sprintf "q%d" i))
+    ~m:triples
+
+let tgraph_of_seed ?(triples = 4) ?(vars = 4) ?(preds = 2) seed =
+  let state = Random.State.make [| seed; triples; vars; 77 |] in
+  let term () =
+    if Random.State.int state 10 < 7 then
+      Term.var (Printf.sprintf "v%d" (Random.State.int state vars))
+    else Term.iri (Printf.sprintf "c:%d" (Random.State.int state 2))
+  in
+  let pred () = Term.iri (Printf.sprintf "q%d" (Random.State.int state preds)) in
+  Tgraphs.Tgraph.of_triples
+    (List.init
+       (1 + Random.State.int state triples)
+       (fun _ -> Triple.make (term ()) (pred ()) (term ())))
+
+let gtgraph_of_seed ?(triples = 4) ?(vars = 4) seed =
+  let s = tgraph_of_seed ~triples ~vars seed in
+  let state = Random.State.make [| seed; 13 |] in
+  let x =
+    Variable.Set.filter
+      (fun _ -> Random.State.int state 3 = 0)
+      (Tgraphs.Tgraph.vars s)
+  in
+  Tgraphs.Gtgraph.make s x
+
+let mu_for g graph seed =
+  let iris = Iri.Set.elements (Graph.dom graph) in
+  let state = Random.State.make [| seed; 5 |] in
+  Variable.Set.fold
+    (fun var acc ->
+      Variable.Map.add var
+        (Term.Iri (List.nth iris (Random.State.int state (List.length iris))))
+        acc)
+    (Tgraphs.Gtgraph.x g) Variable.Map.empty
+
+let ugraph_of_seed ?(n = 8) ?(edge_prob = 0.4) seed =
+  let state = Random.State.make [| seed; n; 53 |] in
+  let edges = ref [] in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      if Random.State.float state 1.0 < edge_prob then edges := (i, j) :: !edges
+    done
+  done;
+  Graphtheory.Ugraph.make ~n ~edges:!edges

@@ -1,0 +1,311 @@
+(* wdsparql: command-line front end.
+
+   Subcommands:
+     eval      evaluate a query over a Turtle data file
+     check     membership of a single mapping (naive or pebble algorithm)
+     width     structural analysis: all width measures and the regime
+     validate  well-designedness check with a diagnostic
+     clique    solve k-CLIQUE via the hardness reduction (demo) *)
+
+open Cmdliner
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let load_graph path =
+  match Rdf.Turtle.parse_graph (read_file path) with
+  | Ok g -> g
+  | Error e -> Fmt.failwith "%s: %s" path e
+
+let load_query path_or_inline =
+  let src =
+    if Sys.file_exists path_or_inline then read_file path_or_inline
+    else path_or_inline
+  in
+  match Sparql.Parser.parse src with
+  | Ok p -> p
+  | Error e -> Fmt.failwith "query: %s" e
+
+let parse_mapping spec =
+  (* "x=person:ann,y=person:bob" *)
+  String.split_on_char ',' spec
+  |> List.filter (fun s -> String.trim s <> "")
+  |> List.map (fun binding ->
+         match String.index_opt binding '=' with
+         | Some i ->
+             let var = String.trim (String.sub binding 0 i) in
+             let value =
+               String.trim
+                 (String.sub binding (i + 1) (String.length binding - i - 1))
+             in
+             (Rdf.Variable.of_string var, Rdf.Iri.of_string value)
+         | None -> Fmt.failwith "bad binding %S (expected var=iri)" binding)
+  |> Sparql.Mapping.of_list
+
+(* ---------------- arguments ---------------- *)
+
+let data_arg =
+  Arg.(
+    required
+    & opt (some file) None
+    & info [ "d"; "data" ] ~docv:"FILE" ~doc:"Turtle data file.")
+
+let query_arg =
+  Arg.(
+    required
+    & opt (some string) None
+    & info [ "q"; "query" ] ~docv:"QUERY"
+        ~doc:"Query: a file name or an inline pattern string.")
+
+let mapping_arg =
+  Arg.(
+    required
+    & opt (some string) None
+    & info [ "m"; "mapping" ] ~docv:"BINDINGS"
+        ~doc:"Candidate mapping, e.g. 'x=person:ann,y=person:bob'.")
+
+let algorithm_arg =
+  Arg.(
+    value
+    & opt (enum [ ("naive", `Naive); ("pebble", `Pebble); ("reference", `Reference) ]) `Pebble
+    & info [ "a"; "algorithm" ] ~docv:"ALGO"
+        ~doc:"Evaluation algorithm: naive (exact homomorphism tests), pebble \
+              (Theorem 1), or reference (recursive algebra semantics).")
+
+let pebbles_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "k" ] ~docv:"K"
+        ~doc:"Domination-width bound for the pebble algorithm (defaults to \
+              the computed dw of the query).")
+
+(* ---------------- commands ---------------- *)
+
+let eval_cmd =
+  let run data query algorithm k =
+    let graph = load_graph data in
+    let pattern = load_query query in
+    let forest = Wdpt.Pattern_forest.of_algebra pattern in
+    let sols =
+      match algorithm with
+      | `Reference -> Sparql.Eval.eval pattern graph
+      | `Naive -> Wdpt.Semantics.solutions forest graph
+      | `Pebble ->
+          let k =
+            match k with
+            | Some k -> k
+            | None -> Wd_core.Domination_width.of_forest forest
+          in
+          Wd_core.Pebble_eval.solutions ~k forest graph
+    in
+    Fmt.pr "%d solution(s)@." (Sparql.Mapping.Set.cardinal sols);
+    Sparql.Mapping.Set.iter (fun mu -> Fmt.pr "%a@." Sparql.Mapping.pp mu) sols
+  in
+  Cmd.v
+    (Cmd.info "eval" ~doc:"Evaluate a query over a data file.")
+    Term.(const run $ data_arg $ query_arg $ algorithm_arg $ pebbles_arg)
+
+let check_cmd =
+  let run data query mapping algorithm k =
+    let graph = load_graph data in
+    let pattern = load_query query in
+    let forest = Wdpt.Pattern_forest.of_algebra pattern in
+    let mu = parse_mapping mapping in
+    let result =
+      match algorithm with
+      | `Reference -> Sparql.Eval.check pattern graph mu
+      | `Naive -> Wd_core.Naive_eval.check forest graph mu
+      | `Pebble ->
+          let k =
+            match k with
+            | Some k -> k
+            | None -> Wd_core.Domination_width.of_forest forest
+          in
+          Wd_core.Pebble_eval.check ~k forest graph mu
+    in
+    Fmt.pr "µ %s ⟦P⟧G@." (if result then "∈" else "∉");
+    exit (if result then 0 else 1)
+  in
+  Cmd.v
+    (Cmd.info "check" ~doc:"Decide membership of a mapping (wdEVAL).")
+    Term.(const run $ data_arg $ query_arg $ mapping_arg $ algorithm_arg $ pebbles_arg)
+
+let width_cmd =
+  let run query =
+    let pattern = load_query query in
+    Fmt.pr "%a@." Wd_core.Classify.pp (Wd_core.Classify.classify pattern)
+  in
+  Cmd.v
+    (Cmd.info "width" ~doc:"Width measures and predicted complexity regime.")
+    Term.(const run $ query_arg)
+
+let validate_cmd =
+  let run query =
+    let pattern = load_query query in
+    match Sparql.Well_designed.check pattern with
+    | Ok () ->
+        Fmt.pr "well-designed@.";
+        exit 0
+    | Error v ->
+        Fmt.pr "NOT well-designed: %a@." Sparql.Well_designed.pp_violation v;
+        exit 1
+  in
+  Cmd.v
+    (Cmd.info "validate" ~doc:"Check well-designedness.")
+    Term.(const run $ query_arg)
+
+let clique_cmd =
+  let n_arg =
+    Arg.(value & opt int 8 & info [ "n" ] ~docv:"N" ~doc:"Graph size.")
+  in
+  let k_arg =
+    Arg.(value & opt int 3 & info [ "k" ] ~docv:"K" ~doc:"Clique size.")
+  in
+  let prob_arg =
+    Arg.(value & opt float 0.4 & info [ "p" ] ~docv:"P" ~doc:"Edge probability.")
+  in
+  let seed_arg =
+    Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc:"Random seed.")
+  in
+  let run n k prob seed =
+    let h = Hardness.Clique.random_graph ~seed ~n ~edge_prob:prob in
+    Fmt.pr "G(%d, %.2f) with %d edges, k = %d@." n prob
+      (Graphtheory.Ugraph.m h) k;
+    match Hardness.Reduction.decide ~k ~h with
+    | Ok answer ->
+        Fmt.pr "wdEVAL reduction: %s@."
+          (if answer then "clique found" else "no clique");
+        Fmt.pr "brute force:      %s@."
+          (if Hardness.Clique.has_clique h k then "clique found" else "no clique")
+    | Error e -> Fmt.failwith "%s" e
+  in
+  Cmd.v
+    (Cmd.info "clique" ~doc:"Solve k-CLIQUE through the Theorem 2 reduction.")
+    Term.(const run $ n_arg $ k_arg $ prob_arg $ seed_arg)
+
+let explain_cmd =
+  let run data query =
+    let graph = load_graph data in
+    let pattern = load_query query in
+    Fmt.pr "%a@." Wd_core.Explain.pp (Wd_core.Explain.explain pattern graph)
+  in
+  Cmd.v
+    (Cmd.info "explain" ~doc:"Show the evaluation plan with cardinality estimates.")
+    Term.(const run $ data_arg $ query_arg)
+
+let stats_cmd =
+  let run data =
+    let graph = load_graph data in
+    Fmt.pr "%a@." Rdf.Stats.pp (Rdf.Stats.of_graph graph)
+  in
+  Cmd.v
+    (Cmd.info "stats" ~doc:"Print graph statistics (per-predicate cardinalities).")
+    Term.(const run $ data_arg)
+
+let containment_cmd =
+  let q2_arg =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "r"; "rhs" ] ~docv:"QUERY" ~doc:"Right-hand query (file or inline).")
+  in
+  let attempts_arg =
+    Arg.(value & opt int 200 & info [ "attempts" ] ~docv:"N" ~doc:"Refutation attempts.")
+  in
+  let run query rhs attempts =
+    let p1 = load_query query and p2 = load_query rhs in
+    match Wd_core.Containment.refute ~attempts p1 p2 with
+    | Some ce ->
+        Fmt.pr "NOT contained: counterexample found@.";
+        Fmt.pr "graph:@.%s@." (Rdf.Turtle.to_string ce.Wd_core.Containment.graph);
+        Fmt.pr "mapping: %a@." Sparql.Mapping.pp ce.Wd_core.Containment.mapping;
+        exit 1
+    | None ->
+        Fmt.pr
+          "no counterexample found in %d attempts (evidence of containment, \
+           not a proof — wd-pattern containment is Πᵖ₂-complete)@."
+          attempts
+  in
+  Cmd.v
+    (Cmd.info "containment"
+       ~doc:"Search for a counterexample to ⟦Q⟧ ⊆ ⟦RHS⟧ (randomised refutation).")
+    Term.(const run $ query_arg $ q2_arg $ attempts_arg)
+
+let optimize_cmd =
+  let run query =
+    let pattern = load_query query in
+    let forest, report = Wdpt.Optimize.pattern pattern in
+    Fmt.pr "removed %d redundant triple(s), %d duplicate tree(s)@."
+      report.Wdpt.Optimize.triples_removed report.Wdpt.Optimize.trees_removed;
+    Fmt.pr "optimised pattern:@.%s@."
+      (Sparql.Printer.to_string (Wdpt.Pattern_forest.to_algebra forest))
+  in
+  Cmd.v
+    (Cmd.info "optimize"
+       ~doc:"Apply the provably-safe simplifications (ancestor triple dedup, \
+             duplicate UNION branches) and print the result.")
+    Term.(const run $ query_arg)
+
+let fuzz_cmd =
+  let runs_arg =
+    Arg.(value & opt int 200 & info [ "runs" ] ~docv:"N" ~doc:"Number of random instances.")
+  in
+  let seed_arg =
+    Arg.(value & opt int 0 & info [ "seed" ] ~docv:"SEED" ~doc:"Base random seed.")
+  in
+  let run runs seed =
+    (* Differential testing: algebra reference vs naive wdPF vs pebble(dw)
+       vs the shared-prefix enumerator, on random instances. *)
+    let failures = ref 0 in
+    for i = 1 to runs do
+      let s = seed + i in
+      let pattern =
+        Workload.Query_families.random_wd_pattern ~seed:s ~triples:6 ~vars:6
+          ~preds:2 ~depth:3 ~union:2
+      in
+      let graph =
+        Rdf.Generator.random_graph ~seed:(s * 7 + 1) ~n:6
+          ~predicates:[ "q0"; "q1" ] ~m:18
+      in
+      let forest = Wdpt.Pattern_forest.of_algebra pattern in
+      let dw = Wd_core.Domination_width.of_forest forest in
+      let reference = Sparql.Eval.eval pattern graph in
+      let naive = Wdpt.Semantics.solutions forest graph in
+      let pebble = Wd_core.Pebble_eval.solutions ~k:dw forest graph in
+      let shared = Wd_core.Enumerate.solutions forest graph in
+      if
+        not
+          (Sparql.Mapping.Set.equal reference naive
+          && Sparql.Mapping.Set.equal reference pebble
+          && Sparql.Mapping.Set.equal reference shared)
+      then begin
+        incr failures;
+        Fmt.epr "MISMATCH at seed %d:@.query: %s@." s
+          (Sparql.Printer.to_string pattern)
+      end
+    done;
+    if !failures = 0 then Fmt.pr "fuzz: %d instances, all evaluators agree@." runs
+    else begin
+      Fmt.pr "fuzz: %d mismatches out of %d@." !failures runs;
+      exit 1
+    end
+  in
+  Cmd.v
+    (Cmd.info "fuzz"
+       ~doc:"Differential testing: all four evaluators on random instances.")
+    Term.(const run $ runs_arg $ seed_arg)
+
+let () =
+  let doc = "well-designed SPARQL with width-based evaluation (PODS'18)" in
+  exit
+    (Cmd.eval
+       (Cmd.group
+          (Cmd.info "wdsparql" ~version:"1.0.0" ~doc)
+          [
+            eval_cmd; check_cmd; width_cmd; validate_cmd; explain_cmd;
+            stats_cmd; containment_cmd; optimize_cmd; clique_cmd; fuzz_cmd;
+          ]))

@@ -1,0 +1,1 @@
+examples/clique_solver.ml: Fmt Graphtheory Hardness Ugraph Unix Wd_core

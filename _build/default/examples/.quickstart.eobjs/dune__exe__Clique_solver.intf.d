@@ -1,0 +1,1 @@
+examples/clique_solver.mli:

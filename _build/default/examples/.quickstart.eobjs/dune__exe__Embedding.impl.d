@@ -1,0 +1,1 @@
+examples/embedding.ml: Fmt Generator Graph List Printf Rdf Sparql Term Triple Wd_core

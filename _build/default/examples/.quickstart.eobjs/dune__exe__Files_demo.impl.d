@@ -1,0 +1,1 @@
+examples/files_demo.ml: Array Filename Fmt Fun List Printf Rdf Sparql Sys Wd_core

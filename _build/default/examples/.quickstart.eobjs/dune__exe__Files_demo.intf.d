@@ -1,0 +1,1 @@
+examples/files_demo.mli:

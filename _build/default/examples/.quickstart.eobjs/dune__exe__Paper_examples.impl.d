@@ -1,0 +1,1 @@
+examples/paper_examples.ml: Cores Fmt Gtgraph List Printf Rdf Sparql String Term Tgraph Tgraphs Triple Variable Wd_core Wdpt Workload

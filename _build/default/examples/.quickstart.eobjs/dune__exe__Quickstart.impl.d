@@ -1,0 +1,1 @@
+examples/quickstart.ml: Fmt Rdf Sparql Wd_core Wdpt

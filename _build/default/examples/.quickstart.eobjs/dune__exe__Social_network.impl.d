@@ -1,0 +1,1 @@
+examples/social_network.ml: Fmt List Rdf Sparql Unix Wd_core Wdpt

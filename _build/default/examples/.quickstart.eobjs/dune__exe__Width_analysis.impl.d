@@ -1,0 +1,1 @@
+examples/width_analysis.ml: Fmt Hashtbl List Option Printf Query_families String Wd_core Wdpt Workload

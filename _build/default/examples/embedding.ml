@@ -1,0 +1,82 @@
+(* Section 5 of the paper, made concrete: with FILTER, well-designed
+   patterns express conjunctive queries with inequalities, and evaluating
+   them subsumes the EMBEDDING problem (injective homomorphism). For the
+   class of paths, EMB is NP-hard yet fixed-parameter tractable — the
+   example the paper gives for why the PTIME dichotomy fails once FILTER
+   is allowed.
+
+   This demo asks for *simple* (injective) paths via
+   [path pattern + pairwise-≠ FILTER] and uses them to find the longest
+   simple path of small digraphs — plain homomorphisms would happily walk
+   in circles.
+
+   Run with: dune exec examples/embedding.exe *)
+
+open Rdf
+
+(* path query: ?x1 -r-> ?x2 -r-> … -r-> ?xk, all distinct *)
+let simple_path_query k =
+  let var i = Term.var (Printf.sprintf "x%d" i) in
+  let triples =
+    List.init (k - 1) (fun i ->
+        Sparql.Algebra.triple (Triple.make (var (i + 1)) (Term.iri "p:r") (var (i + 2))))
+  in
+  let conjunction = Sparql.Algebra.and_all triples in
+  let distinct =
+    let rec pairs i j acc =
+      if i > k then acc
+      else if j > k then pairs (i + 1) (i + 2) acc
+      else pairs i (j + 1) (Sparql.Condition.neq (var i) (var j) :: acc)
+    in
+    match pairs 1 2 [] with
+    | [] -> None
+    | c :: rest -> Some (List.fold_left (fun a b -> Sparql.Condition.And (a, b)) c rest)
+  in
+  match distinct with
+  | None -> conjunction
+  | Some condition -> Sparql.Algebra.filter conjunction condition
+
+let longest_simple_path graph =
+  let rec climb k best =
+    let q = simple_path_query k in
+    let count = Sparql.Mapping.Set.cardinal (Sparql.Eval.eval q graph) in
+    if count = 0 then best else climb (k + 1) (k, count)
+  in
+  climb 2 (1, Rdf.Graph.cardinal graph)
+
+let inspect name graph =
+  let hom_walks k =
+    Sparql.Mapping.Set.cardinal
+      (Sparql.Eval.eval
+         (Sparql.Algebra.and_all
+            (List.init (k - 1) (fun i ->
+                 Sparql.Algebra.triple
+                   (Triple.make
+                      (Term.var (Printf.sprintf "x%d" (i + 1)))
+                      (Term.iri "p:r")
+                      (Term.var (Printf.sprintf "x%d" (i + 2)))))))
+         graph)
+  in
+  Fmt.pr "@.%s (%d edges):@." name (Graph.cardinal graph);
+  let k, count = longest_simple_path graph in
+  Fmt.pr "  longest simple path: %d vertices (%d of them)@." k count;
+  Fmt.pr "  contrast with homomorphisms: %d walks of length 6 vs %d simple@."
+    (hom_walks 7)
+    (Sparql.Mapping.Set.cardinal (Sparql.Eval.eval (simple_path_query 7) graph));
+  let c = Wd_core.Classify.classify (simple_path_query 4) in
+  match c.Wd_core.Classify.regime with
+  | Wd_core.Classify.Outside_core_fragment ->
+      Fmt.pr "  classifier: outside the core fragment (as §5 predicts)@."
+  | _ -> Fmt.pr "  classifier: unexpected regime@."
+
+let () =
+  Fmt.pr "Embedding via FILTER: CQs with inequalities (paper §5)@.";
+  inspect "directed cycle C6" (Generator.cycle ~n:6 ~pred:"r");
+  inspect "path P5" (Generator.path ~n:5 ~pred:"r");
+  inspect "random digraph G(10, 20)"
+    (Generator.random_digraph ~seed:5 ~n:10 ~m:20 ~pred:"r");
+  Fmt.pr
+    "@.Note: a cycle has homomorphic walks of every length but only@.\
+     finitely many simple paths — the inequality filter is what the core@.\
+     fragment cannot express, and with it the tractability dichotomy@.\
+     fails (EMB over paths is NP-hard but FPT, §5).@."

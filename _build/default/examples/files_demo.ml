@@ -1,0 +1,56 @@
+(* Working from files on disk: load the committed fixtures in data/ and
+   queries/, classify each query and run it end to end — the workflow the
+   CLI (`wdsparql eval/width/explain`) wraps.
+
+   Run from the repository root: dune exec examples/files_demo.exe *)
+
+let read path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let () =
+  let data_path = "data/social.ttl" in
+  if not (Sys.file_exists data_path) then begin
+    Fmt.epr "run from the repository root (data/social.ttl not found)@.";
+    exit 1
+  end;
+  let graph =
+    match Rdf.Turtle.parse_graph (read data_path) with
+    | Ok g -> g
+    | Error e -> failwith e
+  in
+  Fmt.pr "%s: %d triples@." data_path (Rdf.Graph.cardinal graph);
+  let queries =
+    Sys.readdir "queries" |> Array.to_list
+    |> List.filter (fun f -> Filename.check_suffix f ".rq")
+    |> List.sort compare
+  in
+  List.iter
+    (fun file ->
+      let path = Filename.concat "queries" file in
+      let pattern = Sparql.Parser.parse_exn (read path) in
+      let c = Wd_core.Classify.classify pattern in
+      let answers = Sparql.Eval.eval pattern graph in
+      let regime =
+        match c.Wd_core.Classify.regime with
+        | Wd_core.Classify.Ptime k -> Printf.sprintf "PTIME (dw = %d)" k
+        | Wd_core.Classify.Intractable_frontier k ->
+            Printf.sprintf "frontier (dw = %d)" k
+        | Wd_core.Classify.Not_well_designed -> "not well-designed"
+        | Wd_core.Classify.Outside_core_fragment -> "outside core fragment (§5)"
+      in
+      Fmt.pr "@.%-22s %-28s %5d answer(s)@." file regime
+        (Sparql.Mapping.Set.cardinal answers);
+      (* for core-fragment queries, cross-check with the engine *)
+      if Sparql.Algebra.is_core pattern then begin
+        let plan = Wd_core.Engine.plan pattern in
+        assert (Sparql.Mapping.Set.equal answers (Wd_core.Engine.solutions plan graph));
+        Fmt.pr "%-22s engine agrees (%a)@." ""
+          (fun ppf -> function
+            | Wd_core.Engine.Pebble k -> Fmt.pf ppf "pebble, k = %d" k
+            | Wd_core.Engine.Naive -> Fmt.string ppf "naive")
+          plan.Wd_core.Engine.algorithm
+      end)
+    queries

@@ -1,0 +1,62 @@
+(* The width landscape: compute every width measure of the paper for a
+   corpus of query families and see where each one falls relative to the
+   tractability frontier.
+
+   Run with: dune exec examples/width_analysis.exe *)
+
+open Workload
+
+let row name forest =
+  let dw = Wd_core.Domination_width.of_forest forest in
+  let bw =
+    match forest with
+    | [ tree ] -> string_of_int (Wd_core.Branch_treewidth.of_tree tree)
+    | _ -> "-"
+  in
+  let lt = Wd_core.Local_tractability.width_of_forest forest in
+  let regime = if dw <= 2 then "PTIME (low width)" else "frontier" in
+  Fmt.pr "%-24s %6d %6s %6d %6d   %s@." name
+    (Wdpt.Pattern_forest.size forest)
+    bw lt dw regime
+
+let () =
+  Fmt.pr "Width landscape (dw = domination width, bw = branch treewidth,@.";
+  Fmt.pr "lt = least local-tractability bound; Definitions 2-3 and §3.1):@.@.";
+  Fmt.pr "%-24s %6s %6s %6s %6s   %s@." "family" "nodes" "bw" "lt" "dw" "regime";
+  Fmt.pr "%s@." (String.make 78 '-');
+  row "path(6)" [ Query_families.path_query 6 ];
+  row "star(6)" [ Query_families.star_query 6 ];
+  row "comb(4)" [ Query_families.comb_query 4 ];
+  List.iter (fun k -> row (Printf.sprintf "T'_%d (sec. 3.2)" k) [ Query_families.t_prime_k k ]) [ 2; 3; 4; 5 ];
+  List.iter (fun k -> row (Printf.sprintf "F_%d (example 4/5)" k) (Query_families.f_k k)) [ 2; 3; 4; 5 ];
+  List.iter (fun k -> row (Printf.sprintf "clique_child(%d)" k) [ Query_families.clique_child k ]) [ 2; 3; 4; 5 ];
+  List.iter
+    (fun (r, c) -> row (Printf.sprintf "grid(%dx%d)" r c) [ Query_families.grid_query ~rows:r ~cols:c ])
+    [ (2, 2); (2, 4); (3, 3) ];
+  Fmt.pr "%s@." (String.make 78 '-');
+  Fmt.pr
+    "@.Observations matching the paper:@.\
+     - T'_k and F_k keep dw (and bw) = 1 while lt grows with k: bounded@.\
+    \  domination width strictly extends local tractability (Example 5).@.\
+     - clique_child and grid have growing dw: classes built from them are@.\
+    \  beyond the tractability frontier (Theorem 2).@.\
+     - on UNION-free families, dw = bw (Proposition 5).@.";
+  (* random patterns: where does "typical" OPTIONAL nesting land? *)
+  Fmt.pr "@.Random well-designed patterns (30 samples):@.";
+  let widths =
+    List.init 30 (fun seed ->
+        let p =
+          Query_families.random_wd_pattern ~seed ~triples:8 ~vars:8 ~preds:3
+            ~depth:3 ~union:2
+        in
+        Wd_core.Domination_width.of_pattern p)
+  in
+  let histogram = Hashtbl.create 8 in
+  List.iter
+    (fun w ->
+      Hashtbl.replace histogram w
+        (1 + Option.value ~default:0 (Hashtbl.find_opt histogram w)))
+    widths;
+  Hashtbl.fold (fun w count acc -> (w, count) :: acc) histogram []
+  |> List.sort compare
+  |> List.iter (fun (w, count) -> Fmt.pr "  dw = %d: %d patterns@." w count)

@@ -1,0 +1,1 @@
+lib/core/branch_treewidth.ml: Cores Gtgraph List Tgraph Tgraphs Wdpt

@@ -1,0 +1,1 @@
+lib/core/branch_treewidth.mli: Gtgraph Sparql Tgraphs Wdpt

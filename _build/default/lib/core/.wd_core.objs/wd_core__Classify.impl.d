@@ -1,0 +1,1 @@
+lib/core/classify.ml: Branch_treewidth Domination_width Fmt List Local_tractability Sparql Wdpt

@@ -1,0 +1,1 @@
+lib/core/containment.ml: Graph Gtgraph Iri List Printf Random Rdf Sparql Term Tgraph Tgraphs Triple Wdpt

@@ -1,0 +1,1 @@
+lib/core/containment.mli: Gtgraph Rdf Sparql Tgraphs

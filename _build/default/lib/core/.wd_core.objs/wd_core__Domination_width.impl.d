@@ -1,0 +1,1 @@
+lib/core/domination_width.ml: Cores Gtgraph List Tgraphs Wdpt

@@ -1,0 +1,1 @@
+lib/core/domination_width.mli: Gtgraph Sparql Tgraphs Wdpt

@@ -1,0 +1,1 @@
+lib/core/engine.ml: Domination_width Enumerate Fmt List Naive_eval Pebble_eval Sparql Wdpt

@@ -1,0 +1,1 @@
+lib/core/engine.mli: Fmt Graph Rdf Sparql Wdpt

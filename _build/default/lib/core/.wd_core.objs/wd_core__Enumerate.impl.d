@@ -1,0 +1,1 @@
+lib/core/enumerate.ml: Graph Homomorphism List Pebble_eval Rdf Sparql Tgraphs Variable Wdpt

@@ -1,0 +1,1 @@
+lib/core/explain.ml: Classify Engine Fmt List Printf Rdf Stats String Tgraphs Triple Variable Wdpt

@@ -1,0 +1,1 @@
+lib/core/explain.mli: Classify Engine Fmt Rdf Sparql Wdpt

@@ -1,0 +1,1 @@
+lib/core/local_tractability.ml: Cores Gtgraph List Rdf Tgraphs Variable Wdpt

@@ -1,0 +1,1 @@
+lib/core/local_tractability.mli: Sparql Wdpt

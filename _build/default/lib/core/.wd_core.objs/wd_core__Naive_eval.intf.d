@@ -1,0 +1,1 @@
+lib/core/naive_eval.mli: Graph Rdf Sparql Wdpt

@@ -1,0 +1,1 @@
+lib/core/pebble_eval.ml: Domination_width Graph Gtgraph Homomorphism List Pebble Rdf Sparql Tgraph Tgraphs Wdpt

@@ -1,0 +1,1 @@
+lib/core/pebble_eval.mli: Graph Rdf Sparql Wdpt

@@ -1,0 +1,1 @@
+lib/core/td_eval.ml: Gtgraph List Sparql Td_hom Tgraph Tgraphs Wdpt

@@ -1,0 +1,1 @@
+lib/core/td_eval.mli: Graph Rdf Sparql Wdpt

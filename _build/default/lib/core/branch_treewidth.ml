@@ -1,0 +1,22 @@
+open Tgraphs
+
+let branch_gtgraph tree n =
+  if n = Wdpt.Pattern_tree.root then
+    invalid_arg "Branch_treewidth.branch_gtgraph: the root has no branch";
+  let branch = Wdpt.Pattern_tree.branch tree n in
+  let branch_pat =
+    List.fold_left
+      (fun acc m -> Tgraph.union acc (Wdpt.Pattern_tree.pat tree m))
+      Tgraph.empty branch
+  in
+  let s = Tgraph.union (Wdpt.Pattern_tree.pat tree n) branch_pat in
+  Gtgraph.make s (Tgraph.vars branch_pat)
+
+let of_tree tree =
+  List.fold_left
+    (fun acc n ->
+      if n = Wdpt.Pattern_tree.root then acc
+      else max acc (Cores.ctw (branch_gtgraph tree n)))
+    1 (Wdpt.Pattern_tree.nodes tree)
+
+let of_pattern p = of_tree (Wdpt.Translate.tree_of_algebra p)

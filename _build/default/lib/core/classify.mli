@@ -1,0 +1,35 @@
+(** One-stop structural analysis of a graph pattern: all the width measures
+    of the paper and the complexity regime they predict. *)
+
+type regime =
+  | Ptime of int
+      (** Bounded domination width [k]: members of a class with this bound
+          evaluate in polynomial time via the (k+1)-pebble algorithm
+          (Theorem 1). *)
+  | Intractable_frontier of int
+      (** The measured domination width — large widths signal that a class
+          containing patterns like this one of unbounded width is not
+          polynomial-time evaluable unless FPT = W[1] (Theorems 2–3). *)
+  | Not_well_designed
+  | Outside_core_fragment
+      (** Uses FILTER or SELECT: Section 5 shows the dichotomy fails there,
+          so no width-based regime applies; evaluation still works through
+          the reference semantics. *)
+
+type t = {
+  well_designed : bool;
+  union_free : bool;
+  trees : int;  (** number of trees in [wdpf(P)] *)
+  nodes : int;  (** total nodes in [wdpf(P)] *)
+  domination_width : int option;
+  branch_treewidth : int option;  (** UNION-free patterns only *)
+  local_width : int option;
+      (** least bound witnessing local tractability of [{P}] *)
+  regime : regime;
+}
+
+val classify : ?frontier:int -> Sparql.Algebra.t -> t
+(** [frontier] (default 3) is the domination width above which we flag the
+    pattern as on the intractable side of the dichotomy. *)
+
+val pp : t Fmt.t

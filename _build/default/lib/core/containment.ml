@@ -1,0 +1,83 @@
+open Rdf
+open Tgraphs
+
+let cq_contained q1 q2 = Gtgraph.maps_to q2 q1
+let cq_equivalent q1 q2 = cq_contained q1 q2 && cq_contained q2 q1
+
+let included_on p1 p2 graph =
+  Sparql.Mapping.Set.subset (Sparql.Eval.eval p1 graph) (Sparql.Eval.eval p2 graph)
+
+type counterexample = {
+  graph : Rdf.Graph.t;
+  mapping : Sparql.Mapping.t;
+}
+
+let find_counterexample p1 p2 graph =
+  let sols1 = Sparql.Eval.eval p1 graph in
+  let sols2 = Sparql.Eval.eval p2 graph in
+  match Sparql.Mapping.Set.choose_opt (Sparql.Mapping.Set.diff sols1 sols2) with
+  | Some mapping -> Some { graph; mapping }
+  | None -> None
+
+(* Candidate instances: freezings of every subtree pattern of wdpf(P1) —
+   for the OPT-free fragment these canonical instances are complete — plus
+   random graphs over both patterns' IRIs/vocabulary (OPT is non-monotone,
+   so small random instances catch "optional part fires only in P1"
+   counterexamples). *)
+let canonical_instances p1 =
+  let forest = Wdpt.Pattern_forest.of_algebra p1 in
+  List.concat_map
+    (fun tree ->
+      List.map
+        (fun subtree -> Tgraph.freeze (Wdpt.Subtree.pat subtree))
+        (Wdpt.Subtree.all tree))
+    forest
+
+let random_instance p1 p2 state =
+  let vocabulary =
+    Iri.Set.elements
+      (Iri.Set.union
+         (Tgraph.iris (Tgraph.of_triples (Sparql.Algebra.triples p1)))
+         (Tgraph.iris (Tgraph.of_triples (Sparql.Algebra.triples p2))))
+  in
+  let preds =
+    List.filter
+      (fun iri ->
+        List.exists
+          (fun t -> Term.equal t.Triple.p (Term.Iri iri))
+          (Sparql.Algebra.triples p1 @ Sparql.Algebra.triples p2))
+      vocabulary
+  in
+  let preds = if preds = [] then [ Iri.of_string "p:q" ] else preds in
+  let nodes = 1 + Random.State.int state 4 in
+  let node i = Term.iri (Printf.sprintf "w:%d" i) in
+  let m = 1 + Random.State.int state 8 in
+  let triples =
+    List.init m (fun _ ->
+        Triple.make
+          (node (Random.State.int state nodes))
+          (Term.Iri (List.nth preds (Random.State.int state (List.length preds))))
+          (node (Random.State.int state nodes)))
+  in
+  Graph.of_triples triples
+
+let refute ?(attempts = 200) ?(seed = 0) p1 p2 =
+  let rec try_graphs = function
+    | [] -> None
+    | graph :: rest -> (
+        match find_counterexample p1 p2 graph with
+        | Some _ as found -> found
+        | None -> try_graphs rest)
+  in
+  match try_graphs (canonical_instances p1) with
+  | Some _ as found -> found
+  | None ->
+      let state = Random.State.make [| seed; attempts; 271828 |] in
+      let rec go remaining =
+        if remaining = 0 then None
+        else
+          match find_counterexample p1 p2 (random_instance p1 p2 state) with
+          | Some _ as found -> found
+          | None -> go (remaining - 1)
+      in
+      go attempts

@@ -1,0 +1,41 @@
+(** Containment of queries, built from the same homomorphism machinery the
+    width measures use.
+
+    For {e existential conjunctive} queries — generalised t-graphs
+    [(S, X)], i.e. AND-only patterns with distinguished output variables
+    [X] — containment is decided exactly by the classical Chandra–Merlin
+    theorem: [q1 ⊆ q2] iff [(S2, X) → (S1, X)].
+
+    For full well-designed patterns, containment (under set semantics) is
+    Πᵖ₂-complete [Pichler & Skritek, PODS'14] and beyond this module's
+    exact scope; we provide a sound randomised {e refutation} procedure —
+    search for a witness instance on which the inclusion fails — plus a
+    per-instance inclusion check. A refutation is always conclusive;
+    failure to refute is not a proof of containment. *)
+
+open Tgraphs
+
+val cq_contained : Gtgraph.t -> Gtgraph.t -> bool
+(** [cq_contained q1 q2]: is every answer of [q1] an answer of [q2] over
+    every RDF graph? Exact (Chandra–Merlin). Raises [Invalid_argument]
+    when the distinguished-variable sets differ. *)
+
+val cq_equivalent : Gtgraph.t -> Gtgraph.t -> bool
+
+val included_on :
+  Sparql.Algebra.t -> Sparql.Algebra.t -> Rdf.Graph.t -> bool
+(** [⟦P1⟧G ⊆ ⟦P2⟧G] on the given graph, by reference evaluation. *)
+
+type counterexample = {
+  graph : Rdf.Graph.t;
+  mapping : Sparql.Mapping.t;  (** in [⟦P1⟧G] but not in [⟦P2⟧G] *)
+}
+
+val refute :
+  ?attempts:int -> ?seed:int -> Sparql.Algebra.t -> Sparql.Algebra.t ->
+  counterexample option
+(** Randomised search for a witness that [P1 ⊄ P2]: candidate instances
+    are frozen subtree patterns of [wdpf(P1)] (the canonical instances
+    that suffice for the positive fragment) and random graphs over the
+    two patterns' vocabulary. [None] means no counterexample found within
+    [attempts] (default 200) — evidence, not proof, of containment. *)

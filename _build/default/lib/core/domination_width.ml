@@ -1,0 +1,66 @@
+open Tgraphs
+
+let dominated_with_ctws with_ctw k =
+  let dominators = List.filter (fun (c, _) -> c <= k) with_ctw in
+  List.for_all
+    (fun (c, g) ->
+      c <= k || List.exists (fun (_, g') -> Gtgraph.maps_to g' g) dominators)
+    with_ctw
+
+let dominated_at family k =
+  dominated_with_ctws (List.map (fun g -> (Cores.ctw g, g)) family) k
+
+let domination_level family =
+  match family with
+  | [] -> 1
+  | _ ->
+      let with_ctw = List.map (fun g -> (Cores.ctw g, g)) family in
+      let candidates =
+        List.sort_uniq compare (1 :: List.map fst with_ctw)
+      in
+      let rec first = function
+        | [] -> List.fold_left (fun acc (c, _) -> max acc c) 1 with_ctw
+        | k :: rest -> if dominated_with_ctws with_ctw k then k else first rest
+      in
+      first candidates
+
+let of_subtree forest subtree =
+  domination_level (Wdpt.Children_assignment.gtg forest subtree)
+
+let subtrees_of forest =
+  List.concat
+    (List.mapi
+       (fun i tree -> List.map (fun st -> (i, st)) (Wdpt.Subtree.all tree))
+       forest)
+
+let of_forest forest =
+  List.fold_left
+    (fun acc (_, st) -> max acc (of_subtree forest st))
+    1 (subtrees_of forest)
+
+let at_most forest k =
+  List.for_all
+    (fun (_, st) ->
+      dominated_at (Wdpt.Children_assignment.gtg forest st) k)
+    (subtrees_of forest)
+
+let of_pattern p = of_forest (Wdpt.Pattern_forest.of_algebra p)
+
+type profile = {
+  subtree_members : int list;
+  tree_index : int;
+  gtg_ctws : int list;
+  level : int;
+}
+
+let profile forest =
+  List.map
+    (fun (i, st) ->
+      let gtg = Wdpt.Children_assignment.gtg forest st in
+      {
+        subtree_members = Wdpt.Subtree.members st;
+        tree_index = i;
+        gtg_ctws = List.map Cores.ctw gtg;
+        level = domination_level gtg;
+      })
+    (subtrees_of forest)

@@ -1,0 +1,46 @@
+(** Domination width (Definitions 1 and 2) — the paper's new width measure,
+    which characterises the polynomial-time evaluable classes of
+    well-designed patterns (Theorem 3).
+
+    For each subtree [T] of the forest, [GtG(T)] must be [k]-dominated:
+    its members of [ctw ≤ k] must homomorphically dominate the rest. The
+    domination width is the least such [k] working for every subtree.
+
+    The computation below is a direct implementation and is exponential in
+    the query size (the recognition problem has a Πᵖ₂ upper bound and is
+    NP-hard already for UNION-free patterns, Section 5); queries are small
+    so this is fine in practice. *)
+
+open Tgraphs
+
+val dominated_at : Gtgraph.t list -> int -> bool
+(** [dominated_at g k]: is the family [k]-dominated? *)
+
+val domination_level : Gtgraph.t list -> int
+(** The least [k ≥ 1] at which the family is [k]-dominated. *)
+
+val of_subtree : Wdpt.Pattern_forest.t -> Wdpt.Subtree.t -> int
+(** [domination_level (GtG T)]. *)
+
+val of_forest : Wdpt.Pattern_forest.t -> int
+(** [dw(F)]: maximum over all subtrees of all trees. Always ≥ 1. *)
+
+val at_most : Wdpt.Pattern_forest.t -> int -> bool
+(** [at_most f k] decides [dw(f) ≤ k] — the recognition problem of
+    Section 5 — short-circuiting on the first subtree whose [GtG] is not
+    [k]-dominated, which is much cheaper than computing [dw] exactly when
+    the answer is negative. *)
+
+val of_pattern : Sparql.Algebra.t -> int
+(** [dw(P) = dw(wdpf(P))].
+    Raises {!Wdpt.Translate.Not_well_designed} if not well-designed. *)
+
+type profile = {
+  subtree_members : int list;  (** node ids of the subtree *)
+  tree_index : int;  (** which tree of the forest it lives in *)
+  gtg_ctws : int list;  (** [ctw] of each member of [GtG(T)] *)
+  level : int;  (** least [k] at which [GtG(T)] is k-dominated *)
+}
+
+val profile : Wdpt.Pattern_forest.t -> profile list
+(** Per-subtree diagnostics, used by the width-landscape experiment. *)

@@ -1,0 +1,39 @@
+type algorithm =
+  | Naive
+  | Pebble of int
+
+type plan = {
+  pattern : Sparql.Algebra.t;
+  forest : Wdpt.Pattern_forest.t;
+  domination_width : int;
+  algorithm : algorithm;
+}
+
+let plan ?force pattern =
+  let forest = Wdpt.Pattern_forest.of_algebra pattern in
+  let domination_width = Domination_width.of_forest forest in
+  let algorithm =
+    match force with Some a -> a | None -> Pebble domination_width
+  in
+  { pattern; forest; domination_width; algorithm }
+
+let check plan graph mu =
+  match plan.algorithm with
+  | Naive -> Naive_eval.check plan.forest graph mu
+  | Pebble k -> Pebble_eval.check ~k plan.forest graph mu
+
+let solutions plan graph =
+  match plan.algorithm with
+  | Naive -> Wdpt.Semantics.solutions plan.forest graph
+  | Pebble k -> Enumerate.solutions ~maximality:(`Pebble k) plan.forest graph
+
+let count plan graph = Sparql.Mapping.Set.cardinal (solutions plan graph)
+
+let pp_plan ppf plan =
+  Fmt.pf ppf "@[<v>query: %d triple pattern(s), %d tree(s)@ dw: %d@ algorithm: %a@]"
+    (Sparql.Algebra.size plan.pattern)
+    (List.length plan.forest) plan.domination_width
+    (fun ppf -> function
+      | Naive -> Fmt.string ppf "naive (exact homomorphism tests)"
+      | Pebble k -> Fmt.pf ppf "pebble with k = %d (%d pebbles)" k (k + 1))
+    plan.algorithm

@@ -1,0 +1,32 @@
+(** One-stop evaluation facade: translate once, measure the domination
+    width once, and dispatch every subsequent operation to the right
+    algorithm. This is what the CLI and the examples use. *)
+
+open Rdf
+
+type algorithm =
+  | Naive  (** exact homomorphism tests (exponential in the query) *)
+  | Pebble of int  (** Theorem-1 algorithm with [k]+1 pebbles *)
+
+type plan = {
+  pattern : Sparql.Algebra.t;
+  forest : Wdpt.Pattern_forest.t;
+  domination_width : int;
+  algorithm : algorithm;
+}
+
+val plan : ?force:algorithm -> Sparql.Algebra.t -> plan
+(** Build a plan. By default the pebble algorithm at the query's measured
+    domination width is chosen (always exact); [force] overrides.
+    Raises {!Wdpt.Translate.Not_well_designed} on non-well-designed
+    input. *)
+
+val check : plan -> Graph.t -> Sparql.Mapping.t -> bool
+(** [µ ∈ ⟦P⟧G] with the planned algorithm. *)
+
+val solutions : plan -> Graph.t -> Sparql.Mapping.Set.t
+(** All answers: the shared-prefix enumerator under [Pebble], the baseline
+    enumerator under [Naive]. *)
+
+val count : plan -> Graph.t -> int
+val pp_plan : plan Fmt.t

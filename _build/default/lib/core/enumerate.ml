@@ -1,0 +1,60 @@
+open Rdf
+open Tgraphs
+
+type maximality = [ `Hom | `Pebble of int ]
+
+let solutions_tree ?(maximality = `Hom) tree graph =
+  let target = Graph.to_index graph in
+  let results = ref Sparql.Mapping.Set.empty in
+  let child_extends subtree mu n =
+    match maximality with
+    | `Hom -> Wdpt.Semantics.child_extends tree graph mu n
+    | `Pebble k -> Pebble_eval.child_test ~k tree graph mu subtree n
+  in
+  let maximal subtree mu =
+    not (List.exists (child_extends subtree mu) (Wdpt.Subtree.children subtree))
+  in
+  (* homs: assignments with domain vars(subtree); last: the node id added
+     most recently — children are only added in increasing id order so each
+     subtree is reached exactly once, via its sorted member sequence. *)
+  let rec go subtree homs last =
+    List.iter
+      (fun h ->
+        match Sparql.Mapping.of_assignment h with
+        | None -> ()
+        | Some mu ->
+            if maximal subtree mu then
+              results := Sparql.Mapping.Set.add mu !results)
+      homs;
+    List.iter
+      (fun n ->
+        if n > last then begin
+          let child_pat = Wdpt.Pattern_tree.pat tree n in
+          let homs' =
+            List.concat_map
+              (fun h ->
+                List.map
+                  (fun extension ->
+                    Variable.Map.union (fun _ a _ -> Some a) h extension)
+                  (Homomorphism.all ~pre:h ~source:child_pat ~target ()))
+              homs
+          in
+          if homs' <> [] then go (Wdpt.Subtree.add_child subtree n) homs' n
+        end)
+      (Wdpt.Subtree.children subtree)
+  in
+  let root_subtree = Wdpt.Subtree.root_only tree in
+  let root_homs =
+    Homomorphism.all ~source:(Wdpt.Subtree.pat root_subtree) ~target ()
+  in
+  if root_homs <> [] then go root_subtree root_homs Wdpt.Pattern_tree.root;
+  !results
+
+let solutions ?maximality forest graph =
+  List.fold_left
+    (fun acc tree ->
+      Sparql.Mapping.Set.union acc (solutions_tree ?maximality tree graph))
+    Sparql.Mapping.Set.empty forest
+
+let count ?maximality forest graph =
+  Sparql.Mapping.Set.cardinal (solutions ?maximality forest graph)

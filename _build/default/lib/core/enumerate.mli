@@ -1,0 +1,34 @@
+(** Optimised answer enumeration for wdPTs.
+
+    The baseline enumerator ({!Wdpt.Semantics.solutions}) recomputes the
+    homomorphisms of every subtree pattern from scratch — with [c]
+    optional children below a node it re-joins the shared prefix up to
+    [2^c] times. This one walks the subtree lattice once, extending each
+    partial homomorphism child by child, so common prefixes are joined
+    once. Each subtree is visited exactly once (children are added in
+    increasing node-id order, which is compatible with the parent order
+    because node ids are topological).
+
+    The Lemma-1 maximality condition is checked per candidate answer:
+    - [`Hom] (default) uses the exact homomorphism test — cheap when
+      children are easy to match;
+    - [`Pebble k] uses the existential (k+1)-pebble relaxation of
+      Theorem 1 — polynomial even when a child hides an NP-hard pattern,
+      and exact whenever [dw ≤ k]. *)
+
+open Rdf
+
+type maximality = [ `Hom | `Pebble of int ]
+
+val solutions_tree :
+  ?maximality:maximality -> Wdpt.Pattern_tree.t -> Graph.t ->
+  Sparql.Mapping.Set.t
+
+val solutions :
+  ?maximality:maximality -> Wdpt.Pattern_forest.t -> Graph.t ->
+  Sparql.Mapping.Set.t
+(** Equals {!Wdpt.Semantics.solutions} under [`Hom], and under
+    [`Pebble k] whenever [dw(F) ≤ k] (tested). *)
+
+val count : ?maximality:maximality -> Wdpt.Pattern_forest.t -> Graph.t -> int
+(** Number of distinct answers. *)

@@ -1,0 +1,84 @@
+open Rdf
+
+type triple_plan = {
+  triple : Triple.t;
+  estimated : float;
+}
+
+type node_plan = {
+  node : Wdpt.Pattern_tree.node;
+  depth : int;
+  new_vars : Variable.t list;
+  triples : triple_plan list;
+}
+
+type tree_plan = node_plan list
+
+type t = {
+  classification : Classify.t;
+  plan : Engine.plan;
+  trees : tree_plan list;
+  graph_triples : int;
+}
+
+let plan_tree stats tree =
+  let rec walk node depth =
+    let parent_vars =
+      match Wdpt.Pattern_tree.parent tree node with
+      | None -> Variable.Set.empty
+      | Some p -> Wdpt.Pattern_tree.vars_of_node tree p
+    in
+    let new_vars =
+      Variable.Set.elements
+        (Variable.Set.diff (Wdpt.Pattern_tree.vars_of_node tree node) parent_vars)
+    in
+    let triples =
+      Tgraphs.Tgraph.triples (Wdpt.Pattern_tree.pat tree node)
+      |> List.map (fun triple ->
+             { triple; estimated = Stats.estimated_matches stats triple })
+      |> List.sort (fun a b -> compare a.estimated b.estimated)
+    in
+    { node; depth; new_vars; triples }
+    :: List.concat_map
+         (fun c -> walk c (depth + 1))
+         (Wdpt.Pattern_tree.children tree node)
+  in
+  walk Wdpt.Pattern_tree.root 0
+
+let explain pattern graph =
+  let stats = Stats.of_graph graph in
+  let plan = Engine.plan pattern in
+  {
+    classification = Classify.classify pattern;
+    plan;
+    trees = List.map (plan_tree stats) plan.Engine.forest;
+    graph_triples = Stats.triples stats;
+  }
+
+let pp ppf t =
+  Fmt.pf ppf "%a@.@.%a@.@." Classify.pp t.classification Engine.pp_plan t.plan;
+  Fmt.pf ppf "data: %d triples@." t.graph_triples;
+  List.iteri
+    (fun i tree_plan ->
+      Fmt.pf ppf "@.tree %d:@." (i + 1);
+      List.iter
+        (fun np ->
+          let indent = String.make (2 * np.depth) ' ' in
+          let vars_note =
+            match np.new_vars with
+            | [] -> ""
+            | vs ->
+                Printf.sprintf " (introduces %s)"
+                  (String.concat ", "
+                     (List.map (fun v -> "?" ^ Variable.to_string v) vs))
+          in
+          Fmt.pf ppf "%s%snode %d%s@." indent
+            (if np.depth = 0 then "" else "OPTIONAL ")
+            np.node vars_note;
+          List.iter
+            (fun tp ->
+              Fmt.pf ppf "%s  %a  ~%.1f matches@." indent Triple.pp tp.triple
+                tp.estimated)
+            np.triples)
+        tree_plan)
+    t.trees

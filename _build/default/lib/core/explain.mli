@@ -1,0 +1,33 @@
+(** Query plans, explained: what the evaluator will do for a pattern over
+    a concrete graph, with statistics-based cardinality estimates.
+
+    For each tree of [wdpf(P)] the report lists the root-to-leaf structure
+    with, per node, its triple patterns ordered as the fail-first join
+    would first consider them (most selective first, per
+    {!Rdf.Stats.estimated_matches}) — plus the width measures and the
+    algorithm the {!Engine} would pick. *)
+
+type triple_plan = {
+  triple : Rdf.Triple.t;
+  estimated : float;  (** estimated matching triples in the graph *)
+}
+
+type node_plan = {
+  node : Wdpt.Pattern_tree.node;
+  depth : int;
+  new_vars : Rdf.Variable.t list;  (** variables introduced by this node *)
+  triples : triple_plan list;  (** most selective first *)
+}
+
+type tree_plan = node_plan list
+(** Pre-order. *)
+
+type t = {
+  classification : Classify.t;
+  plan : Engine.plan;
+  trees : tree_plan list;
+  graph_triples : int;
+}
+
+val explain : Sparql.Algebra.t -> Rdf.Graph.t -> t
+val pp : t Fmt.t

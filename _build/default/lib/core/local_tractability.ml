@@ -1,0 +1,22 @@
+open Rdf
+open Tgraphs
+
+let width_of_tree tree =
+  List.fold_left
+    (fun acc n ->
+      match Wdpt.Pattern_tree.parent tree n with
+      | None -> acc
+      | Some p ->
+          let interface =
+            Variable.Set.inter
+              (Wdpt.Pattern_tree.vars_of_node tree n)
+              (Wdpt.Pattern_tree.vars_of_node tree p)
+          in
+          let g = Gtgraph.make (Wdpt.Pattern_tree.pat tree n) interface in
+          max acc (Cores.ctw g))
+    1 (Wdpt.Pattern_tree.nodes tree)
+
+let width_of_forest forest =
+  List.fold_left (fun acc tree -> max acc (width_of_tree tree)) 1 forest
+
+let width_of_pattern p = width_of_forest (Wdpt.Pattern_forest.of_algebra p)

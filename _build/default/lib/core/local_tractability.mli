@@ -1,0 +1,13 @@
+(** Local tractability (Letelier et al., recalled after Theorem 1): a class
+    is locally tractable when [ctw(pat(n), vars(n) ∩ vars(n'))] is bounded
+    over all non-root nodes [n] with parent [n']. This was the most general
+    tractability condition known before the paper; bounded domination width
+    strictly extends it (Example 5). *)
+
+val width_of_tree : Wdpt.Pattern_tree.t -> int
+(** The least [k ≥ 1] bounding the local ctw of every non-root node. *)
+
+val width_of_forest : Wdpt.Pattern_forest.t -> int
+
+val width_of_pattern : Sparql.Algebra.t -> int
+(** Raises {!Wdpt.Translate.Not_well_designed} if not well-designed. *)

@@ -1,0 +1,6 @@
+let check = Wdpt.Semantics.check
+
+let check_pattern p graph mu =
+  check (Wdpt.Pattern_forest.of_algebra p) graph mu
+
+let solutions = Wdpt.Semantics.solutions

@@ -1,0 +1,17 @@
+(** The natural (exact) evaluation algorithm for wdPFs (Sections 3 and
+    3.1): find the unique subtree [T^µ_i] matched by [µ] in each tree and
+    accept iff some tree has no child admitting a homomorphism compatible
+    with [µ]. The homomorphism tests make it exponential in the query —
+    this is the coNP-flavoured baseline that bounded domination width
+    renders avoidable. *)
+
+open Rdf
+
+val check : Wdpt.Pattern_forest.t -> Graph.t -> Sparql.Mapping.t -> bool
+(** [µ ∈ ⟦F⟧G]. *)
+
+val check_pattern : Sparql.Algebra.t -> Graph.t -> Sparql.Mapping.t -> bool
+(** Translate then {!check}.
+    Raises {!Wdpt.Translate.Not_well_designed} if not well-designed. *)
+
+val solutions : Wdpt.Pattern_forest.t -> Graph.t -> Sparql.Mapping.Set.t

@@ -1,0 +1,49 @@
+open Rdf
+open Tgraphs
+
+let child_test ~k tree graph mu subtree n =
+  let s =
+    Tgraph.union (Wdpt.Subtree.pat subtree) (Wdpt.Pattern_tree.pat tree n)
+  in
+  let g = Gtgraph.make s (Wdpt.Subtree.vars subtree) in
+  Pebble.Pebble_game.wins ~k:(k + 1) g ~mu:(Sparql.Mapping.to_assignment mu)
+    graph
+
+let check ~k forest graph mu =
+  if k < 1 then invalid_arg "Pebble_eval.check: k must be at least 1";
+  List.exists
+    (fun tree ->
+      match Wdpt.Subtree.matching tree graph mu with
+      | None -> false
+      | Some subtree ->
+          not
+            (List.exists
+               (child_test ~k tree graph mu subtree)
+               (Wdpt.Subtree.children subtree)))
+    forest
+
+let check_pattern ~k p graph mu =
+  check ~k (Wdpt.Pattern_forest.of_algebra p) graph mu
+
+let check_auto forest graph mu =
+  check ~k:(Domination_width.of_forest forest) forest graph mu
+
+let solutions ~k forest graph =
+  let target = Graph.to_index graph in
+  List.fold_left
+    (fun acc tree ->
+      List.fold_left
+        (fun acc subtree ->
+          let homs =
+            Homomorphism.all ~source:(Wdpt.Subtree.pat subtree) ~target ()
+          in
+          List.fold_left
+            (fun acc h ->
+              match Sparql.Mapping.of_assignment h with
+              | None -> acc
+              | Some mu ->
+                  if check ~k forest graph mu then Sparql.Mapping.Set.add mu acc
+                  else acc)
+            acc homs)
+        acc (Wdpt.Subtree.all tree))
+    Sparql.Mapping.Set.empty forest

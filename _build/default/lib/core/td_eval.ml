@@ -1,0 +1,22 @@
+open Tgraphs
+
+let child_test tree graph mu subtree n =
+  let s =
+    Tgraph.union (Wdpt.Subtree.pat subtree) (Wdpt.Pattern_tree.pat tree n)
+  in
+  let g = Gtgraph.make s (Wdpt.Subtree.vars subtree) in
+  Td_hom.maps_to_graph g ~mu:(Sparql.Mapping.to_assignment mu) graph
+
+let check forest graph mu =
+  List.exists
+    (fun tree ->
+      match Wdpt.Subtree.matching tree graph mu with
+      | None -> false
+      | Some subtree ->
+          not
+            (List.exists
+               (child_test tree graph mu subtree)
+               (Wdpt.Subtree.children subtree)))
+    forest
+
+let check_pattern p graph mu = check (Wdpt.Pattern_forest.of_algebra p) graph mu

@@ -1,0 +1,1 @@
+lib/csp/consistency.ml: Array Fun Hashtbl List Queue Structure

@@ -1,0 +1,1 @@
+lib/csp/consistency.mli: Structure

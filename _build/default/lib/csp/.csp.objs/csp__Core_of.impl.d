@@ -1,0 +1,1 @@
+lib/csp/core_of.ml: Array Hom List Option Structure

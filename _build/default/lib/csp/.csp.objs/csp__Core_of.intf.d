@@ -1,0 +1,1 @@
+lib/csp/core_of.mli: Structure

@@ -1,0 +1,1 @@
+lib/csp/hom.ml: Array Fun List Option Printf Structure

@@ -1,0 +1,1 @@
+lib/csp/hom.mli: Structure

@@ -1,0 +1,1 @@
+lib/csp/of_tgraph.ml: Dictionary Fun Graph Iri List Rdf Structure Term Tgraphs Triple Variable

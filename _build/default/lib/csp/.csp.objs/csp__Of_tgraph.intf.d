@@ -1,0 +1,1 @@
+lib/csp/of_tgraph.mli: Graph Rdf Structure Tgraphs

@@ -1,0 +1,1 @@
+lib/csp/structure.ml: Array Fmt Graphtheory Hashtbl List Map Option Printf String

@@ -1,0 +1,1 @@
+lib/csp/structure.mli: Fmt Graphtheory

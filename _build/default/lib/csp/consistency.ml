@@ -1,0 +1,173 @@
+(* Same worklist k-consistency as Pebble.Pebble_game, over structures:
+   partial maps are sorted [| e1; b1; e2; b2; ... |] arrays used as
+   hashtable keys. *)
+
+let key_of_pairs pairs =
+  let sorted = List.sort (fun (e, _) (e', _) -> compare e e') pairs in
+  let arr = Array.make (2 * List.length sorted) 0 in
+  List.iteri
+    (fun i (e, b) ->
+      arr.(2 * i) <- e;
+      arr.((2 * i) + 1) <- b)
+    sorted;
+  arr
+
+let pairs_of_key key =
+  List.init (Array.length key / 2) (fun i -> (key.(2 * i), key.((2 * i) + 1)))
+
+let key_remove key e =
+  pairs_of_key key |> List.filter (fun (e', _) -> e' <> e) |> key_of_pairs
+
+let key_add key e b = key_of_pairs ((e, b) :: pairs_of_key key)
+
+let duplicator_wins ~k a b =
+  if k < 1 then invalid_arg "Csp.Consistency: k must be at least 1";
+  if
+    List.length (Structure.distinguished a)
+    <> List.length (Structure.distinguished b)
+  then invalid_arg "Csp.Consistency: distinguished lists differ in length";
+  (* fixed part of every partial map *)
+  let fixed = Array.make (Structure.size a) (-1) in
+  let consistent_fix =
+    List.for_all2
+      (fun ea eb ->
+        if fixed.(ea) = -1 || fixed.(ea) = eb then begin
+          fixed.(ea) <- eb;
+          true
+        end
+        else false)
+      (Structure.distinguished a)
+      (Structure.distinguished b)
+  in
+  if not consistent_fix then false
+  else begin
+    let free =
+      List.filter
+        (fun e -> fixed.(e) = -1)
+        (List.init (Structure.size a) Fun.id)
+    in
+    let free_arr = Array.of_list free in
+    let n = Array.length free_arr in
+    let free_index = Array.make (Structure.size a) (-1) in
+    Array.iteri (fun i e -> free_index.(e) <- i) free_arr;
+    (* constraints: (name, tuple); a tuple is "covered" by a partial map
+       when all its free elements are in the domain *)
+    let all_constraints =
+      List.concat_map
+        (fun name ->
+          List.map (fun t -> (name, t)) (Structure.tuples a name))
+        (Structure.relation_names a)
+    in
+    (* ground tuples (no free elements) must hold outright *)
+    let ground_ok =
+      List.for_all
+        (fun (name, tuple) ->
+          Array.exists (fun e -> fixed.(e) = -1) tuple
+          || Structure.mem b name (Array.map (fun e -> fixed.(e)) tuple))
+        all_constraints
+    in
+    if not ground_ok then false
+    else if n = 0 then true
+    else begin
+      let nonground =
+        List.filter
+          (fun (_, tuple) -> Array.exists (fun e -> fixed.(e) = -1) tuple)
+          all_constraints
+      in
+      let m = Structure.size b in
+      if m = 0 then false
+      else begin
+        (* is [assoc : (free index, b element) list] a partial hom? checked
+           incrementally during enumeration for tuples it covers *)
+        let value assoc e =
+          if fixed.(e) >= 0 then Some fixed.(e)
+          else List.assoc_opt free_index.(e) assoc
+        in
+        let tuple_holds assoc (name, tuple) =
+          match
+            Array.map
+              (fun e -> match value assoc e with Some v -> v | None -> raise Exit)
+              tuple
+          with
+          | image -> Structure.mem b name image
+          | exception Exit -> true
+        in
+        let alive : (int array, unit) Hashtbl.t = Hashtbl.create 1024 in
+        let rec subsets start size acc =
+          if size = 0 then [ List.rev acc ]
+          else if start >= n then []
+          else
+            List.concat_map
+              (fun v -> subsets (v + 1) (size - 1) (v :: acc))
+              (List.init (n - start) (fun i -> start + i))
+        in
+        let enumerate dom_vars =
+          let rec go remaining assoc =
+            match remaining with
+            | [] -> Hashtbl.replace alive (key_of_pairs assoc) ()
+            | v :: rest ->
+                for bv = 0 to m - 1 do
+                  let assoc' = (v, bv) :: assoc in
+                  let ok =
+                    List.for_all
+                      (fun ((_, tuple) as c) ->
+                        (not (Array.exists (fun e -> free_index.(e) = v) tuple))
+                        || tuple_holds assoc' c)
+                      nonground
+                  in
+                  if ok then go rest assoc'
+                done
+          in
+          go dom_vars []
+        in
+        for size = 0 to min k n do
+          List.iter enumerate (subsets 0 size [])
+        done;
+        (* forth-property counters and downward closure, as in the t-graph
+           implementation *)
+        let counters : (int array * int, int ref) Hashtbl.t = Hashtbl.create 1024 in
+        let dead = Queue.create () in
+        Hashtbl.iter
+          (fun key () ->
+            let dom = List.map fst (pairs_of_key key) in
+            if List.length dom < k then
+              for v = 0 to n - 1 do
+                if not (List.mem v dom) then begin
+                  let cnt = ref 0 in
+                  for bv = 0 to m - 1 do
+                    if Hashtbl.mem alive (key_add key v bv) then incr cnt
+                  done;
+                  Hashtbl.replace counters (key, v) cnt;
+                  if !cnt = 0 then Queue.add key dead
+                end
+              done)
+          alive;
+        while not (Queue.is_empty dead) do
+          let key = Queue.pop dead in
+          if Hashtbl.mem alive key then begin
+            Hashtbl.remove alive key;
+            let pairs = pairs_of_key key in
+            List.iter
+              (fun (v, _) ->
+                let g_key = key_remove key v in
+                if Hashtbl.mem alive g_key then
+                  match Hashtbl.find_opt counters (g_key, v) with
+                  | Some cnt ->
+                      decr cnt;
+                      if !cnt <= 0 then Queue.add g_key dead
+                  | None -> ())
+              pairs;
+            if List.length pairs < k then
+              for v = 0 to n - 1 do
+                if not (List.mem_assoc v pairs) then
+                  for bv = 0 to m - 1 do
+                    let h_key = key_add key v bv in
+                    if Hashtbl.mem alive h_key then Queue.add h_key dead
+                  done
+              done
+          end
+        done;
+        Hashtbl.mem alive (key_of_pairs [])
+      end
+    end
+  end

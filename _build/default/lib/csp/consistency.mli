@@ -1,0 +1,15 @@
+(** The existential k-pebble game on relational structures, decided by
+    k-consistency — the original Kolaitis–Vardi setting that
+    {!Pebble.Pebble_game} specialises to t-graphs (they agree through the
+    {!Of_tgraph} encoding; tested).
+
+    The Spoiler plays on the non-distinguished elements of the source;
+    partial homomorphisms must extend the fixed distinguished mapping. *)
+
+val duplicator_wins : k:int -> Structure.t -> Structure.t -> bool
+(** [duplicator_wins ~k a b]: does the Duplicator win the existential
+    k-pebble game from [a] to [b]? Implies nothing beyond
+    [Hom.exists a b ⇒ duplicator_wins ~k a b]; exact when the core of [a]
+    has treewidth ≤ k − 1 (Prop. 3 at the structure level). Raises
+    [Invalid_argument] if [k < 1] or the distinguished lists differ in
+    length. *)

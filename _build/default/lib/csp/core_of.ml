@@ -1,0 +1,63 @@
+(* Structure B = A with one tuple removed from one relation. *)
+let without_tuple a name tuple =
+  Structure.make ~size:(Structure.size a)
+    ~relations:
+      (List.map
+         (fun rel ->
+           let tuples = Structure.tuples a rel in
+           let tuples =
+             if rel = name then List.filter (fun u -> u <> tuple) tuples
+             else tuples
+           in
+           (rel, tuples))
+         (Structure.relation_names a))
+    ~distinguished:(Structure.distinguished a) ()
+
+let shrinking_endomorphism a =
+  let rec try_constraints = function
+    | [] -> None
+    | (name, tuple) :: rest -> (
+        match Hom.find a (without_tuple a name tuple) with
+        | Some h -> Some h
+        | None -> try_constraints rest)
+  in
+  try_constraints
+    (List.concat_map
+       (fun name -> List.map (fun t -> (name, t)) (Structure.tuples a name))
+       (Structure.relation_names a))
+
+let is_core a = Option.is_none (shrinking_endomorphism a)
+
+(* Compact the image of an endomorphism into a fresh structure. *)
+let image a h =
+  let used = Array.make (Structure.size a) false in
+  Array.iter (fun e -> used.(e) <- true) h;
+  List.iter (fun e -> used.(e) <- true) (List.map (fun e -> h.(e)) (Structure.distinguished a));
+  let fresh_of = Array.make (Structure.size a) (-1) in
+  let count = ref 0 in
+  Array.iteri
+    (fun e u ->
+      if u then begin
+        fresh_of.(e) <- !count;
+        incr count
+      end)
+    used;
+  Structure.make ~size:!count
+    ~relations:
+      (List.map
+         (fun name ->
+           ( name,
+             List.map
+               (Array.map (fun e -> fresh_of.(h.(e))))
+               (Structure.tuples a name) ))
+         (Structure.relation_names a))
+    ~distinguished:
+      (List.map (fun e -> fresh_of.(h.(e))) (Structure.distinguished a))
+    ()
+
+let rec core a =
+  match shrinking_endomorphism a with
+  | None -> a
+  | Some h -> core (image a h)
+
+let core_treewidth a = Structure.treewidth (core a)

@@ -1,0 +1,14 @@
+(** Cores of relational structures with distinguished elements, by
+    iterated retraction — the structure-level generalisation of
+    {!Tgraphs.Cores} (they agree through the {!Of_tgraph} encoding;
+    tested). *)
+
+val is_core : Structure.t -> bool
+(** No homomorphism into a structure missing one of its tuples. *)
+
+val core : Structure.t -> Structure.t
+(** A core retract, with the domain compacted (distinguished elements are
+    preserved and stay distinguished). *)
+
+val core_treewidth : Structure.t -> int
+(** Treewidth of the core — the structure-level [ctw]. *)

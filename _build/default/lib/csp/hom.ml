@@ -1,0 +1,137 @@
+(* All constraints of the instance: (relation name, tuple of A). *)
+let constraints a =
+  List.concat_map
+    (fun name -> List.map (fun tuple -> (name, tuple)) (Structure.tuples a name))
+    (Structure.relation_names a)
+
+let check_compatible a b =
+  if List.length (Structure.distinguished a) <> List.length (Structure.distinguished b)
+  then invalid_arg "Csp.Hom: distinguished lists differ in length";
+  List.iter
+    (fun name ->
+      (* an empty relation carries no meaningful arity *)
+      if Structure.tuples a name <> [] && Structure.tuples b name <> [] then
+        match Structure.arity a name, Structure.arity b name with
+        | Some ka, Some kb when ka <> kb ->
+            invalid_arg (Printf.sprintf "Csp.Hom: arity mismatch on %s" name)
+        | _ -> ())
+    (Structure.relation_names a)
+
+let fold_homs a b ~init ~f =
+  check_compatible a b;
+  let n = Structure.size a in
+  let assignment = Array.make n (-1) in
+  (* distinguished elements are pre-assigned; a clash (same element with
+     two required images) means no homomorphism *)
+  let ok =
+    List.for_all2
+      (fun ea eb ->
+        if assignment.(ea) = -1 || assignment.(ea) = eb then begin
+          assignment.(ea) <- eb;
+          true
+        end
+        else false)
+      (Structure.distinguished a)
+      (Structure.distinguished b)
+  in
+  if not ok then init
+  else begin
+    let all_constraints = constraints a in
+    let mask tuple = Array.map (fun e -> if assignment.(e) >= 0 then Some assignment.(e) else None) tuple in
+    let rec go remaining acc =
+      match remaining with
+      | [] ->
+          (* elements in no tuple and not distinguished: map anywhere *)
+          let free =
+            List.filter (fun e -> assignment.(e) = -1) (List.init n Fun.id)
+          in
+          let rec assign_free free acc =
+            match free with
+            | [] -> f acc (Array.copy assignment)
+            | e :: rest ->
+                let result = ref acc and continue_ = ref true in
+                let be = ref 0 in
+                while !continue_ && !be < Structure.size b do
+                  assignment.(e) <- !be;
+                  (match assign_free rest !result with
+                  | acc', `Continue -> result := acc'
+                  | acc', `Stop ->
+                      result := acc';
+                      continue_ := false);
+                  incr be
+                done;
+                assignment.(e) <- -1;
+                (!result, if !continue_ then `Continue else `Stop)
+          in
+          if free <> [] && Structure.size b = 0 then (acc, `Continue)
+          else assign_free free acc
+      | _ ->
+          (* fail-first: constraint with the fewest matching target tuples.
+             Keep the original list cell so physical equality can remove
+             exactly the chosen constraint below. *)
+          let scored =
+            List.map
+              (fun c ->
+                let name, tuple = c in
+                (List.length (Structure.tuples_matching b name (mask tuple)), c))
+              remaining
+          in
+          let _, ((name, tuple) as chosen) =
+            List.fold_left
+              (fun (bc, bp) (c, p) -> if c < bc then (c, p) else (bc, bp))
+              (List.hd scored) (List.tl scored)
+          in
+          let rest = List.filter (fun c -> c != chosen) remaining in
+          let images = Structure.tuples_matching b name (mask tuple) in
+          let result = ref acc and continue_ = ref true in
+          List.iter
+            (fun image ->
+              if !continue_ then begin
+                let bound_here = ref [] in
+                let ok =
+                  Array.for_all2
+                    (fun ea eb ->
+                      if assignment.(ea) = eb then true
+                      else if assignment.(ea) = -1 then begin
+                        assignment.(ea) <- eb;
+                        bound_here := ea :: !bound_here;
+                        true
+                      end
+                      else false)
+                    tuple image
+                in
+                if ok then begin
+                  match go rest !result with
+                  | acc', `Continue -> result := acc'
+                  | acc', `Stop ->
+                      result := acc';
+                      continue_ := false
+                end;
+                List.iter (fun e -> assignment.(e) <- -1) !bound_here
+              end)
+            images;
+          (!result, if !continue_ then `Continue else `Stop)
+    in
+    fst (go all_constraints init)
+  end
+
+let find a b =
+  fold_homs a b ~init:None ~f:(fun _ h -> (Some h, `Stop))
+
+let exists a b = Option.is_some (find a b)
+
+let count a b = fold_homs a b ~init:0 ~f:(fun n _ -> (n + 1, `Continue))
+
+let is_homomorphism a b h =
+  Array.length h = Structure.size a
+  && Array.for_all (fun v -> v >= 0 && v < Structure.size b) h
+  && List.for_all2
+       (fun ea eb -> h.(ea) = eb)
+       (Structure.distinguished a)
+       (Structure.distinguished b)
+  && List.for_all
+       (fun name ->
+         List.for_all
+           (fun tuple -> Structure.mem b name (Array.map (fun e -> h.(e)) tuple))
+           (Structure.tuples a name))
+       (Structure.relation_names a)

@@ -1,0 +1,18 @@
+(** Homomorphisms between relational structures.
+
+    A homomorphism from [A] to [B] is a function [h : dom A → dom B] that
+    maps every tuple of every relation of [A] into the same relation of
+    [B] and sends the i-th distinguished element of [A] to the i-th
+    distinguished element of [B]. Backtracking with fail-first tuple
+    selection, like the t-graph solver it generalises. Raises
+    [Invalid_argument] when the distinguished lists have different
+    lengths or a relation of [A] has a different arity in [B]. *)
+
+val find : Structure.t -> Structure.t -> int array option
+(** [find a b] is a homomorphism as an array indexed by [dom a]. *)
+
+val exists : Structure.t -> Structure.t -> bool
+val count : Structure.t -> Structure.t -> int
+
+val is_homomorphism : Structure.t -> Structure.t -> int array -> bool
+(** Validation helper (used by the tests). *)

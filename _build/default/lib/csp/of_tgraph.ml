@@ -1,0 +1,61 @@
+open Rdf
+
+let relation = "t"
+
+(* Encode a t-graph over a fixed, shared term numbering. [extra] lists
+   terms that must be present in the domain even if they occur in no
+   triple (e.g. the other side's constants). *)
+let encode_tgraph tgraph ~dist_terms ~extra =
+  let dict = Dictionary.create () in
+  (* distinguished first, in the given order, so ids align across sides *)
+  List.iter (fun term -> ignore (Dictionary.intern dict term)) dist_terms;
+  List.iter (fun term -> ignore (Dictionary.intern dict term)) extra;
+  let tuples =
+    List.map
+      (fun t ->
+        [|
+          Dictionary.intern dict t.Triple.s;
+          Dictionary.intern dict t.Triple.p;
+          Dictionary.intern dict t.Triple.o;
+        |])
+      (Tgraphs.Tgraph.triples tgraph)
+  in
+  Structure.make ~size:(Dictionary.size dict)
+    ~relations:[ (relation, tuples) ]
+    ~distinguished:(List.init (List.length dist_terms) Fun.id)
+    ()
+
+let shared_constants a b =
+  Iri.Set.elements
+    (Iri.Set.union
+       (Tgraphs.Tgraph.iris (Tgraphs.Gtgraph.s a))
+       (Tgraphs.Tgraph.iris (Tgraphs.Gtgraph.s b)))
+  |> List.map (fun i -> Term.Iri i)
+
+let hom_instance a b =
+  if not (Variable.Set.equal (Tgraphs.Gtgraph.x a) (Tgraphs.Gtgraph.x b)) then
+    invalid_arg "Of_tgraph.hom_instance: distinguished variable sets differ";
+  let x_terms =
+    List.map (fun v -> Term.Var v)
+      (Variable.Set.elements (Tgraphs.Gtgraph.x a))
+  in
+  let constants = shared_constants a b in
+  let dist_terms = x_terms @ constants in
+  ( encode_tgraph (Tgraphs.Gtgraph.s a) ~dist_terms ~extra:[],
+    encode_tgraph (Tgraphs.Gtgraph.s b) ~dist_terms ~extra:[] )
+
+let graph_instance g ~mu graph =
+  let x_vars = Variable.Set.elements (Tgraphs.Gtgraph.x g) in
+  let source_constants =
+    List.map (fun i -> Term.Iri i) (Iri.Set.elements (Tgraphs.Tgraph.iris (Tgraphs.Gtgraph.s g)))
+  in
+  let mu_image v =
+    match Variable.Map.find_opt v mu with
+    | Some (Term.Iri _ as t) -> t
+    | _ -> invalid_arg "Of_tgraph.graph_instance: µ must map X to IRIs"
+  in
+  let source_dist = List.map (fun v -> Term.Var v) x_vars @ source_constants in
+  let target_dist = List.map mu_image x_vars @ source_constants in
+  let graph_tg = Tgraphs.Tgraph.of_triples (Graph.triples graph) in
+  ( encode_tgraph (Tgraphs.Gtgraph.s g) ~dist_terms:source_dist ~extra:[],
+    encode_tgraph graph_tg ~dist_terms:target_dist ~extra:[] )

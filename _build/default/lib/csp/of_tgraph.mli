@@ -1,0 +1,26 @@
+(** The encoding the paper mentions in Section 3: a generalised t-graph
+    [(S, X)] {e is} a relational structure over a single ternary relation,
+    with the distinguished variables and the IRIs as distinguished
+    elements. This module realises the correspondence so that the
+    structure-level machinery ({!Hom}, {!Core_of}, {!Consistency}) can be
+    cross-validated against the t-graph implementations. *)
+
+open Rdf
+
+val relation : string
+(** The single relation name, ["t"]. *)
+
+val hom_instance :
+  Tgraphs.Gtgraph.t -> Tgraphs.Gtgraph.t -> Structure.t * Structure.t
+(** [hom_instance a b] encodes the question [(S_a, X) → (S_b, X)]:
+    distinguished elements are the shared [X] (sorted) followed by the
+    union of both sides' IRIs (sorted), so homomorphisms fix them exactly
+    as t-graph homomorphisms fix [X] and constants. Raises
+    [Invalid_argument] if the [X] sets differ. *)
+
+val graph_instance :
+  Tgraphs.Gtgraph.t -> mu:Tgraphs.Homomorphism.assignment -> Graph.t ->
+  Structure.t * Structure.t
+(** [graph_instance g ~mu graph] encodes [(S, X) →µ G] the same way, with
+    [µ]'s images aligned to the source's [X] elements. [µ] must cover [X]
+    with IRIs. *)

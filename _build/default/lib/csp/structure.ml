@@ -1,0 +1,147 @@
+module SMap = Map.Make (String)
+
+(* tuples are stored deduplicated, keyed also by every single-position
+   value for masked lookups *)
+type relation = {
+  rel_arity : int;
+  rel_tuples : int array list;
+}
+
+type t = {
+  size : int;
+  relations : relation SMap.t;
+  dist : int list;
+}
+
+let make ~size ~relations ?(distinguished = []) () =
+  if size < 0 then invalid_arg "Structure.make: negative size";
+  List.iter
+    (fun e ->
+      if e < 0 || e >= size then
+        invalid_arg "Structure.make: distinguished element out of range")
+    distinguished;
+  let build (name, tuples) =
+    match tuples with
+    | [] -> (name, { rel_arity = 0; rel_tuples = [] })
+    | first :: _ ->
+        let rel_arity = Array.length first in
+        let seen = Hashtbl.create 64 in
+        let deduped =
+          List.filter
+            (fun tuple ->
+              if Array.length tuple <> rel_arity then
+                invalid_arg
+                  (Printf.sprintf "Structure.make: mixed arities in %s" name);
+              Array.iter
+                (fun e ->
+                  if e < 0 || e >= size then
+                    invalid_arg
+                      (Printf.sprintf "Structure.make: element out of range in %s" name))
+                tuple;
+              if Hashtbl.mem seen tuple then false
+              else begin
+                Hashtbl.add seen tuple ();
+                true
+              end)
+            tuples
+        in
+        (name, { rel_arity; rel_tuples = deduped })
+  in
+  {
+    size;
+    relations = SMap.of_seq (List.to_seq (List.map build relations));
+    dist = distinguished;
+  }
+
+let size t = t.size
+let distinguished t = t.dist
+let relation_names t = List.map fst (SMap.bindings t.relations)
+let arity t name = Option.map (fun r -> r.rel_arity) (SMap.find_opt name t.relations)
+
+let tuples t name =
+  match SMap.find_opt name t.relations with
+  | Some r -> r.rel_tuples
+  | None -> []
+
+let mem t name tuple = List.exists (fun u -> u = tuple) (tuples t name)
+
+let tuples_matching t name mask =
+  List.filter
+    (fun tuple ->
+      Array.length tuple = Array.length mask
+      && Array.for_all2
+           (fun bound value ->
+             match bound with None -> true | Some b -> b = value)
+           mask tuple)
+    (tuples t name)
+
+let total_tuples t =
+  SMap.fold (fun _ r acc -> acc + List.length r.rel_tuples) t.relations 0
+
+let gaifman t =
+  let is_dist = Array.make t.size false in
+  List.iter (fun e -> is_dist.(e) <- true) t.dist;
+  (* vertices: non-distinguished elements, densely renumbered *)
+  let vertex_of = Array.make t.size (-1) in
+  let count = ref 0 in
+  for e = 0 to t.size - 1 do
+    if not is_dist.(e) then begin
+      vertex_of.(e) <- !count;
+      incr count
+    end
+  done;
+  let edges = ref [] in
+  SMap.iter
+    (fun _ r ->
+      List.iter
+        (fun tuple ->
+          Array.iter
+            (fun a ->
+              Array.iter
+                (fun b ->
+                  if a <> b && vertex_of.(a) >= 0 && vertex_of.(b) >= 0 then
+                    edges := (vertex_of.(a), vertex_of.(b)) :: !edges)
+                tuple)
+            tuple)
+        r.rel_tuples)
+    t.relations;
+  Graphtheory.Ugraph.make ~n:!count ~edges:!edges
+
+let treewidth t =
+  let g = gaifman t in
+  if Graphtheory.Ugraph.n g = 0 || Graphtheory.Ugraph.m g = 0 then 1
+  else max 1 (Graphtheory.Treewidth.treewidth g)
+
+let rename_apart t ~offset =
+  {
+    size = t.size + offset;
+    relations =
+      SMap.map
+        (fun r ->
+          {
+            r with
+            rel_tuples = List.map (Array.map (fun e -> e + offset)) r.rel_tuples;
+          })
+        t.relations;
+    dist = List.map (fun e -> e + offset) t.dist;
+  }
+
+let equal a b =
+  a.size = b.size && a.dist = b.dist
+  && SMap.equal
+       (fun r1 r2 ->
+         r1.rel_arity = r2.rel_arity
+         && List.sort compare r1.rel_tuples = List.sort compare r2.rel_tuples)
+       a.relations b.relations
+
+let pp ppf t =
+  Fmt.pf ppf "@[<v>domain 0..%d, distinguished [%a]@ %a@]" (t.size - 1)
+    Fmt.(list ~sep:comma int)
+    t.dist
+    Fmt.(
+      list ~sep:sp (fun ppf (name, r) ->
+          Fmt.pf ppf "%s/%d: {%a}" name r.rel_arity
+            (list ~sep:comma (fun ppf tuple ->
+                 Fmt.pf ppf "(%a)" (list ~sep:comma int) (Array.to_list tuple)))
+            r.rel_tuples))
+    (SMap.bindings t.relations)

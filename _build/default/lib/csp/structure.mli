@@ -1,0 +1,52 @@
+(** Finite relational structures with distinguished elements — the setting
+    of the results the paper builds on (Dalmau–Kolaitis–Vardi [6] and
+    Grohe [9] work over structures; generalised t-graphs are the special
+    case of a single ternary relation, see {!Of_tgraph}).
+
+    A structure has a domain [{0 .. size−1}], named relations of fixed
+    arities, and an ordered list of distinguished elements (playing the
+    role of the paper's set [X] of fixed variables / constants —
+    homomorphisms must map the i-th distinguished element of the source to
+    the i-th of the target). *)
+
+type t
+
+val make :
+  size:int -> relations:(string * int array list) list ->
+  ?distinguished:int list -> unit -> t
+(** [make ~size ~relations ()] builds a structure. Every tuple's arity
+    must be consistent per relation and every element in range; raises
+    [Invalid_argument] otherwise. Duplicate tuples are dropped. *)
+
+val size : t -> int
+val distinguished : t -> int list
+
+val relation_names : t -> string list
+(** Sorted. *)
+
+val arity : t -> string -> int option
+val tuples : t -> string -> int array list
+(** Tuples of a relation (empty for unknown names), in unspecified order. *)
+
+val mem : t -> string -> int array -> bool
+
+val tuples_matching : t -> string -> (int option) array -> int array list
+(** Tuples agreeing with every [Some] position of the mask. *)
+
+val total_tuples : t -> int
+
+val gaifman : t -> Graphtheory.Ugraph.t
+(** Vertices are the {e non-distinguished} elements; two are adjacent when
+    they co-occur in a tuple — exactly the paper's Gaifman graph
+    convention for generalised t-graphs. *)
+
+val treewidth : t -> int
+(** Treewidth of {!gaifman}, with the paper's convention: 1 when that
+    graph has no vertices or no edges. *)
+
+val rename_apart : t -> offset:int -> t
+(** Shift all element ids by [offset] (used to build disjoint unions in
+    tests). *)
+
+val equal : t -> t -> bool
+val pp : t Fmt.t

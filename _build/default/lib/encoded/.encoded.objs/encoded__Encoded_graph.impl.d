@@ -1,0 +1,1 @@
+lib/encoded/encoded_graph.ml: Array List Option Rdf

@@ -1,0 +1,1 @@
+lib/encoded/encoded_graph.mli: Rdf

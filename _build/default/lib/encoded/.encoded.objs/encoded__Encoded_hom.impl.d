@@ -1,0 +1,1 @@
+lib/encoded/encoded_hom.ml: Array Dictionary Encoded_graph Hashtbl List Rdf Seq Term Tgraphs Triple Variable

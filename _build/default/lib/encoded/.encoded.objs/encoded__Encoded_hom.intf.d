@@ -1,0 +1,1 @@
+lib/encoded/encoded_hom.mli: Encoded_graph Rdf Tgraphs Variable

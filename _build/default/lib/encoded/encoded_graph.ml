@@ -1,0 +1,101 @@
+type t = {
+  dict : Rdf.Dictionary.t;
+  spo : (int * int * int) array;
+  pos : (int * int * int) array;
+  osp : (int * int * int) array;
+}
+
+let rot_spo (s, p, o) = (s, p, o)
+let rot_pos (s, p, o) = (p, o, s)
+let rot_osp (s, p, o) = (o, s, p)
+
+let sorted_by rot triples =
+  let arr = Array.of_list triples in
+  Array.sort (fun a b -> compare (rot a) (rot b)) arr;
+  arr
+
+let of_graph graph =
+  let dict = Rdf.Dictionary.of_graph graph in
+  let triples =
+    List.map (Rdf.Dictionary.encode_triple dict) (Rdf.Graph.triples graph)
+  in
+  {
+    dict;
+    spo = sorted_by rot_spo triples;
+    pos = sorted_by rot_pos triples;
+    osp = sorted_by rot_osp triples;
+  }
+
+let dictionary t = t.dict
+let cardinal t = Array.length t.spo
+
+(* First index whose rotated key is >= [key]. *)
+let lower_bound arr rot key =
+  let lo = ref 0 and hi = ref (Array.length arr) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if compare (rot arr.(mid)) key < 0 then lo := mid + 1 else hi := mid
+  done;
+  !lo
+
+(* The half-open range of triples whose rotated key starts with the bound
+   prefix (k1, maybe k2, maybe k3). *)
+let range arr rot k1 k2 k3 =
+  let low =
+    ( k1,
+      Option.value ~default:min_int k2,
+      Option.value ~default:min_int k3 )
+  in
+  let high =
+    ( k1,
+      Option.value ~default:max_int k2,
+      Option.value ~default:max_int k3 )
+  in
+  let start = lower_bound arr rot low in
+  (* upper: first strictly greater than the max-filled prefix *)
+  let stop =
+    let lo = ref start and hi = ref (Array.length arr) in
+    while !lo < !hi do
+      let mid = (!lo + !hi) / 2 in
+      if compare (rot arr.(mid)) high <= 0 then lo := mid + 1 else hi := mid
+    done;
+    !lo
+  in
+  (start, stop)
+
+(* Pick the permutation whose sort order makes the bound positions a
+   prefix. (s,o)-bound must use OSP: in SPO the object would not be part
+   of the prefix and the range would over-approximate. *)
+let choose t ?s ?p ?o () =
+  match s, p, o with
+  | Some s, Some p, _ -> Some (t.spo, rot_spo, s, Some p, o)
+  | Some s, None, Some o -> Some (t.osp, rot_osp, o, Some s, None)
+  | Some s, None, None -> Some (t.spo, rot_spo, s, None, None)
+  | None, Some p, _ -> Some (t.pos, rot_pos, p, o, None)
+  | None, None, Some o -> Some (t.osp, rot_osp, o, None, None)
+  | None, None, None -> None
+
+let mem t (s, p, o) =
+  let start, stop = range t.spo rot_spo s (Some p) (Some o) in
+  stop > start
+
+let iter_matching t ?s ?p ?o ~f () =
+  match choose t ?s ?p ?o () with
+  | None -> Array.iter f t.spo
+  | Some (arr, rot, k1, k2, k3) ->
+      let start, stop = range arr rot k1 k2 k3 in
+      for i = start to stop - 1 do
+        f arr.(i)
+      done
+
+let matching t ?s ?p ?o () =
+  let acc = ref [] in
+  iter_matching t ?s ?p ?o ~f:(fun triple -> acc := triple :: !acc) ();
+  !acc
+
+let match_count t ?s ?p ?o () =
+  match choose t ?s ?p ?o () with
+  | None -> cardinal t
+  | Some (arr, rot, k1, k2, k3) ->
+      let start, stop = range arr rot k1 k2 k3 in
+      stop - start

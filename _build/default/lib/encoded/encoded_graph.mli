@@ -1,0 +1,27 @@
+(** A dictionary-encoded, sorted-array triple store.
+
+    Terms are interned to dense ints ({!Rdf.Dictionary}) and the triples
+    kept in three sorted permutations (SPO, POS, OSP), so any
+    partially-bound lookup is answered by binary-searching the permutation
+    whose sort order puts the bound positions first. This is the classical
+    RDF-store layout (contrast with the hash-indexed {!Rdf.Index}); the
+    two backends are cross-checked in the tests and compared in bench A4. *)
+
+type t
+
+val of_graph : Rdf.Graph.t -> t
+val dictionary : t -> Rdf.Dictionary.t
+val cardinal : t -> int
+
+val mem : t -> int * int * int -> bool
+
+val matching :
+  t -> ?s:int -> ?p:int -> ?o:int -> unit -> (int * int * int) list
+(** Triples (as id tuples) agreeing with every bound position. *)
+
+val match_count : t -> ?s:int -> ?p:int -> ?o:int -> unit -> int
+(** Cardinality of {!matching}; constant-ish time (two binary searches)
+    for prefix-bound lookups. *)
+
+val iter_matching :
+  t -> ?s:int -> ?p:int -> ?o:int -> f:(int * int * int -> unit) -> unit -> unit

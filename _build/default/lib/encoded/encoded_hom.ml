@@ -1,0 +1,135 @@
+open Rdf
+
+(* Pattern term: constant id, or variable id. *)
+type pterm =
+  | Const of int
+  | Var of int
+
+type source =
+  | Unsat
+  | Sat of {
+      patterns : (pterm * pterm * pterm) list;
+      vars : Variable.t array;
+    }
+
+let compile tgraph graph =
+  let dict = Encoded_graph.dictionary graph in
+  let vars = Variable.Set.elements (Tgraphs.Tgraph.vars tgraph) in
+  let var_arr = Array.of_list vars in
+  let var_id = Hashtbl.create 16 in
+  Array.iteri (fun i v -> Hashtbl.replace var_id v i) var_arr;
+  let exception Unsatisfiable in
+  let encode_term = function
+    | Term.Var v -> Var (Hashtbl.find var_id v)
+    | Term.Iri _ as t -> (
+        match Dictionary.find dict t with
+        | Some id -> Const id
+        | None -> raise Unsatisfiable)
+  in
+  match
+    List.map
+      (fun t ->
+        ( encode_term t.Triple.s,
+          encode_term t.Triple.p,
+          encode_term t.Triple.o ))
+      (Tgraphs.Tgraph.triples tgraph)
+  with
+  | patterns -> Sat { patterns; vars = var_arr }
+  | exception Unsatisfiable -> Unsat
+
+let variables = function
+  | Unsat -> [||]
+  | Sat { vars; _ } -> vars
+
+(* -1 = unassigned *)
+let bound assignment = function
+  | Const id -> Some id
+  | Var v -> if assignment.(v) >= 0 then Some assignment.(v) else None
+
+let pattern_lookup assignment (s, p, o) =
+  (bound assignment s, bound assignment p, bound assignment o)
+
+let fold_homs source graph ~init ~f =
+  match source with
+  | Unsat -> init
+  | Sat { patterns; vars } ->
+      let nvars = Array.length vars in
+      let assignment = Array.make nvars (-1) in
+      let rec go remaining acc =
+        match remaining with
+        | [] -> f acc assignment
+        | _ ->
+            (* fail-first: pattern with the fewest matches right now *)
+            let scored =
+              List.map
+                (fun pat ->
+                  let s, p, o = pattern_lookup assignment pat in
+                  (Encoded_graph.match_count graph ?s ?p ?o (), pat))
+                remaining
+            in
+            let best_count, best =
+              List.fold_left
+                (fun (bc, bp) (c, p) -> if c < bc then (c, p) else (bc, bp))
+                (List.hd scored) (List.tl scored)
+            in
+            ignore best_count;
+            let rest = List.filter (fun p -> p != best) remaining in
+            let s, p, o = pattern_lookup assignment best in
+            let ps, pp, po = best in
+            let acc = ref acc in
+            let continue_ = ref true in
+            Encoded_graph.iter_matching graph ?s ?p ?o
+              ~f:(fun (ts, tp, to_) ->
+                if !continue_ then begin
+                  (* unify the wildcard positions; record which variables
+                     we bind here so we can undo *)
+                  let bound_here = ref [] in
+                  let unify_pos pterm value =
+                    match pterm with
+                    | Const id -> id = value
+                    | Var v ->
+                        if assignment.(v) = value then true
+                        else if assignment.(v) = -1 then begin
+                          assignment.(v) <- value;
+                          bound_here := v :: !bound_here;
+                          true
+                        end
+                        else false
+                  in
+                  let ok =
+                    unify_pos ps ts && unify_pos pp tp && unify_pos po to_
+                  in
+                  if ok then begin
+                    match go rest !acc with
+                    | acc', `Continue -> acc := acc'
+                    | acc', `Stop ->
+                        acc := acc';
+                        continue_ := false
+                  end;
+                  List.iter (fun v -> assignment.(v) <- -1) !bound_here
+                end)
+              ();
+            (!acc, if !continue_ then `Continue else `Stop)
+      in
+      fst (go patterns init)
+
+let exists source graph =
+  fold_homs source graph ~init:false ~f:(fun _ _ -> (true, `Stop))
+
+let count source graph =
+  fold_homs source graph ~init:0 ~f:(fun n _ -> (n + 1, `Continue))
+
+let all source graph =
+  let dict = Encoded_graph.dictionary graph in
+  let vars = variables source in
+  fold_homs source graph ~init:[] ~f:(fun acc assignment ->
+      let decoded =
+        Array.to_seq (Array.mapi (fun i id -> (vars.(i), id)) assignment)
+        |> Seq.filter (fun (_, id) -> id >= 0)
+        |> Seq.map (fun (v, id) -> (v, Dictionary.term_of dict id))
+        |> Variable.Map.of_seq
+      in
+      (decoded :: acc, `Continue))
+  |> List.rev
+
+let count_tgraph tgraph graph = count (compile tgraph graph) graph

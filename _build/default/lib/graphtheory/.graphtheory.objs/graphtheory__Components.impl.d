@@ -1,0 +1,1 @@
+lib/graphtheory/components.ml: Array List Ugraph

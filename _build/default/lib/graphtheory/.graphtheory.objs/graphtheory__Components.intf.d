@@ -1,0 +1,1 @@
+lib/graphtheory/components.mli: Ugraph

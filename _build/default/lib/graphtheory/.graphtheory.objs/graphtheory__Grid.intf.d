@@ -1,0 +1,1 @@
+lib/graphtheory/grid.mli: Ugraph

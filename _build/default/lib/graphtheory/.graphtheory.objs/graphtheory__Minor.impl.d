@@ -1,0 +1,1 @@
+lib/graphtheory/minor.ml: Array Fun List Printf Queue Ugraph

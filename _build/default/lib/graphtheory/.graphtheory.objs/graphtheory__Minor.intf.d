@@ -1,0 +1,1 @@
+lib/graphtheory/minor.mli: Ugraph

@@ -1,0 +1,1 @@
+lib/graphtheory/tree_decomposition.ml: Array Fmt Fun List Printf Result Ugraph

@@ -1,0 +1,1 @@
+lib/graphtheory/tree_decomposition.mli: Fmt Ugraph

@@ -1,0 +1,1 @@
+lib/graphtheory/treewidth.ml: Array Bytes Char Fun Hashtbl List Tree_decomposition Ugraph

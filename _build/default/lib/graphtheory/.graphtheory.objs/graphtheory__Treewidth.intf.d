@@ -1,0 +1,1 @@
+lib/graphtheory/treewidth.mli: Tree_decomposition Ugraph

@@ -1,0 +1,1 @@
+lib/graphtheory/ugraph.ml: Array Fmt Fun Hashtbl Int List Set

@@ -1,0 +1,1 @@
+lib/graphtheory/ugraph.mli: Fmt Set

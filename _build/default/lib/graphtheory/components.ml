@@ -1,0 +1,25 @@
+let components g =
+  let n = Ugraph.n g in
+  let seen = Array.make n false in
+  let collect start =
+    let acc = ref [] in
+    let rec dfs u =
+      if not seen.(u) then begin
+        seen.(u) <- true;
+        acc := u :: !acc;
+        Ugraph.ISet.iter dfs (Ugraph.adj g u)
+      end
+    in
+    dfs start;
+    List.sort compare !acc
+  in
+  let result = ref [] in
+  for v = 0 to n - 1 do
+    if not seen.(v) then result := collect v :: !result
+  done;
+  List.rev !result
+
+let component_of g v =
+  match List.find_opt (fun c -> List.mem v c) (components g) with
+  | Some c -> c
+  | None -> invalid_arg "Components.component_of: vertex out of range"

@@ -1,0 +1,9 @@
+(** Connected components of undirected graphs. *)
+
+val components : Ugraph.t -> int list list
+(** The vertex sets of the connected components, each sorted ascending;
+    components appear in order of their smallest vertex. Isolated vertices
+    form singleton components. *)
+
+val component_of : Ugraph.t -> int -> int list
+(** The sorted component containing the given vertex. *)

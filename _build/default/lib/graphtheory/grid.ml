@@ -1,0 +1,4 @@
+let graph ~rows ~cols = Ugraph.grid_graph ~rows ~cols
+let id ~cols r c = (r * cols) + c
+let coords ~cols v = (v / cols, v mod cols)
+let treewidth k = if k <= 0 then -1 else if k = 1 then 0 else k

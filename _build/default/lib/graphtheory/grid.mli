@@ -1,0 +1,16 @@
+(** Coordinate helpers for the [(k × ℓ)]-grid (Section 4 / Appendix of the
+    paper), whose vertex set is [{1..k} × {1..ℓ}] — represented here with
+    0-based coordinates and the vertex-id scheme of
+    {!Ugraph.grid_graph}. *)
+
+val graph : rows:int -> cols:int -> Ugraph.t
+
+val id : cols:int -> int -> int -> int
+(** [id ~cols r c] is the vertex id of coordinate [(r, c)]. *)
+
+val coords : cols:int -> int -> int * int
+(** Inverse of [id]. *)
+
+val treewidth : int -> int
+(** Treewidth of the [k × k] grid, which is [k] (for [k ≥ 1]);
+    included as executable documentation and used in tests. *)

@@ -1,0 +1,216 @@
+module ISet = Ugraph.ISet
+
+type map = ISet.t array
+
+let connected_in host set =
+  if ISet.is_empty set then false
+  else begin
+    let start = ISet.min_elt set in
+    let rec dfs seen u =
+      if ISet.mem u seen then seen
+      else
+        ISet.fold
+          (fun v seen -> if ISet.mem v set then dfs seen v else seen)
+          (Ugraph.adj host u) (ISet.add u seen)
+    in
+    ISet.equal (dfs ISet.empty start) set
+  end
+
+let sets_adjacent host a b =
+  ISet.exists (fun u -> ISet.exists (fun v -> Ugraph.mem_edge host u v) b) a
+
+let verify ~minor ~host map =
+  let k = Ugraph.n minor in
+  if Array.length map <> k then Error "map has wrong arity"
+  else begin
+    let problems = ref None in
+    let fail msg = if !problems = None then problems := Some msg in
+    Array.iteri
+      (fun u set ->
+        if ISet.is_empty set then fail (Printf.sprintf "branch set %d empty" u)
+        else if not (connected_in host set) then
+          fail (Printf.sprintf "branch set %d disconnected" u))
+      map;
+    for u = 0 to k - 1 do
+      for v = u + 1 to k - 1 do
+        if not (ISet.is_empty (ISet.inter map.(u) map.(v))) then
+          fail (Printf.sprintf "branch sets %d and %d overlap" u v)
+      done
+    done;
+    List.iter
+      (fun (u, v) ->
+        if not (sets_adjacent host map.(u) map.(v)) then
+          fail (Printf.sprintf "edge (%d,%d) has no witness" u v))
+      (Ugraph.edges minor);
+    match !problems with Some msg -> Error msg | None -> Ok ()
+  end
+
+let is_onto ~host map =
+  let covered = Array.fold_left ISet.union ISet.empty map in
+  ISet.cardinal covered = Ugraph.n host
+
+let identity g = Array.init (Ugraph.n g) ISet.singleton
+
+let extend_onto ~host map =
+  let map = Array.map Fun.id map in
+  let owner = Array.make (Ugraph.n host) (-1) in
+  Array.iteri (fun u set -> ISet.iter (fun v -> owner.(v) <- u) set) map;
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    for v = 0 to Ugraph.n host - 1 do
+      if owner.(v) = -1 then begin
+        (* absorb into the branch set of any covered neighbour *)
+        match
+          ISet.fold
+            (fun u acc -> if acc = -1 && owner.(u) <> -1 then owner.(u) else acc)
+            (Ugraph.adj host v) (-1)
+        with
+        | -1 -> ()
+        | u ->
+            owner.(v) <- u;
+            map.(u) <- ISet.add v map.(u);
+            changed := true
+      end
+    done
+  done;
+  if Array.exists (fun o -> o = -1) owner then None else Some map
+
+(* Shortest path from [src] to any vertex of [targets], with interior
+   vertices drawn from [allowed]. Returns the path including endpoints. *)
+let shortest_path host ~src ~targets ~allowed =
+  let n = Ugraph.n host in
+  let prev = Array.make n (-2) in
+  let queue = Queue.create () in
+  Queue.add src queue;
+  prev.(src) <- -1;
+  let found = ref None in
+  while !found = None && not (Queue.is_empty queue) do
+    let u = Queue.pop queue in
+    if ISet.mem u targets && u <> src then found := Some u
+    else
+      ISet.iter
+        (fun v ->
+          if prev.(v) = -2 && (ISet.mem v allowed || ISet.mem v targets) then begin
+            prev.(v) <- u;
+            Queue.add v queue
+          end)
+        (Ugraph.adj host u)
+  done;
+  match !found with
+  | None -> None
+  | Some dst ->
+      let rec walk v acc = if v = -1 then acc else walk prev.(v) (v :: acc) in
+      Some (walk dst [])
+
+(* Connected placement order: BFS per component of the minor. *)
+let placement_order minor =
+  let k = Ugraph.n minor in
+  let seen = Array.make k false in
+  let order = ref [] in
+  for start = 0 to k - 1 do
+    if not seen.(start) then begin
+      let queue = Queue.create () in
+      Queue.add start queue;
+      seen.(start) <- true;
+      while not (Queue.is_empty queue) do
+        let u = Queue.pop queue in
+        order := u :: !order;
+        ISet.iter
+          (fun v ->
+            if not seen.(v) then begin
+              seen.(v) <- true;
+              Queue.add v queue
+            end)
+          (Ugraph.adj minor u)
+      done
+    end
+  done;
+  List.rev !order
+
+let find ~minor ~host =
+  let k = Ugraph.n minor in
+  let nh = Ugraph.n host in
+  if k = 0 then Some [||]
+  else if nh = 0 then None
+  else begin
+    let order = Array.of_list (placement_order minor) in
+    let budget = ref 200_000 in
+    let all_hosts = List.init nh Fun.id in
+    (* state: branch sets and the set of used host vertices *)
+    let rec place idx branch used =
+      if !budget <= 0 then None
+      else if idx = k then Some branch
+      else begin
+        decr budget;
+        let u = order.(idx) in
+        let placed_neighbours =
+          ISet.elements (Ugraph.adj minor u)
+          |> List.filter (fun v ->
+                 Array.exists (fun w -> w = v) (Array.sub order 0 idx))
+        in
+        let try_seed acc seed =
+          match acc with
+          | Some _ -> acc
+          | None ->
+              if ISet.mem seed used then None
+              else begin
+                let branch' = Array.map Fun.id branch in
+                branch'.(u) <- ISet.singleton seed;
+                let used' = ref (ISet.add seed used) in
+                (* Repair adjacency to each already-placed neighbour with a
+                   shortest path through unused vertices; interior vertices
+                   join the branch set of [u]. *)
+                let ok =
+                  List.for_all
+                    (fun v ->
+                      if sets_adjacent host branch'.(u) branch'.(v) then true
+                      else begin
+                        let allowed =
+                          List.fold_left
+                            (fun acc h ->
+                              if ISet.mem h !used' then acc else ISet.add h acc)
+                            ISet.empty all_hosts
+                        in
+                        let from =
+                          (* search from each vertex of branch'(u); seed-first *)
+                          ISet.elements branch'.(u)
+                        in
+                        let rec attempt = function
+                          | [] -> false
+                          | src :: rest -> (
+                              match
+                                shortest_path host ~src ~targets:branch'.(v)
+                                  ~allowed
+                              with
+                              | Some path ->
+                                  (* drop the final vertex (inside branch v);
+                                     the rest joins branch u *)
+                                  let interior =
+                                    List.filteri
+                                      (fun i _ -> i < List.length path - 1)
+                                      path
+                                  in
+                                  List.iter
+                                    (fun w ->
+                                      branch'.(u) <- ISet.add w branch'.(u);
+                                      used' := ISet.add w !used')
+                                    interior;
+                                  true
+                              | None -> attempt rest)
+                        in
+                        attempt from
+                      end)
+                    placed_neighbours
+                in
+                if ok then place (idx + 1) branch' !used' else None
+              end
+        in
+        List.fold_left try_seed None all_hosts
+      end
+    in
+    match place 0 (Array.make k ISet.empty) ISet.empty with
+    | Some branch -> (
+        match verify ~minor ~host branch with Ok () -> Some branch | Error _ -> None)
+    | None -> None
+  end

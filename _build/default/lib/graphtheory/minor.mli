@@ -1,0 +1,31 @@
+(** Minor maps (Appendix, proof of Lemma 2).
+
+    A minor map from [H] to [H'] assigns each vertex of [H] a non-empty
+    connected set of vertices of [H'] ("branch set") such that branch sets
+    are pairwise disjoint and every edge of [H] is witnessed by an edge
+    between the corresponding branch sets. The map is {e onto} when branch
+    sets cover all of [H']. *)
+
+type map = Ugraph.ISet.t array
+(** [map.(u)] is the branch set of minor vertex [u]. *)
+
+val verify : minor:Ugraph.t -> host:Ugraph.t -> map -> (unit, string) result
+(** Check non-emptiness, connectivity, disjointness and edge coverage. *)
+
+val is_onto : host:Ugraph.t -> map -> bool
+
+val identity : Ugraph.t -> map
+(** The identity minor map of a graph into itself. *)
+
+val extend_onto : host:Ugraph.t -> map -> map option
+(** Absorb host vertices not covered by any branch set into adjacent
+    branch sets, yielding an onto map. [None] if some uncovered component
+    touches no branch set. *)
+
+val find : minor:Ugraph.t -> host:Ugraph.t -> map option
+(** Heuristic search for a minor map (exact only in the sense that any
+    returned map is verified; failure to find one is not a proof of
+    absence). Places minor vertices on host vertices in a connected order
+    and repairs missing edge witnesses with shortest paths through unused
+    host vertices. Sufficient for the grid-shaped instances used by the
+    hardness reduction and for tests. *)

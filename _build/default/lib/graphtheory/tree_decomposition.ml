@@ -1,0 +1,143 @@
+module ISet = Ugraph.ISet
+
+type t = { bags : ISet.t array; tree_edges : (int * int) list }
+
+let make ~bags ~tree_edges =
+  let k = Array.length bags in
+  List.iter
+    (fun (a, b) ->
+      if a < 0 || a >= k || b < 0 || b >= k then
+        invalid_arg "Tree_decomposition.make: tree edge out of range")
+    tree_edges;
+  { bags; tree_edges }
+
+let bags t = t.bags
+let tree_edges t = t.tree_edges
+
+let width t =
+  Array.fold_left (fun acc bag -> max acc (ISet.cardinal bag - 1)) 0 t.bags
+
+(* Union-find for acyclicity checking. *)
+let acyclic k edges =
+  let parent = Array.init k Fun.id in
+  let rec find x = if parent.(x) = x then x else find parent.(x) in
+  List.for_all
+    (fun (a, b) ->
+      let ra = find a and rb = find b in
+      if ra = rb then false
+      else begin
+        parent.(ra) <- rb;
+        true
+      end)
+    edges
+
+let neighbours t =
+  let k = Array.length t.bags in
+  let adj = Array.make k [] in
+  List.iter
+    (fun (a, b) ->
+      adj.(a) <- b :: adj.(a);
+      adj.(b) <- a :: adj.(b))
+    t.tree_edges;
+  adj
+
+let verify g t =
+  let k = Array.length t.bags in
+  let ( let* ) = Result.bind in
+  let* () =
+    if acyclic k t.tree_edges then Ok ()
+    else Error "decomposition tree contains a cycle"
+  in
+  let* () =
+    let bad =
+      Array.to_list t.bags
+      |> List.concat_map ISet.elements
+      |> List.find_opt (fun v -> v < 0 || v >= Ugraph.n g)
+    in
+    match bad with
+    | Some v -> Error (Printf.sprintf "bag contains unknown vertex %d" v)
+    | None -> Ok ()
+  in
+  let adj = neighbours t in
+  (* Vertex occurrence connectivity: BFS over decomposition nodes whose bag
+     contains the vertex must reach all of them from any one of them. *)
+  let connected_for v =
+    let holders = ref [] in
+    Array.iteri (fun i bag -> if ISet.mem v bag then holders := i :: !holders) t.bags;
+    match !holders with
+    | [] -> false
+    | start :: _ ->
+        let target = List.length !holders in
+        let seen = Array.make k false in
+        let count = ref 0 in
+        let rec dfs i =
+          if (not seen.(i)) && ISet.mem v t.bags.(i) then begin
+            seen.(i) <- true;
+            incr count;
+            List.iter dfs adj.(i)
+          end
+        in
+        dfs start;
+        !count = target
+  in
+  let* () =
+    let rec check v =
+      if v >= Ugraph.n g then Ok ()
+      else if not (connected_for v) then
+        Error (Printf.sprintf "vertex %d: occurrences missing or disconnected" v)
+      else check (v + 1)
+    in
+    check 0
+  in
+  let covered (u, v) =
+    Array.exists (fun bag -> ISet.mem u bag && ISet.mem v bag) t.bags
+  in
+  match List.find_opt (fun e -> not (covered e)) (Ugraph.edges g) with
+  | Some (u, v) -> Error (Printf.sprintf "edge (%d,%d) not covered by any bag" u v)
+  | None -> Ok ()
+
+let of_elimination_order g order =
+  let n = Ugraph.n g in
+  if List.length order <> n || List.sort compare order <> List.init n Fun.id then
+    invalid_arg "Tree_decomposition.of_elimination_order: not a permutation";
+  let position = Array.make n 0 in
+  List.iteri (fun i v -> position.(v) <- i) order;
+  let adjacency = Array.init n (fun v -> Ugraph.adj g v) in
+  let bags = Array.make n ISet.empty in
+  let parents = ref [] in
+  List.iteri
+    (fun i v ->
+      let nbrs = adjacency.(v) in
+      bags.(i) <- ISet.add v nbrs;
+      (* Saturate neighbours into a clique, then remove v. *)
+      ISet.iter
+        (fun a ->
+          adjacency.(a) <- ISet.remove v adjacency.(a);
+          ISet.iter
+            (fun b -> if a <> b then adjacency.(a) <- ISet.add b adjacency.(a))
+            nbrs)
+        nbrs;
+      adjacency.(v) <- ISet.empty;
+      (* Attach to the decomposition node of the earliest-eliminated
+         remaining neighbour. *)
+      match ISet.elements nbrs with
+      | [] -> ()
+      | nbr_list ->
+          let next =
+            List.fold_left
+              (fun acc u -> if position.(u) < position.(acc) then u else acc)
+              (List.hd nbr_list) nbr_list
+          in
+          parents := (i, position.(next)) :: !parents)
+    order;
+  make ~bags ~tree_edges:!parents
+
+let pp ppf t =
+  let bag ppf (i, b) =
+    Fmt.pf ppf "%d:{%a}" i Fmt.(list ~sep:comma int) (ISet.elements b)
+  in
+  Fmt.pf ppf "@[<v>bags: %a@ edges: %a@]"
+    Fmt.(list ~sep:sp bag)
+    (Array.to_list (Array.mapi (fun i b -> (i, b)) t.bags))
+    Fmt.(list ~sep:comma (pair ~sep:(any "-") int int))
+    t.tree_edges

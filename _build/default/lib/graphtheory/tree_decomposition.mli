@@ -1,0 +1,31 @@
+(** Tree decompositions of undirected graphs (Section 2 of the paper).
+
+    A tree decomposition of [H] is a tree [F] with a bag
+    [β(s) ⊆ V(H)] per node such that (i) for every vertex [u] the nodes
+    whose bag contains [u] induce a connected subtree, and (ii) every edge
+    of [H] is contained in some bag. Its width is [max |β(s)| − 1]. *)
+
+type t
+
+val make : bags:Ugraph.ISet.t array -> tree_edges:(int * int) list -> t
+(** [bags.(i)] is the bag of decomposition node [i]; [tree_edges] must form
+    a tree (or forest) on [0 .. Array.length bags − 1]. *)
+
+val bags : t -> Ugraph.ISet.t array
+val tree_edges : t -> (int * int) list
+
+val width : t -> int
+(** [max |bag| − 1], and [0] for an empty decomposition. *)
+
+val verify : Ugraph.t -> t -> (unit, string) result
+(** Check all tree-decomposition conditions against the graph: the tree is
+    acyclic and connected (per decomposition component), every vertex
+    occurs in some bag and its occurrences are connected, and every edge is
+    covered by a bag. *)
+
+val of_elimination_order : Ugraph.t -> int list -> t
+(** The standard decomposition induced by an elimination ordering: bag of
+    [v] is [v] plus its higher neighbours in the fill-in graph. The
+    resulting width equals the width of the ordering. *)
+
+val pp : t Fmt.t

@@ -1,0 +1,276 @@
+module ISet = Ugraph.ISet
+
+(* ------------------------------------------------------------------ *)
+(* Exact treewidth: the O(2^n) dynamic programme of Bodlaender et al.
+   f(S) = min over v in S of max (f(S \ {v}), q(S \ {v}, v)) where
+   q(S, v) counts vertices outside S ∪ {v} reachable from v through S.
+   f(V) is the treewidth. Sets are int bitmasks. *)
+(* ------------------------------------------------------------------ *)
+
+let adjacency_masks g =
+  let n = Ugraph.n g in
+  Array.init n (fun v ->
+      ISet.fold (fun u acc -> acc lor (1 lsl u)) (Ugraph.adj g v) 0)
+
+(* Reachable-through-S closure from v: expand adj within S to fixpoint. *)
+let q_count adj full v s =
+  let rec grow reached =
+    let frontier = reached land s in
+    let expanded =
+      let acc = ref reached in
+      let rest = ref frontier in
+      while !rest <> 0 do
+        let u = !rest land - !rest in
+        let i =
+          (* index of lowest set bit *)
+          let rec bit k m = if m land 1 = 1 then k else bit (k + 1) (m lsr 1) in
+          bit 0 u
+        in
+        acc := !acc lor adj.(i);
+        rest := !rest land lnot u
+      done;
+      !acc
+    in
+    if expanded = reached then reached else grow expanded
+  in
+  let reached = grow adj.(v) in
+  let outside = reached land lnot s land lnot (1 lsl v) land full in
+  let rec popcount m = if m = 0 then 0 else 1 + popcount (m land (m - 1)) in
+  popcount outside
+
+let exact ?(limit = 20) g =
+  let n = Ugraph.n g in
+  if n > limit then None
+  else if n = 0 then Some (-1)
+  else begin
+    let adj = adjacency_masks g in
+    let full = (1 lsl n) - 1 in
+    let size = 1 lsl n in
+    let f = Bytes.make size '\255' in
+    (* f(∅) = -1 encoded as 255 → interpreted as -1 below. *)
+    let get s =
+      let b = Char.code (Bytes.get f s) in
+      if b = 255 then -1 else b
+    in
+    let set s v = Bytes.set f s (Char.chr (if v < 0 then 255 else v)) in
+    set 0 (-1);
+    (* iterate subsets in increasing order: s-1 ⊂ relevant already done
+       because removing a bit yields a smaller integer. *)
+    for s = 1 to full do
+      let best = ref max_int in
+      let rest = ref s in
+      while !rest <> 0 do
+        let bit = !rest land - !rest in
+        let v =
+          let rec idx k m = if m land 1 = 1 then k else idx (k + 1) (m lsr 1) in
+          idx 0 bit
+        in
+        let s' = s land lnot bit in
+        let candidate = max (get s') (q_count adj full v s') in
+        if candidate < !best then best := candidate;
+        rest := !rest land lnot bit
+      done;
+      set s !best
+    done;
+    Some (get full)
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Elimination heuristics.                                             *)
+(* ------------------------------------------------------------------ *)
+
+let eliminate_with choose g =
+  let n = Ugraph.n g in
+  let adjacency = Array.init n (fun v -> Ugraph.adj g v) in
+  let alive = Array.make n true in
+  let order = ref [] in
+  let width = ref 0 in
+  for _ = 1 to n do
+    let v = choose adjacency alive in
+    order := v :: !order;
+    width := max !width (ISet.cardinal adjacency.(v));
+    let nbrs = adjacency.(v) in
+    ISet.iter
+      (fun a ->
+        adjacency.(a) <- ISet.remove v adjacency.(a);
+        ISet.iter
+          (fun b -> if a <> b then adjacency.(a) <- ISet.add b adjacency.(a))
+          nbrs)
+      nbrs;
+    adjacency.(v) <- ISet.empty;
+    alive.(v) <- false
+  done;
+  (List.rev !order, !width)
+
+let argmin_alive score adjacency alive =
+  let best = ref (-1) and best_score = ref max_int in
+  Array.iteri
+    (fun v live ->
+      if live then begin
+        let s = score adjacency v in
+        if s < !best_score then begin
+          best := v;
+          best_score := s
+        end
+      end)
+    alive;
+  !best
+
+let min_degree_order g =
+  eliminate_with
+    (argmin_alive (fun adjacency v -> ISet.cardinal adjacency.(v)))
+    g
+
+let fill_in adjacency v =
+  let nbrs = ISet.elements adjacency.(v) in
+  let count = ref 0 in
+  let rec pairs = function
+    | [] -> ()
+    | a :: rest ->
+        List.iter (fun b -> if not (ISet.mem b adjacency.(a)) then incr count) rest;
+        pairs rest
+  in
+  pairs nbrs;
+  !count
+
+let min_fill_order g = eliminate_with (argmin_alive fill_in) g
+
+(* ------------------------------------------------------------------ *)
+(* Exact treewidth, second opinion: branch and bound over elimination
+   orderings. State: adjacency sets of the not-yet-eliminated vertices,
+   identified by the bitmask of remaining vertices (memoised).            *)
+(* ------------------------------------------------------------------ *)
+
+let exact_branch_and_bound ?(limit = 26) g =
+  let n = Ugraph.n g in
+  if n > limit then None
+  else if n = 0 then Some (-1)
+  else begin
+    let best = ref (snd (min_fill_order g)) in
+    (* visited: remaining-set -> smallest width-so-far seen entering it *)
+    let visited : (int, int) Hashtbl.t = Hashtbl.create 4096 in
+    let rec go adjacency remaining width =
+      if width >= !best then ()
+      else if remaining = 0 then best := width
+      else begin
+        match Hashtbl.find_opt visited remaining with
+        | Some w when w <= width -> ()
+        | _ ->
+            Hashtbl.replace visited remaining width;
+            (* simplicial vertices can be eliminated greedily: doing so
+               first never hurts optimality *)
+            let simplicial =
+              let found = ref (-1) in
+              for v = 0 to n - 1 do
+                if !found = -1 && remaining land (1 lsl v) <> 0 then begin
+                  let nbrs = adjacency.(v) in
+                  let is_clique =
+                    ISet.for_all
+                      (fun a ->
+                        ISet.for_all
+                          (fun b -> a = b || ISet.mem b adjacency.(a))
+                          nbrs)
+                      nbrs
+                  in
+                  if is_clique then found := v
+                end
+              done;
+              !found
+            in
+            let eliminate v =
+              let nbrs = adjacency.(v) in
+              let width' = max width (ISet.cardinal nbrs) in
+              if width' < !best then begin
+                let adjacency' = Array.copy adjacency in
+                ISet.iter
+                  (fun a ->
+                    adjacency'.(a) <- ISet.remove v adjacency'.(a);
+                    ISet.iter
+                      (fun b -> if a <> b then adjacency'.(a) <- ISet.add b adjacency'.(a))
+                      nbrs)
+                  nbrs;
+                adjacency'.(v) <- ISet.empty;
+                go adjacency' (remaining land lnot (1 lsl v)) width'
+              end
+            in
+            if simplicial >= 0 then eliminate simplicial
+            else
+              for v = 0 to n - 1 do
+                if remaining land (1 lsl v) <> 0 then eliminate v
+              done
+      end
+    in
+    let adjacency = Array.init n (fun v -> Ugraph.adj g v) in
+    go adjacency ((1 lsl n) - 1) 0;
+    Some !best
+  end
+
+
+let lower_bound g =
+  (* Maximum-minimum-degree: repeatedly delete a minimum-degree vertex,
+     recording the largest minimum degree seen. *)
+  let n = Ugraph.n g in
+  if n = 0 then -1
+  else begin
+    let adjacency = Array.init n (fun v -> Ugraph.adj g v) in
+    let alive = Array.make n true in
+    let best = ref 0 in
+    for _ = 1 to n do
+      let v = argmin_alive (fun adjacency v -> ISet.cardinal adjacency.(v)) adjacency alive in
+      best := max !best (ISet.cardinal adjacency.(v));
+      ISet.iter (fun a -> adjacency.(a) <- ISet.remove v adjacency.(a)) adjacency.(v);
+      adjacency.(v) <- ISet.empty;
+      alive.(v) <- false
+    done;
+    !best
+  end
+
+let upper_bound g =
+  let _, w1 = min_fill_order g in
+  let _, w2 = min_degree_order g in
+  min w1 w2
+
+let treewidth ?(exact_limit = 20) g =
+  match exact ~limit:exact_limit g with
+  | Some w -> w
+  | None -> upper_bound g
+
+let is_at_most g k =
+  if k >= Ugraph.n g - 1 then true
+  else if lower_bound g > k then false
+  else if upper_bound g <= k then true
+  else treewidth g <= k
+
+let decomposition g =
+  if Ugraph.n g = 0 then Tree_decomposition.make ~bags:[||] ~tree_edges:[]
+  else begin
+    let target = treewidth g in
+    let order, w = min_fill_order g in
+    if w = target then Tree_decomposition.of_elimination_order g order
+    else begin
+      (* Search for an optimal ordering greedily guided by the DP values:
+         fall back to brute-force over orders only for very small graphs. *)
+      let n = Ugraph.n g in
+      if n <= 9 then begin
+        let best = ref (order, w) in
+        let rec permute prefix remaining =
+          if snd !best = target then ()
+          else
+            match remaining with
+            | [] ->
+                let ord = List.rev prefix in
+                let d = Tree_decomposition.of_elimination_order g ord in
+                let width = Tree_decomposition.width d in
+                if width < snd !best then best := (ord, width)
+            | _ ->
+                List.iter
+                  (fun v ->
+                    permute (v :: prefix) (List.filter (fun u -> u <> v) remaining))
+                  remaining
+        in
+        permute [] (List.init n Fun.id);
+        Tree_decomposition.of_elimination_order g (fst !best)
+      end
+      else Tree_decomposition.of_elimination_order g order
+    end
+  end

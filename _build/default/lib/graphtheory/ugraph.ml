@@ -1,0 +1,112 @@
+module ISet = Set.Make (Int)
+
+type t = { size : int; adjacency : ISet.t array }
+
+let make ~n ~edges =
+  if n < 0 then invalid_arg "Ugraph.make: negative size";
+  let adjacency = Array.make n ISet.empty in
+  List.iter
+    (fun (u, v) ->
+      if u < 0 || u >= n || v < 0 || v >= n then
+        invalid_arg "Ugraph.make: endpoint out of range";
+      if u <> v then begin
+        adjacency.(u) <- ISet.add v adjacency.(u);
+        adjacency.(v) <- ISet.add u adjacency.(v)
+      end)
+    edges;
+  { size = n; adjacency }
+
+let n g = g.size
+
+let edges g =
+  let acc = ref [] in
+  for u = g.size - 1 downto 0 do
+    ISet.iter (fun v -> if u < v then acc := (u, v) :: !acc) g.adjacency.(u)
+  done;
+  !acc
+
+let m g = List.length (edges g)
+let adj g u = g.adjacency.(u)
+let degree g u = ISet.cardinal g.adjacency.(u)
+let mem_edge g u v = u <> v && ISet.mem v g.adjacency.(u)
+
+let add_edge g u v =
+  if u < 0 || u >= g.size || v < 0 || v >= g.size then
+    invalid_arg "Ugraph.add_edge: endpoint out of range";
+  if u = v || mem_edge g u v then g
+  else begin
+    let adjacency = Array.copy g.adjacency in
+    adjacency.(u) <- ISet.add v adjacency.(u);
+    adjacency.(v) <- ISet.add u adjacency.(v);
+    { g with adjacency }
+  end
+
+let remove_vertex g u =
+  let adjacency =
+    Array.mapi
+      (fun i s -> if i = u then ISet.empty else ISet.remove u s)
+      g.adjacency
+  in
+  { g with adjacency }
+
+let induced g vs =
+  let old_of_new = Array.of_list vs in
+  let new_of_old = Hashtbl.create (Array.length old_of_new) in
+  Array.iteri (fun i v -> Hashtbl.replace new_of_old v i) old_of_new;
+  let edges =
+    List.filter_map
+      (fun (u, v) ->
+        match Hashtbl.find_opt new_of_old u, Hashtbl.find_opt new_of_old v with
+        | Some u', Some v' -> Some (u', v')
+        | _ -> None)
+      (edges g)
+  in
+  (make ~n:(Array.length old_of_new) ~edges, old_of_new)
+
+let complete k =
+  let edges = ref [] in
+  for i = 0 to k - 1 do
+    for j = i + 1 to k - 1 do
+      edges := (i, j) :: !edges
+    done
+  done;
+  make ~n:k ~edges:!edges
+
+let path_graph k = make ~n:k ~edges:(List.init (max 0 (k - 1)) (fun i -> (i, i + 1)))
+
+let cycle_graph k =
+  if k <= 2 then path_graph k
+  else make ~n:k ~edges:(List.init k (fun i -> (i, (i + 1) mod k)))
+
+let grid_graph ~rows ~cols =
+  let edges = ref [] in
+  for r = 0 to rows - 1 do
+    for c = 0 to cols - 1 do
+      let id = (r * cols) + c in
+      if c + 1 < cols then edges := (id, id + 1) :: !edges;
+      if r + 1 < rows then edges := (id, id + cols) :: !edges
+    done
+  done;
+  make ~n:(rows * cols) ~edges:!edges
+
+let is_connected g =
+  if g.size = 0 then true
+  else begin
+    let seen = Array.make g.size false in
+    let rec dfs u =
+      if not seen.(u) then begin
+        seen.(u) <- true;
+        ISet.iter dfs g.adjacency.(u)
+      end
+    in
+    dfs 0;
+    Array.for_all Fun.id seen
+  end
+
+let equal a b =
+  a.size = b.size && Array.for_all2 ISet.equal a.adjacency b.adjacency
+
+let pp ppf g =
+  Fmt.pf ppf "graph(n=%d;@ %a)" g.size
+    Fmt.(list ~sep:(any ",@ ") (pair ~sep:(any "-") int int))
+    (edges g)

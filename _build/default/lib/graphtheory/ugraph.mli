@@ -1,0 +1,40 @@
+(** Finite simple undirected graphs on vertices [0 .. n-1]. *)
+
+module ISet : Set.S with type elt = int
+
+type t
+
+val make : n:int -> edges:(int * int) list -> t
+(** Self-loops and duplicate edges are ignored. Raises [Invalid_argument]
+    on out-of-range endpoints or negative [n]. *)
+
+val n : t -> int
+(** Number of vertices. *)
+
+val m : t -> int
+(** Number of edges. *)
+
+val edges : t -> (int * int) list
+(** Each edge once, as [(u, v)] with [u < v]. *)
+
+val adj : t -> int -> ISet.t
+val degree : t -> int -> int
+val mem_edge : t -> int -> int -> bool
+
+val add_edge : t -> int -> int -> t
+val remove_vertex : t -> int -> t
+(** Keeps the vertex id space; the vertex becomes isolated. *)
+
+val induced : t -> int list -> t * int array
+(** [induced g vs] is the subgraph induced by [vs] on fresh vertex ids
+    [0..|vs|-1], together with the array mapping new ids to old ids. *)
+
+val complete : int -> t
+val path_graph : int -> t
+val cycle_graph : int -> t
+val grid_graph : rows:int -> cols:int -> t
+(** Vertex [(r, c)] has id [r * cols + c]. *)
+
+val is_connected : t -> bool
+val equal : t -> t -> bool
+val pp : t Fmt.t

@@ -1,0 +1,1 @@
+lib/hardness/clique.ml: Fun Graphtheory List Option Random Ugraph

@@ -1,0 +1,1 @@
+lib/hardness/grohe.ml: Array Components Cores Gaifman Graphtheory Gtgraph Hashtbl List Minor Option Printf Rdf Term Tgraph Tgraphs Treewidth Triple Ugraph Variable

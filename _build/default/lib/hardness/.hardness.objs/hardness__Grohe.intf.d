@@ -1,0 +1,1 @@
+lib/hardness/grohe.mli: Graphtheory Gtgraph Tgraphs

@@ -1,0 +1,1 @@
+lib/hardness/reduction.ml: Graph Grohe Gtgraph List Printf Rdf Sparql Term Tgraph Tgraphs Variable Wd_core Wdpt Workload

@@ -1,0 +1,1 @@
+lib/hardness/reduction.mli: Graph Graphtheory Grohe Rdf Sparql Wdpt

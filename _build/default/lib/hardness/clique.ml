@@ -1,0 +1,35 @@
+open Graphtheory
+
+let find_clique h k =
+  let n = Ugraph.n h in
+  let rec extend chosen candidates need =
+    if need = 0 then Some (List.rev chosen)
+    else
+      let rec try_candidates = function
+        | [] -> None
+        | v :: rest -> (
+            let candidates' =
+              List.filter (fun u -> u > v && Ugraph.mem_edge h u v) rest
+            in
+            match extend (v :: chosen) candidates' (need - 1) with
+            | Some _ as found -> found
+            | None -> try_candidates rest)
+      in
+      if List.length candidates < need then None
+      else try_candidates candidates
+  in
+  if k <= 0 then Some []
+  else if k = 1 then if n > 0 then Some [ 0 ] else None
+  else extend [] (List.init n Fun.id) k
+
+let has_clique h k = Option.is_some (find_clique h k)
+
+let random_graph ~seed ~n ~edge_prob =
+  let state = Random.State.make [| seed; n; int_of_float (edge_prob *. 1000.) |] in
+  let edges = ref [] in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      if Random.State.float state 1.0 < edge_prob then edges := (i, j) :: !edges
+    done
+  done;
+  Ugraph.make ~n ~edges:!edges

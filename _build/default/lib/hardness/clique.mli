@@ -1,0 +1,12 @@
+(** Brute-force clique detection — the ground truth the W[1]-hardness
+    reduction is validated against. *)
+
+val has_clique : Graphtheory.Ugraph.t -> int -> bool
+(** [has_clique h k]: does [h] contain a clique on [k] vertices? Simple
+    backtracking over candidate extensions. *)
+
+val find_clique : Graphtheory.Ugraph.t -> int -> int list option
+(** A witness clique, if any. *)
+
+val random_graph : seed:int -> n:int -> edge_prob:float -> Graphtheory.Ugraph.t
+(** Erdős–Rényi test instances for the reduction experiments. *)

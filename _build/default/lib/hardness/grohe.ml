@@ -1,0 +1,175 @@
+open Rdf
+open Tgraphs
+open Graphtheory
+
+type stats = {
+  new_vars : int;
+  triples : int;
+  grid_rows : int;
+  grid_cols : int;
+}
+
+(* A member of the variable set V: ?(v, e, i, p, ?a). *)
+type vmember = {
+  vertex : int;  (* v ∈ V(H) *)
+  edge : int * int;  (* e ∈ E(H) *)
+  row : int;  (* i ∈ {0..k-1} *)
+  col : int;  (* p ∈ {0..K-1} *)
+  base : Variable.t;  (* ?a ∈ γ(i, p) *)
+}
+
+let vmember_var m =
+  let u, w = m.edge in
+  Variable.of_string
+    (Printf.sprintf "b_%d_%d_%d_%d_%d_%s" m.vertex u w m.row m.col
+       (Variable.to_string m.base))
+
+(* ρ: bijection between columns 0..K-1 and unordered pairs over {0..k-1},
+   in lexicographic order. *)
+let pairs k =
+  let acc = ref [] in
+  for i = 0 to k - 1 do
+    for j = i + 1 to k - 1 do
+      acc := (i, j) :: !acc
+    done
+  done;
+  Array.of_list (List.rev !acc)
+
+let construct ~k ~h g =
+  if k < 2 then invalid_arg "Grohe.construct: k must be at least 2";
+  let kk = k * (k - 1) / 2 in
+  let core = Cores.core g in
+  let x = Gtgraph.x core in
+  let c_triples = Tgraph.triples (Gtgraph.s core) in
+  let gaifman, vars_arr = Gaifman.graph x (Gtgraph.s core) in
+  (* Choose the component of maximum treewidth as F1. *)
+  let components = Components.components gaifman in
+  if components = [] then Error "Gaifman graph has no existential variables"
+  else begin
+    let scored =
+      List.map
+        (fun comp ->
+          let sub, _ = Ugraph.induced gaifman comp in
+          (Treewidth.treewidth sub, comp))
+        components
+    in
+    let _, f1_vertices =
+      List.fold_left
+        (fun (bw, bc) (w, c) -> if w > bw then (w, c) else (bw, bc))
+        (List.hd scored) (List.tl scored)
+    in
+    let f1, old_of_new = Ugraph.induced gaifman f1_vertices in
+    let grid = Ugraph.grid_graph ~rows:k ~cols:kk in
+    match Minor.find ~minor:grid ~host:f1 with
+    | None -> Error "no minor map from the (k x C(k,2))-grid into F1"
+    | Some gamma0 -> (
+        match Minor.extend_onto ~host:f1 gamma0 with
+        | None -> Error "minor map cannot be extended onto F1"
+        | Some gamma ->
+            let rho = pairs k in
+            let in_f1 = Hashtbl.create 16 in
+            Array.iter
+              (fun old_id -> Hashtbl.replace in_f1 vars_arr.(old_id) ())
+              old_of_new;
+            (* γ as a map: F1 variable ?a -> (i, p) of its branch set. *)
+            let coords_of_var = Hashtbl.create 16 in
+            Array.iteri
+              (fun grid_id branch ->
+                let i = grid_id / kk and p = grid_id mod kk in
+                Ugraph.ISet.iter
+                  (fun f1_local ->
+                    Hashtbl.replace coords_of_var vars_arr.(old_of_new.(f1_local)) (i, p))
+                  branch)
+              gamma;
+            let h_edges = Ugraph.edges h in
+            let h_n = Ugraph.n h in
+            (* V grouped by base variable ?a. *)
+            let members_at = Hashtbl.create 16 in
+            let member_count = ref 0 in
+            Hashtbl.iter
+              (fun base (i, p) ->
+                let pi, pj = rho.(p) in
+                let in_pair = i = pi || i = pj in
+                let ms = ref [] in
+                List.iter
+                  (fun (u, w) ->
+                    for vertex = 0 to h_n - 1 do
+                      let in_edge = vertex = u || vertex = w in
+                      if in_edge = in_pair then begin
+                        ms :=
+                          { vertex; edge = (u, w); row = i; col = p; base }
+                          :: !ms;
+                        incr member_count
+                      end
+                    done)
+                  h_edges;
+                Hashtbl.replace members_at base !ms)
+              coords_of_var;
+            (* Consistency (†): within one triple, same row -> same vertex,
+               same column -> same edge. *)
+            let consistent chosen =
+              let rec pairwise = function
+                | [] -> true
+                | m :: rest ->
+                    List.for_all
+                      (fun m' ->
+                        (m.row <> m'.row || m.vertex = m'.vertex)
+                        && (m.col <> m'.col || m.edge = m'.edge))
+                      rest
+                    && pairwise rest
+              in
+              pairwise chosen
+            in
+            let b_triples = ref [] in
+            List.iter
+              (fun triple ->
+                let evars =
+                  Variable.Set.elements
+                    (Variable.Set.diff (Triple.vars triple) x)
+                in
+                let all_in_f1 =
+                  List.for_all (fun v -> Hashtbl.mem in_f1 v) evars
+                in
+                if evars = [] then b_triples := triple :: !b_triples
+                else if not all_in_f1 then
+                  (* Tr0: component untouched by the gadget *)
+                  b_triples := triple :: !b_triples
+                else begin
+                  (* expand: each F1 variable position ranges over its V
+                     members, subject to (†). *)
+                  let rec expand chosen = function
+                    | [] ->
+                        let subst v =
+                          List.find_opt (fun m -> Variable.equal m.base v) chosen
+                          |> Option.map (fun m -> Term.Var (vmember_var m))
+                        in
+                        b_triples := Triple.subst subst triple :: !b_triples
+                    | v :: rest ->
+                        (match
+                           List.find_opt
+                             (fun m -> Variable.equal m.base v)
+                             chosen
+                         with
+                        | Some _ -> expand chosen rest
+                        | None ->
+                            List.iter
+                              (fun m ->
+                                if consistent (m :: chosen) then
+                                  expand (m :: chosen) rest)
+                              (try Hashtbl.find members_at v
+                               with Not_found -> []))
+                  in
+                  expand [] evars
+                end)
+              c_triples;
+            let b = Tgraph.of_triples !b_triples in
+            let stats =
+              {
+                new_vars = !member_count;
+                triples = Tgraph.cardinal b;
+                grid_rows = k;
+                grid_cols = kk;
+              }
+            in
+            Ok (Gtgraph.make b x, stats))
+  end

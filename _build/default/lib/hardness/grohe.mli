@@ -1,0 +1,34 @@
+(** The construction of Lemma 2 (Appendix 7.1): Grohe's reduction gadget,
+    adapted to generalised t-graphs with distinguished variables.
+
+    Given [k ≥ 2], an undirected graph [H], and a generalised t-graph
+    [(S, X)] whose core's Gaifman graph has a connected component [F1]
+    admitting a minor map [γ] from the [(k × K)]-grid onto it (with
+    [K = C(k,2)]), it produces [(B, X)] with:
+
+    + every [t ∈ S] with [vars(t) ⊆ X] is in [B];
+    + [(B, X) → (S, X)];
+    + [H] has a [k]-clique iff [(S, X) → (B, X)];
+    + [B] has size [f(k, |S|) · |H|^O(1)].
+
+    The paper invokes the Excluded Grid Theorem to obtain [γ] from large
+    treewidth; here the caller's query family supplies a grid-shaped core
+    directly (see {!Workload.Query_families.grid_query}) and [γ] is found
+    by {!Graphtheory.Minor.find} — a substitution documented in
+    DESIGN.md. *)
+
+open Tgraphs
+
+type stats = {
+  new_vars : int;  (** size of the variable set [V] *)
+  triples : int;  (** |B| *)
+  grid_rows : int;
+  grid_cols : int;
+}
+
+val construct :
+  k:int -> h:Graphtheory.Ugraph.t -> Gtgraph.t ->
+  (Gtgraph.t * stats, string) result
+(** [construct ~k ~h (S, X)] builds [(B, X)]. Fails (with a message) when
+    no onto minor map from the [(k × C(k,2))]-grid to a component of the
+    core's Gaifman graph is found. *)

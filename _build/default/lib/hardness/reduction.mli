@@ -1,0 +1,27 @@
+(** The fpt-reduction from p-CLIQUE to p-co-wdEVAL (Section 4.2).
+
+    Fixing the query family {!Workload.Query_families.grid_query} — whose
+    single child has a grid-shaped core, playing the role of the
+    high-domination-width witness that Lemma 3 extracts — the reduction
+    maps [(H, k)] to an instance [(F, G, µ)] with:
+
+    [H] has a [k]-clique  iff  [µ ∉ ⟦F⟧G].
+
+    [G] is the freezing of the Lemma-2 gadget [B] and [µ] the frozen
+    identity on [vars(T)]. *)
+
+open Rdf
+
+type instance = {
+  forest : Wdpt.Pattern_forest.t;
+  graph : Graph.t;
+  mu : Sparql.Mapping.t;
+  stats : Grohe.stats;
+}
+
+val build : k:int -> h:Graphtheory.Ugraph.t -> (instance, string) result
+(** Construct the wdEVAL instance for "does [h] have a [k]-clique?". *)
+
+val decide : k:int -> h:Graphtheory.Ugraph.t -> (bool, string) result
+(** Run {!build}, evaluate with the exact algorithm, and answer the clique
+    question: [Ok true] iff [h] has a [k]-clique. *)

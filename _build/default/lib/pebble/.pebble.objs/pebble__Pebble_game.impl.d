@@ -1,0 +1,1 @@
+lib/pebble/pebble_game.ml: Array Fun Graph Gtgraph Hashtbl Iri List Queue Rdf Term Tgraph Tgraphs Triple Variable

@@ -1,0 +1,1 @@
+lib/pebble/pebble_game.mli: Graph Rdf Tgraphs

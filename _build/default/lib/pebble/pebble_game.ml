@@ -1,0 +1,207 @@
+open Rdf
+open Tgraphs
+
+let explored = ref 0
+let stats_families_explored () = !explored
+let reset_stats () = explored := 0
+
+(* A partial map over variable ids 0..n-1 into term ids, encoded as a
+   sorted [| v1; a1; v2; a2; ... |] array (sorted by variable id). These
+   arrays are used directly as hash-table keys (structural hashing and
+   equality on int arrays). *)
+
+let key_of_pairs pairs =
+  let sorted = List.sort (fun (v, _) (v', _) -> compare v v') pairs in
+  let arr = Array.make (2 * List.length sorted) 0 in
+  List.iteri
+    (fun i (v, a) ->
+      arr.(2 * i) <- v;
+      arr.((2 * i) + 1) <- a)
+    sorted;
+  arr
+
+let pairs_of_key key =
+  List.init (Array.length key / 2) (fun i -> (key.(2 * i), key.((2 * i) + 1)))
+
+let key_remove key v =
+  pairs_of_key key |> List.filter (fun (v', _) -> v' <> v) |> key_of_pairs
+
+let key_add key v a = key_of_pairs ((v, a) :: pairs_of_key key)
+
+let wins ?(prune_unary = true) ~k g ~mu graph =
+  if k < 1 then invalid_arg "Pebble_game.wins: k must be at least 1";
+  (* Freeze µ into S: distinguished variables become IRIs. *)
+  let x = Gtgraph.x g in
+  let mu_term v =
+    match Variable.Map.find_opt v mu with
+    | Some (Term.Iri _ as t) -> Some t
+    | Some (Term.Var _) ->
+        invalid_arg "Pebble_game.wins: µ maps a variable to a non-IRI"
+    | None -> invalid_arg "Pebble_game.wins: µ does not cover X"
+  in
+  let s_mu =
+    Tgraph.apply
+      (fun v -> if Variable.Set.mem v x then mu_term v else None)
+      (Gtgraph.s g)
+  in
+  let target = Graph.to_index graph in
+  let patterns = Tgraph.triples s_mu in
+  let ground, nonground = List.partition Triple.is_ground patterns in
+  if not (List.for_all (Rdf.Index.mem target) ground) then false
+  else begin
+    let free_vars = Variable.Set.elements (Tgraph.vars s_mu) in
+    let n = List.length free_vars in
+    if n = 0 then true
+    else begin
+      let var_id = Hashtbl.create n in
+      List.iteri (fun i v -> Hashtbl.replace var_id v i) free_vars;
+      let var_arr = Array.of_list free_vars in
+      (* Term universe: IRIs of G. *)
+      let terms = Iri.Set.elements (Graph.dom graph) in
+      let term_id = Hashtbl.create (List.length terms) in
+      List.iteri (fun i t -> Hashtbl.replace term_id (Term.Iri t) i) terms;
+      let term_arr = Array.of_list (List.map (fun i -> Term.Iri i) terms) in
+      (* Unary candidate pruning: a value for ?x must satisfy every triple
+         in which ?x is the only variable. (Pruning by triples with more
+         variables would be unsound for small k.) *)
+      let candidates =
+        Array.init n (fun vid ->
+            let v = var_arr.(vid) in
+            let relevant =
+              if not prune_unary then []
+              else
+                List.filter
+                  (fun t ->
+                    Variable.Set.equal (Triple.vars t) (Variable.Set.singleton v))
+                  nonground
+            in
+            List.filter
+              (fun a ->
+                List.for_all
+                  (fun t ->
+                    let t' =
+                      Triple.subst
+                        (fun u -> if Variable.equal u v then Some term_arr.(a) else None)
+                        t
+                    in
+                    Rdf.Index.mem target t')
+                  relevant)
+              (List.init (Array.length term_arr) Fun.id))
+      in
+      if Array.exists (fun c -> c = []) candidates then false
+      else begin
+        (* Triples indexed by their variable sets (as sorted id lists). *)
+        let triple_vars t =
+          Variable.Set.elements (Triple.vars t)
+          |> List.map (Hashtbl.find var_id)
+          |> List.sort compare
+        in
+        let pattern_info = List.map (fun t -> (t, triple_vars t)) nonground in
+        let subset vars dom = List.for_all (fun v -> List.mem v dom) vars in
+        (* Enumerate all alive partial homomorphisms of arity ≤ k. *)
+        let alive : (int array, unit) Hashtbl.t = Hashtbl.create 4096 in
+        let rec subsets start size acc =
+          if size = 0 then [ List.rev acc ]
+          else if start >= n then []
+          else
+            List.concat_map
+              (fun v -> subsets (v + 1) (size - 1) (v :: acc))
+              (List.init (n - start) (fun i -> start + i))
+        in
+        let enumerate dom_vars =
+          (* DFS over assignments to dom_vars, checking triples as soon as
+             their variables are covered. *)
+          let rec go remaining assoc =
+            match remaining with
+            | [] ->
+                incr explored;
+                Hashtbl.replace alive (key_of_pairs assoc) ()
+            | v :: rest ->
+                List.iter
+                  (fun a ->
+                    let assoc' = (v, a) :: assoc in
+                    (* check triples fully covered by assoc' and touching v *)
+                    let dom' = List.map fst assoc' in
+                    let ok =
+                      List.for_all
+                        (fun (t, tvars) ->
+                          if List.mem v tvars && subset tvars dom' then
+                            is_partial_hom_on t assoc'
+                          else true)
+                        pattern_info
+                    in
+                    if ok then go rest assoc')
+                  candidates.(v)
+          and is_partial_hom_on t assoc =
+            let t' =
+              Triple.subst
+                (fun u ->
+                  match Hashtbl.find_opt var_id u with
+                  | Some vid when List.mem_assoc vid assoc ->
+                      Some term_arr.(List.assoc vid assoc)
+                  | _ -> None)
+                t
+            in
+            Rdf.Index.mem target t'
+          in
+          go dom_vars []
+        in
+        for size = 0 to min k n do
+          List.iter enumerate (subsets 0 size [])
+        done;
+        (* Forth-property counters: cnt(h, x) = number of alive one-point
+           extensions of h at variable x. *)
+        let counters : (int array * int, int ref) Hashtbl.t =
+          Hashtbl.create 4096
+        in
+        let dead_queue = Queue.create () in
+        let dom_of key = List.map fst (pairs_of_key key) in
+        Hashtbl.iter
+          (fun key () ->
+            let dom = dom_of key in
+            if List.length dom < k then
+              for v = 0 to n - 1 do
+                if not (List.mem v dom) then begin
+                  let cnt = ref 0 in
+                  List.iter
+                    (fun a ->
+                      if Hashtbl.mem alive (key_add key v a) then incr cnt)
+                    candidates.(v);
+                  Hashtbl.replace counters (key, v) cnt;
+                  if !cnt = 0 then Queue.add key dead_queue
+                end
+              done)
+          alive;
+        (* Worklist removal. *)
+        while not (Queue.is_empty dead_queue) do
+          let key = Queue.pop dead_queue in
+          if Hashtbl.mem alive key then begin
+            Hashtbl.remove alive key;
+            let pairs = pairs_of_key key in
+            (* restrictions lose an extension *)
+            List.iter
+              (fun (v, _) ->
+                let g_key = key_remove key v in
+                if Hashtbl.mem alive g_key then
+                  match Hashtbl.find_opt counters (g_key, v) with
+                  | Some cnt ->
+                      decr cnt;
+                      if !cnt <= 0 then Queue.add g_key dead_queue
+                  | None -> ())
+              pairs;
+            (* alive extensions violate downward closure *)
+            if List.length pairs < k then
+              for v = 0 to n - 1 do
+                if not (List.mem_assoc v pairs) then
+                  List.iter
+                    (fun a ->
+                      let h_key = key_add key v a in
+                      if Hashtbl.mem alive h_key then Queue.add h_key dead_queue)
+                    candidates.(v)
+              done
+          end
+        done;
+        Hashtbl.mem alive (key_of_pairs [])
+      end
+    end
+  end

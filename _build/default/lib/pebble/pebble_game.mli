@@ -1,0 +1,37 @@
+(** The existential k-pebble game of Kolaitis and Vardi, adapted to
+    generalised t-graphs and RDF graphs (Section 3 of the paper).
+
+    [(S, X) →µ_k G] holds iff the Duplicator wins the existential k-pebble
+    game on [(S, X)], [G] and [µ]; deciding this is the polynomial-time
+    relaxation of [(S, X) →µ G] used by the paper's tractable evaluation
+    algorithm (Theorem 1). We decide it with the standard k-consistency
+    procedure: compute the greatest family of partial homomorphisms of
+    arity ≤ k that is closed under restriction and has the forth
+    (one-point extension) property; the Duplicator wins iff the family is
+    non-empty, equivalently iff the empty map survives.
+
+    Key properties (tested):
+    - [(S,X) →µ G] implies [(S,X) →µ_k G] for every k ≥ 2 (property (2));
+    - if [vars(S) \ X = ∅] the two relations coincide (property (1));
+    - if [ctw(S,X) ≤ k − 1] the two relations coincide (Proposition 3). *)
+
+open Rdf
+
+val wins :
+  ?prune_unary:bool -> k:int -> Tgraphs.Gtgraph.t ->
+  mu:Tgraphs.Homomorphism.assignment -> Graph.t -> bool
+(** [wins ~k g ~mu graph] decides [(S, X) →µ_k G]. [µ] must be defined on
+    all of [X] and map into IRIs. Raises [Invalid_argument] if [k < 1], if
+    [µ] misses a distinguished variable, or if [µ] maps one to a
+    non-ground term.
+
+    [prune_unary] (default [true]) pre-filters each variable's candidate
+    values by the triples in which it is the only variable; disabling it
+    never changes the answer (the k-consistency fixpoint subsumes the
+    filter) — it exists for the ablation benchmark A2. *)
+
+val stats_families_explored : unit -> int
+(** Total number of partial maps materialised since {!reset_stats};
+    instrumentation for the benchmark harness. *)
+
+val reset_stats : unit -> unit

@@ -1,0 +1,1 @@
+lib/rdf/generator.ml: Array Graph Hashtbl List Printf Random Term Triple

@@ -1,0 +1,1 @@
+lib/rdf/generator.mli: Graph Term

@@ -1,0 +1,1 @@
+lib/rdf/graph.ml: Index List Triple

@@ -1,0 +1,1 @@
+lib/rdf/graph.mli: Fmt Index Iri Term Triple

@@ -1,0 +1,1 @@
+lib/rdf/index.ml: Fmt Hashtbl Iri List Term Triple Variable

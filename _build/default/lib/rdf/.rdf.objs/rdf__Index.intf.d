@@ -1,0 +1,1 @@
+lib/rdf/index.mli: Fmt Iri Term Triple Variable

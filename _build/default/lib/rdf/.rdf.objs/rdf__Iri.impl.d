@@ -1,0 +1,1 @@
+lib/rdf/iri.ml: Fmt Hashtbl Map Set String

@@ -1,0 +1,1 @@
+lib/rdf/literal.ml: Buffer Char Fmt Iri Option Printf String

@@ -1,0 +1,1 @@
+lib/rdf/literal.mli: Fmt Iri

@@ -1,0 +1,1 @@
+lib/rdf/ntriples.ml: Buffer Graph Iri List Literal Printf Result String Term Triple

@@ -1,0 +1,1 @@
+lib/rdf/stats.ml: Fmt Graph Hashtbl Iri List Option Term Triple

@@ -1,0 +1,1 @@
+lib/rdf/stats.mli: Fmt Graph Iri Triple

@@ -1,0 +1,1 @@
+lib/rdf/term.ml: Hashtbl Iri Literal Map Set Variable

@@ -1,0 +1,1 @@
+lib/rdf/term.mli: Fmt Iri Map Set Variable

@@ -1,0 +1,1 @@
+lib/rdf/triple.ml: Fmt Hashtbl Iri List Map Set Term Variable

@@ -1,0 +1,1 @@
+lib/rdf/turtle.ml: Buffer Fmt Graph Iri List Literal Printf String Term Triple Variable

@@ -1,0 +1,1 @@
+lib/rdf/variable.ml: Fmt Hashtbl Map Printf Set String

@@ -1,0 +1,1 @@
+lib/rdf/variable.mli: Fmt Map Set

@@ -1,0 +1,48 @@
+type t = {
+  ids : (Term.t, int) Hashtbl.t;
+  mutable terms : Term.t array;
+  mutable size : int;
+}
+
+let create () = { ids = Hashtbl.create 64; terms = Array.make 64 (Term.iri "x:x"); size = 0 }
+
+let intern t term =
+  match Hashtbl.find_opt t.ids term with
+  | Some id -> id
+  | None ->
+      let id = t.size in
+      if id = Array.length t.terms then begin
+        let bigger = Array.make (2 * id) term in
+        Array.blit t.terms 0 bigger 0 id;
+        t.terms <- bigger
+      end;
+      t.terms.(id) <- term;
+      Hashtbl.replace t.ids term id;
+      t.size <- id + 1;
+      id
+
+let of_terms terms =
+  let t = create () in
+  List.iter (fun term -> ignore (intern t term)) terms;
+  t
+
+let of_graph graph =
+  let t = create () in
+  List.iter
+    (fun triple -> List.iter (fun term -> ignore (intern t term)) (Triple.terms triple))
+    (Graph.triples graph);
+  t
+
+let find t term = Hashtbl.find_opt t.ids term
+
+let term_of t id =
+  if id < 0 || id >= t.size then invalid_arg "Dictionary.term_of: unknown id"
+  else t.terms.(id)
+
+let size t = t.size
+
+let encode_triple t triple =
+  (intern t triple.Triple.s, intern t triple.Triple.p, intern t triple.Triple.o)
+
+let decode_triple t (s, p, o) =
+  Triple.make (term_of t s) (term_of t p) (term_of t o)

@@ -1,0 +1,27 @@
+(** Dense integer interning of terms.
+
+    Algorithms that need array-indexed access to the term universe of a
+    graph (the pebble game, dictionary-encoded joins) build one of these:
+    terms get consecutive ids [0 .. size − 1] in first-encounter order. *)
+
+type t
+
+val create : unit -> t
+
+val of_terms : Term.t list -> t
+val of_graph : Graph.t -> t
+(** Interns every term of the graph (subjects, predicates, objects). *)
+
+val intern : t -> Term.t -> int
+(** Id of the term, allocating a fresh id on first encounter. *)
+
+val find : t -> Term.t -> int option
+(** Id of the term if already interned. *)
+
+val term_of : t -> int -> Term.t
+(** Inverse of {!intern}. Raises [Invalid_argument] on unknown ids. *)
+
+val size : t -> int
+
+val encode_triple : t -> Triple.t -> int * int * int
+val decode_triple : t -> int * int * int -> Triple.t

@@ -1,0 +1,109 @@
+let node ?(prefix = "n") i = Term.iri (Printf.sprintf "%s:%d" prefix i)
+let pred name = Term.iri ("p:" ^ name)
+
+let of_edges ~pred:pred_name edges =
+  let p = pred pred_name in
+  Graph.of_triples (List.map (fun (i, j) -> Triple.make (node i) p (node j)) edges)
+
+let path ~n ~pred =
+  of_edges ~pred (List.init (max 0 (n - 1)) (fun i -> (i, i + 1)))
+
+let cycle ~n ~pred =
+  if n <= 0 then Graph.empty
+  else of_edges ~pred (List.init n (fun i -> (i, (i + 1) mod n)))
+
+let grid ~rows ~cols ~pred =
+  let edges = ref [] in
+  for r = 0 to rows - 1 do
+    for c = 0 to cols - 1 do
+      let id = (r * cols) + c in
+      if c + 1 < cols then edges := (id, id + 1) :: !edges;
+      if r + 1 < rows then edges := (id, id + cols) :: !edges
+    done
+  done;
+  of_edges ~pred !edges
+
+let star ~n ~pred = of_edges ~pred (List.init n (fun i -> (0, i + 1)))
+
+let transitive_tournament ~n ~pred =
+  let edges = ref [] in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      edges := (i, j) :: !edges
+    done
+  done;
+  of_edges ~pred !edges
+
+let random_digraph ~seed ~n ~m ~pred =
+  let state = Random.State.make [| seed; n; m |] in
+  let seen = Hashtbl.create (2 * m) in
+  let edges = ref [] in
+  let attempts = ref 0 in
+  (* Bail out if the requested density is unreachable. *)
+  let max_attempts = (20 * m) + 1000 in
+  while List.length !edges < m && !attempts < max_attempts do
+    incr attempts;
+    let i = Random.State.int state n in
+    let j = Random.State.int state n in
+    if i <> j && not (Hashtbl.mem seen (i, j)) then begin
+      Hashtbl.add seen (i, j) ();
+      edges := (i, j) :: !edges
+    end
+  done;
+  of_edges ~pred !edges
+
+let random_graph ~seed ~n ~predicates ~m =
+  let state = Random.State.make [| seed; n; m; 7919 |] in
+  let preds = Array.of_list predicates in
+  if Array.length preds = 0 then invalid_arg "Generator.random_graph: no predicates";
+  let triples = ref [] in
+  for _ = 1 to m do
+    let s = node (Random.State.int state n) in
+    let p = pred preds.(Random.State.int state (Array.length preds)) in
+    let o = node (Random.State.int state n) in
+    triples := Triple.make s p o :: !triples
+  done;
+  Graph.of_triples !triples
+
+let social ~seed ~people =
+  let state = Random.State.make [| seed; people; 104729 |] in
+  let person i = Term.iri (Printf.sprintf "person:%d" i) in
+  let company i = Term.iri (Printf.sprintf "company:%d" i) in
+  let city i = Term.iri (Printf.sprintf "city:%d" i) in
+  let email i = Term.iri (Printf.sprintf "mailto:user%d@example.org" i) in
+  let knows = pred "knows"
+  and works_at = pred "worksAt"
+  and lives_in = pred "livesIn"
+  and email_p = pred "email"
+  and type_p = pred "type" in
+  let person_class = Term.iri "class:Person" in
+  let companies = max 1 (people / 10) in
+  let cities = max 1 (people / 20) in
+  let triples = ref [] in
+  let add t = triples := t :: !triples in
+  (* knows: preferential-attachment-ish — newer people know a few earlier,
+     lower-indexed people, making hubs out of early nodes. *)
+  for i = 0 to people - 1 do
+    add (Triple.make (person i) type_p person_class);
+    let friends = 1 + Random.State.int state 4 in
+    for _ = 1 to friends do
+      if i > 0 then begin
+        let j = Random.State.int state (Random.State.int state i + 1) in
+        if j <> i then add (Triple.make (person i) knows (person j))
+      end
+    done;
+    (* roughly 70% are employed *)
+    if Random.State.int state 10 < 7 then
+      add (Triple.make (person i) works_at (company (Random.State.int state companies)));
+    (* roughly 80% have a city *)
+    if Random.State.int state 10 < 8 then
+      add (Triple.make (person i) lives_in (city (Random.State.int state cities)));
+    (* roughly half publish an email *)
+    if Random.State.int state 2 = 0 then
+      add (Triple.make (person i) email_p (email i))
+  done;
+  (* companies are located in cities *)
+  for c = 0 to companies - 1 do
+    add (Triple.make (company c) lives_in (city (Random.State.int state cities)))
+  done;
+  Graph.of_triples !triples

@@ -1,0 +1,28 @@
+type t = Index.t
+
+exception Not_ground of Triple.t
+
+let check_ground triples =
+  List.iter
+    (fun triple -> if not (Triple.is_ground triple) then raise (Not_ground triple))
+    triples
+
+let empty = Index.empty
+
+let of_triples list =
+  check_ground list;
+  Index.of_triples list
+
+let of_index idx =
+  check_ground (Index.triples idx);
+  idx
+
+let to_index t = t
+let triples = Index.triples
+let cardinal = Index.cardinal
+let mem = Index.mem
+let union = Index.union
+let dom = Index.iris
+let matching = Index.matching
+let equal = Index.equal
+let pp = Index.pp

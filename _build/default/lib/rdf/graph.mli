@@ -1,0 +1,33 @@
+(** Ground RDF graphs: finite sets of RDF triples in [I × I × I].
+
+    The paper assumes ground graphs (no blank nodes); this module enforces
+    groundness at construction. *)
+
+type t
+
+exception Not_ground of Triple.t
+(** Raised when a triple containing a variable is inserted. *)
+
+val empty : t
+
+val of_triples : Triple.t list -> t
+(** Raises {!Not_ground} if any triple contains a variable. *)
+
+val of_index : Index.t -> t
+(** Raises {!Not_ground} if the index contains a variable. *)
+
+val to_index : t -> Index.t
+(** The underlying matching index (all triples ground). *)
+
+val triples : t -> Triple.t list
+val cardinal : t -> int
+val mem : t -> Triple.t -> bool
+val union : t -> t -> t
+
+val dom : t -> Iri.Set.t
+(** [dom G]: the set of IRIs appearing in [G], as in the paper. *)
+
+val matching : t -> ?s:Term.t -> ?p:Term.t -> ?o:Term.t -> unit -> Triple.t list
+
+val equal : t -> t -> bool
+val pp : t Fmt.t

@@ -1,0 +1,18 @@
+type t = string
+
+let of_string s =
+  if String.length s = 0 then invalid_arg "Iri.of_string: empty IRI" else s
+
+let to_string s = s
+let equal = String.equal
+let compare = String.compare
+let hash = Hashtbl.hash
+
+let looks_prefixed s =
+  String.contains s ':' && not (String.contains s '/')
+
+let pp ppf s =
+  if looks_prefixed s then Fmt.string ppf s else Fmt.pf ppf "<%s>" s
+
+module Set = Set.Make (String)
+module Map = Map.Make (String)

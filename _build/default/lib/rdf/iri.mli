@@ -1,0 +1,24 @@
+(** Internationalised Resource Identifiers.
+
+    The paper works over a countably infinite set [I] of IRIs and only ever
+    uses equality on them, so an IRI is represented as its string form. *)
+
+type t
+
+val of_string : string -> t
+(** [of_string s] is the IRI whose textual form is [s]. Raises
+    [Invalid_argument] if [s] is empty. *)
+
+val to_string : t -> string
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val hash : t -> int
+
+val pp : t Fmt.t
+(** Prints the IRI in angle brackets, e.g. [<http://ex.org/p>], unless it
+    looks like a prefixed name (contains [:] and no [/]), in which case it
+    is printed bare. *)
+
+module Set : Set.S with type elt = t
+module Map : Map.S with type key = t

@@ -1,0 +1,171 @@
+type t = {
+  value : string;
+  lang : string option;
+  datatype : Iri.t option;
+}
+
+let plain value = { value; lang = None; datatype = None }
+let lang_tagged value lang = { value; lang = Some lang; datatype = None }
+let typed value datatype = { value; lang = None; datatype = Some datatype }
+
+let namespace = "urn:lit:"
+
+(* Percent-encode everything that could interfere with the framing
+   characters we use ('%', '@', '^', and controls). *)
+let escape s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '%' | '@' | '^' -> Buffer.add_string buf (Printf.sprintf "%%%02X" (Char.code c))
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "%%%02X" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let unescape s =
+  let buf = Buffer.create (String.length s) in
+  let n = String.length s in
+  let i = ref 0 in
+  while !i < n do
+    if s.[!i] = '%' && !i + 2 < n then begin
+      (match int_of_string_opt ("0x" ^ String.sub s (!i + 1) 2) with
+      | Some code -> Buffer.add_char buf (Char.chr code)
+      | None -> Buffer.add_char buf s.[!i]);
+      i := !i + 3
+    end
+    else begin
+      Buffer.add_char buf s.[!i];
+      incr i
+    end
+  done;
+  Buffer.contents buf
+
+let encode t =
+  let suffix =
+    match t.lang, t.datatype with
+    | Some lang, _ -> "@" ^ escape lang
+    | None, Some dt -> "^" ^ escape (Iri.to_string dt)
+    | None, None -> ""
+  in
+  Iri.of_string (namespace ^ escape t.value ^ suffix)
+
+let is_encoded iri =
+  let s = Iri.to_string iri in
+  let n = String.length namespace in
+  String.length s >= n && String.sub s 0 n = namespace
+
+let decode iri =
+  if not (is_encoded iri) then None
+  else begin
+    let s = Iri.to_string iri in
+    let body = String.sub s (String.length namespace) (String.length s - String.length namespace) in
+    (* the first unescaped '@' or '^' starts the suffix *)
+    let split =
+      let found = ref None in
+      String.iteri
+        (fun i c -> if !found = None && (c = '@' || c = '^') then found := Some (i, c))
+        body;
+      !found
+    in
+    match split with
+    | None -> Some (plain (unescape body))
+    | Some (i, '@') ->
+        Some
+          (lang_tagged
+             (unescape (String.sub body 0 i))
+             (unescape (String.sub body (i + 1) (String.length body - i - 1))))
+    | Some (i, _) ->
+        Some
+          (typed
+             (unescape (String.sub body 0 i))
+             (Iri.of_string
+                (unescape (String.sub body (i + 1) (String.length body - i - 1)))))
+  end
+
+let equal a b =
+  String.equal a.value b.value
+  && Option.equal String.equal a.lang b.lang
+  && Option.equal Iri.equal a.datatype b.datatype
+
+let compare a b = compare (a.value, a.lang, Option.map Iri.to_string a.datatype)
+                          (b.value, b.lang, Option.map Iri.to_string b.datatype)
+
+let turtle_escape s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let to_turtle t =
+  let base = "\"" ^ turtle_escape t.value ^ "\"" in
+  match t.lang, t.datatype with
+  | Some lang, _ -> base ^ "@" ^ lang
+  | None, Some dt -> base ^ "^^<" ^ Iri.to_string dt ^ ">"
+  | None, None -> base
+
+let pp ppf t = Fmt.string ppf (to_turtle t)
+
+let scan src i =
+  let n = String.length src in
+  if i >= n || src.[i] <> '"' then Error "expected '\"'"
+  else begin
+    let buf = Buffer.create 16 in
+    let rec body j =
+      if j >= n then Error "unterminated string literal"
+      else
+        match src.[j] with
+        | '"' -> Ok (j + 1)
+        | '\\' ->
+            if j + 1 >= n then Error "dangling escape"
+            else begin
+              (match src.[j + 1] with
+              | '"' -> Buffer.add_char buf '"'
+              | '\\' -> Buffer.add_char buf '\\'
+              | 'n' -> Buffer.add_char buf '\n'
+              | 't' -> Buffer.add_char buf '\t'
+              | 'r' -> Buffer.add_char buf '\r'
+              | c -> Buffer.add_char buf c);
+              body (j + 2)
+            end
+        | c ->
+            Buffer.add_char buf c;
+            body (j + 1)
+    in
+    match body (i + 1) with
+    | Error _ as e -> e
+    | Ok after ->
+        let value = Buffer.contents buf in
+        if after < n && src.[after] = '@' then begin
+          let is_lang_char c =
+            (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+            || (c >= '0' && c <= '9') || c = '-'
+          in
+          let j = ref (after + 1) in
+          while !j < n && is_lang_char src.[!j] do incr j done;
+          if !j = after + 1 then Error "empty language tag"
+          else
+            Ok (lang_tagged value (String.sub src (after + 1) (!j - after - 1)), !j)
+        end
+        else if after + 1 < n && src.[after] = '^' && src.[after + 1] = '^' then begin
+          if after + 2 >= n || src.[after + 2] <> '<' then
+            Error "expected <datatype-iri> after ^^"
+          else
+            match String.index_from_opt src (after + 2) '>' with
+            | None -> Error "unterminated datatype IRI"
+            | Some close ->
+                let dt = String.sub src (after + 3) (close - after - 3) in
+                if dt = "" then Error "empty datatype IRI"
+                else Ok (typed value (Iri.of_string dt), close + 1)
+        end
+        else Ok (plain value, after)
+  end

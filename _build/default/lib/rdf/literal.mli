@@ -1,0 +1,47 @@
+(** RDF literals, encoded into the IRI space.
+
+    The paper's data model is ground, IRI-only RDF — and since the
+    AND/OPT/UNION fragment only ever compares terms for {e equality}
+    (there is no FILTER), any injective encoding of literals into fresh
+    IRIs preserves the semantics of every query exactly. This module
+    provides that encoding: the I/O layer (Turtle, N-Triples, the query
+    parser) accepts literal syntax and stores literals as IRIs under the
+    reserved [urn:lit:] namespace; printers decode them back. The core
+    algorithms never need to know.
+
+    Supported forms: plain strings ["abc"], language-tagged
+    ["abc"@en], and datatyped ["5"^^<http://…#integer>]. *)
+
+type t = {
+  value : string;
+  lang : string option;  (** ["chat"@fr] *)
+  datatype : Iri.t option;  (** ["5"^^xsd:integer]; exclusive with [lang] *)
+}
+
+val plain : string -> t
+val lang_tagged : string -> string -> t
+val typed : string -> Iri.t -> t
+
+val encode : t -> Iri.t
+(** The reserved-namespace IRI representing this literal. Injective. *)
+
+val decode : Iri.t -> t option
+(** Inverse of {!encode}; [None] for ordinary IRIs. *)
+
+val is_encoded : Iri.t -> bool
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+
+val pp : t Fmt.t
+(** Turtle syntax: a quoted value, optionally language-tagged or
+    datatyped, with backslash and quote characters escaped. *)
+
+val to_turtle : t -> string
+
+val scan : string -> int -> (t * int, string) result
+(** [scan src i] lexes a literal whose opening quote is at [src.[i]]: the
+    quoted string (with the usual backslash escapes), then an optional
+    language tag or caret-caret datatype IRI. Returns the literal and the
+    index just past it. Shared by the Turtle, N-Triples and query
+    tokenizers. *)

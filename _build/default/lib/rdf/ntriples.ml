@@ -1,0 +1,60 @@
+let parse_term line pos =
+  let n = String.length line in
+  let rec skip_ws i = if i < n && (line.[i] = ' ' || line.[i] = '\t') then skip_ws (i + 1) else i in
+  let i = skip_ws pos in
+  if i < n && line.[i] = '"' then
+    (* literal objects, stored IRI-encoded (see Rdf.Literal) *)
+    match Literal.scan line i with
+    | Ok (literal, next) -> Ok (Term.Iri (Literal.encode literal), next)
+    | Error _ as e -> e
+  else if i >= n || line.[i] <> '<' then
+    Error (Printf.sprintf "expected '<' at column %d" i)
+  else
+    match String.index_from_opt line i '>' with
+    | None -> Error "unterminated IRI"
+    | Some j ->
+        let body = String.sub line (i + 1) (j - i - 1) in
+        if body = "" then Error "empty IRI"
+        else Ok (Term.iri body, j + 1)
+
+let parse_line line =
+  let stripped = String.trim line in
+  if stripped = "" || stripped.[0] = '#' then Ok None
+  else
+    let ( let* ) = Result.bind in
+    let* s, pos = parse_term stripped 0 in
+    let* p, pos = parse_term stripped pos in
+    let* o, pos = parse_term stripped pos in
+    let rest = String.trim (String.sub stripped pos (String.length stripped - pos)) in
+    if rest = "." then Ok (Some (Triple.make s p o))
+    else Error "expected terminating '.'"
+
+let parse src =
+  let lines = String.split_on_char '\n' src in
+  let rec go acc lineno = function
+    | [] -> Ok (Graph.of_triples (List.rev acc))
+    | line :: rest -> (
+        match parse_line line with
+        | Ok (Some t) -> go (t :: acc) (lineno + 1) rest
+        | Ok None -> go acc (lineno + 1) rest
+        | Error e -> Error (Printf.sprintf "line %d: %s" lineno e))
+  in
+  go [] 1 lines
+
+let to_string graph =
+  let buf = Buffer.create 1024 in
+  let angle t =
+    match t with
+    | Term.Iri i -> (
+        match Literal.decode i with
+        | Some literal -> Literal.to_turtle literal
+        | None -> "<" ^ Iri.to_string i ^ ">")
+    | Term.Var _ -> assert false (* graphs are ground *)
+  in
+  List.iter
+    (fun t ->
+      Buffer.add_string buf
+        (Printf.sprintf "%s %s %s .\n" (angle t.Triple.s) (angle t.Triple.p)
+           (angle t.Triple.o)))
+    (List.sort Triple.compare (Graph.triples graph));
+  Buffer.contents buf

@@ -1,0 +1,14 @@
+(** Strict N-Triples-style I/O: one triple per line, every term in angle
+    brackets, terminated by [.]. Unlike {!Turtle} there are no prefixes
+    and no abbreviations, which makes the format trivially streamable and
+    line-diffable — the interchange format the benchmark fixtures use. *)
+
+val parse : string -> (Graph.t, string) result
+(** Blank lines and [#] comment lines are allowed; anything else must be
+    [<s> <p> <o> .]. *)
+
+val to_string : Graph.t -> string
+(** One line per triple, sorted (deterministic output). *)
+
+val parse_line : string -> (Triple.t option, string) result
+(** A single line: [Ok None] for blank/comment lines. *)

@@ -1,0 +1,43 @@
+type t =
+  | Iri of Iri.t
+  | Var of Variable.t
+
+let iri s = Iri (Iri.of_string s)
+let var s = Var (Variable.of_string s)
+
+let is_var = function Var _ -> true | Iri _ -> false
+let is_iri = function Iri _ -> true | Var _ -> false
+let as_var = function Var v -> Some v | Iri _ -> None
+let as_iri = function Iri i -> Some i | Var _ -> None
+
+let equal a b =
+  match a, b with
+  | Iri i, Iri j -> Iri.equal i j
+  | Var v, Var w -> Variable.equal v w
+  | Iri _, Var _ | Var _, Iri _ -> false
+
+let compare a b =
+  match a, b with
+  | Iri i, Iri j -> Iri.compare i j
+  | Var v, Var w -> Variable.compare v w
+  | Iri _, Var _ -> -1
+  | Var _, Iri _ -> 1
+
+let hash = Hashtbl.hash
+
+let pp ppf = function
+  | Iri i -> (
+      (* encoded literals print in literal syntax *)
+      match Literal.decode i with
+      | Some literal -> Literal.pp ppf literal
+      | None -> Iri.pp ppf i)
+  | Var v -> Variable.pp ppf v
+
+module Ord = struct
+  type nonrec t = t
+
+  let compare = compare
+end
+
+module Set = Set.Make (Ord)
+module Map = Map.Make (Ord)

@@ -1,0 +1,29 @@
+(** RDF/SPARQL terms: either an IRI from [I] or a variable from [V].
+
+    Triple patterns are triples over [I ∪ V]; RDF triples are the ground
+    special case. *)
+
+type t =
+  | Iri of Iri.t
+  | Var of Variable.t
+
+val iri : string -> t
+(** [iri s] is [Iri (Iri.of_string s)]. *)
+
+val var : string -> t
+(** [var s] is [Var (Variable.of_string s)]. *)
+
+val is_var : t -> bool
+val is_iri : t -> bool
+
+val as_var : t -> Variable.t option
+val as_iri : t -> Iri.t option
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val hash : t -> int
+
+val pp : t Fmt.t
+
+module Set : Set.S with type elt = t
+module Map : Map.S with type key = t

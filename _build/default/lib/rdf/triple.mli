@@ -1,0 +1,40 @@
+(** Triples over terms: SPARQL triple patterns in general, RDF triples when
+    ground. *)
+
+type t = {
+  s : Term.t;  (** subject *)
+  p : Term.t;  (** predicate *)
+  o : Term.t;  (** object *)
+}
+
+val make : Term.t -> Term.t -> Term.t -> t
+
+val vars : t -> Variable.Set.t
+(** [vars t] is the set of variables occurring in [t] ([vars(t)] in the
+    paper). *)
+
+val iris : t -> Iri.Set.t
+(** The set of IRIs occurring in [t]. *)
+
+val is_ground : t -> bool
+(** [is_ground t] holds iff [vars t] is empty, i.e. [t] is an RDF triple. *)
+
+val terms : t -> Term.t list
+(** The three terms, in subject/predicate/object order. *)
+
+val map : (Term.t -> Term.t) -> t -> t
+(** Apply a function to all three positions. *)
+
+val subst : (Variable.t -> Term.t option) -> t -> t
+(** [subst f t] replaces every variable [?x] with [f ?x] when defined,
+    leaving other positions untouched. *)
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val hash : t -> int
+
+val pp : t Fmt.t
+(** Prints as [(s, p, o)]. *)
+
+module Set : Set.S with type elt = t
+module Map : Map.S with type key = t

@@ -1,0 +1,190 @@
+type token =
+  | Tok_iri of string
+  | Tok_pname of string * string  (* prefix, local *)
+  | Tok_var of string
+  | Tok_dot
+  | Tok_prefix_decl
+
+exception Error of string
+
+let error line fmt = Fmt.kstr (fun msg -> raise (Error (Printf.sprintf "line %d: %s" line msg))) fmt
+
+let is_ws c = c = ' ' || c = '\t' || c = '\r' || c = '\n'
+
+let is_name_char c =
+  (c >= 'a' && c <= 'z')
+  || (c >= 'A' && c <= 'Z')
+  || (c >= '0' && c <= '9')
+  || c = '_' || c = '-' || c = '.'
+
+(* Tokenise the whole document, tracking line numbers for error messages. *)
+let tokenize src =
+  let n = String.length src in
+  let tokens = ref [] in
+  let line = ref 1 in
+  let i = ref 0 in
+  let emit tok = tokens := (tok, !line) :: !tokens in
+  while !i < n do
+    let c = src.[!i] in
+    if c = '\n' then begin
+      incr line;
+      incr i
+    end
+    else if is_ws c then incr i
+    else if c = '#' then begin
+      while !i < n && src.[!i] <> '\n' do incr i done
+    end
+    else if c = '.'
+            && (!i + 1 >= n || is_ws src.[!i + 1] || src.[!i + 1] = '#')
+    then begin
+      emit Tok_dot;
+      incr i
+    end
+    else if c = '<' then begin
+      let start = !i + 1 in
+      let j = ref start in
+      while !j < n && src.[!j] <> '>' && src.[!j] <> '\n' do incr j done;
+      if !j >= n || src.[!j] <> '>' then error !line "unterminated IRI";
+      emit (Tok_iri (String.sub src start (!j - start)));
+      i := !j + 1
+    end
+    else if c = '"' then begin
+      (* literals are stored IRI-encoded; see Rdf.Literal *)
+      match Literal.scan src !i with
+      | Ok (literal, next) ->
+          emit (Tok_iri (Iri.to_string (Literal.encode literal)));
+          i := next
+      | Error msg -> error !line "%s" msg
+    end
+    else if c = '?' then begin
+      let start = !i + 1 in
+      let j = ref start in
+      while !j < n && is_name_char src.[!j] do incr j done;
+      if !j = start then error !line "empty variable name";
+      emit (Tok_var (String.sub src start (!j - start)));
+      i := !j
+    end
+    else if c = '@' then begin
+      let start = !i + 1 in
+      let j = ref start in
+      while !j < n && is_name_char src.[!j] do incr j done;
+      let word = String.sub src start (!j - start) in
+      if word <> "prefix" then error !line "unknown directive @%s" word;
+      emit Tok_prefix_decl;
+      i := !j
+    end
+    else if is_name_char c || c = ':' then begin
+      let start = !i in
+      let j = ref start in
+      (* '@' may occur inside a name (mailto:a@b) but never starts one —
+         a leading '@' is a directive, handled above. *)
+      while !j < n && (is_name_char src.[!j] || src.[!j] = ':' || src.[!j] = '@') do
+        incr j
+      done;
+      let word = String.sub src start (!j - start) in
+      (* A trailing '.' is a statement terminator, not part of the name. *)
+      let word, extra_dot =
+        if String.length word > 1 && word.[String.length word - 1] = '.' then
+          (String.sub word 0 (String.length word - 1), true)
+        else (word, false)
+      in
+      (match String.index_opt word ':' with
+      | Some k ->
+          emit
+            (Tok_pname
+               (String.sub word 0 k, String.sub word (k + 1) (String.length word - k - 1)))
+      | None -> error !line "expected a prefixed name or IRI, got %S" word);
+      if extra_dot then emit Tok_dot;
+      i := !j
+    end
+    else error !line "unexpected character %C" c
+  done;
+  List.rev !tokens
+
+let resolve prefixes _line prefix local =
+  match List.assoc_opt prefix prefixes with
+  | Some expansion -> Iri.of_string (expansion ^ local)
+  | None ->
+      (* Undeclared prefixes denote themselves, matching the query parser:
+         [p:knows] is the IRI "p:knows". *)
+      Iri.of_string (prefix ^ ":" ^ local)
+
+let parse_tokens tokens =
+  let rec statements prefixes acc = function
+    | [] -> List.rev acc
+    | (Tok_prefix_decl, line) :: rest -> (
+        match rest with
+        | (Tok_pname (prefix, ""), _) :: (Tok_iri iri, _) :: (Tok_dot, _) :: rest ->
+            statements ((prefix, iri) :: prefixes) acc rest
+        | _ -> error line "malformed @prefix declaration")
+    | rest ->
+        let term rest =
+          match rest with
+          | (Tok_iri iri, _) :: rest -> (Term.iri iri, rest)
+          | (Tok_pname (prefix, local), line) :: rest ->
+              (Term.Iri (resolve prefixes line prefix local), rest)
+          | (Tok_var v, _) :: rest -> (Term.var v, rest)
+          | (_, line) :: _ -> error line "expected a term"
+          | [] -> raise (Error "unexpected end of input in triple")
+        in
+        let s, rest = term rest in
+        let p, rest = term rest in
+        let o, rest = term rest in
+        let rest =
+          match rest with
+          | (Tok_dot, _) :: rest -> rest
+          | (_, line) :: _ -> error line "expected '.' after triple"
+          | [] -> raise (Error "missing final '.'")
+        in
+        statements prefixes (Triple.make s p o :: acc) rest
+  in
+  statements [] [] tokens
+
+let parse_triples src =
+  match parse_tokens (tokenize src) with
+  | triples -> Ok triples
+  | exception Error msg -> Error msg
+
+let parse_graph src =
+  match parse_triples src with
+  | Error _ as e -> e
+  | Ok triples -> (
+      match Graph.of_triples triples with
+      | graph -> Ok graph
+      | exception Graph.Not_ground t ->
+          Error (Fmt.str "non-ground triple in data: %a" Triple.pp t))
+
+let abbreviate prefixes iri =
+  match Literal.decode iri with
+  | Some literal -> Literal.to_turtle literal
+  | None ->
+      let s = Iri.to_string iri in
+      let rec go = function
+        | [] -> Printf.sprintf "<%s>" s
+        | (prefix, expansion) :: rest ->
+            let n = String.length expansion in
+            if String.length s > n && String.sub s 0 n = expansion then
+              Printf.sprintf "%s:%s" prefix (String.sub s n (String.length s - n))
+            else go rest
+      in
+      go prefixes
+
+let to_string ?(prefixes = []) graph =
+  let buf = Buffer.create 1024 in
+  List.iter
+    (fun (prefix, expansion) ->
+      Buffer.add_string buf (Printf.sprintf "@prefix %s: <%s> .\n" prefix expansion))
+    prefixes;
+  if prefixes <> [] then Buffer.add_char buf '\n';
+  let term t =
+    match t with
+    | Term.Iri iri -> abbreviate prefixes iri
+    | Term.Var v -> "?" ^ Variable.to_string v
+  in
+  List.iter
+    (fun t ->
+      Buffer.add_string buf
+        (Printf.sprintf "%s %s %s .\n" (term t.Triple.s) (term t.Triple.p)
+           (term t.Triple.o)))
+    (Graph.triples graph);
+  Buffer.contents buf

@@ -1,0 +1,24 @@
+(** A pragmatic subset of Turtle for reading and writing RDF graphs.
+
+    Supported syntax:
+    - comments: [# ...] to end of line;
+    - prefix declarations: [@prefix ex: <http://example.org/> .];
+    - triple statements: [subject predicate object .] where each term is
+      [<iri>], a prefixed name [ex:foo] (or [:foo]), or a SPARQL-style
+      variable [?x] (variables are accepted by {!parse_triples} so the same
+      reader can load triple-pattern fixtures, but rejected by
+      {!parse_graph}).
+
+    Literals and blank nodes are not supported: the paper's data model is
+    ground IRI-only RDF. *)
+
+val parse_triples : string -> (Triple.t list, string) result
+(** Parse a document into triples (variables allowed). Errors carry a
+    line-numbered message. *)
+
+val parse_graph : string -> (Graph.t, string) result
+(** As {!parse_triples} but requires every triple to be ground. *)
+
+val to_string : ?prefixes:(string * string) list -> Graph.t -> string
+(** Serialise; IRIs matching a [(prefix, expansion)] pair are written as
+    prefixed names and the corresponding [@prefix] headers are emitted. *)

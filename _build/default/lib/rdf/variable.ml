@@ -1,0 +1,24 @@
+type t = string
+
+let of_string s =
+  let s =
+    if String.length s > 0 && s.[0] = '?' then String.sub s 1 (String.length s - 1)
+    else s
+  in
+  if String.length s = 0 then invalid_arg "Variable.of_string: empty name" else s
+
+let to_string s = s
+let equal = String.equal
+let compare = String.compare
+let hash = Hashtbl.hash
+let pp ppf s = Fmt.pf ppf "?%s" s
+
+let fresh ~basis ~avoid =
+  let rec go i =
+    let candidate = Printf.sprintf "%s_%d" basis i in
+    if avoid candidate then go (i + 1) else candidate
+  in
+  if avoid basis then go 1 else basis
+
+module Set = Set.Make (String)
+module Map = Map.Make (String)

@@ -1,0 +1,27 @@
+(** SPARQL variables, drawn from the countably infinite set [V] of the
+    paper. A variable is identified by its name, without the leading [?]. *)
+
+type t
+
+val of_string : string -> t
+(** [of_string s] is the variable named [s]. A leading [?] is stripped, so
+    [of_string "?x"] and [of_string "x"] denote the same variable. Raises
+    [Invalid_argument] on the empty name. *)
+
+val to_string : t -> string
+(** The bare name, without [?]. *)
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val hash : t -> int
+
+val pp : t Fmt.t
+(** Prints with the leading [?], e.g. [?x]. *)
+
+val fresh : basis:t -> avoid:(t -> bool) -> t
+(** [fresh ~basis ~avoid] is a variable not satisfying [avoid], obtained by
+    priming/suffixing [basis]. Used when renaming to "new fresh variables"
+    in children assignments (Section 3.1 of the paper). *)
+
+module Set : Set.S with type elt = t
+module Map : Map.S with type key = t

@@ -1,0 +1,1 @@
+lib/sparql/algebra.ml: Condition Fmt List Rdf Term Triple Variable

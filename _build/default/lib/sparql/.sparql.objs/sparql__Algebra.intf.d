@@ -1,0 +1,1 @@
+lib/sparql/algebra.mli: Condition Fmt Rdf Triple Variable

@@ -1,0 +1,1 @@
+lib/sparql/condition.ml: Fmt Iri Mapping Rdf Term Variable

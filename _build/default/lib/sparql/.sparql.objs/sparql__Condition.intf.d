@@ -1,0 +1,1 @@
+lib/sparql/condition.mli: Fmt Mapping Rdf Term Variable

@@ -1,0 +1,1 @@
+lib/sparql/eval.ml: Algebra Condition Graph Homomorphism List Mapping Rdf Tgraph Tgraphs

@@ -1,0 +1,1 @@
+lib/sparql/eval.mli: Algebra Graph Mapping Rdf

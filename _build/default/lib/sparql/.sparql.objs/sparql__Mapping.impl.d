@@ -1,0 +1,1 @@
+lib/sparql/mapping.ml: Fmt Iri List Option Rdf Set Term Triple Variable

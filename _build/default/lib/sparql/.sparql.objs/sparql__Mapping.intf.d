@@ -1,0 +1,1 @@
+lib/sparql/mapping.mli: Fmt Iri Rdf Set Term Triple Variable

@@ -1,0 +1,1 @@
+lib/sparql/parser.ml: Algebra Condition Fmt List Printf Rdf String Term Triple

@@ -1,0 +1,1 @@
+lib/sparql/printer.ml: Algebra Fmt Mapping

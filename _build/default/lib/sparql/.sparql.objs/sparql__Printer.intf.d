@@ -1,0 +1,1 @@
+lib/sparql/printer.mli: Algebra Mapping

@@ -1,0 +1,1 @@
+lib/sparql/well_designed.ml: Algebra Condition Fmt List Rdf Result Variable

@@ -1,0 +1,1 @@
+lib/sparql/well_designed.mli: Algebra Condition Fmt Rdf Variable

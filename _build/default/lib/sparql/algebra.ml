@@ -1,0 +1,80 @@
+open Rdf
+
+type t =
+  | Triple of Triple.t
+  | And of t * t
+  | Opt of t * t
+  | Union of t * t
+  | Filter of t * Condition.t
+  | Select of Variable.Set.t * t
+
+let triple t = Triple t
+let and_ a b = And (a, b)
+let opt a b = Opt (a, b)
+let union a b = Union (a, b)
+let filter p c = Filter (p, c)
+let select vars p = Select (vars, p)
+
+let fold_nonempty op = function
+  | [] -> invalid_arg "Algebra: empty pattern list"
+  | first :: rest -> List.fold_left op first rest
+
+let and_all = fold_nonempty and_
+let union_all = fold_nonempty union
+
+let rec is_core = function
+  | Triple _ -> true
+  | And (a, b) | Opt (a, b) | Union (a, b) -> is_core a && is_core b
+  | Filter _ | Select _ -> false
+
+let rec vars = function
+  | Triple t -> Triple.vars t
+  | And (a, b) | Opt (a, b) | Union (a, b) -> Variable.Set.union (vars a) (vars b)
+  | Filter (p, _) | Select (_, p) -> vars p
+
+let rec triples = function
+  | Triple t -> [ t ]
+  | And (a, b) | Opt (a, b) | Union (a, b) -> triples a @ triples b
+  | Filter (p, _) | Select (_, p) -> triples p
+
+let size p = List.length (triples p)
+
+let rec depth = function
+  | Triple _ -> 0
+  | And (a, b) | Opt (a, b) | Union (a, b) -> 1 + max (depth a) (depth b)
+  | Filter (p, _) | Select (_, p) -> 1 + depth p
+
+let rec subpatterns p =
+  match p with
+  | Triple _ -> [ p ]
+  | And (a, b) | Opt (a, b) | Union (a, b) ->
+      p :: (subpatterns a @ subpatterns b)
+  | Filter (q, _) | Select (_, q) -> p :: subpatterns q
+
+let rec equal p q =
+  match p, q with
+  | Triple a, Triple b -> Triple.equal a b
+  | And (a, b), And (c, d) | Opt (a, b), Opt (c, d) | Union (a, b), Union (c, d)
+    ->
+      equal a c && equal b d
+  | Filter (a, c1), Filter (b, c2) -> equal a b && Condition.equal c1 c2
+  | Select (v1, a), Select (v2, b) -> Variable.Set.equal v1 v2 && equal a b
+  | (Triple _ | And _ | Opt _ | Union _ | Filter _ | Select _), _ -> false
+
+let pp_term = Term.pp
+
+let pp_triple ppf t =
+  Fmt.pf ppf "%a %a %a ." pp_term t.Triple.s pp_term t.Triple.p pp_term
+    t.Triple.o
+
+let rec pp ppf = function
+  | Triple t -> Fmt.pf ppf "{ %a }" pp_triple t
+  | And (a, b) -> Fmt.pf ppf "{ %a@ %a }" pp a pp b
+  | Opt (a, b) -> Fmt.pf ppf "{ %a@ OPTIONAL %a }" pp a pp b
+  | Union (a, b) -> Fmt.pf ppf "{ %a@ UNION %a }" pp a pp b
+  | Filter (p, c) -> Fmt.pf ppf "{ %a@ FILTER (%a) }" pp p Condition.pp c
+  | Select (vars, p) ->
+      Fmt.pf ppf "SELECT %a WHERE %a"
+        Fmt.(list ~sep:sp Variable.pp)
+        (Variable.Set.elements vars)
+        pp p

@@ -1,0 +1,54 @@
+(** SPARQL graph patterns over AND, OPTIONAL and UNION — the core fragment
+    of the paper (Section 2), in the formalisation of Pérez, Arenas and
+    Gutierrez — plus the FILTER and SELECT operators that Section 5
+    discusses as extensions. The width machinery applies to the {e core}
+    fragment ({!is_core}); FILTER/SELECT patterns evaluate through the
+    reference semantics only. *)
+
+open Rdf
+
+type t =
+  | Triple of Triple.t
+  | And of t * t
+  | Opt of t * t   (** [P1 OPTIONAL P2] *)
+  | Union of t * t
+  | Filter of t * Condition.t  (** [P FILTER R] — Section 5 extension *)
+  | Select of Variable.Set.t * t
+      (** projection; meaningful at the top level — Section 5 extension *)
+
+val triple : Triple.t -> t
+val and_ : t -> t -> t
+val opt : t -> t -> t
+val union : t -> t -> t
+val filter : t -> Condition.t -> t
+val select : Variable.Set.t -> t -> t
+
+val and_all : t list -> t
+(** Left-nested conjunction; raises [Invalid_argument] on the empty list. *)
+
+val union_all : t list -> t
+(** Left-nested union; raises [Invalid_argument] on the empty list. *)
+
+val is_core : t -> bool
+(** No FILTER or SELECT anywhere: the fragment the paper's dichotomy
+    covers. *)
+
+val vars : t -> Variable.Set.t
+(** Variables of the triple patterns (FILTER conditions contribute none;
+    SELECT restricts nothing here — this is the syntactic variable set). *)
+
+val triples : t -> Triple.t list
+(** All triple patterns, in syntactic order (with duplicates). *)
+
+val size : t -> int
+(** Number of triple-pattern leaves. *)
+
+val depth : t -> int
+(** Maximum operator nesting depth; a single triple has depth 0. *)
+
+val subpatterns : t -> t list
+(** All subpattern occurrences, including the pattern itself (pre-order). *)
+
+val equal : t -> t -> bool
+val pp : t Fmt.t
+(** Concrete syntax accepted by {!Parser}. *)

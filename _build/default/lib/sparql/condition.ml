@@ -1,0 +1,54 @@
+open Rdf
+
+type t =
+  | Bound of Variable.t
+  | Eq of Term.t * Term.t
+  | Not of t
+  | And of t * t
+  | Or of t * t
+
+let bound name = Bound (Variable.of_string name)
+let eq a b = Eq (a, b)
+let neq a b = Not (Eq (a, b))
+
+let rec vars = function
+  | Bound v -> Variable.Set.singleton v
+  | Eq (a, b) ->
+      let of_term = function
+        | Term.Var v -> Variable.Set.singleton v
+        | Term.Iri _ -> Variable.Set.empty
+      in
+      Variable.Set.union (of_term a) (of_term b)
+  | Not c -> vars c
+  | And (a, b) | Or (a, b) -> Variable.Set.union (vars a) (vars b)
+
+let value mu = function
+  | Term.Iri i -> Some i
+  | Term.Var v -> Mapping.find v mu
+
+let rec satisfies mu = function
+  | Bound v -> Mapping.find v mu <> None
+  | Eq (a, b) -> (
+      match value mu a, value mu b with
+      | Some x, Some y -> Iri.equal x y
+      | _ -> false)
+  | Not c -> not (satisfies mu c)
+  | And (a, b) -> satisfies mu a && satisfies mu b
+  | Or (a, b) -> satisfies mu a || satisfies mu b
+
+let rec equal a b =
+  match a, b with
+  | Bound v, Bound w -> Variable.equal v w
+  | Eq (a1, a2), Eq (b1, b2) -> Term.equal a1 b1 && Term.equal a2 b2
+  | Not x, Not y -> equal x y
+  | And (a1, a2), And (b1, b2) | Or (a1, a2), Or (b1, b2) ->
+      equal a1 b1 && equal a2 b2
+  | (Bound _ | Eq _ | Not _ | And _ | Or _), _ -> false
+
+let rec pp ppf = function
+  | Bound v -> Fmt.pf ppf "BOUND(%a)" Variable.pp v
+  | Eq (a, b) -> Fmt.pf ppf "%a = %a" Term.pp a Term.pp b
+  | Not (Eq (a, b)) -> Fmt.pf ppf "%a != %a" Term.pp a Term.pp b
+  | Not c -> Fmt.pf ppf "!(%a)" pp c
+  | And (a, b) -> Fmt.pf ppf "(%a && %a)" pp a pp b
+  | Or (a, b) -> Fmt.pf ppf "(%a || %a)" pp a pp b

@@ -1,0 +1,36 @@
+(** FILTER conditions — the built-in constraints of the Pérez et al.
+    formalisation: [bound(?x)], equality between variables and terms, and
+    the boolean connectives.
+
+    Section 5 of the paper discusses the AND/OPT/FILTER fragment: its
+    evaluation dichotomy {e fails} (there are classes that are
+    fixed-parameter tractable yet NP-hard), which is why FILTER sits
+    outside the core fragment here. Patterns using it still evaluate
+    through the reference semantics; the width machinery rejects them
+    cleanly. *)
+
+open Rdf
+
+type t =
+  | Bound of Variable.t
+  | Eq of Term.t * Term.t  (** each side a variable or an IRI *)
+  | Not of t
+  | And of t * t
+  | Or of t * t
+
+val bound : string -> t
+val eq : Term.t -> Term.t -> t
+val neq : Term.t -> Term.t -> t
+(** [neq a b] is [Not (Eq (a, b))]. *)
+
+val vars : t -> Variable.Set.t
+
+val satisfies : Mapping.t -> t -> bool
+(** [µ ⊨ R], with the simplified (two-valued) semantics of Pérez et al.:
+    an equality mentioning an unbound variable is not satisfied, and
+    negation is classical. *)
+
+val equal : t -> t -> bool
+val pp : t Fmt.t
+(** Concrete syntax: [BOUND(?x)], [?x = ?y], [?x != c:1], [!(…)],
+    [(… && …)], [(… || …)]. *)

@@ -1,0 +1,13 @@
+(** The reference evaluator: a direct implementation of the recursive
+    semantics [⟦P⟧G] of Section 2 of the paper. It materialises full
+    solution sets at every node, so it is exponential in general (pattern
+    evaluation is PSPACE-complete) — it serves as ground truth for the
+    optimised evaluators and as the baseline in benchmarks. *)
+
+open Rdf
+
+val eval : Algebra.t -> Graph.t -> Mapping.Set.t
+(** [⟦P⟧G]. *)
+
+val check : Algebra.t -> Graph.t -> Mapping.t -> bool
+(** [µ ∈ ⟦P⟧G], by full evaluation. *)

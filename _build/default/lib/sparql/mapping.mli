@@ -1,0 +1,45 @@
+(** SPARQL solution mappings: partial functions from variables to IRIs
+    (Section 2 of the paper). *)
+
+open Rdf
+
+type t = Iri.t Variable.Map.t
+
+val empty : t
+val of_list : (Variable.t * Iri.t) list -> t
+val to_list : t -> (Variable.t * Iri.t) list
+val dom : t -> Variable.Set.t
+val find : Variable.t -> t -> Iri.t option
+val add : Variable.t -> Iri.t -> t -> t
+val cardinal : t -> int
+
+val compatible : t -> t -> bool
+(** µ1 and µ2 agree on their common domain. *)
+
+val subsumes : t -> t -> bool
+(** [subsumes µ2 µ1] is the subsumption order [µ1 ⊑ µ2]: [µ2] extends
+    [µ1] ([dom µ1 ⊆ dom µ2] and they agree on [dom µ1]). Solutions of a
+    UNION-free well-designed pattern are pairwise ⊑-incomparable
+    (a consequence of Lemma 1's maximality condition — tested). *)
+
+val union : t -> t -> t
+(** [µ1 ∪ µ2]; meaningful when {!compatible}. On conflicting variables the
+    left mapping wins (matching the paper's definition, where the case
+    never arises). *)
+
+val apply : t -> Triple.t -> Triple.t
+(** [µ(t)]: substitute bound variables; unbound ones remain. *)
+
+val restrict : Variable.Set.t -> t -> t
+
+val to_assignment : t -> Term.t Variable.Map.t
+(** View as a homomorphism assignment (variables to IRI terms). *)
+
+val of_assignment : Term.t Variable.Map.t -> t option
+(** [None] if any variable is sent to a non-IRI term. *)
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val pp : t Fmt.t
+
+module Set : Set.S with type elt = t

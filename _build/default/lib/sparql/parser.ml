@@ -1,0 +1,347 @@
+open Rdf
+
+type token =
+  | Lbrace
+  | Rbrace
+  | Lparen
+  | Rparen
+  | Dot
+  | Kw_union
+  | Kw_optional
+  | Kw_prefix
+  | Kw_filter
+  | Kw_select
+  | Kw_where
+  | Kw_bound
+  | Op_eq
+  | Op_neq
+  | Op_and
+  | Op_or
+  | Op_not
+  | Iriref of string
+  | Pname of string * string
+  | Var of string
+  | Eof
+
+exception Error of string
+
+let error line fmt =
+  Fmt.kstr (fun msg -> raise (Error (Printf.sprintf "line %d: %s" line msg))) fmt
+
+let is_ws c = c = ' ' || c = '\t' || c = '\r' || c = '\n'
+
+let is_name_char c =
+  (c >= 'a' && c <= 'z')
+  || (c >= 'A' && c <= 'Z')
+  || (c >= '0' && c <= '9')
+  || c = '_' || c = '-'
+
+let tokenize src =
+  let n = String.length src in
+  let tokens = ref [] in
+  let line = ref 1 in
+  let i = ref 0 in
+  let emit tok = tokens := (tok, !line) :: !tokens in
+  while !i < n do
+    let c = src.[!i] in
+    if c = '\n' then begin
+      incr line;
+      incr i
+    end
+    else if is_ws c then incr i
+    else if c = '#' then
+      while !i < n && src.[!i] <> '\n' do incr i done
+    else if c = '{' then begin emit Lbrace; incr i end
+    else if c = '}' then begin emit Rbrace; incr i end
+    else if c = '(' then begin emit Lparen; incr i end
+    else if c = ')' then begin emit Rparen; incr i end
+    else if c = '=' then begin emit Op_eq; incr i end
+    else if c = '!' && !i + 1 < n && src.[!i + 1] = '=' then begin
+      emit Op_neq;
+      i := !i + 2
+    end
+    else if c = '!' then begin emit Op_not; incr i end
+    else if c = '&' && !i + 1 < n && src.[!i + 1] = '&' then begin
+      emit Op_and;
+      i := !i + 2
+    end
+    else if c = '|' && !i + 1 < n && src.[!i + 1] = '|' then begin
+      emit Op_or;
+      i := !i + 2
+    end
+    else if c = '.' then begin emit Dot; incr i end
+    else if c = '<' then begin
+      let start = !i + 1 in
+      let j = ref start in
+      while !j < n && src.[!j] <> '>' && src.[!j] <> '\n' do incr j done;
+      if !j >= n || src.[!j] <> '>' then error !line "unterminated IRI";
+      emit (Iriref (String.sub src start (!j - start)));
+      i := !j + 1
+    end
+    else if c = '?' then begin
+      let start = !i + 1 in
+      let j = ref start in
+      while !j < n && is_name_char src.[!j] do incr j done;
+      if !j = start then error !line "empty variable name";
+      emit (Var (String.sub src start (!j - start)));
+      i := !j
+    end
+    else if c = '"' then begin
+      (* literal constants, stored IRI-encoded (see Rdf.Literal) *)
+      match Rdf.Literal.scan src !i with
+      | Ok (literal, next) ->
+          emit (Iriref (Rdf.Iri.to_string (Rdf.Literal.encode literal)));
+          i := next
+      | Error msg -> error !line "%s" msg
+    end
+    else if is_name_char c || c = ':' then begin
+      let start = !i in
+      let j = ref start in
+      (* '@' and '.' may occur inside prefixed names (mailto:a@b.org); a
+         bare '.' never reaches here because it is tokenised eagerly. *)
+      while
+        !j < n
+        && (is_name_char src.[!j] || src.[!j] = ':' || src.[!j] = '@'
+           || (src.[!j] = '.' && !j + 1 < n && is_name_char src.[!j + 1]))
+      do
+        incr j
+      done;
+      let word = String.sub src start (!j - start) in
+      (match String.uppercase_ascii word with
+      | "UNION" -> emit Kw_union
+      | "OPTIONAL" -> emit Kw_optional
+      | "PREFIX" -> emit Kw_prefix
+      | "FILTER" -> emit Kw_filter
+      | "SELECT" -> emit Kw_select
+      | "WHERE" -> emit Kw_where
+      | "BOUND" -> emit Kw_bound
+      | _ -> (
+          match String.index_opt word ':' with
+          | Some k ->
+              emit
+                (Pname
+                   ( String.sub word 0 k,
+                     String.sub word (k + 1) (String.length word - k - 1) ))
+          | None -> error !line "expected a keyword, IRI, variable or prefixed name; got %S" word));
+      i := !j
+    end
+    else error !line "unexpected character %C" c
+  done;
+  List.rev ((Eof, !line) :: !tokens)
+
+(* ------------------------------------------------------------------ *)
+(* Recursive descent.                                                  *)
+(* ------------------------------------------------------------------ *)
+
+type state = { mutable tokens : (token * int) list; mutable prefixes : (string * string) list }
+
+let peek st = match st.tokens with [] -> (Eof, 0) | t :: _ -> t
+
+let advance st =
+  match st.tokens with [] -> () | _ :: rest -> st.tokens <- rest
+
+let expect st tok what =
+  let got, line = peek st in
+  if got = tok then advance st else error line "expected %s" what
+
+let resolve st _line prefix local =
+  match List.assoc_opt prefix st.prefixes with
+  | Some expansion -> Term.iri (expansion ^ local)
+  | None ->
+      (* Undeclared prefixes denote themselves: [p:knows] is the IRI
+         "p:knows". This keeps hand-written queries and the generators'
+         compact IRIs in sync. *)
+      Term.iri (prefix ^ ":" ^ local)
+
+let term st =
+  match peek st with
+  | Iriref iri, _ ->
+      advance st;
+      Term.iri iri
+  | Pname (prefix, local), line ->
+      advance st;
+      resolve st line prefix local
+  | Var v, _ ->
+      advance st;
+      Term.var v
+  | _, line -> error line "expected a term"
+
+(* FILTER conditions: ! binds tightest, then &&, then ||. *)
+let rec condition st = or_cond st
+
+and or_cond st =
+  let first = and_cond st in
+  let rec chain acc =
+    match peek st with
+    | Op_or, _ ->
+        advance st;
+        chain (Condition.Or (acc, and_cond st))
+    | _ -> acc
+  in
+  chain first
+
+and and_cond st =
+  let first = unary_cond st in
+  let rec chain acc =
+    match peek st with
+    | Op_and, _ ->
+        advance st;
+        chain (Condition.And (acc, unary_cond st))
+    | _ -> acc
+  in
+  chain first
+
+and unary_cond st =
+  match peek st with
+  | Op_not, _ ->
+      advance st;
+      Condition.Not (unary_cond st)
+  | Lparen, _ ->
+      advance st;
+      let c = condition st in
+      expect st Rparen "')'";
+      c
+  | Kw_bound, _ -> (
+      advance st;
+      expect st Lparen "'('";
+      match peek st with
+      | Var v, _ ->
+          advance st;
+          expect st Rparen "')'";
+          Condition.Bound (Rdf.Variable.of_string v)
+      | _, line -> error line "expected a variable in BOUND(...)")
+  | _ ->
+      let lhs = term st in
+      let negated =
+        match peek st with
+        | Op_eq, _ ->
+            advance st;
+            false
+        | Op_neq, _ ->
+            advance st;
+            true
+        | _, line -> error line "expected '=' or '!=' in filter condition"
+      in
+      let rhs = term st in
+      if negated then Condition.Not (Condition.Eq (lhs, rhs))
+      else Condition.Eq (lhs, rhs)
+
+let rec group st =
+  expect st Lbrace "'{'";
+  let rec items acc =
+    match peek st with
+    | Rbrace, line ->
+        advance st;
+        (match acc with
+        | Some p -> p
+        | None -> error line "empty group pattern")
+    | Kw_optional, line ->
+        advance st;
+        let right = union_chain st in
+        (match acc with
+        | Some left -> items (Some (Algebra.opt left right))
+        | None -> error line "OPTIONAL cannot start a group")
+    | Kw_filter, line ->
+        advance st;
+        expect st Lparen "'(' after FILTER";
+        let c = condition st in
+        expect st Rparen "')'";
+        (match acc with
+        | Some left -> items (Some (Algebra.filter left c))
+        | None -> error line "FILTER cannot start a group")
+    | Lbrace, _ ->
+        let sub = union_chain st in
+        items
+          (Some
+             (match acc with
+             | Some left -> Algebra.and_ left sub
+             | None -> sub))
+    | (Iriref _ | Pname _ | Var _), _ ->
+        let s = term st in
+        let p = term st in
+        let o = term st in
+        (match peek st with Dot, _ -> advance st | _ -> ());
+        let t = Algebra.triple (Triple.make s p o) in
+        items
+          (Some
+             (match acc with
+             | Some left -> Algebra.and_ left t
+             | None -> t))
+    | ( Eof | Dot | Kw_union | Kw_prefix | Kw_select | Kw_where | Kw_bound
+      | Rparen | Lparen | Op_eq | Op_neq | Op_and | Op_or | Op_not ),
+      line ->
+        error line "unexpected token inside group"
+  in
+  items None
+
+and union_chain st =
+  let first = group st in
+  let rec chain acc =
+    match peek st with
+    | Kw_union, _ ->
+        advance st;
+        chain (Algebra.union acc (group st))
+    | _ -> acc
+  in
+  chain first
+
+let prologue st =
+  let rec go () =
+    match peek st with
+    | Kw_prefix, line -> (
+        advance st;
+        match peek st with
+        | Pname (prefix, ""), _ -> (
+            advance st;
+            match peek st with
+            | Iriref iri, _ ->
+                advance st;
+                st.prefixes <- (prefix, iri) :: st.prefixes;
+                go ()
+            | _, line -> error line "expected <iri> in PREFIX declaration")
+        | _ -> error line "expected pname: in PREFIX declaration")
+    | _ -> ()
+  in
+  go ()
+
+let select_clause st =
+  match peek st with
+  | Kw_select, _ ->
+      advance st;
+      let rec vars acc =
+        match peek st with
+        | Var v, _ ->
+            advance st;
+            vars (Rdf.Variable.of_string v :: acc)
+        | _ -> List.rev acc
+      in
+      let projected = vars [] in
+      (match peek st with
+      | _, line when projected = [] -> error line "SELECT needs at least one variable"
+      | Kw_where, _ ->
+          advance st;
+          Some projected
+      | _ -> Some projected)
+  | _ -> None
+
+let parse src =
+  match
+    let st = { tokens = tokenize src; prefixes = [] } in
+    prologue st;
+    let projection = select_clause st in
+    let p = union_chain st in
+    let p =
+      match projection with
+      | Some vars -> Algebra.select (Rdf.Variable.Set.of_list vars) p
+      | None -> p
+    in
+    (match peek st with
+    | Eof, _ -> ()
+    | _, line -> error line "trailing input after pattern");
+    p
+  with
+  | p -> Ok p
+  | exception Error msg -> Error msg
+
+let parse_exn src =
+  match parse src with Ok p -> p | Error msg -> failwith msg

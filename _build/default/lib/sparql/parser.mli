@@ -1,0 +1,23 @@
+(** Concrete syntax for the AND/OPT/UNION fragment.
+
+    Grammar (whitespace-insensitive, [#] comments):
+    {v
+    query    ::= (PREFIX pname: <iri>)* pattern
+    pattern  ::= group ('UNION' group)*
+    group    ::= '{' item+ '}'
+    item     ::= triple | 'OPTIONAL' group | group ('UNION' group)*
+    triple   ::= term term term '.'?
+    term     ::= <iri> | pname:local | ?var
+    v}
+
+    Items inside a group combine left-to-right: a triple or group is joined
+    with AND, an [OPTIONAL] group with OPT — so
+    [{ ?x p ?y . OPTIONAL { ?y q ?z } }] parses to
+    [(?x,p,?y) OPT (?y,q,?z)]. Keywords are case-insensitive. The printer
+    ({!Algebra.pp}, {!Printer.to_string}) emits this syntax, and
+    print-then-parse is the identity (tested). *)
+
+val parse : string -> (Algebra.t, string) result
+
+val parse_exn : string -> Algebra.t
+(** Raises [Failure] with the parse error. *)

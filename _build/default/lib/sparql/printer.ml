@@ -1,0 +1,2 @@
+let to_string p = Fmt.str "%a" Algebra.pp p
+let mapping_to_string m = Fmt.str "%a" Mapping.pp m

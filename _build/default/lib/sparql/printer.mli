@@ -1,0 +1,7 @@
+(** Rendering graph patterns back to the concrete syntax of {!Parser}. *)
+
+val to_string : Algebra.t -> string
+(** Pretty, multi-line rendering; [Parser.parse (to_string p)] yields a
+    pattern structurally equal to [p]. *)
+
+val mapping_to_string : Mapping.t -> string

@@ -1,0 +1,79 @@
+open Rdf
+
+let rec is_union_free = function
+  | Algebra.Triple _ -> true
+  | Algebra.And (a, b) | Algebra.Opt (a, b) -> is_union_free a && is_union_free b
+  | Algebra.Filter (p, _) | Algebra.Select (_, p) -> is_union_free p
+  | Algebra.Union _ -> false
+
+let rec union_branches = function
+  | Algebra.Union (a, b) -> union_branches a @ union_branches b
+  | Algebra.Select (_, p) -> union_branches p
+  | p -> [ p ]
+
+type violation =
+  | Nested_union of Algebra.t
+  | Unsafe_variable of Variable.t * Algebra.t
+  | Unsafe_filter of Condition.t * Algebra.t
+  | Nested_select of Algebra.t
+  | Beyond_core_fragment of Algebra.t
+
+let pp_violation ppf = function
+  | Nested_union p -> Fmt.pf ppf "UNION nested below AND/OPT in %a" Algebra.pp p
+  | Unsafe_variable (v, p) ->
+      Fmt.pf ppf
+        "variable %a occurs in the OPT right arm of %a, not in its left arm, \
+         and again outside it"
+        Variable.pp v Algebra.pp p
+  | Unsafe_filter (c, p) ->
+      Fmt.pf ppf "unsafe filter (%a) in %a: it mentions variables outside its pattern"
+        Condition.pp c Algebra.pp p
+  | Nested_select p -> Fmt.pf ppf "SELECT below the top level in %a" Algebra.pp p
+  | Beyond_core_fragment p ->
+      Fmt.pf ppf
+        "%a uses FILTER/SELECT: outside the paper's core AND/OPT/UNION \
+         fragment (Section 5)"
+        Algebra.pp p
+
+let check p =
+  let ( let* ) = Result.bind in
+  (* outside: variables occurring outside the current subpattern within the
+     enclosing UNION-free branch. *)
+  let rec go outside p =
+    match p with
+    | Algebra.Triple _ -> Ok ()
+    | Algebra.Union _ -> Error (Nested_union p)
+    | Algebra.Select _ -> Error (Nested_select p)
+    | Algebra.Filter (q, condition) ->
+        let* () =
+          if Variable.Set.subset (Condition.vars condition) (Algebra.vars q)
+          then Ok ()
+          else Error (Unsafe_filter (condition, p))
+        in
+        go outside q
+    | Algebra.And (a, b) ->
+        let* () = go (Variable.Set.union outside (Algebra.vars b)) a in
+        go (Variable.Set.union outside (Algebra.vars a)) b
+    | Algebra.Opt (a, b) ->
+        let dangerous =
+          Variable.Set.inter
+            (Variable.Set.diff (Algebra.vars b) (Algebra.vars a))
+            outside
+        in
+        let* () =
+          match Variable.Set.choose_opt dangerous with
+          | Some v -> Error (Unsafe_variable (v, p))
+          | None -> Ok ()
+        in
+        let* () = go (Variable.Set.union outside (Algebra.vars b)) a in
+        go (Variable.Set.union outside (Algebra.vars a)) b
+  in
+  (* a single outermost SELECT is allowed *)
+  let body = match p with Algebra.Select (_, q) -> q | q -> q in
+  List.fold_left
+    (fun acc branch ->
+      let* () = acc in
+      go Variable.Set.empty branch)
+    (Ok ()) (union_branches body)
+
+let is_well_designed p = Result.is_ok (check p)

@@ -1,0 +1,44 @@
+(** Well-designedness of graph patterns (Section 2 of the paper, extended
+    to the FILTER/SELECT operators of Section 5).
+
+    A UNION-free pattern [P] is well-designed when
+    - for every subpattern [P' = (P1 OPT P2)] of [P], every variable
+      occurring in [P2] but not in [P1] does not occur outside [P'] in
+      [P]; and
+    - every FILTER is {e safe}: in [(P' FILTER R)], [vars(R) ⊆ vars(P')].
+
+    A general pattern is well-designed when it is a top-level union of
+    UNION-free well-designed patterns (UNION normal form), optionally
+    under a single outermost SELECT. *)
+
+open Rdf
+
+val is_union_free : Algebra.t -> bool
+
+val union_branches : Algebra.t -> Algebra.t list
+(** Flatten the top-level UNIONs (below an outermost SELECT, if any):
+    [P1 UNION (P2 UNION P3)] gives [[P1; P2; P3]]. Branches may themselves
+    contain nested UNIONs (in which case the pattern is not
+    well-designed). *)
+
+type violation =
+  | Nested_union of Algebra.t
+      (** A UNION occurs below AND or OPT in this branch. *)
+  | Unsafe_variable of Variable.t * Algebra.t
+      (** The variable occurs in the right arm of this OPT subpattern, not
+          in its left arm, and again outside the subpattern. *)
+  | Unsafe_filter of Condition.t * Algebra.t
+      (** The FILTER mentions a variable not occurring in its pattern. *)
+  | Nested_select of Algebra.t
+      (** SELECT somewhere other than the outermost position. *)
+  | Beyond_core_fragment of Algebra.t
+      (** Raised by consumers (e.g. the wdPT translation) that only accept
+          the paper's core AND/OPT/UNION fragment. *)
+
+val pp_violation : violation Fmt.t
+
+val check : Algebra.t -> (unit, violation) result
+(** [Ok ()] iff the pattern is well-designed (in the extended sense
+    above). *)
+
+val is_well_designed : Algebra.t -> bool

@@ -1,0 +1,1 @@
+lib/tgraph/cores.ml: Gtgraph Homomorphism List Option Rdf Tgraph Triple

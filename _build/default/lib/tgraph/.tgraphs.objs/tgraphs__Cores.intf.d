@@ -1,0 +1,1 @@
+lib/tgraph/cores.mli: Gtgraph

@@ -1,0 +1,1 @@
+lib/tgraph/gaifman.ml: Array Graphtheory Hashtbl List Rdf Tgraph Triple Variable

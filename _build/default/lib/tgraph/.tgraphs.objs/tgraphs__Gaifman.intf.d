@@ -1,0 +1,1 @@
+lib/tgraph/gaifman.mli: Graphtheory Rdf Tgraph

@@ -1,0 +1,1 @@
+lib/tgraph/gtgraph.ml: Fmt Gaifman Graph Graphtheory Homomorphism Option Rdf Term Tgraph Variable

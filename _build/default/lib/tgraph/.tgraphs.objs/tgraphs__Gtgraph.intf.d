@@ -1,0 +1,1 @@
+lib/tgraph/gtgraph.mli: Fmt Graph Homomorphism Rdf Tgraph Variable

@@ -1,0 +1,1 @@
+lib/tgraph/homomorphism.ml: Fmt Index List Option Rdf Term Tgraph Triple Variable

@@ -1,0 +1,1 @@
+lib/tgraph/homomorphism.mli: Fmt Rdf Term Tgraph Variable

@@ -1,0 +1,1 @@
+lib/tgraph/td_hom.ml: Array Cores Gaifman Graph Graphtheory Gtgraph Hashtbl Homomorphism Iri List Rdf Term Tgraph Triple Variable

@@ -1,0 +1,1 @@
+lib/tgraph/td_hom.mli: Graph Gtgraph Homomorphism Rdf

@@ -1,0 +1,1 @@
+lib/tgraph/tgraph.ml: Graph Index Iri List Rdf String Term Triple Variable

@@ -1,0 +1,1 @@
+lib/tgraph/tgraph.mli: Fmt Graph Index Iri Rdf Term Triple Variable

@@ -1,0 +1,33 @@
+open Rdf
+
+(* An endomorphism of (S, X) into S \ {t} for some t ∈ S witnesses that
+   (S, X) is not a core; its image is a strictly smaller equivalent
+   subgraph. *)
+let shrinking_endomorphism g =
+  let s = Gtgraph.s g in
+  let pre = Gtgraph.identity_pre g in
+  let rec try_triples = function
+    | [] -> None
+    | t :: rest -> (
+        let target = Tgraph.remove s t in
+        match Homomorphism.find ~pre ~source:s ~target () with
+        | Some h -> Some h
+        | None -> try_triples rest)
+  in
+  try_triples (Tgraph.triples s)
+
+let image g h =
+  let s = Gtgraph.s g in
+  let mapped =
+    List.map (Triple.map (Homomorphism.apply h)) (Tgraph.triples s)
+  in
+  Gtgraph.make (Tgraph.of_triples mapped) (Gtgraph.x g)
+
+let is_core g = Option.is_none (shrinking_endomorphism g)
+
+let rec core g =
+  match shrinking_endomorphism g with
+  | None -> g
+  | Some h -> core (image g h)
+
+let ctw g = Gtgraph.tw (core g)

@@ -1,0 +1,20 @@
+(** Cores of generalised t-graphs (Section 3, Proposition 1).
+
+    [(S', X)] is a core of [(S, X)] if it is a subgraph that is itself a
+    core (no homomorphism to a proper subgraph fixing [X]) and is
+    homomorphically equivalent to [(S, X)]. The core is unique up to
+    renaming of variables; we return the concrete retract reached by
+    repeatedly shrinking along endomorphisms. *)
+
+val is_core : Gtgraph.t -> bool
+(** No homomorphism fixing [X] into a proper subgraph. *)
+
+val core : Gtgraph.t -> Gtgraph.t
+(** The core, computed by iterated retraction: while some endomorphism
+    fixing [X] misses a triple, replace [S] by its image. Worst-case
+    exponential (core identification is NP-hard) — intended for
+    query-sized inputs. *)
+
+val ctw : Gtgraph.t -> int
+(** [ctw(S, X) = tw(core(S, X))] — the central width measure the paper
+    builds domination width from. *)

@@ -1,0 +1,25 @@
+open Rdf
+
+let graph x s =
+  let vertex_vars =
+    Variable.Set.elements (Variable.Set.diff (Tgraph.vars s) x)
+  in
+  let vars_array = Array.of_list vertex_vars in
+  let id_of = Hashtbl.create (Array.length vars_array) in
+  Array.iteri (fun i v -> Hashtbl.replace id_of v i) vars_array;
+  let edges = ref [] in
+  List.iter
+    (fun triple ->
+      let ids =
+        Triple.vars triple |> Variable.Set.elements
+        |> List.filter_map (Hashtbl.find_opt id_of)
+      in
+      let rec pairs = function
+        | [] -> ()
+        | a :: rest ->
+            List.iter (fun b -> if a <> b then edges := (a, b) :: !edges) rest;
+            pairs rest
+      in
+      pairs ids)
+    (Tgraph.triples s);
+  (Graphtheory.Ugraph.make ~n:(Array.length vars_array) ~edges:!edges, vars_array)

@@ -1,0 +1,9 @@
+(** Gaifman graphs of generalised t-graphs (Section 2 of the paper).
+
+    The Gaifman graph [G(S, X)] has vertex set [vars(S) \ X] and an edge
+    between two distinct variables that co-occur in some triple pattern of
+    [S]. *)
+
+val graph : Rdf.Variable.Set.t -> Tgraph.t -> Graphtheory.Ugraph.t * Rdf.Variable.t array
+(** [graph x s] is the Gaifman graph of [(s, x)] together with the array
+    mapping graph vertex ids back to variables. *)

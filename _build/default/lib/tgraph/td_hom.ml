@@ -1,0 +1,148 @@
+open Rdf
+
+let bag_assignments_count = ref 0
+let stats_bag_assignments () = !bag_assignments_count
+let reset_stats () = bag_assignments_count := 0
+
+let maps_to_graph g ~mu graph =
+  Variable.Set.iter
+    (fun v ->
+      if not (Variable.Map.mem v mu) then
+        invalid_arg "Td_hom.maps_to_graph: µ does not cover X")
+    (Gtgraph.x g);
+  let core = Cores.core g in
+  let x = Gtgraph.x core in
+  (* substitute µ: distinguished variables become IRIs *)
+  let s_mu =
+    Tgraph.apply
+      (fun v ->
+        if Variable.Set.mem v x then Variable.Map.find_opt v mu else None)
+      (Gtgraph.s core)
+  in
+  let target = Graph.to_index graph in
+  let ground, nonground =
+    List.partition Triple.is_ground (Tgraph.triples s_mu)
+  in
+  if not (List.for_all (Rdf.Index.mem target) ground) then false
+  else begin
+    let free = Variable.Set.elements (Tgraph.vars s_mu) in
+    if free = [] then true
+    else begin
+      let gaifman, vars_arr =
+        Gaifman.graph Variable.Set.empty (Tgraph.of_triples nonground)
+      in
+      let decomposition = Graphtheory.Treewidth.decomposition gaifman in
+      let bags = Graphtheory.Tree_decomposition.bags decomposition in
+      let nbags = Array.length bags in
+      let bag_vars =
+        Array.map
+          (fun bag ->
+            Graphtheory.Ugraph.ISet.elements bag
+            |> List.map (fun id -> vars_arr.(id))
+            |> List.sort Variable.compare)
+          bags
+      in
+      (* each triple goes to one bag containing all its variables; such a
+         bag exists because the triple's variables form a Gaifman clique *)
+      let bag_triples = Array.make nbags [] in
+      let ok_placement =
+        List.for_all
+          (fun triple ->
+            let tv = Triple.vars triple in
+            let rec place i =
+              if i >= nbags then false
+              else if
+                Variable.Set.subset tv (Variable.Set.of_list bag_vars.(i))
+              then begin
+                bag_triples.(i) <- triple :: bag_triples.(i);
+                true
+              end
+              else place (i + 1)
+            in
+            place 0)
+          nonground
+      in
+      if not ok_placement then
+        (* cannot happen for valid decompositions; fail safe by falling
+           back to the exact solver *)
+        Homomorphism.exists ~source:s_mu ~target ()
+      else begin
+        let dom_terms =
+          List.map (fun i -> Term.Iri i) (Iri.Set.elements (Graph.dom graph))
+        in
+        (* solutions of one bag: assignments of bag_vars.(i) satisfying
+           bag_triples.(i); unconstrained bag variables range over dom G *)
+        let bag_solutions i =
+          let source = Tgraph.of_triples bag_triples.(i) in
+          let partials = Homomorphism.all ~source ~target () in
+          let covered = Tgraph.vars source in
+          let rest =
+            List.filter
+              (fun v -> not (Variable.Set.mem v covered))
+              bag_vars.(i)
+          in
+          let expand partial =
+            List.fold_left
+              (fun acc v ->
+                List.concat_map
+                  (fun assignment ->
+                    List.map
+                      (fun term -> Variable.Map.add v term assignment)
+                      dom_terms)
+                  acc)
+              [ partial ] rest
+          in
+          let solutions = List.concat_map expand partials in
+          bag_assignments_count := !bag_assignments_count + List.length solutions;
+          solutions
+        in
+        let solutions = Array.init nbags bag_solutions in
+        (* adjacency of the decomposition forest *)
+        let adj = Array.make nbags [] in
+        List.iter
+          (fun (a, b) ->
+            adj.(a) <- b :: adj.(a);
+            adj.(b) <- a :: adj.(b))
+          (Graphtheory.Tree_decomposition.tree_edges decomposition);
+        (* upward semijoin (Yannakakis): DFS post-order from each component
+           root; a child prunes its parent to the rows matching some child
+           row on the shared variables *)
+        let visited = Array.make nbags false in
+        let projection vars assignment =
+          List.map
+            (fun v -> Variable.Map.find v assignment)
+            vars
+        in
+        let rec process node =
+          visited.(node) <- true;
+          List.iter
+            (fun child ->
+              if not visited.(child) then begin
+                process child;
+                let shared =
+                  List.filter
+                    (fun v -> List.mem v bag_vars.(node))
+                    bag_vars.(child)
+                in
+                let child_keys = Hashtbl.create 64 in
+                List.iter
+                  (fun sol -> Hashtbl.replace child_keys (projection shared sol) ())
+                  solutions.(child);
+                solutions.(node) <-
+                  List.filter
+                    (fun sol -> Hashtbl.mem child_keys (projection shared sol))
+                    solutions.(node)
+              end)
+            adj.(node)
+        in
+        let answer = ref true in
+        for root = 0 to nbags - 1 do
+          if not visited.(root) then begin
+            process root;
+            if solutions.(root) = [] then answer := false
+          end
+        done;
+        !answer
+      end
+    end
+  end

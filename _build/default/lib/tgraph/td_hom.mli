@@ -1,0 +1,27 @@
+(** Tree-decomposition-guided homomorphism testing: the {e exact}
+    bounded-treewidth algorithm (compute the core, decompose its Gaifman
+    graph, enumerate per-bag assignments, and run an upward Yannakakis
+    semijoin pass).
+
+    Unlike the pebble game this decides [(S, X) →µ G] {e exactly}, and it
+    runs in time [O(|G|^{ctw+1})] — polynomial whenever [ctw(S, X)] is
+    bounded. The catch, and the reason the paper needs the pebble
+    relaxation instead: the evaluation algorithm must test generalised
+    t-graphs whose {e own} ctw is unbounded even when the family's
+    domination width is 1 (the clique member of [GtG(T1\[r1\])] in
+    Example 5 is dominated, not small), so this exact method blows up
+    exactly where the naive one does. Bench F7 makes that visible. *)
+
+open Rdf
+
+val maps_to_graph :
+  Gtgraph.t -> mu:Homomorphism.assignment -> Graph.t -> bool
+(** Decides [(S, X) →µ G]. Always agrees with
+    {!Gtgraph.maps_to_graph} (tested); cost is exponential only in
+    [ctw(S, X)]. Raises like {!Gtgraph.hom_to_graph} on a [µ] that does
+    not cover [X]. *)
+
+val stats_bag_assignments : unit -> int
+(** Total per-bag assignments materialised since {!reset_stats}. *)
+
+val reset_stats : unit -> unit

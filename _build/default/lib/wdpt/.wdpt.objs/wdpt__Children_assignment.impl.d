@@ -1,0 +1,1 @@
+lib/wdpt/children_assignment.ml: Fun Gtgraph List Option Pattern_forest Pattern_tree Rdf Subtree Tgraph Tgraphs Variable

@@ -1,0 +1,1 @@
+lib/wdpt/children_assignment.mli: Gtgraph Pattern_forest Pattern_tree Subtree Tgraphs

@@ -1,0 +1,1 @@
+lib/wdpt/optimize.ml: Array List Option Pattern_forest Pattern_tree Rdf Tgraph Tgraphs Triple Variable

@@ -1,0 +1,1 @@
+lib/wdpt/optimize.mli: Pattern_forest Pattern_tree Sparql

@@ -1,0 +1,1 @@
+lib/wdpt/pattern_forest.ml: Fmt List Pattern_tree Rdf Sparql Translate

@@ -1,0 +1,1 @@
+lib/wdpt/pattern_forest.mli: Fmt Pattern_tree Rdf Sparql

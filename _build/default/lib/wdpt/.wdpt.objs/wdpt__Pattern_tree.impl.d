@@ -1,0 +1,1 @@
+lib/wdpt/pattern_tree.ml: Array Fmt Fun Hashtbl List Printf Rdf Sparql Term Tgraph Tgraphs Triple Variable

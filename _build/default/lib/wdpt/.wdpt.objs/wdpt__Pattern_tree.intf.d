@@ -1,0 +1,1 @@
+lib/wdpt/pattern_tree.mli: Fmt Rdf Sparql Tgraph Tgraphs Variable

@@ -1,0 +1,1 @@
+lib/wdpt/semantics.ml: Graph Homomorphism List Pattern_tree Rdf Sparql Subtree Tgraphs

@@ -1,0 +1,1 @@
+lib/wdpt/semantics.mli: Graph Pattern_forest Pattern_tree Rdf Sparql

@@ -1,0 +1,1 @@
+lib/wdpt/subtree.ml: Fmt Graph Int List Option Pattern_tree Rdf Set Sparql Tgraph Tgraphs Variable

@@ -1,0 +1,1 @@
+lib/wdpt/subtree.mli: Fmt Graph Pattern_tree Rdf Sparql Tgraph Tgraphs Variable

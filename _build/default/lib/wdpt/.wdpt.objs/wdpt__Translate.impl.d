@@ -1,0 +1,1 @@
+lib/wdpt/translate.ml: Array List Pattern_tree Rdf Sparql Tgraph Tgraphs Triple

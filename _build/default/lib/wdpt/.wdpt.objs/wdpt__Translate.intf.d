@@ -1,0 +1,1 @@
+lib/wdpt/translate.mli: Pattern_tree Sparql

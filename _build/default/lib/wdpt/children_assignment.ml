@@ -1,0 +1,68 @@
+open Rdf
+open Tgraphs
+
+type support = (int * Subtree.t) list
+
+let supp forest subtree =
+  let target = Subtree.vars subtree in
+  List.mapi (fun i tree -> (i, Subtree.with_vars tree target)) forest
+  |> List.filter_map (fun (i, witness) ->
+         Option.map (fun w -> (i, w)) witness)
+
+type t = (int * Pattern_tree.node) list
+
+let all forest subtree =
+  let support = supp forest subtree in
+  (* For each supporting index, the options are: unassigned (None), or one
+     of the witness subtree's children. *)
+  let options =
+    List.map
+      (fun (i, witness) ->
+        None :: List.map (fun c -> Some (i, c)) (Subtree.children witness))
+      support
+  in
+  let product =
+    List.fold_left
+      (fun acc opts ->
+        List.concat_map (fun partial -> List.map (fun o -> o :: partial) opts) acc)
+      [ [] ] options
+  in
+  product
+  |> List.map (fun choices -> List.rev (List.filter_map Fun.id choices))
+  |> List.filter (fun delta -> delta <> [])
+
+let s_delta forest subtree delta =
+  let keep = Subtree.vars subtree in
+  let forest_vars = Pattern_forest.vars forest in
+  let avoid = ref forest_vars in
+  let parts =
+    List.map
+      (fun (i, child) ->
+        let tree = List.nth forest i in
+        let renamed, _subst =
+          Tgraph.rename_avoiding ~keep ~avoid:!avoid (Pattern_tree.pat tree child)
+        in
+        avoid := Variable.Set.union !avoid (Tgraph.vars renamed);
+        renamed)
+      delta
+  in
+  let s = List.fold_left Tgraph.union (Subtree.pat subtree) parts in
+  Gtgraph.make s keep
+
+let is_valid forest subtree delta =
+  let x = Subtree.vars subtree in
+  let s_d = s_delta forest subtree delta in
+  let assigned = List.map fst delta in
+  List.for_all
+    (fun (j, witness) ->
+      if List.mem j assigned then true
+      else
+        let candidate = Gtgraph.make (Subtree.pat witness) x in
+        not (Gtgraph.maps_to candidate s_d))
+    (supp forest subtree)
+
+let valid forest subtree =
+  List.filter (is_valid forest subtree) (all forest subtree)
+
+let gtg forest subtree =
+  List.map (s_delta forest subtree) (valid forest subtree)

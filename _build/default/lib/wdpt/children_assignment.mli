@@ -1,0 +1,40 @@
+(** Children assignments and the generalised t-graphs [GtG(T)] associated
+    with a subtree of a wdPF (Section 3.1) — the combinatorial core of
+    domination width.
+
+    For a subtree [T] of [F = {T1 … Tm}]:
+    - [supp T] lists the indices [i] with a (unique) witness subtree
+      [T^sp(i)] of [Ti] satisfying [vars(T^sp(i)) = vars(T)];
+    - a children assignment [∆] maps a non-empty subset of [supp T] to
+      children of the respective witnesses;
+    - [S_∆] is [pat(T)] extended with each assigned child's label, its
+      private variables renamed fresh ([ρ_∆]);
+    - [∆] is valid when no unassigned supporting tree's witness pattern
+      maps homomorphically into [(S_∆, vars T)];
+    - [GtG(T)] collects [(S_∆, vars T)] over valid [∆]. *)
+
+open Tgraphs
+
+type support = (int * Subtree.t) list
+(** Pairs [(i, T^sp(i))], ascending in [i]. *)
+
+val supp : Pattern_forest.t -> Subtree.t -> support
+
+type t = (int * Pattern_tree.node) list
+(** A children assignment: pairs [(i, child of T^sp(i))], ascending in
+    [i], with at least one pair. *)
+
+val all : Pattern_forest.t -> Subtree.t -> t list
+(** All of [CA(T)] (may be empty). *)
+
+val s_delta : Pattern_forest.t -> Subtree.t -> t -> Gtgraph.t
+(** [(S_∆, vars T)]. Fresh variables are chosen outside every variable of
+    the forest. *)
+
+val is_valid : Pattern_forest.t -> Subtree.t -> t -> bool
+
+val valid : Pattern_forest.t -> Subtree.t -> t list
+(** [VCA(T)]. *)
+
+val gtg : Pattern_forest.t -> Subtree.t -> Gtgraph.t list
+(** [GtG(T)], one entry per valid children assignment. *)

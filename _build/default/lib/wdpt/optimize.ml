@@ -1,0 +1,83 @@
+open Rdf
+open Tgraphs
+
+type report = {
+  triples_removed : int;
+  trees_removed : int;
+}
+
+let tree t =
+  let removed = ref 0 in
+  (* variables used strictly below each node: dropping a variable from a
+     node is only safe when no descendant relies on the node to connect
+     that variable's occurrences (wdPT condition 3) *)
+  let descendant_vars = Array.make (Pattern_tree.size t) Variable.Set.empty in
+  List.iter
+    (fun n ->
+      let rec collect m =
+        List.fold_left
+          (fun acc c ->
+            Variable.Set.union acc
+              (Variable.Set.union (Pattern_tree.vars_of_node t c) (collect c)))
+          Variable.Set.empty (Pattern_tree.children t m)
+      in
+      descendant_vars.(n) <- collect n)
+    (Pattern_tree.nodes t);
+  let labels =
+    Array.of_list
+      (List.map
+         (fun n ->
+           let label = Pattern_tree.pat t n in
+           let branch_pat =
+             List.fold_left
+               (fun acc m -> Tgraph.union acc (Pattern_tree.pat t m))
+               Tgraph.empty (Pattern_tree.branch t n)
+           in
+           (* drop triples implied by the branch, keeping a non-empty
+              label and descendant variable connectivity *)
+           let keep = ref label in
+           List.iter
+             (fun triple ->
+               if Tgraph.mem branch_pat triple then begin
+                 let candidate = Tgraph.remove !keep triple in
+                 let lost_vars =
+                   Variable.Set.diff (Triple.vars triple) (Tgraph.vars candidate)
+                 in
+                 if
+                   Tgraph.cardinal candidate > 0
+                   && Variable.Set.is_empty
+                        (Variable.Set.inter lost_vars descendant_vars.(n))
+                 then begin
+                   keep := candidate;
+                   incr removed
+                 end
+               end)
+             (Tgraph.triples label);
+           !keep)
+         (Pattern_tree.nodes t))
+  in
+  let parent =
+    Array.of_list
+      (List.map
+         (fun n -> Option.value ~default:(-1) (Pattern_tree.parent t n))
+         (Pattern_tree.nodes t))
+  in
+  let rebuilt = Pattern_tree.nr_normal_form (Pattern_tree.make ~labels ~parent) in
+  (rebuilt, !removed)
+
+let forest f =
+  let optimised = List.map tree f in
+  let triples_removed = List.fold_left (fun acc (_, n) -> acc + n) 0 optimised in
+  let deduped =
+    List.fold_left
+      (fun acc (t, _) ->
+        if List.exists (Pattern_tree.equal t) acc then acc else acc @ [ t ])
+      [] optimised
+  in
+  ( deduped,
+    {
+      triples_removed;
+      trees_removed = List.length f - List.length deduped;
+    } )
+
+let pattern p = forest (Pattern_forest.of_algebra p)

@@ -1,0 +1,32 @@
+(** Semantics-preserving simplification of pattern trees and forests.
+
+    Only transformations that are provably safe under the paper's set
+    semantics are applied (there is no projection in this fragment, so a
+    node's label may never be replaced by a mere hom-equivalent one — that
+    would change the answer domains):
+
+    - {b ancestor dedup}: a triple of [pat(n)] that already occurs in an
+      ancestor's label is implied both in every subtree containing [n]
+      and in every extension test of [n] (its variables are bound by the
+      branch and already checked), so it can be dropped — guarded so the
+      node keeps its variables and a non-empty label;
+    - {b forest dedup}: syntactically duplicate trees contribute the same
+      answers and are kept once.
+
+    Trees are re-normalised to NR normal form afterwards (dropping triples
+    can remove a node's last fresh variable). Equivalence is
+    property-tested against the reference evaluator. *)
+
+type report = {
+  triples_removed : int;
+  trees_removed : int;
+}
+
+val tree : Pattern_tree.t -> Pattern_tree.t * int
+(** Ancestor dedup + NR re-normalisation; returns the number of triples
+    removed. *)
+
+val forest : Pattern_forest.t -> Pattern_forest.t * report
+
+val pattern : Sparql.Algebra.t -> Pattern_forest.t * report
+(** Translate then optimise. *)

@@ -1,0 +1,14 @@
+type t = Pattern_tree.t list
+
+let of_algebra = Translate.forest_of_algebra
+
+let vars f =
+  List.fold_left
+    (fun acc tree -> Rdf.Variable.Set.union acc (Pattern_tree.vars tree))
+    Rdf.Variable.Set.empty f
+
+let size f = List.fold_left (fun acc tree -> acc + Pattern_tree.size tree) 0 f
+
+let to_algebra f = Sparql.Algebra.union_all (List.map Pattern_tree.to_algebra f)
+
+let pp ppf f = Fmt.pf ppf "@[<v>%a@]" Fmt.(list ~sep:(any "@ ---@ ") Pattern_tree.pp) f

@@ -1,0 +1,18 @@
+(** Well-designed pattern forests (wdPFs): finite sets of wdPTs, the
+    representation of general well-designed patterns
+    [P1 UNION … UNION Pm]. *)
+
+type t = Pattern_tree.t list
+
+val of_algebra : Sparql.Algebra.t -> t
+(** [wdpf(P)]; see {!Translate.forest_of_algebra}. *)
+
+val vars : t -> Rdf.Variable.Set.t
+val size : t -> int
+(** Total number of nodes across all trees. *)
+
+val to_algebra : t -> Sparql.Algebra.t
+(** The UNION of the trees' patterns. Raises [Invalid_argument] on the
+    empty forest. *)
+
+val pp : t Fmt.t

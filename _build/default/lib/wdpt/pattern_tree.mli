@@ -1,0 +1,60 @@
+(** Well-designed pattern trees (wdPTs, Section 2.1 of the paper).
+
+    A wdPT is a rooted tree whose nodes are labelled by non-empty t-graphs
+    and in which, for every variable, the nodes whose label mentions the
+    variable induce a connected subgraph. Node 0 is always the root.
+
+    Unless stated otherwise, the algorithms in this project expect trees in
+    NR normal form ([vars(n) \ vars(parent n) ≠ ∅] for every non-root
+    node); {!nr_normal_form} converts while preserving semantics. *)
+
+open Rdf
+open Tgraphs
+
+type node = int
+
+type t
+
+val make : labels:Tgraph.t array -> parent:node array -> t
+(** [labels.(i)] is [pat(i)]; [parent.(i)] is the parent of node [i], with
+    [parent.(0) = -1] for the root. Raises [Invalid_argument] if the
+    parent array is not a valid tree rooted at 0 (parents must precede
+    children), a label is empty, or variable-connectedness fails. *)
+
+val root : node
+val size : t -> int
+val nodes : t -> node list
+val parent : t -> node -> node option
+val children : t -> node -> node list
+val pat : t -> node -> Tgraph.t
+val vars_of_node : t -> node -> Variable.Set.t
+
+val pat_all : t -> Tgraph.t
+(** [pat(T)]: the union of all node labels. *)
+
+val vars : t -> Variable.Set.t
+(** [vars(T)]. *)
+
+val branch : t -> node -> node list
+(** [B_n]: the nodes on the path from the root to the {e parent} of [n]
+    (Section 3.2); empty for the root. *)
+
+val depth : t -> int
+
+val is_nr_normal_form : t -> bool
+
+val nr_normal_form : t -> t
+(** Merge away nodes that introduce no new variable w.r.t. their parent:
+    such a node is deleted, its children are re-attached to its parent and
+    their labels are extended with the deleted node's label. This is the
+    semantics-preserving transformation of Letelier et al. *)
+
+val to_algebra : t -> Sparql.Algebra.t
+(** The equivalent UNION-free well-designed graph pattern: each node is the
+    AND of its triples and each child is attached with OPT. *)
+
+val rename : (Variable.t -> Variable.t) -> t -> t
+(** Rename variables throughout (must be injective to stay meaningful). *)
+
+val equal : t -> t -> bool
+val pp : t Fmt.t

@@ -1,0 +1,43 @@
+open Rdf
+open Tgraphs
+
+let child_extends tree graph mu n =
+  let source = Pattern_tree.pat tree n in
+  let pre = Sparql.Mapping.to_assignment mu in
+  Homomorphism.exists ~pre ~source ~target:(Graph.to_index graph) ()
+
+let check_tree tree graph mu =
+  match Subtree.matching tree graph mu with
+  | None -> false
+  | Some subtree ->
+      not
+        (List.exists (child_extends tree graph mu) (Subtree.children subtree))
+
+let check forest graph mu =
+  List.exists (fun tree -> check_tree tree graph mu) forest
+
+let solutions_tree tree graph =
+  let target = Graph.to_index graph in
+  List.fold_left
+    (fun acc subtree ->
+      let source = Subtree.pat subtree in
+      let homs = Homomorphism.all ~source ~target () in
+      List.fold_left
+        (fun acc h ->
+          match Sparql.Mapping.of_assignment h with
+          | None -> acc
+          | Some mu ->
+              let maximal =
+                not
+                  (List.exists
+                     (child_extends tree graph mu)
+                     (Subtree.children subtree))
+              in
+              if maximal then Sparql.Mapping.Set.add mu acc else acc)
+        acc homs)
+    Sparql.Mapping.Set.empty (Subtree.all tree)
+
+let solutions forest graph =
+  List.fold_left
+    (fun acc tree -> Sparql.Mapping.Set.union acc (solutions_tree tree graph))
+    Sparql.Mapping.Set.empty forest

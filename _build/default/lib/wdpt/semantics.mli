@@ -1,0 +1,30 @@
+(** Evaluation of wdPTs and wdPFs via the characterisation of Lemma 1:
+    [µ ∈ ⟦T⟧G] iff there is a subtree [T'] such that [µ] is a homomorphism
+    from [pat(T')] to [G] and no child of [T'] admits a homomorphism
+    compatible with [µ].
+
+    [check] is the "natural algorithm" of Sections 3–3.1: it performs
+    NP-hard homomorphism tests and is therefore exponential in the query in
+    the worst case (this is the paper's baseline; the polynomial relaxation
+    lives in [Wd_core.Pebble_eval]). [solutions] enumerates the full answer
+    set. *)
+
+open Rdf
+
+val check_tree : Pattern_tree.t -> Graph.t -> Sparql.Mapping.t -> bool
+(** [µ ∈ ⟦T⟧G]. *)
+
+val check : Pattern_forest.t -> Graph.t -> Sparql.Mapping.t -> bool
+(** [µ ∈ ⟦F⟧G = ⟦T1⟧G ∪ … ∪ ⟦Tm⟧G]. *)
+
+val solutions_tree : Pattern_tree.t -> Graph.t -> Sparql.Mapping.Set.t
+(** All of [⟦T⟧G], by enumerating subtrees, their homomorphisms, and
+    filtering non-maximal ones. *)
+
+val solutions : Pattern_forest.t -> Graph.t -> Sparql.Mapping.Set.t
+
+val child_extends :
+  Pattern_tree.t -> Graph.t -> Sparql.Mapping.t -> Pattern_tree.node -> bool
+(** Is there a homomorphism from [pat(n)] to [G] compatible with [µ]? The
+    inner test both evaluators share; exposed for the pebble variant and
+    for tests. *)

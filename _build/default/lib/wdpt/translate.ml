@@ -1,0 +1,97 @@
+open Rdf
+open Tgraphs
+
+exception Not_well_designed of Sparql.Well_designed.violation
+
+(* Intermediate rose tree, before node numbering. *)
+type rose = { label : Triple.t list; subs : rose list }
+
+(* OPT normal form: collect the AND-part triples and the optional sub-trees
+   of a UNION-free pattern. Well-designedness makes pulling AND above OPT
+   sound. *)
+let rec collect = function
+  | Sparql.Algebra.Triple t -> ([ t ], [])
+  | Sparql.Algebra.And (a, b) ->
+      let ta, ca = collect a and tb, cb = collect b in
+      (ta @ tb, ca @ cb)
+  | Sparql.Algebra.Opt (a, b) ->
+      let ta, ca = collect a in
+      (ta, ca @ [ rose_of b ])
+  | (Sparql.Algebra.Union _ | Sparql.Algebra.Filter _ | Sparql.Algebra.Select _)
+    ->
+      assert false (* excluded by the core-fragment check *)
+
+and rose_of p =
+  let triples, subs = collect p in
+  { label = triples; subs }
+
+let tree_of_rose rose =
+  let labels = ref [] and parents = ref [] in
+  let counter = ref 0 in
+  let rec number parent_id rose =
+    let id = !counter in
+    incr counter;
+    labels := Tgraph.of_triples rose.label :: !labels;
+    parents := parent_id :: !parents;
+    List.iter (number id) rose.subs
+  in
+  number (-1) rose;
+  Pattern_tree.make
+    ~labels:(Array.of_list (List.rev !labels))
+    ~parent:(Array.of_list (List.rev !parents))
+
+let tree_of_algebra p =
+  (match Sparql.Well_designed.check p with
+  | Error v -> raise (Not_well_designed v)
+  | Ok () -> ());
+  if not (Sparql.Algebra.is_core p) then
+    raise (Not_well_designed (Sparql.Well_designed.Beyond_core_fragment p));
+  if not (Sparql.Well_designed.is_union_free p) then
+    raise
+      (Not_well_designed
+         (Sparql.Well_designed.Nested_union p));
+  Pattern_tree.nr_normal_form (tree_of_rose (rose_of p))
+
+let rec contains_opt = function
+  | Sparql.Algebra.Triple _ -> false
+  | Sparql.Algebra.And (a, b) -> contains_opt a || contains_opt b
+  | Sparql.Algebra.Opt _ -> true
+  | Sparql.Algebra.Union _ | Sparql.Algebra.Filter _ | Sparql.Algebra.Select _
+    ->
+      true
+
+let rec is_opt_normal_form = function
+  | Sparql.Algebra.Triple _ -> true
+  | Sparql.Algebra.And _ as p -> not (contains_opt p)
+  | Sparql.Algebra.Opt (a, b) -> is_opt_normal_form a && is_opt_normal_form b
+  | Sparql.Algebra.Union _ | Sparql.Algebra.Filter _ | Sparql.Algebra.Select _
+    ->
+      false
+
+let opt_normal_form p =
+  (match Sparql.Well_designed.check p with
+  | Error v -> raise (Not_well_designed v)
+  | Ok () -> ());
+  if not (Sparql.Algebra.is_core p) then
+    raise (Not_well_designed (Sparql.Well_designed.Beyond_core_fragment p));
+  if not (Sparql.Well_designed.is_union_free p) then
+    raise (Not_well_designed (Sparql.Well_designed.Nested_union p));
+  let rec rebuild rose =
+    let base =
+      Sparql.Algebra.and_all (List.map Sparql.Algebra.triple rose.label)
+    in
+    List.fold_left
+      (fun acc sub -> Sparql.Algebra.opt acc (rebuild sub))
+      base rose.subs
+  in
+  rebuild (rose_of p)
+
+let forest_of_algebra p =
+  (match Sparql.Well_designed.check p with
+  | Error v -> raise (Not_well_designed v)
+  | Ok () -> ());
+  if not (Sparql.Algebra.is_core p) then
+    raise (Not_well_designed (Sparql.Well_designed.Beyond_core_fragment p));
+  List.map
+    (fun branch -> Pattern_tree.nr_normal_form (tree_of_rose (rose_of branch)))
+    (Sparql.Well_designed.union_branches p)

@@ -1,0 +1,27 @@
+(** Translation between graph patterns and pattern trees/forests
+    (Section 2.1): the polynomial-time computable function [wdpf].
+
+    A UNION-free well-designed pattern is first rewritten into OPT normal
+    form — conjunctions are pulled above OPT using the well-designedness
+    rewriting [(P1 OPT P2) AND P3 ≡ (P1 AND P3) OPT P2] — which directly
+    yields a pattern tree; the tree is then normalised to NR normal form.
+    A general well-designed pattern is split at its top-level UNIONs, one
+    tree per branch. *)
+
+exception Not_well_designed of Sparql.Well_designed.violation
+
+val tree_of_algebra : Sparql.Algebra.t -> Pattern_tree.t
+(** For UNION-free well-designed patterns. The result is in NR normal
+    form. Raises {!Not_well_designed} otherwise. *)
+
+val forest_of_algebra : Sparql.Algebra.t -> Pattern_tree.t list
+(** [wdpf(P)]. Raises {!Not_well_designed} if [P] is not well-designed. *)
+
+val is_opt_normal_form : Sparql.Algebra.t -> bool
+(** OPT normal form: [(…(Q OPT P1)… OPT Pn)] with [Q] an AND-of-triples
+    and each [Pi] itself in OPT normal form (no UNION anywhere). *)
+
+val opt_normal_form : Sparql.Algebra.t -> Sparql.Algebra.t
+(** Rewrite a UNION-free well-designed pattern into an equivalent pattern
+    in OPT normal form (the [17] rewriting the tree translation is built
+    on). Raises {!Not_well_designed} otherwise. *)

@@ -1,0 +1,1 @@
+lib/workload/graph_families.ml: Graph Iri List Printf Random Rdf Sparql String Term Triple Variable

@@ -1,0 +1,1 @@
+lib/workload/graph_families.mli: Graph Rdf Sparql Term

@@ -1,0 +1,1 @@
+lib/workload/query_families.ml: Array List Printf Random Rdf Sparql Term Tgraph Tgraphs Triple Variable Wdpt

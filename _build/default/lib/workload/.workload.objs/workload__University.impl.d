@@ -1,0 +1,1 @@
+lib/workload/university.ml: Graph Printf Random Rdf Term Triple

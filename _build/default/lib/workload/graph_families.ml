@@ -1,0 +1,99 @@
+open Rdf
+
+let anchor = Term.iri "n:anchor"
+let tnode i = Term.iri (Printf.sprintf "t:%d" i)
+let r = Term.iri "p:r"
+let p = Term.iri "p:p"
+
+let mu_xy () =
+  Sparql.Mapping.of_list
+    [
+      (Variable.of_string "x", Iri.of_string "n:anchor");
+      (Variable.of_string "y", Iri.of_string "t:0");
+    ]
+
+let tournament_triples state n =
+  let triples = ref [] in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      let src, dst = if Random.State.bool state then (i, j) else (j, i) in
+      triples := Triple.make (tnode src) r (tnode dst) :: !triples
+    done
+  done;
+  !triples
+
+let tournament_instance ~seed ~n =
+  let state = Random.State.make [| seed; n; 31337 |] in
+  let triples = Triple.make anchor p (tnode 0) :: tournament_triples state n in
+  (Graph.of_triples triples, mu_xy ())
+
+let planted_instance ~seed ~n ~k =
+  if k >= n then invalid_arg "Graph_families.planted_instance: k must be < n";
+  let state = Random.State.make [| seed; n; k; 4242 |] in
+  let triples = tournament_triples state n in
+  (* overwrite the orientation inside the planted set {1..k} to be the
+     transitive tournament 1 → 2 → … (node 0 reaches node 1 via r). *)
+  let planted i = i >= 1 && i <= k in
+  let keep t =
+    match t.Triple.s, t.Triple.o with
+    | Term.Iri s, Term.Iri o ->
+        let num term =
+          let str = Iri.to_string term in
+          match String.index_opt str ':' with
+          | Some idx ->
+              int_of_string_opt
+                (String.sub str (idx + 1) (String.length str - idx - 1))
+          | None -> None
+        in
+        (match num s, num o with
+        | Some a, Some b -> not (planted a && planted b)
+        | _ -> true)
+    | _ -> true
+  in
+  let base = List.filter keep triples in
+  let clique = ref [] in
+  for i = 1 to k do
+    for j = i + 1 to k do
+      clique := Triple.make (tnode i) r (tnode j) :: !clique
+    done
+  done;
+  let link = Triple.make (tnode 0) r (tnode 1) in
+  let triples =
+    (Triple.make anchor p (tnode 0) :: link :: !clique) @ base
+  in
+  (Graph.of_triples triples, mu_xy ())
+
+let cyclic_triangles_instance ~m =
+  let node i j = Term.iri (Printf.sprintf "c:%d_%d" i j) in
+  let triples = ref [ Triple.make anchor p (tnode 0) ] in
+  for i = 0 to m - 1 do
+    for j = 0 to 2 do
+      triples := Triple.make (node i j) r (node i ((j + 1) mod 3)) :: !triples;
+      (* node 0 reaches every cycle vertex, so the unary anchor constraint
+         (?y, r, ?o1) prunes nothing and 2-consistency survives. *)
+      triples := Triple.make (tnode 0) r (node i j) :: !triples
+    done
+  done;
+  (Graph.of_triples !triples, mu_xy ())
+
+let grid_host_instance ~seed ~rows ~cols ~extra =
+  let state = Random.State.make [| seed; rows; cols; extra; 999 |] in
+  let right = Term.iri "p:right"
+  and down = Term.iri "p:down"
+  and e = Term.iri "p:e" in
+  let cell rr cc = Term.iri (Printf.sprintf "g:%d_%d" rr cc) in
+  let triples = ref [ Triple.make anchor p (tnode 0); Triple.make (tnode 0) e (cell 0 0) ] in
+  for rr = 0 to rows - 1 do
+    for cc = 0 to cols - 1 do
+      if cc + 1 < cols then
+        triples := Triple.make (cell rr cc) right (cell rr (cc + 1)) :: !triples;
+      if rr + 1 < rows then
+        triples := Triple.make (cell rr cc) down (cell (rr + 1) cc) :: !triples
+    done
+  done;
+  let noise_node () = tnode (1 + Random.State.int state (max 1 (rows * cols))) in
+  for _ = 1 to extra do
+    let pred = if Random.State.bool state then right else down in
+    triples := Triple.make (noise_node ()) pred (noise_node ()) :: !triples
+  done;
+  (Graph.of_triples !triples, mu_xy ())

@@ -1,0 +1,45 @@
+(** Data generators matched to the query families, producing the
+    [(graph, mapping)] instances the benchmark harness evaluates.
+
+    The hard instances hide (or plant) a transitive tournament — the ground
+    image of the clique pattern [K_k] — inside a random [r]-tournament:
+    deciding whether the optional clique branch extends is then a
+    clique-like search for the exact evaluator, while the pebble relaxation
+    stays polynomial. *)
+
+open Rdf
+
+val anchor : Term.t
+(** The IRI bound to [?x] in generated instances. *)
+
+val tnode : int -> Term.t
+(** The [i]-th tournament node IRI. *)
+
+val tournament_instance :
+  seed:int -> n:int -> Graph.t * Sparql.Mapping.t
+(** A uniformly random [r]-tournament on [n] nodes, a [p]-edge from
+    {!anchor} to node 0, and the mapping [{?x ↦ anchor, ?y ↦ node 0}].
+    Random tournaments contain transitive subtournaments only of size
+    ~[2·log₂ n], so for larger [k] the clique-branch test fails — after an
+    exhaustive search. *)
+
+val planted_instance :
+  seed:int -> n:int -> k:int -> Graph.t * Sparql.Mapping.t
+(** As {!tournament_instance}, but with a transitive tournament on [k]
+    nodes planted (and reachable from node 0 via [r]), so the clique
+    branch extends. *)
+
+val cyclic_triangles_instance : m:int -> Graph.t * Sparql.Mapping.t
+(** [m] disjoint directed [r]-3-cycles, each with one entry edge from node
+    0. Contains {e no} transitive triangle, yet the pattern [K_3] is
+    2-consistent with it — the canonical instance on which the existential
+    2-pebble relaxation over-approximates: on
+    [Query_families.clique_child 3] the exact evaluator accepts the
+    mapping while the 2-pebble evaluator rejects it. Used by the
+    relaxation-quality experiment (Prop. 3's bound is tight). *)
+
+val grid_host_instance :
+  seed:int -> rows:int -> cols:int -> extra:int -> Graph.t * Sparql.Mapping.t
+(** An instance for {!Query_families.grid_query}: a ground [rows × cols]
+    right/down grid reachable from node [?y]'s image via [e], plus [extra]
+    random noise edges using the same predicates. *)

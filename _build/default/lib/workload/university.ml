@@ -1,0 +1,73 @@
+open Rdf
+
+let iri fmt = Printf.ksprintf Term.iri fmt
+let p name = Term.iri ("u:" ^ name)
+let cls name = Term.iri ("c:" ^ name)
+
+let generate ~seed ~universities =
+  let state = Random.State.make [| seed; universities; 60013 |] in
+  let triples = ref [] in
+  let add s pr o = triples := Triple.make s pr o :: !triples in
+  let typ = p "type" in
+  for u = 0 to universities - 1 do
+    let uni = iri "uni:%d" u in
+    add uni typ (cls "University");
+    let departments = 3 + Random.State.int state 3 in
+    for d = 0 to departments - 1 do
+      let dept = iri "dept:%d_%d" u d in
+      add dept typ (cls "Department");
+      add dept (p "subOrgOf") uni;
+      let professors = 4 + Random.State.int state 5 in
+      let courses = 10 + Random.State.int state 5 in
+      let students = 30 + Random.State.int state 20 in
+      let course c = iri "course:%d_%d_%d" u d c in
+      let professor f = iri "prof:%d_%d_%d" u d f in
+      let student s = iri "student:%d_%d_%d" u d s in
+      for c = 0 to courses - 1 do
+        add (course c) typ (cls "Course")
+      done;
+      for f = 0 to professors - 1 do
+        add (professor f) typ (cls "Professor");
+        add (professor f) (p "worksFor") dept;
+        let teaches = 1 + Random.State.int state 3 in
+        for _ = 1 to teaches do
+          add (professor f) (p "teacherOf") (course (Random.State.int state courses))
+        done;
+        if Random.State.int state 10 < 6 then
+          add (professor f) (p "email") (iri "mailto:prof_%d_%d_%d" u d f)
+      done;
+      for s = 0 to students - 1 do
+        add (student s) typ (cls "Student");
+        add (student s) (p "memberOf") dept;
+        add (student s) (p "advisor") (professor (Random.State.int state professors));
+        let takes = 2 + Random.State.int state 4 in
+        for _ = 1 to takes do
+          add (student s) (p "takesCourse") (course (Random.State.int state courses))
+        done
+      done
+    done
+  done;
+  Graph.of_triples !triples
+
+let queries =
+  [
+    ( "advised-by-teacher",
+      (* students taking a course taught by their own advisor *)
+      "{ ?s u:advisor ?prof . ?s u:takesCourse ?c . ?prof u:teacherOf ?c }" );
+    ( "professor-profile",
+      "{ ?prof u:type c:Professor . ?prof u:worksFor ?dept . OPTIONAL { \
+       ?prof u:email ?mail } OPTIONAL { ?prof u:teacherOf ?course } }" );
+    ( "department-roster",
+      "{ ?dept u:subOrgOf ?uni . OPTIONAL { ?prof u:worksFor ?dept . \
+       OPTIONAL { ?prof u:email ?mail } } }" );
+    ( "classmates",
+      "{ ?s1 u:takesCourse ?c . ?s2 u:takesCourse ?c . OPTIONAL { ?s1 \
+       u:advisor ?a1 } }" );
+    ( "teaching-or-advising",
+      "{ ?prof u:teacherOf ?c . ?s u:takesCourse ?c } UNION { ?s \
+       u:advisor ?prof . }" );
+    ( "student-transcript",
+      "{ ?s u:type c:Student . ?s u:memberOf ?dept . OPTIONAL { ?s \
+       u:takesCourse ?c . OPTIONAL { ?teacher u:teacherOf ?c } } OPTIONAL \
+       { ?s u:advisor ?adv . OPTIONAL { ?adv u:email ?am } } }" );
+  ]

@@ -1,0 +1,21 @@
+(** A LUBM-flavoured university benchmark workload: a deterministic
+    generator for department/professor/student/course data and a set of
+    realistic queries in the AND/OPT/UNION fragment, used by the realistic
+    workload experiment (bench T7) and as example input.
+
+    Predicates: [u:type], [u:subOrgOf], [u:worksFor], [u:memberOf],
+    [u:teacherOf], [u:takesCourse], [u:advisor], [u:email].
+    Classes: [c:University], [c:Department], [c:Professor], [c:Student],
+    [c:Course]. *)
+
+val generate : seed:int -> universities:int -> Rdf.Graph.t
+(** Each university has ~4 departments; each department ~6 professors,
+    ~40 students, ~12 courses. Professors teach 1–3 courses and advise a
+    subset of students; students take 2–5 courses; about 60% of
+    professors publish an email. *)
+
+val queries : (string * string) list
+(** Named query sources (parse with {!Sparql.Parser}); all well-designed,
+    all of domination width 1 — the workload a practitioner would
+    actually run, sitting squarely on the tractable side of the
+    frontier. *)

@@ -1,0 +1,1 @@
+test/test_csp.ml: Alcotest Consistency Core_of Csp Graphtheory Hom List Of_tgraph Pebble QCheck QCheck_alcotest Random Rdf Structure Testutil Tgraphs

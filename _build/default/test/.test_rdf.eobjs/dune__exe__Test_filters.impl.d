@@ -1,0 +1,1 @@
+test/test_filters.ml: Alcotest Algebra Condition Eval Graph Iri Mapping Option Parser Printer QCheck QCheck_alcotest Rdf Sparql Term Testutil Triple Variable Wd_core Wdpt Well_designed

@@ -1,0 +1,1 @@
+test/test_graphtheory.ml: Alcotest Components Graphtheory Grid Minor QCheck QCheck_alcotest Testutil Tree_decomposition Treewidth Ugraph

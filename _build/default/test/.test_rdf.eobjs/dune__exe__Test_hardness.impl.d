@@ -1,0 +1,1 @@
+test/test_hardness.ml: Alcotest Clique Graphtheory Grohe Hardness List QCheck QCheck_alcotest Rdf Reduction Sparql Testutil Tgraphs Ugraph Wdpt Workload

@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Fmt Graph Iri Option Rdf Sparql String Term Testutil Triple Turtle Variable Wd_core Wdpt

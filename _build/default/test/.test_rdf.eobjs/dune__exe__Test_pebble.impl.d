@@ -1,0 +1,1 @@
+test/test_pebble.ml: Alcotest Cores Generator Graph Gtgraph Iri List Pebble Pebble_game QCheck QCheck_alcotest Random Rdf Term Testutil Tgraph Tgraphs Triple Variable

@@ -1,0 +1,1 @@
+test/test_properties.ml: Alcotest Graph Graphtheory Hardness Iri List Pebble QCheck QCheck_alcotest Random Rdf Sparql Term Testutil Tgraphs Treewidth Ugraph Variable Wd_core Wdpt

@@ -1,0 +1,1 @@
+test/test_rdf.ml: Alcotest Fmt Generator Graph Index Iri List Literal Ntriples Option QCheck QCheck_alcotest Rdf Sparql Term Testutil Triple Turtle Variable

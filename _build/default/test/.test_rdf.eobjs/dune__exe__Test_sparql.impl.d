@@ -1,0 +1,1 @@
+test/test_sparql.ml: Alcotest Algebra Eval Graph Iri List Mapping Option Parser Printer QCheck QCheck_alcotest Rdf Sparql Term Testutil Triple Variable Well_designed

@@ -1,0 +1,1 @@
+test/test_storage.ml: Alcotest Encoded Fmt Generator Graph Iri List Ntriples Option QCheck QCheck_alcotest Rdf Sparql Stats String Term Testutil Tgraphs Triple Variable Wd_core Wdpt Workload

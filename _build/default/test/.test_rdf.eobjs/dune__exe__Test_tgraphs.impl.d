@@ -1,0 +1,1 @@
+test/test_tgraphs.ml: Alcotest Cores Generator Graph Gtgraph Homomorphism Iri List Pebble Printf QCheck QCheck_alcotest Random Rdf Td_hom Term Testutil Tgraph Tgraphs Triple Variable Workload

@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Graph Graph_families List QCheck QCheck_alcotest Query_families Rdf Sparql Term Testutil Tgraphs Triple University Wd_core Wdpt Workload

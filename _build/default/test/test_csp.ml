@@ -1,0 +1,257 @@
+(* Tests for the relational-structure (CSP) layer, including
+   cross-validation against the t-graph implementations through the
+   Of_tgraph encoding — two independent code paths for homomorphisms,
+   cores, and the pebble game must agree. *)
+
+open Csp
+
+let check = Alcotest.check
+
+let qcheck ?(count = 100) name arb law =
+  QCheck_alcotest.to_alcotest (QCheck.Test.make ~count ~name arb law)
+
+let seed_arb = QCheck.make QCheck.Gen.(int_bound 100000)
+
+(* directed graph as a structure with one binary relation *)
+let digraph ?distinguished n edges =
+  Structure.make ~size:n
+    ~relations:[ ("e", List.map (fun (a, b) -> [| a; b |]) edges) ]
+    ?distinguished ()
+
+let cycle n = digraph n (List.init n (fun i -> (i, (i + 1) mod n)))
+
+let clique n =
+  let edges = ref [] in
+  for i = 0 to n - 1 do
+    for j = 0 to n - 1 do
+      if i <> j then edges := (i, j) :: !edges
+    done
+  done;
+  digraph n !edges
+
+(* ------------------------------------------------------------------ *)
+(* Structure basics                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let test_structure_basics () =
+  let s =
+    Structure.make ~size:3
+      ~relations:[ ("r", [ [| 0; 1 |]; [| 0; 1 |]; [| 1; 2 |] ]); ("u", [ [| 0 |] ]) ]
+      ~distinguished:[ 2 ] ()
+  in
+  check Alcotest.int "size" 3 (Structure.size s);
+  check Alcotest.(list string) "relations" [ "r"; "u" ] (Structure.relation_names s);
+  check Alcotest.(option int) "arity" (Some 2) (Structure.arity s "r");
+  check Alcotest.int "duplicates dropped" 2 (List.length (Structure.tuples s "r"));
+  check Alcotest.int "total" 3 (Structure.total_tuples s);
+  check Alcotest.bool "mem" true (Structure.mem s "r" [| 0; 1 |]);
+  check Alcotest.bool "not mem" false (Structure.mem s "r" [| 1; 0 |]);
+  check Alcotest.int "masked lookup" 1
+    (List.length (Structure.tuples_matching s "r" [| Some 0; None |]));
+  Alcotest.check_raises "range check"
+    (Invalid_argument "Structure.make: element out of range in r") (fun () ->
+      ignore (Structure.make ~size:2 ~relations:[ ("r", [ [| 0; 5 |] ]) ] ()))
+
+let test_structure_gaifman () =
+  (* path a-b-c with c distinguished: Gaifman on {a, b} has one edge *)
+  let s = digraph ~distinguished:[ 2 ] 3 [ (0, 1); (1, 2) ] in
+  let g = Structure.gaifman s in
+  check Alcotest.int "two vertices" 2 (Graphtheory.Ugraph.n g);
+  check Alcotest.int "one edge" 1 (Graphtheory.Ugraph.m g);
+  check Alcotest.int "structure tw" 1 (Structure.treewidth s);
+  (* higher-arity tuples create cliques in the Gaifman graph *)
+  let s4 =
+    Structure.make ~size:4 ~relations:[ ("q", [ [| 0; 1; 2; 3 |] ]) ] ()
+  in
+  check Alcotest.int "4-tuple -> K4 -> tw 3" 3 (Structure.treewidth s4)
+
+(* ------------------------------------------------------------------ *)
+(* Homomorphisms                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let test_hom_classics () =
+  (* an even cycle maps onto a single edge-pair (2-colourability) *)
+  let k2 = digraph 2 [ (0, 1); (1, 0) ] in
+  check Alcotest.bool "C4 -> K2" true (Hom.exists (cycle 4) k2);
+  check Alcotest.bool "C5 -/-> K2" false (Hom.exists (cycle 5) k2);
+  (* cycles map into cliques, not conversely *)
+  check Alcotest.bool "C5 -> K3" true (Hom.exists (cycle 5) (clique 3));
+  check Alcotest.bool "K3 -/-> C5" false (Hom.exists (clique 3) (cycle 5));
+  (* counting: homs from a single edge into K3 = ordered pairs = 6 *)
+  check Alcotest.int "edge into K3" 6 (Hom.count (digraph 2 [ (0, 1) ]) (clique 3))
+
+let test_hom_distinguished () =
+  (* path 0->1 with 0 distinguished must start at the target's mark *)
+  let src = digraph ~distinguished:[ 0 ] 2 [ (0, 1) ] in
+  let tgt_ok = digraph ~distinguished:[ 0 ] 3 [ (0, 1); (1, 2) ] in
+  let tgt_bad = digraph ~distinguished:[ 2 ] 3 [ (0, 1); (1, 2) ] in
+  check Alcotest.bool "anchored ok" true (Hom.exists src tgt_ok);
+  check Alcotest.bool "anchored at sink" false (Hom.exists src tgt_bad);
+  Alcotest.check_raises "arity mismatch rejected"
+    (Invalid_argument "Csp.Hom: arity mismatch on e") (fun () ->
+      ignore
+        (Hom.exists src
+           (Structure.make ~size:1 ~relations:[ ("e", [ [| 0; 0; 0 |] ]) ]
+              ~distinguished:[ 0 ] ())))
+
+let test_hom_isolated_elements () =
+  (* an element in no tuple can map anywhere: count multiplies by |B| *)
+  let src = Structure.make ~size:2 ~relations:[ ("e", [ [| 0; 0 |] ]) ] () in
+  let tgt = digraph 3 [ (0, 0); (1, 1) ] in
+  (* 0 can go to the two loops; the isolated 1 anywhere among 3 *)
+  check Alcotest.int "isolated multiplies" 6 (Hom.count src tgt)
+
+let found_homs_verify =
+  qcheck ~count:100 "found homomorphisms verify" (QCheck.pair seed_arb seed_arb)
+    (fun (s1, s2) ->
+      let random_structure seed =
+        let state = Random.State.make [| seed; 97 |] in
+        let n = 2 + Random.State.int state 3 in
+        let m = Random.State.int state 6 in
+        digraph n
+          (List.init m (fun _ ->
+               (Random.State.int state n, Random.State.int state n)))
+      in
+      let a = random_structure s1 and b = random_structure s2 in
+      match Hom.find a b with
+      | Some h -> Hom.is_homomorphism a b h
+      | None -> true)
+
+(* ------------------------------------------------------------------ *)
+(* Cores                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_core_classics () =
+  (* directed cycles are cores (their only endomorphisms are rotations) —
+     even though C4 maps homomorphically ONTO the 2-cycle, nothing maps
+     back *)
+  check Alcotest.bool "directed C4 is a core" true (Core_of.is_core (cycle 4));
+  check Alcotest.bool "C5 is a core" true (Core_of.is_core (cycle 5));
+  check Alcotest.bool "K3 is a core" true (Core_of.is_core (clique 3));
+  (* disjoint union of K2 and C4 retracts to K2 *)
+  let k2 = digraph 2 [ (0, 1); (1, 0) ] in
+  let union =
+    let shifted = Structure.rename_apart (cycle 4) ~offset:2 in
+    Structure.make ~size:6
+      ~relations:
+        [ ("e", Structure.tuples k2 "e" @ Structure.tuples shifted "e") ]
+      ()
+  in
+  check Alcotest.int "union core" 2 (Structure.size (Core_of.core union))
+
+let core_laws =
+  qcheck ~count:60 "structure core laws" seed_arb (fun seed ->
+      let state = Random.State.make [| seed; 11 |] in
+      let n = 2 + Random.State.int state 3 in
+      let m = 1 + Random.State.int state 6 in
+      let a =
+        digraph n
+          (List.init m (fun _ ->
+               (Random.State.int state n, Random.State.int state n)))
+      in
+      let core = Core_of.core a in
+      Core_of.is_core core && Hom.exists a core && Hom.exists core a)
+
+(* ------------------------------------------------------------------ *)
+(* k-consistency                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let test_consistency_classics () =
+  (* the transitive-triangle-vs-C3 classic, at the structure level *)
+  let t3 = digraph 3 [ (0, 1); (0, 2); (1, 2) ] in
+  check Alcotest.bool "no hom" false (Hom.exists t3 (cycle 3));
+  check Alcotest.bool "2 pebbles fooled" true
+    (Consistency.duplicator_wins ~k:2 t3 (cycle 3));
+  check Alcotest.bool "3 pebbles exact" false
+    (Consistency.duplicator_wins ~k:3 t3 (cycle 3));
+  (* hom implies win *)
+  check Alcotest.bool "C5 -> K3 win" true
+    (Consistency.duplicator_wins ~k:2 (cycle 5) (clique 3))
+
+let consistency_sound =
+  qcheck ~count:60 "hom implies duplicator win (structures)"
+    (QCheck.pair seed_arb seed_arb) (fun (s1, s2) ->
+      let rand seed =
+        let state = Random.State.make [| seed; 13 |] in
+        let n = 2 + Random.State.int state 3 in
+        digraph n
+          (List.init (Random.State.int state 6) (fun _ ->
+               (Random.State.int state n, Random.State.int state n)))
+      in
+      let a = rand s1 and b = rand s2 in
+      (not (Hom.exists a b)) || Consistency.duplicator_wins ~k:2 a b)
+
+(* ------------------------------------------------------------------ *)
+(* Cross-validation with the t-graph layer                             *)
+(* ------------------------------------------------------------------ *)
+
+let gtgraph_hom_agrees =
+  qcheck ~count:100 "structure hom = t-graph hom (Of_tgraph encoding)"
+    (QCheck.pair seed_arb seed_arb) (fun (s1, s2) ->
+      let a0 = Testutil.gtgraph_of_seed ~triples:3 ~vars:3 s1 in
+      let b0 = Testutil.gtgraph_of_seed ~triples:3 ~vars:3 s2 in
+      (* align X sets: use the intersection as X on both sides *)
+      let x =
+        Rdf.Variable.Set.inter
+          (Tgraphs.Tgraph.vars (Tgraphs.Gtgraph.s a0))
+          (Tgraphs.Tgraph.vars (Tgraphs.Gtgraph.s b0))
+      in
+      let a = Tgraphs.Gtgraph.make (Tgraphs.Gtgraph.s a0) x in
+      let b = Tgraphs.Gtgraph.make (Tgraphs.Gtgraph.s b0) x in
+      let sa, sb = Of_tgraph.hom_instance a b in
+      Hom.exists sa sb = Tgraphs.Gtgraph.maps_to a b)
+
+let gtgraph_ctw_agrees =
+  qcheck ~count:60 "structure core treewidth = ctw" seed_arb (fun seed ->
+      let g = Testutil.gtgraph_of_seed ~triples:4 ~vars:4 seed in
+      let s, _ = Of_tgraph.hom_instance g g in
+      Core_of.core_treewidth s = Tgraphs.Cores.ctw g)
+
+let pebble_game_agrees =
+  qcheck ~count:50 "structure k-consistency = t-graph pebble game"
+    seed_arb (fun seed ->
+      let g = Testutil.gtgraph_of_seed ~triples:3 ~vars:3 seed in
+      let graph = Testutil.graph_of_seed ~nodes:4 ~preds:2 ~triples:8 (seed + 3) in
+      if Rdf.Iri.Set.is_empty (Rdf.Graph.dom graph) then true
+      else begin
+        let iris = Rdf.Iri.Set.elements (Rdf.Graph.dom graph) in
+        let state = Random.State.make [| seed; 5 |] in
+        let mu =
+          Rdf.Variable.Set.fold
+            (fun var acc ->
+              Rdf.Variable.Map.add var
+                (Rdf.Term.Iri
+                   (List.nth iris (Random.State.int state (List.length iris))))
+                acc)
+            (Tgraphs.Gtgraph.x g) Rdf.Variable.Map.empty
+        in
+        let sa, sb = Of_tgraph.graph_instance g ~mu graph in
+        Consistency.duplicator_wins ~k:2 sa sb
+        = Pebble.Pebble_game.wins ~k:2 g ~mu graph
+      end)
+
+let () =
+  Alcotest.run "csp"
+    [
+      ( "structure",
+        [
+          Alcotest.test_case "basics" `Quick test_structure_basics;
+          Alcotest.test_case "gaifman/treewidth" `Quick test_structure_gaifman;
+        ] );
+      ( "homomorphism",
+        [
+          Alcotest.test_case "classics" `Quick test_hom_classics;
+          Alcotest.test_case "distinguished" `Quick test_hom_distinguished;
+          Alcotest.test_case "isolated elements" `Quick test_hom_isolated_elements;
+          found_homs_verify;
+        ] );
+      ( "cores",
+        [ Alcotest.test_case "classics" `Quick test_core_classics; core_laws ] );
+      ( "consistency",
+        [
+          Alcotest.test_case "classics" `Quick test_consistency_classics;
+          consistency_sound;
+        ] );
+      ( "cross-validation",
+        [ gtgraph_hom_agrees; gtgraph_ctw_agrees; pebble_game_agrees ] );
+    ]

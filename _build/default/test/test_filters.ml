@@ -1,0 +1,195 @@
+(* Tests for the Section-5 extensions: FILTER conditions and SELECT
+   projection — syntax, semantics, well-designedness, and the classifier's
+   outside-the-fragment verdict. *)
+
+open Rdf
+open Sparql
+
+let check = Alcotest.check
+
+let qcheck ?(count = 100) name arb law =
+  QCheck_alcotest.to_alcotest (QCheck.Test.make ~count ~name arb law)
+
+let parse = Parser.parse_exn
+let v = Variable.of_string
+let iri = Iri.of_string
+
+let graph =
+  Graph.of_triples
+    [
+      Triple.make (Term.iri "n:a") (Term.iri "p:knows") (Term.iri "n:b");
+      Triple.make (Term.iri "n:b") (Term.iri "p:knows") (Term.iri "n:a");
+      Triple.make (Term.iri "n:c") (Term.iri "p:knows") (Term.iri "n:c");
+      Triple.make (Term.iri "n:a") (Term.iri "p:mail") (Term.iri "m:a");
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* Condition semantics                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let mu = Mapping.of_list [ (v "x", iri "n:a"); (v "y", iri "n:b") ]
+
+let test_condition_satisfaction () =
+  let sat c = Condition.satisfies mu c in
+  check Alcotest.bool "bound" true (sat (Condition.bound "x"));
+  check Alcotest.bool "unbound" false (sat (Condition.bound "z"));
+  check Alcotest.bool "eq var/iri" true
+    (sat (Condition.eq (Term.var "x") (Term.iri "n:a")));
+  check Alcotest.bool "eq var/var" false
+    (sat (Condition.eq (Term.var "x") (Term.var "y")));
+  check Alcotest.bool "neq" true
+    (sat (Condition.neq (Term.var "x") (Term.var "y")));
+  (* unbound variables fail equalities, even negated ones are true then *)
+  check Alcotest.bool "eq with unbound is unsatisfied" false
+    (sat (Condition.eq (Term.var "z") (Term.iri "n:a")));
+  check Alcotest.bool "classical negation" true
+    (sat (Condition.Not (Condition.eq (Term.var "z") (Term.iri "n:a"))));
+  check Alcotest.bool "and" true
+    (sat (Condition.And (Condition.bound "x", Condition.bound "y")));
+  check Alcotest.bool "or short" true
+    (sat (Condition.Or (Condition.bound "z", Condition.bound "x")));
+  check Alcotest.int "vars" 2
+    (Variable.Set.cardinal
+       (Condition.vars
+          (Condition.And
+             ( Condition.eq (Term.var "x") (Term.iri "c:1"),
+               Condition.bound "q" ))))
+
+(* ------------------------------------------------------------------ *)
+(* FILTER evaluation                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let test_filter_eval () =
+  let no_loops = parse "{ ?x p:knows ?y . FILTER (?x != ?y) }" in
+  check Alcotest.int "self-loop filtered out" 2
+    (Mapping.Set.cardinal (Eval.eval no_loops graph));
+  let only_loop = parse "{ ?x p:knows ?y . FILTER (?x = ?y) }" in
+  check Alcotest.int "only the loop" 1
+    (Mapping.Set.cardinal (Eval.eval only_loop graph));
+  (* filter over an OPT: BOUND distinguishes extended solutions *)
+  let with_mail =
+    parse "{ ?x p:knows ?y . OPTIONAL { ?x p:mail ?m } FILTER (BOUND(?m)) }"
+  in
+  let sols = Eval.eval with_mail graph in
+  check Alcotest.int "only the solution with mail" 1 (Mapping.Set.cardinal sols);
+  check Alcotest.(option string) "it is ann's" (Some "n:a")
+    (Option.map Iri.to_string (Mapping.find (v "x") (Mapping.Set.choose sols)));
+  let without_mail =
+    parse "{ ?x p:knows ?y . OPTIONAL { ?x p:mail ?m } FILTER (!(BOUND(?m))) }"
+  in
+  check Alcotest.int "the other two" 2
+    (Mapping.Set.cardinal (Eval.eval without_mail graph))
+
+(* ------------------------------------------------------------------ *)
+(* SELECT evaluation                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let test_select_eval () =
+  let q = parse "SELECT ?x WHERE { ?x p:knows ?y }" in
+  let sols = Eval.eval q graph in
+  (* three subjects, one duplicated by projection *)
+  check Alcotest.int "projection dedups" 3 (Mapping.Set.cardinal sols);
+  Mapping.Set.iter
+    (fun m -> check Alcotest.int "domain is {x}" 1 (Mapping.cardinal m))
+    sols;
+  let q2 = parse "SELECT ?m WHERE { ?x p:knows ?y . OPTIONAL { ?x p:mail ?m } }" in
+  let sols2 = Eval.eval q2 graph in
+  (* one row with m bound, one fully-empty row from the unextended ones *)
+  check Alcotest.int "partial projections" 2 (Mapping.Set.cardinal sols2);
+  check Alcotest.bool "empty mapping present" true
+    (Mapping.Set.mem Mapping.empty sols2)
+
+(* ------------------------------------------------------------------ *)
+(* Well-designedness with FILTER/SELECT                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_wd_with_extensions () =
+  check Alcotest.bool "safe filter ok" true
+    (Well_designed.is_well_designed (parse "{ ?x p:a ?y . FILTER (?x != ?y) }"));
+  (match Well_designed.check (parse "{ ?x p:a ?y . FILTER (?x != ?z) }") with
+  | Error (Well_designed.Unsafe_filter _) -> ()
+  | _ -> Alcotest.fail "expected Unsafe_filter");
+  check Alcotest.bool "top-level select ok" true
+    (Well_designed.is_well_designed (parse "SELECT ?x WHERE { ?x p:a ?y }"));
+  (* the classifier flags the fragment *)
+  let c = Wd_core.Classify.classify (parse "{ ?x p:a ?y . FILTER (?x != ?y) }") in
+  (match c.Wd_core.Classify.regime with
+  | Wd_core.Classify.Outside_core_fragment -> ()
+  | _ -> Alcotest.fail "expected Outside_core_fragment");
+  (* and the translation refuses *)
+  match Wdpt.Pattern_forest.of_algebra (parse "{ ?x p:a ?y . FILTER (?x != ?y) }") with
+  | exception Wdpt.Translate.Not_well_designed (Well_designed.Beyond_core_fragment _) -> ()
+  | _ -> Alcotest.fail "expected Beyond_core_fragment"
+
+let filter_roundtrip =
+  qcheck ~count:50 "FILTER/SELECT patterns roundtrip through the printer"
+    (QCheck.make QCheck.Gen.(int_bound 100000))
+    (fun seed ->
+      (* decorate a random core pattern with a safe filter and a select *)
+      let p = Testutil.wd_pattern_of_seed ~union:1 ~triples:4 seed in
+      let vars = Variable.Set.elements (Algebra.vars p) in
+      match vars with
+      | x :: rest ->
+          let y = match rest with y :: _ -> y | [] -> x in
+          let filtered =
+            Algebra.filter p (Condition.neq (Term.Var x) (Term.Var y))
+          in
+          let selected = Algebra.select (Variable.Set.singleton x) filtered in
+          (match Parser.parse (Printer.to_string filtered) with
+          | Ok p' -> Algebra.equal filtered p'
+          | Error _ -> false)
+          &&
+          (match Parser.parse (Printer.to_string selected) with
+          | Ok p' -> Algebra.equal selected p'
+          | Error _ -> false)
+      | [] -> true)
+
+let filter_narrows =
+  qcheck ~count:50 "FILTER never adds solutions; SELECT never adds variables"
+    (QCheck.make QCheck.Gen.(int_bound 100000))
+    (fun seed ->
+      let p = Testutil.wd_pattern_of_seed ~union:1 ~triples:4 seed in
+      let g = Testutil.graph_of_seed ~nodes:4 ~preds:2 ~triples:10 (seed + 1) in
+      let vars = Variable.Set.elements (Algebra.vars p) in
+      match vars with
+      | x :: _ ->
+          let filtered = Algebra.filter p (Condition.Bound x) in
+          Mapping.Set.subset (Eval.eval filtered g) (Eval.eval p g)
+          &&
+          let selected = Algebra.select (Variable.Set.singleton x) p in
+          Mapping.Set.for_all
+            (fun m -> Mapping.cardinal m <= 1)
+            (Eval.eval selected g)
+      | [] -> true)
+
+let test_parser_errors_extensions () =
+  let fails s =
+    match Parser.parse s with
+    | Error _ -> ()
+    | Ok _ -> Alcotest.failf "should not parse: %s" s
+  in
+  fails "{ FILTER (?x = ?y) }";
+  (* FILTER cannot start a group *)
+  fails "{ ?x p:a ?y . FILTER ?x = ?y }";
+  (* parens required *)
+  fails "{ ?x p:a ?y . FILTER (?x) }";
+  fails "{ ?x p:a ?y . FILTER (BOUND(p:c)) }";
+  fails "SELECT WHERE { ?x p:a ?y }"
+
+let () =
+  Alcotest.run "filters"
+    [
+      ( "conditions",
+        [ Alcotest.test_case "satisfaction" `Quick test_condition_satisfaction ] );
+      ( "filter",
+        [ Alcotest.test_case "evaluation" `Quick test_filter_eval ] );
+      ( "select",
+        [ Alcotest.test_case "evaluation" `Quick test_select_eval ] );
+      ( "well-designedness",
+        [
+          Alcotest.test_case "extended checks" `Quick test_wd_with_extensions;
+          Alcotest.test_case "parser errors" `Quick test_parser_errors_extensions;
+          filter_roundtrip;
+          filter_narrows;
+        ] );
+    ]

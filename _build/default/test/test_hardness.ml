@@ -1,0 +1,166 @@
+open Graphtheory
+open Hardness
+
+let check = Alcotest.check
+
+let qcheck ?(count = 100) name arb law =
+  QCheck_alcotest.to_alcotest (QCheck.Test.make ~count ~name arb law)
+
+(* ------------------------------------------------------------------ *)
+(* Brute-force clique                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let test_clique_known () =
+  check Alcotest.bool "K5 has 5-clique" true (Clique.has_clique (Ugraph.complete 5) 5);
+  check Alcotest.bool "K5 has no 6-clique" false (Clique.has_clique (Ugraph.complete 5) 6);
+  check Alcotest.bool "C5 triangle-free" false (Clique.has_clique (Ugraph.cycle_graph 5) 3);
+  check Alcotest.bool "C5 has an edge" true (Clique.has_clique (Ugraph.cycle_graph 5) 2);
+  check Alcotest.bool "everything has a 1-clique" true
+    (Clique.has_clique (Ugraph.make ~n:1 ~edges:[]) 1);
+  check Alcotest.bool "empty graph has no 1-clique" false
+    (Clique.has_clique (Ugraph.make ~n:0 ~edges:[]) 1);
+  match Clique.find_clique (Ugraph.complete 4) 3 with
+  | Some witness ->
+      check Alcotest.int "witness size" 3 (List.length witness);
+      let rec pairwise = function
+        | [] -> true
+        | u :: rest ->
+            List.for_all (fun w -> Ugraph.mem_edge (Ugraph.complete 4) u w) rest
+            && pairwise rest
+      in
+      check Alcotest.bool "witness is a clique" true (pairwise witness)
+  | None -> Alcotest.fail "expected a witness"
+
+let clique_monotone =
+  qcheck ~count:60 "k-clique implies (k-1)-clique" Testutil.small_ugraph
+    (fun h ->
+      (not (Clique.has_clique h 4)) || Clique.has_clique h 3)
+
+(* ------------------------------------------------------------------ *)
+(* Lemma 2 construction                                                *)
+(* ------------------------------------------------------------------ *)
+
+let lemma2_setup ~k ~h =
+  let cols = k * (k - 1) / 2 in
+  let tree = Workload.Query_families.grid_query ~rows:k ~cols in
+  let forest = [ tree ] in
+  let subtree = Wdpt.Subtree.root_only tree in
+  match Wdpt.Children_assignment.gtg forest subtree with
+  | [ s ] -> (
+      match Grohe.construct ~k ~h s with
+      | Ok (b, stats) -> (s, b, stats)
+      | Error e -> Alcotest.failf "construct failed: %s" e)
+  | _ -> Alcotest.fail "expected singleton GtG"
+
+let test_lemma2_properties () =
+  let k = 3 in
+  let h = Clique.random_graph ~seed:7 ~n:6 ~edge_prob:0.5 in
+  let s, b, stats = lemma2_setup ~k ~h in
+  (* condition (1): triples of S over X only appear in B *)
+  let x = Tgraphs.Gtgraph.x s in
+  List.iter
+    (fun t ->
+      if Rdf.Variable.Set.subset (Rdf.Triple.vars t) x then
+        check Alcotest.bool "X-only triple kept" true
+          (Tgraphs.Tgraph.mem (Tgraphs.Gtgraph.s b) t))
+    (Tgraphs.Tgraph.triples (Tgraphs.Gtgraph.s s));
+  (* condition (2): (B,X) -> (S,X) *)
+  check Alcotest.bool "(B,X) -> (S,X)" true (Tgraphs.Gtgraph.maps_to b s);
+  (* condition (3): clique iff (S,X) -> (B,X) *)
+  check Alcotest.bool "clique iff (S,X) -> (B,X)"
+    (Clique.has_clique h k)
+    (Tgraphs.Gtgraph.maps_to s b);
+  (* stats are consistent *)
+  check Alcotest.int "grid rows" k stats.Grohe.grid_rows;
+  check Alcotest.int "grid cols" 3 stats.Grohe.grid_cols;
+  check Alcotest.bool "nonempty gadget" true (stats.Grohe.triples > 0)
+
+let lemma2_condition3 =
+  qcheck ~count:12 "Lemma 2 condition (3) on random graphs"
+    (QCheck.make QCheck.Gen.(int_bound 10000))
+    (fun seed ->
+      let k = 3 in
+      let h = Clique.random_graph ~seed ~n:6 ~edge_prob:0.4 in
+      let s, b, _ = lemma2_setup ~k ~h in
+      Clique.has_clique h k = Tgraphs.Gtgraph.maps_to s b)
+
+let test_lemma2_requires_grid () =
+  (* a query whose Gaifman graph has no existential variables cannot host
+     the grid *)
+  let s =
+    Tgraphs.Gtgraph.make
+      (Tgraphs.Tgraph.of_triples
+         [ Rdf.Triple.make (Rdf.Term.var "x") (Rdf.Term.iri "p:p") (Rdf.Term.var "y") ])
+      (Rdf.Variable.Set.of_list [ Rdf.Variable.of_string "x"; Rdf.Variable.of_string "y" ])
+  in
+  match Grohe.construct ~k:3 ~h:(Ugraph.complete 4) s with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "expected failure without a grid component"
+
+(* ------------------------------------------------------------------ *)
+(* The full reduction (Section 4.2)                                    *)
+(* ------------------------------------------------------------------ *)
+
+let test_reduction_negative () =
+  List.iter
+    (fun n ->
+      let h = Ugraph.cycle_graph n in
+      match Reduction.decide ~k:3 ~h with
+      | Ok got -> check Alcotest.bool "cycles are triangle-free" false got
+      | Error e -> Alcotest.fail e)
+    [ 4; 5; 6 ]
+
+let test_reduction_positive () =
+  let h = Ugraph.complete 4 in
+  match Reduction.decide ~k:3 ~h with
+  | Ok got -> check Alcotest.bool "K4 has a triangle" true got
+  | Error e -> Alcotest.fail e
+
+let reduction_agrees =
+  qcheck ~count:10 "reduction agrees with brute force"
+    (QCheck.make QCheck.Gen.(int_bound 10000))
+    (fun seed ->
+      let h = Clique.random_graph ~seed ~n:7 ~edge_prob:0.3 in
+      match Reduction.decide ~k:3 ~h with
+      | Ok got -> got = Clique.has_clique h 3
+      | Error _ -> false)
+
+let test_reduction_instance_shape () =
+  let h = Clique.random_graph ~seed:5 ~n:6 ~edge_prob:0.5 in
+  match Reduction.build ~k:3 ~h with
+  | Error e -> Alcotest.fail e
+  | Ok inst ->
+      check Alcotest.int "single-tree forest" 1 (List.length inst.Reduction.forest);
+      check Alcotest.int "µ binds vars(T) = {x, y}" 2
+        (Sparql.Mapping.cardinal inst.Reduction.mu);
+      check Alcotest.bool "frozen graph nonempty" true
+        (Rdf.Graph.cardinal inst.Reduction.graph > 0);
+      (* µ's image lies in the graph's domain *)
+      let dom = Rdf.Graph.dom inst.Reduction.graph in
+      List.iter
+        (fun (_, iri) ->
+          check Alcotest.bool "µ image in dom(G)" true (Rdf.Iri.Set.mem iri dom))
+        (Sparql.Mapping.to_list inst.Reduction.mu)
+
+let () =
+  Alcotest.run "hardness"
+    [
+      ( "clique",
+        [
+          Alcotest.test_case "known cases" `Quick test_clique_known;
+          clique_monotone;
+        ] );
+      ( "lemma 2",
+        [
+          Alcotest.test_case "conditions 1-3" `Quick test_lemma2_properties;
+          lemma2_condition3;
+          Alcotest.test_case "requires grid component" `Quick test_lemma2_requires_grid;
+        ] );
+      ( "reduction",
+        [
+          Alcotest.test_case "negative instances" `Quick test_reduction_negative;
+          Alcotest.test_case "positive instance" `Quick test_reduction_positive;
+          Alcotest.test_case "instance shape" `Quick test_reduction_instance_shape;
+          reduction_agrees;
+        ] );
+    ]

@@ -1,0 +1,194 @@
+open Rdf
+open Tgraphs
+open Pebble
+
+let check = Alcotest.check
+
+let qcheck ?(count = 100) name arb law =
+  QCheck_alcotest.to_alcotest (QCheck.Test.make ~count ~name arb law)
+
+let v = Term.var
+let iri = Term.iri
+let t s p o = Triple.make s p o
+let no_mu = Variable.Map.empty
+
+let k3_pattern =
+  Tgraph.of_triples
+    [
+      t (v "o1") (iri "p:r") (v "o2");
+      t (v "o1") (iri "p:r") (v "o3");
+      t (v "o2") (iri "p:r") (v "o3");
+    ]
+
+let closed_k3 = Gtgraph.make k3_pattern Variable.Set.empty
+
+let random_mu g graph seed =
+  let iris = Iri.Set.elements (Graph.dom graph) in
+  let state = Random.State.make [| seed; 5 |] in
+  Variable.Set.fold
+    (fun var acc ->
+      Variable.Map.add var
+        (Term.Iri (List.nth iris (Random.State.int state (List.length iris))))
+        acc)
+    (Gtgraph.x g) Variable.Map.empty
+
+let test_invalid_args () =
+  Alcotest.check_raises "k >= 1"
+    (Invalid_argument "Pebble_game.wins: k must be at least 1") (fun () ->
+      ignore (Pebble_game.wins ~k:0 closed_k3 ~mu:no_mu Graph.empty));
+  let g = Gtgraph.make k3_pattern (Variable.Set.singleton (Variable.of_string "o1")) in
+  Alcotest.check_raises "µ covers X"
+    (Invalid_argument "Pebble_game.wins: µ does not cover X") (fun () ->
+      ignore (Pebble_game.wins ~k:2 g ~mu:no_mu Graph.empty))
+
+let test_ground_only () =
+  (* vars(S) \ X = ∅: the game degenerates to membership (property (1)) *)
+  let ground = Tgraph.of_triples [ t (iri "n:a") (iri "p:r") (iri "n:b") ] in
+  let g = Gtgraph.make ground Variable.Set.empty in
+  let graph_yes = Graph.of_triples [ t (iri "n:a") (iri "p:r") (iri "n:b") ] in
+  let graph_no = Graph.of_triples [ t (iri "n:b") (iri "p:r") (iri "n:a") ] in
+  check Alcotest.bool "present" true (Pebble_game.wins ~k:2 g ~mu:no_mu graph_yes);
+  check Alcotest.bool "absent" false (Pebble_game.wins ~k:2 g ~mu:no_mu graph_no)
+
+let test_classic_c3_vs_k3 () =
+  (* The transitive-triangle pattern vs a directed 3-cycle: no
+     homomorphism, but the Duplicator wins with 2 pebbles. With 3 pebbles
+     the Spoiler exposes the inconsistency (ctw of the pattern is 2, so
+     k = 3 is exact by Prop. 3). *)
+  let c3 = Generator.cycle ~n:3 ~pred:"r" in
+  check Alcotest.bool "no hom" false (Gtgraph.maps_to_graph closed_k3 ~mu:no_mu c3);
+  check Alcotest.bool "2 pebbles fooled" true
+    (Pebble_game.wins ~k:2 closed_k3 ~mu:no_mu c3);
+  check Alcotest.bool "3 pebbles exact" false
+    (Pebble_game.wins ~k:3 closed_k3 ~mu:no_mu c3)
+
+let test_tournament_k3 () =
+  let tt = Generator.transitive_tournament ~n:4 ~pred:"r" in
+  check Alcotest.bool "hom exists" true (Gtgraph.maps_to_graph closed_k3 ~mu:no_mu tt);
+  check Alcotest.bool "2 pebbles" true (Pebble_game.wins ~k:2 closed_k3 ~mu:no_mu tt);
+  check Alcotest.bool "3 pebbles" true (Pebble_game.wins ~k:3 closed_k3 ~mu:no_mu tt)
+
+let test_mu_anchoring () =
+  let s = Tgraph.of_triples [ t (v "x") (iri "p:r") (v "o") ] in
+  let g = Gtgraph.make s (Variable.Set.singleton (Variable.of_string "x")) in
+  let graph = Generator.path ~n:3 ~pred:"r" in
+  let mu node = Variable.Map.singleton (Variable.of_string "x") (Generator.node node) in
+  check Alcotest.bool "source wins" true (Pebble_game.wins ~k:2 g ~mu:(mu 0) graph);
+  check Alcotest.bool "sink loses" false (Pebble_game.wins ~k:2 g ~mu:(mu 2) graph)
+
+let hom_implies_pebble =
+  qcheck ~count:80 "homomorphism implies pebble win (property (2))"
+    (QCheck.make QCheck.Gen.(int_bound 100000))
+    (fun seed ->
+      let g = Testutil.gtgraph_of_seed ~triples:3 ~vars:3 seed in
+      let graph = Testutil.graph_of_seed ~nodes:4 ~preds:2 ~triples:8 (seed + 3) in
+      if Iri.Set.is_empty (Graph.dom graph) then true
+      else begin
+        let mu = random_mu g graph seed in
+        let hom = Gtgraph.maps_to_graph g ~mu graph in
+        (not hom)
+        || (Pebble_game.wins ~k:2 g ~mu graph && Pebble_game.wins ~k:3 g ~mu graph)
+      end)
+
+let pebble_monotone =
+  qcheck ~count:60 "wins with k+1 pebbles implies wins with k"
+    (QCheck.make QCheck.Gen.(int_bound 100000))
+    (fun seed ->
+      let g = Testutil.gtgraph_of_seed ~triples:3 ~vars:3 seed in
+      let graph = Testutil.graph_of_seed ~nodes:4 ~preds:2 ~triples:8 (seed + 7) in
+      if Iri.Set.is_empty (Graph.dom graph) then true
+      else begin
+        let mu = random_mu g graph (seed + 1) in
+        (not (Pebble_game.wins ~k:3 g ~mu graph))
+        || Pebble_game.wins ~k:2 g ~mu graph
+      end)
+
+let prop3_exactness =
+  qcheck ~count:80 "ctw <= k-1 makes the k-pebble game exact (Prop. 3)"
+    (QCheck.make QCheck.Gen.(int_bound 100000))
+    (fun seed ->
+      let g = Testutil.gtgraph_of_seed ~triples:3 ~vars:4 seed in
+      let graph = Testutil.graph_of_seed ~nodes:4 ~preds:2 ~triples:8 (seed + 11) in
+      if Iri.Set.is_empty (Graph.dom graph) then true
+      else begin
+        let mu = random_mu g graph (seed + 2) in
+        let k = Cores.ctw g + 1 in
+        if k < 2 || k > 4 then true
+        else Pebble_game.wins ~k g ~mu graph = Gtgraph.maps_to_graph g ~mu graph
+      end)
+
+(* Proposition 4(1): (S1,X) → (S2,X) and (S2,X) →µ_k G imply
+   (S1,X) →µ_k G. *)
+let prop4_composition =
+  qcheck ~count:60 "Prop 4(1): hom composes with pebble wins"
+    (QCheck.make QCheck.Gen.(int_bound 100000))
+    (fun seed ->
+      let s2 = Testutil.gtgraph_of_seed ~triples:3 ~vars:3 seed in
+      (* build S1 that maps into S2: a substituted variant of a subset of
+         S2's triples (renaming some variables apart keeps a hom into S2) *)
+      let x = Gtgraph.x s2 in
+      let renamed, _ =
+        Tgraph.rename_avoiding ~keep:x ~avoid:Variable.Set.empty (Gtgraph.s s2)
+      in
+      let s1 = Gtgraph.make renamed x in
+      if not (Gtgraph.maps_to s1 s2) then true (* construction guarantees it *)
+      else begin
+        let graph = Testutil.graph_of_seed ~nodes:4 ~preds:2 ~triples:8 (seed + 3) in
+        if Iri.Set.is_empty (Graph.dom graph) then true
+        else begin
+          let mu = random_mu s2 graph seed in
+          (not (Pebble_game.wins ~k:2 s2 ~mu graph))
+          || Pebble_game.wins ~k:2 s1 ~mu graph
+        end
+      end)
+
+(* Proposition 4(2): pebble wins combine over unions with disjoint
+   existential variables. *)
+let prop4_disjoint_union =
+  qcheck ~count:60 "Prop 4(2): wins combine over disjoint unions"
+    (QCheck.make QCheck.Gen.(int_bound 100000))
+    (fun seed ->
+      let s1 = Testutil.gtgraph_of_seed ~triples:2 ~vars:2 seed in
+      let x = Gtgraph.x s1 in
+      (* second part: rename s1's existential variables apart *)
+      let renamed, _ =
+        Tgraph.rename_avoiding ~keep:x ~avoid:Variable.Set.empty (Gtgraph.s s1)
+      in
+      let s2 = Gtgraph.make renamed x in
+      let union = Gtgraph.make (Tgraph.union (Gtgraph.s s1) (Gtgraph.s s2)) x in
+      let graph = Testutil.graph_of_seed ~nodes:4 ~preds:2 ~triples:8 (seed + 7) in
+      if Iri.Set.is_empty (Graph.dom graph) then true
+      else begin
+        let mu = random_mu s1 graph seed in
+        (not (Pebble_game.wins ~k:2 s1 ~mu graph && Pebble_game.wins ~k:2 s2 ~mu graph))
+        || Pebble_game.wins ~k:2 union ~mu graph
+      end)
+
+let test_stats () =
+  Pebble_game.reset_stats ();
+  check Alcotest.int "reset" 0 (Pebble_game.stats_families_explored ());
+  let tt = Generator.transitive_tournament ~n:4 ~pred:"r" in
+  ignore (Pebble_game.wins ~k:2 closed_k3 ~mu:no_mu tt);
+  check Alcotest.bool "counted" true (Pebble_game.stats_families_explored () > 0)
+
+let () =
+  Alcotest.run "pebble"
+    [
+      ( "basics",
+        [
+          Alcotest.test_case "invalid arguments" `Quick test_invalid_args;
+          Alcotest.test_case "ground-only is membership" `Quick test_ground_only;
+          Alcotest.test_case "µ anchoring" `Quick test_mu_anchoring;
+          Alcotest.test_case "stats" `Quick test_stats;
+        ] );
+      ( "classic instances",
+        [
+          Alcotest.test_case "C3 fools 2 pebbles, not 3" `Quick test_classic_c3_vs_k3;
+          Alcotest.test_case "tournament agrees" `Quick test_tournament_k3;
+        ] );
+      ( "laws",
+        [
+          hom_implies_pebble; pebble_monotone; prop3_exactness;
+          prop4_composition; prop4_disjoint_union;
+        ] );
+    ]

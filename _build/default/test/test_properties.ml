@@ -1,0 +1,239 @@
+(* Cross-cutting algebraic and semantic laws — properties the literature
+   states (or that follow from the definitions) which a correct
+   implementation must satisfy globally. These complement the per-module
+   suites with laws that span layers. *)
+
+open Rdf
+
+let qcheck ?(count = 80) name arb law =
+  QCheck_alcotest.to_alcotest (QCheck.Test.make ~count ~name arb law)
+
+let seed_arb = QCheck.make QCheck.Gen.(int_bound 1_000_000)
+
+let eval = Sparql.Eval.eval
+let ( === ) = Sparql.Mapping.Set.equal
+
+let pattern_pair_of_seed seed =
+  ( Testutil.wd_pattern_of_seed ~union:1 ~triples:4 seed,
+    Testutil.wd_pattern_of_seed ~union:1 ~triples:4 (seed + 1) )
+
+let graph_of seed = Testutil.graph_of_seed ~nodes:4 ~preds:2 ~triples:10 seed
+
+(* ------------------------------------------------------------------ *)
+(* Algebraic laws of the operators (under the defining semantics)      *)
+(* ------------------------------------------------------------------ *)
+
+let union_laws =
+  qcheck "UNION is commutative, associative, idempotent" seed_arb (fun seed ->
+      let p, q = pattern_pair_of_seed seed in
+      let g = graph_of (seed + 2) in
+      eval (Sparql.Algebra.union p q) g === eval (Sparql.Algebra.union q p) g
+      && eval (Sparql.Algebra.union p (Sparql.Algebra.union q p)) g
+         === eval (Sparql.Algebra.union (Sparql.Algebra.union p q) p) g
+      && eval (Sparql.Algebra.union p p) g === eval p g)
+
+let and_laws =
+  qcheck "AND is commutative and associative" seed_arb (fun seed ->
+      let p, q = pattern_pair_of_seed seed in
+      let r = Testutil.wd_pattern_of_seed ~union:1 ~triples:3 (seed + 7) in
+      let g = graph_of (seed + 2) in
+      eval (Sparql.Algebra.and_ p q) g === eval (Sparql.Algebra.and_ q p) g
+      && eval (Sparql.Algebra.and_ p (Sparql.Algebra.and_ q r)) g
+         === eval (Sparql.Algebra.and_ (Sparql.Algebra.and_ p q) r) g)
+
+let opt_laws =
+  qcheck "OPT contains AND and extends left solutions" seed_arb (fun seed ->
+      let p, q = pattern_pair_of_seed seed in
+      let g = graph_of (seed + 2) in
+      let opt_sols = eval (Sparql.Algebra.opt p q) g in
+      let and_sols = eval (Sparql.Algebra.and_ p q) g in
+      let left_sols = eval p g in
+      Sparql.Mapping.Set.subset and_sols opt_sols
+      && Sparql.Mapping.Set.for_all
+           (fun mu ->
+             Sparql.Mapping.Set.exists
+               (fun mu1 -> Sparql.Mapping.subsumes mu mu1)
+               left_sols)
+           opt_sols)
+
+let filter_laws =
+  qcheck "FILTER composes as conjunction and commutes" seed_arb (fun seed ->
+      let p = Testutil.wd_pattern_of_seed ~union:1 ~triples:4 seed in
+      let g = graph_of (seed + 2) in
+      match Variable.Set.elements (Sparql.Algebra.vars p) with
+      | x :: y :: _ ->
+          let c1 = Sparql.Condition.Bound x in
+          let c2 = Sparql.Condition.neq (Term.Var x) (Term.Var y) in
+          let nested =
+            Sparql.Algebra.filter (Sparql.Algebra.filter p c1) c2
+          in
+          let conj = Sparql.Algebra.filter p (Sparql.Condition.And (c1, c2)) in
+          let swapped =
+            Sparql.Algebra.filter (Sparql.Algebra.filter p c2) c1
+          in
+          eval nested g === eval conj g && eval nested g === eval swapped g
+      | _ -> true)
+
+let select_laws =
+  qcheck "SELECT is idempotent and monotone in the variable set" seed_arb
+    (fun seed ->
+      let p = Testutil.wd_pattern_of_seed ~union:1 ~triples:4 seed in
+      let g = graph_of (seed + 2) in
+      match Variable.Set.elements (Sparql.Algebra.vars p) with
+      | x :: _ ->
+          let vs = Variable.Set.singleton x in
+          let s = Sparql.Algebra.select vs p in
+          eval (Sparql.Algebra.select vs s) g === eval s g
+          && Sparql.Mapping.Set.for_all
+               (fun mu -> Variable.Set.subset (Sparql.Mapping.dom mu) vs)
+               (eval s g)
+      | [] -> true)
+
+(* ------------------------------------------------------------------ *)
+(* Weak monotonicity of well-designed patterns                         *)
+(* ------------------------------------------------------------------ *)
+
+(* Pérez et al.: wd patterns are weakly monotone — growing the graph can
+   only extend solutions (⊑-wise), never lose them. *)
+let weak_monotonicity =
+  qcheck "well-designed patterns are weakly monotone" seed_arb (fun seed ->
+      let p = Testutil.wd_pattern_of_seed ~triples:5 seed in
+      let g = graph_of (seed + 2) in
+      let extra = Testutil.graph_of_seed ~nodes:4 ~preds:2 ~triples:4 (seed + 3) in
+      let g' = Graph.union g extra in
+      Sparql.Mapping.Set.for_all
+        (fun mu ->
+          Sparql.Mapping.Set.exists
+            (fun mu' -> Sparql.Mapping.subsumes mu' mu)
+            (eval p g'))
+        (eval p g))
+
+(* renaming variables consistently does not change widths *)
+let width_renaming_invariance =
+  qcheck ~count:40 "widths are invariant under variable renaming" seed_arb
+    (fun seed ->
+      let p = Testutil.wd_pattern_of_seed ~union:1 ~triples:5 seed in
+      match Wdpt.Pattern_forest.of_algebra p with
+      | [ tree ] ->
+          let renamed =
+            Wdpt.Pattern_tree.rename
+              (fun v -> Variable.of_string ("rn_" ^ Variable.to_string v))
+              tree
+          in
+          Wd_core.Branch_treewidth.of_tree tree
+          = Wd_core.Branch_treewidth.of_tree renamed
+          && Wd_core.Domination_width.of_forest [ tree ]
+             = Wd_core.Domination_width.of_forest [ renamed ]
+      | _ -> true)
+
+(* ------------------------------------------------------------------ *)
+(* Pebble game monotonicity                                            *)
+(* ------------------------------------------------------------------ *)
+
+let pebble_target_monotone =
+  qcheck ~count:60 "duplicator wins survive graph extension" seed_arb
+    (fun seed ->
+      let g = Testutil.gtgraph_of_seed ~triples:3 ~vars:3 seed in
+      let graph = graph_of (seed + 2) in
+      let extra = Testutil.graph_of_seed ~nodes:4 ~preds:2 ~triples:4 (seed + 5) in
+      let graph' = Graph.union graph extra in
+      if Iri.Set.is_empty (Graph.dom graph) then true
+      else begin
+        let iris = Iri.Set.elements (Graph.dom graph) in
+        let state = Random.State.make [| seed; 5 |] in
+        let mu =
+          Variable.Set.fold
+            (fun var acc ->
+              Variable.Map.add var
+                (Term.Iri (List.nth iris (Random.State.int state (List.length iris))))
+                acc)
+            (Tgraphs.Gtgraph.x g) Variable.Map.empty
+        in
+        (not (Pebble.Pebble_game.wins ~k:2 g ~mu graph))
+        || Pebble.Pebble_game.wins ~k:2 g ~mu graph'
+      end)
+
+(* ------------------------------------------------------------------ *)
+(* Treewidth structure laws                                            *)
+(* ------------------------------------------------------------------ *)
+
+let treewidth_edge_laws =
+  qcheck ~count:60 "treewidth: subgraph-monotone, +1 per added edge"
+    (QCheck.pair Testutil.small_ugraph seed_arb) (fun (g, seed) ->
+      let open Graphtheory in
+      let n = Ugraph.n g in
+      if n < 2 then true
+      else begin
+        let state = Random.State.make [| seed; 3 |] in
+        let u = Random.State.int state n and v = Random.State.int state n in
+        if u = v then true
+        else begin
+          let tw = Treewidth.treewidth g in
+          let g_plus = Ugraph.add_edge g u v in
+          let tw_plus = Treewidth.treewidth g_plus in
+          tw <= tw_plus && tw_plus <= tw + 1
+        end
+      end)
+
+let treewidth_clique_lower =
+  qcheck ~count:60 "treewidth >= max-clique - 1" Testutil.small_ugraph
+    (fun g ->
+      let rec largest k =
+        if Hardness.Clique.has_clique g k then largest (k + 1) else k - 1
+      in
+      let omega = largest 1 in
+      Graphtheory.Treewidth.treewidth g >= omega - 1)
+
+(* ------------------------------------------------------------------ *)
+(* Translation stability                                               *)
+(* ------------------------------------------------------------------ *)
+
+let translation_idempotent =
+  qcheck ~count:60 "to_algebra/of_algebra round-trips pattern trees" seed_arb
+    (fun seed ->
+      let p = Testutil.wd_pattern_of_seed ~union:1 ~triples:5 seed in
+      match Wdpt.Pattern_forest.of_algebra p with
+      | [ tree ] ->
+          Wdpt.Pattern_tree.equal tree
+            (Wdpt.Translate.tree_of_algebra (Wdpt.Pattern_tree.to_algebra tree))
+      | _ -> true)
+
+let onf_translation_same_forest =
+  qcheck ~count:60 "opt_normal_form yields the same pattern tree" seed_arb
+    (fun seed ->
+      let p = Testutil.wd_pattern_of_seed ~union:1 ~triples:5 seed in
+      let onf = Wdpt.Translate.opt_normal_form p in
+      match Wdpt.Pattern_forest.of_algebra p, Wdpt.Pattern_forest.of_algebra onf with
+      | [ t1 ], [ t2 ] -> Wdpt.Pattern_tree.equal t1 t2
+      | _ -> false)
+
+(* ------------------------------------------------------------------ *)
+(* Engine consistency across algorithms                                *)
+(* ------------------------------------------------------------------ *)
+
+let engine_algorithms_agree =
+  qcheck ~count:40 "engine: naive and pebble plans agree" seed_arb
+    (fun seed ->
+      let p = Testutil.wd_pattern_of_seed ~triples:5 seed in
+      let g = graph_of (seed + 2) in
+      let naive = Wd_core.Engine.plan ~force:Wd_core.Engine.Naive p in
+      let auto = Wd_core.Engine.plan p in
+      Sparql.Mapping.Set.equal
+        (Wd_core.Engine.solutions naive g)
+        (Wd_core.Engine.solutions auto g))
+
+let () =
+  Alcotest.run "properties"
+    [
+      ( "operator laws",
+        [ union_laws; and_laws; opt_laws; filter_laws; select_laws ] );
+      ( "monotonicity",
+        [ weak_monotonicity; pebble_target_monotone ] );
+      ( "width invariance",
+        [ width_renaming_invariance ] );
+      ( "treewidth laws",
+        [ treewidth_edge_laws; treewidth_clique_lower ] );
+      ( "translation stability",
+        [ translation_idempotent; onf_translation_same_forest ] );
+      ("engine", [ engine_algorithms_agree ]);
+    ]

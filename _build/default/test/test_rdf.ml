@@ -1,0 +1,362 @@
+open Rdf
+
+let check = Alcotest.check
+
+(* ------------------------------------------------------------------ *)
+(* Iri / Variable / Term                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_iri_basics () =
+  let i = Iri.of_string "http://example.org/a" in
+  check Alcotest.string "roundtrip" "http://example.org/a" (Iri.to_string i);
+  check Alcotest.bool "equal" true (Iri.equal i (Iri.of_string "http://example.org/a"));
+  check Alcotest.bool "not equal" false (Iri.equal i (Iri.of_string "p:b"));
+  Alcotest.check_raises "empty rejected" (Invalid_argument "Iri.of_string: empty IRI")
+    (fun () -> ignore (Iri.of_string ""))
+
+let test_iri_pp () =
+  check Alcotest.string "prefixed printed bare" "p:knows"
+    (Fmt.str "%a" Iri.pp (Iri.of_string "p:knows"));
+  check Alcotest.string "full IRI in angles" "<http://example.org/a>"
+    (Fmt.str "%a" Iri.pp (Iri.of_string "http://example.org/a"))
+
+let test_variable_basics () =
+  check Alcotest.string "leading ? stripped" "x"
+    (Variable.to_string (Variable.of_string "?x"));
+  check Alcotest.bool "same var" true
+    (Variable.equal (Variable.of_string "?x") (Variable.of_string "x"));
+  check Alcotest.string "pp adds ?" "?x" (Fmt.str "%a" Variable.pp (Variable.of_string "x"))
+
+let test_variable_fresh () =
+  let taken = [ "z"; "z_1"; "z_2" ] in
+  let fresh = Variable.fresh ~basis:(Variable.of_string "z")
+      ~avoid:(fun v -> List.mem (Variable.to_string v) taken)
+  in
+  check Alcotest.string "skips taken names" "z_3" (Variable.to_string fresh);
+  let free = Variable.fresh ~basis:(Variable.of_string "w") ~avoid:(fun _ -> false) in
+  check Alcotest.string "basis reused when free" "w" (Variable.to_string free)
+
+let test_term () =
+  check Alcotest.bool "var is var" true (Term.is_var (Term.var "x"));
+  check Alcotest.bool "iri is not var" false (Term.is_var (Term.iri "p:a"));
+  check Alcotest.bool "iri < var in order" true (Term.compare (Term.iri "p:a") (Term.var "a") < 0);
+  check Alcotest.(option string) "as_var" (Some "x")
+    (Option.map Variable.to_string (Term.as_var (Term.var "x")))
+
+(* ------------------------------------------------------------------ *)
+(* Triple                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let t_xy = Triple.make (Term.var "x") (Term.iri "p:p") (Term.var "y")
+let t_ground = Triple.make (Term.iri "n:a") (Term.iri "p:p") (Term.iri "n:b")
+
+let test_triple_vars () =
+  check Alcotest.(list string) "vars of pattern" [ "x"; "y" ]
+    (List.map Variable.to_string (Variable.Set.elements (Triple.vars t_xy)));
+  check Alcotest.bool "ground" true (Triple.is_ground t_ground);
+  check Alcotest.bool "non-ground" false (Triple.is_ground t_xy)
+
+let test_triple_subst () =
+  let s =
+    Triple.subst
+      (fun v -> if Variable.to_string v = "x" then Some (Term.iri "n:a") else None)
+      t_xy
+  in
+  check Testutil.triple "x replaced" (Triple.make (Term.iri "n:a") (Term.iri "p:p") (Term.var "y")) s
+
+(* ------------------------------------------------------------------ *)
+(* Index                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let sample_index () =
+  Index.of_triples
+    [
+      Triple.make (Term.iri "n:a") (Term.iri "p:p") (Term.iri "n:b");
+      Triple.make (Term.iri "n:a") (Term.iri "p:p") (Term.iri "n:c");
+      Triple.make (Term.iri "n:b") (Term.iri "p:q") (Term.iri "n:c");
+      Triple.make (Term.var "z") (Term.iri "p:q") (Term.iri "n:c");
+    ]
+
+let test_index_matching () =
+  let idx = sample_index () in
+  let count ?s ?p ?o () = List.length (Index.matching idx ?s ?p ?o ()) in
+  check Alcotest.int "all" 4 (count ());
+  check Alcotest.int "by subject" 2 (count ~s:(Term.iri "n:a") ());
+  check Alcotest.int "by predicate" 2 (count ~p:(Term.iri "p:q") ());
+  check Alcotest.int "by object" 3 (count ~o:(Term.iri "n:c") ());
+  check Alcotest.int "s+p" 2 (count ~s:(Term.iri "n:a") ~p:(Term.iri "p:p") ());
+  check Alcotest.int "p+o" 2 (count ~p:(Term.iri "p:q") ~o:(Term.iri "n:c") ());
+  check Alcotest.int "s+o" 1 (count ~s:(Term.iri "n:a") ~o:(Term.iri "n:b") ());
+  check Alcotest.int "full triple hit" 1
+    (count ~s:(Term.iri "n:b") ~p:(Term.iri "p:q") ~o:(Term.iri "n:c") ());
+  check Alcotest.int "full triple miss" 0
+    (count ~s:(Term.iri "n:b") ~p:(Term.iri "p:p") ~o:(Term.iri "n:c") ());
+  (* frozen variable matches only itself *)
+  check Alcotest.int "frozen var as subject" 1 (count ~s:(Term.var "z") ())
+
+let test_index_match_count_agrees () =
+  let idx = sample_index () in
+  let checkpair ?s ?p ?o () =
+    check Alcotest.int "count = |matching|"
+      (List.length (Index.matching idx ?s ?p ?o ()))
+      (Index.match_count idx ?s ?p ?o ())
+  in
+  checkpair ();
+  checkpair ~s:(Term.iri "n:a") ();
+  checkpair ~p:(Term.iri "p:p") ();
+  checkpair ~s:(Term.iri "n:a") ~p:(Term.iri "p:p") ~o:(Term.iri "n:b") ()
+
+let test_index_sets () =
+  let idx = sample_index () in
+  check Alcotest.int "terms" 6 (Term.Set.cardinal (Index.terms idx));
+  check Alcotest.int "vars" 1 (Variable.Set.cardinal (Index.vars idx));
+  check Alcotest.int "iris" 5 (Iri.Set.cardinal (Index.iris idx));
+  check Alcotest.int "cardinal" 4 (Index.cardinal idx);
+  let fresh = Triple.make (Term.iri "n:d") (Term.iri "p:p") (Term.iri "n:e") in
+  let union = Index.union idx (Index.of_triples [ fresh; t_ground ]) in
+  (* t_ground = (n:a, p:p, n:b) is already present, so only [fresh] adds *)
+  check Alcotest.int "union dedups" 5 (Index.cardinal union)
+
+(* ------------------------------------------------------------------ *)
+(* Graph                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_graph_groundness () =
+  (match Graph.of_triples [ t_xy ] with
+  | exception Graph.Not_ground t ->
+      check Testutil.triple "offending triple reported" t_xy t
+  | _ -> Alcotest.fail "expected Not_ground");
+  let g = Graph.of_triples [ t_ground ] in
+  check Alcotest.int "dom" 3 (Iri.Set.cardinal (Graph.dom g))
+
+(* ------------------------------------------------------------------ *)
+(* Turtle                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_turtle_parse () =
+  let src =
+    {|@prefix ex: <http://example.org/> .
+# a comment
+ex:a ex:knows ex:b .
+<http://example.org/b> ex:knows ex:c .
+p:raw p:q p:raw2 .|}
+  in
+  match Turtle.parse_graph src with
+  | Error e -> Alcotest.fail e
+  | Ok g ->
+      check Alcotest.int "three triples" 3 (Graph.cardinal g);
+      check Alcotest.bool "prefix expansion matches explicit IRI" true
+        (Graph.mem g
+           (Triple.make
+              (Term.iri "http://example.org/b")
+              (Term.iri "http://example.org/knows")
+              (Term.iri "http://example.org/c")))
+
+let test_turtle_variables () =
+  (match Turtle.parse_triples "?x p:q n:a ." with
+  | Ok [ t ] -> check Alcotest.bool "variable accepted" false (Triple.is_ground t)
+  | Ok _ -> Alcotest.fail "expected one triple"
+  | Error e -> Alcotest.fail e);
+  match Turtle.parse_graph "?x p:q n:a ." with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "graph parse must reject variables"
+
+let test_turtle_errors () =
+  let bad src =
+    match Turtle.parse_graph src with
+    | Error _ -> ()
+    | Ok _ -> Alcotest.fail ("should not parse: " ^ src)
+  in
+  bad "<unterminated p:q n:a .";
+  bad "p:a p:b .";
+  (* missing object *)
+  bad "@prefix broken <http://x/> .";
+  bad "p:a p:b p:c"
+(* missing final dot *)
+
+let test_turtle_roundtrip () =
+  let g = Generator.social ~seed:3 ~people:15 in
+  let s = Turtle.to_string g in
+  match Turtle.parse_graph s with
+  | Error e -> Alcotest.fail e
+  | Ok g' -> check Testutil.graph "roundtrip" g g'
+
+(* ------------------------------------------------------------------ *)
+(* Literals                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_literal_encode_decode () =
+  let cases =
+    [
+      Literal.plain "hello";
+      Literal.plain "";
+      Literal.plain "with \"quotes\" and \\backslash\\";
+      Literal.plain "line\nbreak\ttab";
+      Literal.plain "special @ ^ % chars";
+      Literal.lang_tagged "chat" "fr";
+      Literal.lang_tagged "colour" "en-GB";
+      Literal.typed "5" (Iri.of_string "http://www.w3.org/2001/XMLSchema#integer");
+      Literal.typed "x@y^z" (Iri.of_string "urn:custom");
+    ]
+  in
+  List.iter
+    (fun literal ->
+      let encoded = Literal.encode literal in
+      check Alcotest.bool "recognised" true (Literal.is_encoded encoded);
+      match Literal.decode encoded with
+      | Some back ->
+          check Alcotest.bool
+            (Fmt.str "roundtrip %a" Literal.pp literal)
+            true (Literal.equal literal back)
+      | None -> Alcotest.fail "decode failed")
+    cases;
+  check Alcotest.bool "plain IRIs do not decode" true
+    (Literal.decode (Iri.of_string "http://example.org/") = None);
+  (* injectivity on a tricky cluster *)
+  let encodings =
+    List.map Literal.encode
+      [
+        Literal.plain "a@en";
+        Literal.lang_tagged "a" "en";
+        Literal.plain "a";
+        Literal.typed "a" (Iri.of_string "urn:en");
+      ]
+  in
+  check Alcotest.int "injective" 4
+    (List.length (List.sort_uniq Iri.compare encodings))
+
+let literal_roundtrip_random =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~count:200 ~name:"literal encode/decode roundtrip"
+       QCheck.(string_of_size (QCheck.Gen.int_bound 30))
+       (fun value ->
+         let literal = Literal.plain value in
+         match Literal.decode (Literal.encode literal) with
+         | Some back -> Literal.equal literal back
+         | None -> false))
+
+let test_literal_scan () =
+  let ok src expected =
+    match Literal.scan src 0 with
+    | Ok (l, _) -> check Alcotest.bool src true (Literal.equal l expected)
+    | Error e -> Alcotest.failf "%s: %s" src e
+  in
+  ok {|"abc"|} (Literal.plain "abc");
+  ok {|"a\"b"|} (Literal.plain {|a"b|});
+  ok {|"x"@en|} (Literal.lang_tagged "x" "en");
+  ok {|"5"^^<urn:int>|} (Literal.typed "5" (Iri.of_string "urn:int"));
+  let bad src =
+    match Literal.scan src 0 with
+    | Error _ -> ()
+    | Ok _ -> Alcotest.failf "should not scan: %s" src
+  in
+  bad {|"unterminated|};
+  bad {|"x"@|};
+  bad {|"x"^^urn:int|};
+  bad {|"x"^^<unclosed|}
+
+let test_literal_turtle_end_to_end () =
+  let src =
+    {|person:ann p:name "Ann \"the\" Analyst" .
+person:ann p:age "41"^^<http://www.w3.org/2001/XMLSchema#integer> .
+person:ann p:motto "salut"@fr .|}
+  in
+  match Turtle.parse_graph src with
+  | Error e -> Alcotest.fail e
+  | Ok g ->
+      check Alcotest.int "three triples" 3 (Graph.cardinal g);
+      (* serialise and reparse: identical graph *)
+      (match Turtle.parse_graph (Turtle.to_string g) with
+      | Ok g' -> check Testutil.graph "turtle roundtrip with literals" g g'
+      | Error e -> Alcotest.fail e);
+      (* N-Triples too *)
+      (match Ntriples.parse (Ntriples.to_string g) with
+      | Ok g' -> check Testutil.graph "ntriples roundtrip with literals" g g'
+      | Error e -> Alcotest.fail e);
+      (* and a query with a literal constant finds the right person *)
+      let p = Sparql.Parser.parse_exn {|{ ?who p:motto "salut"@fr }|} in
+      let sols = Sparql.Eval.eval p g in
+      check Alcotest.int "literal constant matches" 1
+        (Sparql.Mapping.Set.cardinal sols);
+      let p2 = Sparql.Parser.parse_exn {|{ ?who p:motto "salut"@de }|} in
+      check Alcotest.int "wrong language tag does not" 0
+        (Sparql.Mapping.Set.cardinal (Sparql.Eval.eval p2 g))
+
+(* ------------------------------------------------------------------ *)
+(* Generator                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_generator_shapes () =
+  check Alcotest.int "path edges" 9 (Graph.cardinal (Generator.path ~n:10 ~pred:"p"));
+  check Alcotest.int "cycle edges" 10 (Graph.cardinal (Generator.cycle ~n:10 ~pred:"p"));
+  check Alcotest.int "grid edges" 12
+    (Graph.cardinal (Generator.grid ~rows:3 ~cols:3 ~pred:"p"));
+  check Alcotest.int "star edges" 5 (Graph.cardinal (Generator.star ~n:5 ~pred:"p"));
+  check Alcotest.int "tournament edges" 10
+    (Graph.cardinal (Generator.transitive_tournament ~n:5 ~pred:"r"))
+
+let test_generator_random () =
+  let g = Generator.random_digraph ~seed:1 ~n:10 ~m:20 ~pred:"r" in
+  check Alcotest.int "edge count" 20 (Graph.cardinal g);
+  List.iter
+    (fun t ->
+      check Alcotest.bool "no self loops" false (Term.equal t.Triple.s t.Triple.o))
+    (Graph.triples g);
+  let g2 = Generator.random_digraph ~seed:1 ~n:10 ~m:20 ~pred:"r" in
+  check Testutil.graph "deterministic" g g2
+
+let test_generator_social () =
+  let g = Generator.social ~seed:5 ~people:40 in
+  check Testutil.graph "deterministic" g (Generator.social ~seed:5 ~people:40);
+  check Alcotest.bool "nonempty" true (Graph.cardinal g > 40)
+
+let () =
+  Alcotest.run "rdf"
+    [
+      ( "terms",
+        [
+          Alcotest.test_case "iri basics" `Quick test_iri_basics;
+          Alcotest.test_case "iri pp" `Quick test_iri_pp;
+          Alcotest.test_case "variable basics" `Quick test_variable_basics;
+          Alcotest.test_case "variable fresh" `Quick test_variable_fresh;
+          Alcotest.test_case "term" `Quick test_term;
+        ] );
+      ( "triple",
+        [
+          Alcotest.test_case "vars/ground" `Quick test_triple_vars;
+          Alcotest.test_case "subst" `Quick test_triple_subst;
+        ] );
+      ( "index",
+        [
+          Alcotest.test_case "matching patterns" `Quick test_index_matching;
+          Alcotest.test_case "match_count" `Quick test_index_match_count_agrees;
+          Alcotest.test_case "term/var/iri sets" `Quick test_index_sets;
+        ] );
+      ("graph", [ Alcotest.test_case "groundness" `Quick test_graph_groundness ]);
+      ( "turtle",
+        [
+          Alcotest.test_case "parse" `Quick test_turtle_parse;
+          Alcotest.test_case "variables" `Quick test_turtle_variables;
+          Alcotest.test_case "errors" `Quick test_turtle_errors;
+          Alcotest.test_case "roundtrip social" `Quick test_turtle_roundtrip;
+          QCheck_alcotest.to_alcotest
+            (QCheck.Test.make ~count:50 ~name:"roundtrip (random graphs)"
+               Testutil.small_graph (fun g ->
+                 match Turtle.parse_graph (Turtle.to_string g) with
+                 | Ok g' -> Graph.equal g g'
+                 | Error _ -> false));
+        ] );
+      ( "literal",
+        [
+          Alcotest.test_case "encode/decode" `Quick test_literal_encode_decode;
+          literal_roundtrip_random;
+          Alcotest.test_case "scan" `Quick test_literal_scan;
+          Alcotest.test_case "turtle end-to-end" `Quick test_literal_turtle_end_to_end;
+        ] );
+      ( "generator",
+        [
+          Alcotest.test_case "shapes" `Quick test_generator_shapes;
+          Alcotest.test_case "random digraph" `Quick test_generator_random;
+          Alcotest.test_case "social" `Quick test_generator_social;
+        ] );
+    ]

@@ -1,0 +1,298 @@
+(* Tests for the storage/planning layer: statistics, N-Triples I/O, the
+   dictionary-encoded store and its join engine, plan explanation, and the
+   dw-recognition short-circuit. *)
+
+open Rdf
+
+let check = Alcotest.check
+
+let qcheck ?(count = 100) name arb law =
+  QCheck_alcotest.to_alcotest (QCheck.Test.make ~count ~name arb law)
+
+let seed_arb = QCheck.make QCheck.Gen.(int_bound 100000)
+
+(* ------------------------------------------------------------------ *)
+(* Stats                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let sample_graph () =
+  Graph.of_triples
+    [
+      Triple.make (Term.iri "n:a") (Term.iri "p:knows") (Term.iri "n:b");
+      Triple.make (Term.iri "n:a") (Term.iri "p:knows") (Term.iri "n:c");
+      Triple.make (Term.iri "n:b") (Term.iri "p:knows") (Term.iri "n:c");
+      Triple.make (Term.iri "n:a") (Term.iri "p:mail") (Term.iri "m:a");
+    ]
+
+let test_stats_basics () =
+  let s = Stats.of_graph (sample_graph ()) in
+  check Alcotest.int "total" 4 (Stats.triples s);
+  check Alcotest.int "subjects" 2 (Stats.distinct_subjects s);
+  check Alcotest.int "objects" 3 (Stats.distinct_objects s);
+  check Alcotest.int "two predicates" 2 (List.length (Stats.predicates s));
+  (match Stats.predicate s (Iri.of_string "p:knows") with
+  | Some k ->
+      check Alcotest.int "knows triples" 3 k.Stats.triples;
+      check Alcotest.int "knows subjects" 2 k.Stats.distinct_subjects;
+      check Alcotest.int "knows objects" 2 k.Stats.distinct_objects
+  | None -> Alcotest.fail "knows missing");
+  check Alcotest.bool "sorted by count" true
+    (match Stats.predicates s with
+    | (_, a) :: (_, b) :: _ -> a.Stats.triples >= b.Stats.triples
+    | _ -> false)
+
+let test_stats_selectivity () =
+  let s = Stats.of_graph (sample_graph ()) in
+  let sel t = Stats.selectivity s t in
+  let fully_wild = Triple.make (Term.var "a") (Term.var "p") (Term.var "b") in
+  check (Alcotest.float 1e-9) "wild pattern matches everything" 1.0 (sel fully_wild);
+  let knows = Triple.make (Term.var "a") (Term.iri "p:knows") (Term.var "b") in
+  check (Alcotest.float 1e-9) "predicate share" 0.75 (sel knows);
+  let anchored =
+    Triple.make (Term.iri "n:a") (Term.iri "p:knows") (Term.var "b")
+  in
+  check (Alcotest.float 1e-9) "bound subject divides" 0.375 (sel anchored);
+  let unknown = Triple.make (Term.var "a") (Term.iri "p:zzz") (Term.var "b") in
+  check (Alcotest.float 1e-9) "unknown predicate" 0.0 (sel unknown);
+  check Alcotest.bool "estimates within totals" true
+    (Stats.estimated_matches s knows <= 4.0)
+
+let stats_estimates_bounded =
+  qcheck ~count:60 "selectivity stays within [0, 1]" Testutil.small_graph
+    (fun g ->
+      let s = Stats.of_graph g in
+      List.for_all
+        (fun t ->
+          let sel = Stats.selectivity s t in
+          sel >= 0. && sel <= 1.)
+        (Graph.triples g))
+
+(* ------------------------------------------------------------------ *)
+(* N-Triples                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_ntriples_parse () =
+  let src = {|# comment
+<n:a> <p:knows> <n:b> .
+
+<n:b> <p:knows> <n:c> .
+|} in
+  match Ntriples.parse src with
+  | Ok g -> check Alcotest.int "two triples" 2 (Graph.cardinal g)
+  | Error e -> Alcotest.fail e
+
+let test_ntriples_errors () =
+  let bad src =
+    match Ntriples.parse src with
+    | Error _ -> ()
+    | Ok _ -> Alcotest.failf "should not parse: %s" src
+  in
+  bad "<n:a> <p:b> <n:c>";
+  bad "<n:a> <p:b> .";
+  bad "n:a <p:b> <n:c> .";
+  bad "<n:a> <p:b> <n:c> . extra";
+  bad "<> <p:b> <n:c> ."
+
+let ntriples_roundtrip =
+  qcheck ~count:60 "N-Triples roundtrip" Testutil.small_graph (fun g ->
+      match Ntriples.parse (Ntriples.to_string g) with
+      | Ok g' -> Graph.equal g g'
+      | Error _ -> false)
+
+let test_ntriples_deterministic () =
+  let g = Generator.social ~seed:1 ~people:10 in
+  check Alcotest.string "stable output" (Ntriples.to_string g) (Ntriples.to_string g)
+
+(* ------------------------------------------------------------------ *)
+(* Encoded store                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let test_encoded_matching () =
+  let g = sample_graph () in
+  let enc = Encoded.Encoded_graph.of_graph g in
+  let dict = Encoded.Encoded_graph.dictionary enc in
+  let id term = Option.get (Rdf.Dictionary.find dict term) in
+  check Alcotest.int "cardinal" 4 (Encoded.Encoded_graph.cardinal enc);
+  let count ?s ?p ?o () = Encoded.Encoded_graph.match_count enc ?s ?p ?o () in
+  check Alcotest.int "all" 4 (count ());
+  check Alcotest.int "by s" 3 (count ~s:(id (Term.iri "n:a")) ());
+  check Alcotest.int "by p" 3 (count ~p:(id (Term.iri "p:knows")) ());
+  check Alcotest.int "by o" 2 (count ~o:(id (Term.iri "n:c")) ());
+  check Alcotest.int "s+p" 2
+    (count ~s:(id (Term.iri "n:a")) ~p:(id (Term.iri "p:knows")) ());
+  check Alcotest.int "p+o" 2
+    (count ~p:(id (Term.iri "p:knows")) ~o:(id (Term.iri "n:c")) ());
+  (* the case the three-permutation choice must get right: s and o bound,
+     p wild *)
+  check Alcotest.int "s+o" 1
+    (count ~s:(id (Term.iri "n:a")) ~o:(id (Term.iri "n:c")) ());
+  check Alcotest.int "s+p+o hit" 1
+    (count ~s:(id (Term.iri "n:a")) ~p:(id (Term.iri "p:knows"))
+       ~o:(id (Term.iri "n:b")) ());
+  check Alcotest.int "s+p+o miss" 0
+    (count ~s:(id (Term.iri "n:b")) ~p:(id (Term.iri "p:mail"))
+       ~o:(id (Term.iri "n:c")) ());
+  check Alcotest.bool "mem" true
+    (Encoded.Encoded_graph.mem enc
+       (id (Term.iri "n:a"), id (Term.iri "p:knows"), id (Term.iri "n:b")))
+
+let encoded_matches_index =
+  qcheck ~count:80 "encoded match counts = index match counts"
+    Testutil.small_graph (fun g ->
+      let enc = Encoded.Encoded_graph.of_graph g in
+      let dict = Encoded.Encoded_graph.dictionary enc in
+      let idx = Graph.to_index g in
+      let terms = Term.Set.elements (Rdf.Index.terms idx) in
+      let id term = Option.get (Rdf.Dictionary.find dict term) in
+      List.for_all
+        (fun t ->
+          Rdf.Index.match_count idx ~s:t ()
+          = Encoded.Encoded_graph.match_count enc ~s:(id t) ()
+          && Rdf.Index.match_count idx ~p:t ()
+             = Encoded.Encoded_graph.match_count enc ~p:(id t) ()
+          && Rdf.Index.match_count idx ~o:t ()
+             = Encoded.Encoded_graph.match_count enc ~o:(id t) ())
+        terms)
+
+(* ------------------------------------------------------------------ *)
+(* Encoded homomorphism engine                                         *)
+(* ------------------------------------------------------------------ *)
+
+let encoded_hom_agrees =
+  qcheck ~count:150 "encoded join engine = term-based solver"
+    seed_arb (fun seed ->
+      let source = Testutil.tgraph_of_seed ~triples:3 ~vars:3 seed in
+      let g = Testutil.graph_of_seed ~nodes:5 ~preds:2 ~triples:12 (seed + 1) in
+      let enc = Encoded.Encoded_graph.of_graph g in
+      Tgraphs.Homomorphism.count ~source ~target:(Graph.to_index g) ()
+      = Encoded.Encoded_hom.count_tgraph source enc)
+
+let test_encoded_hom_assignments () =
+  let g = Generator.transitive_tournament ~n:4 ~pred:"r" in
+  let enc = Encoded.Encoded_graph.of_graph g in
+  let tri =
+    Tgraphs.Tgraph.of_triples
+      [
+        Triple.make (Term.var "a") (Term.iri "p:r") (Term.var "b");
+        Triple.make (Term.var "b") (Term.iri "p:r") (Term.var "c");
+        Triple.make (Term.var "a") (Term.iri "p:r") (Term.var "c");
+      ]
+  in
+  let source = Encoded.Encoded_hom.compile tri enc in
+  check Alcotest.int "4 triangles" 4 (Encoded.Encoded_hom.count source enc);
+  check Alcotest.bool "exists" true (Encoded.Encoded_hom.exists source enc);
+  let homs = Encoded.Encoded_hom.all source enc in
+  check Alcotest.int "all returns them" 4 (List.length homs);
+  (* decoded assignments are genuine homomorphisms *)
+  List.iter
+    (fun h ->
+      List.iter
+        (fun t ->
+          check Alcotest.bool "decoded hom maps triples into G" true
+            (Graph.mem g (Triple.subst (fun v -> Variable.Map.find_opt v h) t)))
+        (Tgraphs.Tgraph.triples tri))
+    homs
+
+let test_encoded_unsat_constant () =
+  let g = Generator.path ~n:3 ~pred:"r" in
+  let enc = Encoded.Encoded_graph.of_graph g in
+  let absent =
+    Tgraphs.Tgraph.of_triples
+      [ Triple.make (Term.var "x") (Term.iri "p:nowhere") (Term.var "y") ]
+  in
+  let source = Encoded.Encoded_hom.compile absent enc in
+  check Alcotest.int "unknown constant -> no homs" 0
+    (Encoded.Encoded_hom.count source enc);
+  let empty_pattern = Encoded.Encoded_hom.compile Tgraphs.Tgraph.empty enc in
+  check Alcotest.int "empty pattern -> one empty hom" 1
+    (Encoded.Encoded_hom.count empty_pattern enc)
+
+(* ------------------------------------------------------------------ *)
+(* Explain                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_explain () =
+  let g = Generator.social ~seed:2 ~people:30 in
+  let p =
+    Sparql.Parser.parse_exn
+      "{ ?a p:knows ?b . OPTIONAL { ?b p:email ?m } }"
+  in
+  let report = Wd_core.Explain.explain p g in
+  check Alcotest.int "one tree" 1 (List.length report.Wd_core.Explain.trees);
+  let tree_plan = List.hd report.Wd_core.Explain.trees in
+  check Alcotest.int "two nodes" 2 (List.length tree_plan);
+  let root = List.hd tree_plan in
+  check Alcotest.int "root depth 0" 0 root.Wd_core.Explain.depth;
+  check Alcotest.int "root introduces a and b" 2
+    (List.length root.Wd_core.Explain.new_vars);
+  List.iter
+    (fun np ->
+      List.iter
+        (fun tp ->
+          check Alcotest.bool "estimates are non-negative" true
+            (tp.Wd_core.Explain.estimated >= 0.))
+        np.Wd_core.Explain.triples)
+    tree_plan;
+  (* rendering doesn't raise and mentions the algorithm *)
+  let rendered = Fmt.str "%a" Wd_core.Explain.pp report in
+  check Alcotest.bool "mentions pebble" true
+    (let rec contains i =
+       i + 6 <= String.length rendered
+       && (String.sub rendered i 6 = "pebble" || contains (i + 1))
+     in
+     contains 0)
+
+(* ------------------------------------------------------------------ *)
+(* dw recognition                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let test_at_most () =
+  let f4 = Workload.Query_families.f_k 4 in
+  check Alcotest.bool "dw(F_4) <= 1" true (Wd_core.Domination_width.at_most f4 1);
+  let cc5 = [ Workload.Query_families.clique_child 5 ] in
+  check Alcotest.bool "dw(cc5) <= 3 is false" false
+    (Wd_core.Domination_width.at_most cc5 3);
+  check Alcotest.bool "dw(cc5) <= 4" true (Wd_core.Domination_width.at_most cc5 4)
+
+let at_most_consistent =
+  qcheck ~count:50 "at_most agrees with of_forest" seed_arb (fun seed ->
+      let p = Testutil.wd_pattern_of_seed ~triples:5 seed in
+      let forest = Wdpt.Pattern_forest.of_algebra p in
+      let dw = Wd_core.Domination_width.of_forest forest in
+      Wd_core.Domination_width.at_most forest dw
+      && ((dw <= 1) || not (Wd_core.Domination_width.at_most forest (dw - 1))))
+
+let () =
+  Alcotest.run "storage"
+    [
+      ( "stats",
+        [
+          Alcotest.test_case "basics" `Quick test_stats_basics;
+          Alcotest.test_case "selectivity" `Quick test_stats_selectivity;
+          stats_estimates_bounded;
+        ] );
+      ( "ntriples",
+        [
+          Alcotest.test_case "parse" `Quick test_ntriples_parse;
+          Alcotest.test_case "errors" `Quick test_ntriples_errors;
+          Alcotest.test_case "deterministic" `Quick test_ntriples_deterministic;
+          ntriples_roundtrip;
+        ] );
+      ( "encoded store",
+        [
+          Alcotest.test_case "matching" `Quick test_encoded_matching;
+          encoded_matches_index;
+        ] );
+      ( "encoded joins",
+        [
+          encoded_hom_agrees;
+          Alcotest.test_case "assignments" `Quick test_encoded_hom_assignments;
+          Alcotest.test_case "unsat constants" `Quick test_encoded_unsat_constant;
+        ] );
+      ("explain", [ Alcotest.test_case "report" `Quick test_explain ]);
+      ( "dw recognition",
+        [
+          Alcotest.test_case "families" `Quick test_at_most;
+          at_most_consistent;
+        ] );
+    ]

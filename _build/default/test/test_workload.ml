@@ -1,0 +1,164 @@
+open Rdf
+open Workload
+
+let check = Alcotest.check
+
+let qcheck ?(count = 100) name arb law =
+  QCheck_alcotest.to_alcotest (QCheck.Test.make ~count ~name arb law)
+
+let test_kk () =
+  let kk = Query_families.kk 4 [ "a"; "b"; "c"; "d" ] in
+  check Alcotest.int "C(4,2) triples" 6 (Tgraphs.Tgraph.cardinal kk);
+  Alcotest.check_raises "arity mismatch"
+    (Invalid_argument "Query_families.kk: arity mismatch") (fun () ->
+      ignore (Query_families.kk 3 [ "a" ]))
+
+let test_f_k_shape () =
+  let forest = Query_families.f_k 3 in
+  check Alcotest.int "three trees" 3 (List.length forest);
+  check Alcotest.(list int) "node counts" [ 3; 2; 2 ]
+    (List.map Wdpt.Pattern_tree.size forest);
+  List.iter
+    (fun tree ->
+      check Alcotest.bool "NR normal form" true
+        (Wdpt.Pattern_tree.is_nr_normal_form tree))
+    forest;
+  Alcotest.check_raises "k >= 2"
+    (Invalid_argument "Query_families.f_k: k must be at least 2") (fun () ->
+      ignore (Query_families.f_k 1))
+
+let test_t_prime_shape () =
+  let tree = Query_families.t_prime_k 4 in
+  check Alcotest.int "two nodes" 2 (Wdpt.Pattern_tree.size tree);
+  (* child: (y,r,o1) + K_4 = 1 + 6 triples *)
+  check Alcotest.int "child size" 7
+    (Tgraphs.Tgraph.cardinal (Wdpt.Pattern_tree.pat tree 1))
+
+let test_simple_families () =
+  let path = Query_families.path_query 4 in
+  check Alcotest.int "path nodes" 4 (Wdpt.Pattern_tree.size path);
+  check Alcotest.bool "path NR" true (Wdpt.Pattern_tree.is_nr_normal_form path);
+  let star = Query_families.star_query 5 in
+  check Alcotest.int "star nodes" 6 (Wdpt.Pattern_tree.size star);
+  check Alcotest.(list int) "star children" [ 1; 2; 3; 4; 5 ]
+    (Wdpt.Pattern_tree.children star 0);
+  let comb = Query_families.comb_query 3 in
+  check Alcotest.int "comb nodes" 6 (Wdpt.Pattern_tree.size comb);
+  let grid = Query_families.grid_query ~rows:2 ~cols:3 in
+  (* 2x3 grid: 2*(3-1) horizontal + 3 vertical = 7 edges, + tail *)
+  check Alcotest.int "grid child triples" 8
+    (Tgraphs.Tgraph.cardinal (Wdpt.Pattern_tree.pat grid 1))
+
+let random_patterns_wd =
+  qcheck ~count:150 "random patterns are well-designed and translatable"
+    (QCheck.make QCheck.Gen.(int_bound 1_000_000))
+    (fun seed ->
+      let p =
+        Query_families.random_wd_pattern ~seed ~triples:8 ~vars:8 ~preds:3
+          ~depth:3 ~union:2
+      in
+      Sparql.Well_designed.is_well_designed p
+      &&
+      let forest = Wdpt.Pattern_forest.of_algebra p in
+      List.for_all Wdpt.Pattern_tree.is_nr_normal_form forest)
+
+let test_tournament_instance () =
+  let g, mu = Graph_families.tournament_instance ~seed:1 ~n:10 in
+  (* C(10,2) tournament edges + anchor *)
+  check Alcotest.int "triples" 46 (Graph.cardinal g);
+  check Alcotest.int "mu binds x,y" 2 (Sparql.Mapping.cardinal mu);
+  (* determinism *)
+  let g2, _ = Graph_families.tournament_instance ~seed:1 ~n:10 in
+  check Testutil.graph "deterministic" g g2;
+  (* no self loops *)
+  List.iter
+    (fun t ->
+      check Alcotest.bool "no loop" false (Term.equal t.Triple.s t.Triple.o))
+    (Graph.triples g)
+
+let test_planted_instance () =
+  let g, _ = Graph_families.planted_instance ~seed:2 ~n:10 ~k:4 in
+  (* the planted transitive tournament edges are present *)
+  let r = Term.iri "p:r" in
+  for i = 1 to 4 do
+    for j = i + 1 to 4 do
+      check Alcotest.bool "planted edge" true
+        (Graph.mem g (Triple.make (Graph_families.tnode i) r (Graph_families.tnode j)))
+    done
+  done;
+  check Alcotest.bool "entry edge" true
+    (Graph.mem g (Triple.make (Graph_families.tnode 0) r (Graph_families.tnode 1)))
+
+let test_cyclic_instance () =
+  let g, _ = Graph_families.cyclic_triangles_instance ~m:2 in
+  (* 2 cycles x (3 cycle edges + 3 entry edges) + anchor = 13 *)
+  check Alcotest.int "triples" 13 (Graph.cardinal g)
+
+let planted_always_extendable =
+  qcheck ~count:20 "planted instances contain the clique branch"
+    (QCheck.make QCheck.Gen.(int_bound 10000))
+    (fun seed ->
+      let k = 3 + (seed mod 2) in
+      let g, mu = Graph_families.planted_instance ~seed ~n:12 ~k in
+      let tree = Query_families.clique_child k in
+      (* the child must admit a homomorphism compatible with µ *)
+      Wdpt.Semantics.child_extends tree g mu 1)
+
+(* ------------------------------------------------------------------ *)
+(* University workload                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_university_data () =
+  let g = University.generate ~seed:3 ~universities:2 in
+  check Testutil.graph "deterministic" g (University.generate ~seed:3 ~universities:2);
+  check Alcotest.bool "substantial" true (Graph.cardinal g > 300);
+  (* every student has an advisor who works for some department *)
+  let q =
+    Sparql.Parser.parse_exn
+      "{ ?s u:type c:Student . ?s u:advisor ?p . ?p u:worksFor ?d }"
+  in
+  check Alcotest.bool "advisors resolve" true
+    (not (Sparql.Mapping.Set.is_empty (Sparql.Eval.eval q g)))
+
+let test_university_queries () =
+  let g = University.generate ~seed:1 ~universities:1 in
+  List.iter
+    (fun (name, src) ->
+      let p = Sparql.Parser.parse_exn src in
+      check Alcotest.bool (name ^ " well-designed") true
+        (Sparql.Well_designed.is_well_designed p);
+      let forest = Wdpt.Pattern_forest.of_algebra p in
+      check Alcotest.int (name ^ " dw = 1") 1
+        (Wd_core.Domination_width.of_forest forest);
+      (* all three evaluators agree on the real data *)
+      let reference = Sparql.Eval.eval p g in
+      check Alcotest.bool (name ^ " has answers") true
+        (not (Sparql.Mapping.Set.is_empty reference));
+      check Testutil.mapping_set (name ^ " wdpt agrees") reference
+        (Wdpt.Semantics.solutions forest g))
+    University.queries
+
+let () =
+  Alcotest.run "workload"
+    [
+      ( "query families",
+        [
+          Alcotest.test_case "kk" `Quick test_kk;
+          Alcotest.test_case "f_k shape" `Quick test_f_k_shape;
+          Alcotest.test_case "t'_k shape" `Quick test_t_prime_shape;
+          Alcotest.test_case "simple families" `Quick test_simple_families;
+          random_patterns_wd;
+        ] );
+      ( "graph families",
+        [
+          Alcotest.test_case "tournament instance" `Quick test_tournament_instance;
+          Alcotest.test_case "planted instance" `Quick test_planted_instance;
+          Alcotest.test_case "cyclic triangles" `Quick test_cyclic_instance;
+          planted_always_extendable;
+        ] );
+      ( "university",
+        [
+          Alcotest.test_case "data" `Quick test_university_data;
+          Alcotest.test_case "queries" `Quick test_university_queries;
+        ] );
+    ]

@@ -1,0 +1,133 @@
+(** Shared QCheck generators and Alcotest testables for the test suite.
+
+    Generators are seed-driven: QCheck shrinks over the integer seed while
+    the construction itself stays deterministic, which keeps failures
+    reproducible by seed. *)
+
+open Rdf
+
+let seed_gen = QCheck.Gen.int_bound 1_000_000
+
+(* ------------------------------------------------------------------ *)
+(* Random ground graphs.                                               *)
+(* ------------------------------------------------------------------ *)
+
+let graph_of_seed ?(nodes = 6) ?(preds = 2) ?(triples = 12) seed =
+  Generator.random_graph ~seed ~n:nodes
+    ~predicates:(List.init preds (fun i -> Printf.sprintf "q%d" i))
+    ~m:triples
+
+let small_graph =
+  QCheck.make
+    ~print:(fun g -> Fmt.str "%a" Graph.pp g)
+    QCheck.Gen.(map (graph_of_seed ~nodes:5 ~preds:2 ~triples:10) seed_gen)
+
+(* ------------------------------------------------------------------ *)
+(* Random t-graphs and generalised t-graphs.                           *)
+(* ------------------------------------------------------------------ *)
+
+let tgraph_of_seed ?(triples = 4) ?(vars = 4) ?(preds = 2) ?(consts = 2) seed =
+  let state = Random.State.make [| seed; triples; vars; 77 |] in
+  let term () =
+    if Random.State.int state 10 < 7 then
+      Term.var (Printf.sprintf "v%d" (Random.State.int state vars))
+    else Term.iri (Printf.sprintf "c:%d" (Random.State.int state consts))
+  in
+  let pred () = Term.iri (Printf.sprintf "q%d" (Random.State.int state preds)) in
+  Tgraphs.Tgraph.of_triples
+    (List.init
+       (1 + Random.State.int state triples)
+       (fun _ -> Triple.make (term ()) (pred ()) (term ())))
+
+let gtgraph_of_seed ?(triples = 4) ?(vars = 4) ?(preds = 2) seed =
+  let s = tgraph_of_seed ~triples ~vars ~preds seed in
+  let state = Random.State.make [| seed; 13 |] in
+  let x =
+    Variable.Set.filter
+      (fun _ -> Random.State.int state 3 = 0)
+      (Tgraphs.Tgraph.vars s)
+  in
+  Tgraphs.Gtgraph.make s x
+
+let small_tgraph =
+  QCheck.make
+    ~print:(fun s -> Fmt.str "%a" Tgraphs.Tgraph.pp s)
+    QCheck.Gen.(map tgraph_of_seed seed_gen)
+
+let small_gtgraph =
+  QCheck.make
+    ~print:(fun g -> Fmt.str "%a" Tgraphs.Gtgraph.pp g)
+    QCheck.Gen.(map gtgraph_of_seed seed_gen)
+
+(* ------------------------------------------------------------------ *)
+(* Random well-designed patterns.                                      *)
+(* ------------------------------------------------------------------ *)
+
+let wd_pattern_of_seed ?(triples = 6) ?(vars = 6) ?(union = 2) ?(depth = 2) seed =
+  Workload.Query_families.random_wd_pattern ~seed ~triples ~vars ~preds:2
+    ~depth ~union
+
+let wd_pattern =
+  QCheck.make
+    ~print:Sparql.Printer.to_string
+    QCheck.Gen.(map wd_pattern_of_seed seed_gen)
+
+let union_free_wd_pattern =
+  QCheck.make
+    ~print:Sparql.Printer.to_string
+    QCheck.Gen.(map (wd_pattern_of_seed ~union:1) seed_gen)
+
+(* A random mapping over a subset of the pattern's variables into the
+   graph's IRIs — candidate inputs for membership checks. *)
+let mapping_for pattern graph seed =
+  let state = Random.State.make [| seed; 271 |] in
+  let iris = Iri.Set.elements (Graph.dom graph) in
+  if iris = [] then Sparql.Mapping.empty
+  else
+    Variable.Set.fold
+      (fun v acc ->
+        if Random.State.int state 2 = 0 then
+          Sparql.Mapping.add v
+            (List.nth iris (Random.State.int state (List.length iris)))
+            acc
+        else acc)
+      (Sparql.Algebra.vars pattern)
+      Sparql.Mapping.empty
+
+(* ------------------------------------------------------------------ *)
+(* Random undirected graphs.                                           *)
+(* ------------------------------------------------------------------ *)
+
+let ugraph_of_seed ?(n = 8) ?(edge_prob = 0.4) seed =
+  let state = Random.State.make [| seed; n; 53 |] in
+  let edges = ref [] in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      if Random.State.float state 1.0 < edge_prob then edges := (i, j) :: !edges
+    done
+  done;
+  Graphtheory.Ugraph.make ~n ~edges:!edges
+
+let small_ugraph =
+  QCheck.make
+    ~print:(fun g -> Fmt.str "%a" Graphtheory.Ugraph.pp g)
+    QCheck.Gen.(map ugraph_of_seed seed_gen)
+
+(* ------------------------------------------------------------------ *)
+(* Alcotest testables.                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let mapping = Alcotest.testable Sparql.Mapping.pp Sparql.Mapping.equal
+
+let mapping_set =
+  Alcotest.testable
+    (fun ppf s ->
+      Fmt.pf ppf "{%a}"
+        Fmt.(list ~sep:comma Sparql.Mapping.pp)
+        (Sparql.Mapping.Set.elements s))
+    Sparql.Mapping.Set.equal
+
+let algebra = Alcotest.testable Sparql.Algebra.pp Sparql.Algebra.equal
+let tgraph = Alcotest.testable Tgraphs.Tgraph.pp Tgraphs.Tgraph.equal
+let graph = Alcotest.testable Graph.pp Graph.equal
+let triple = Alcotest.testable Triple.pp Triple.equal
