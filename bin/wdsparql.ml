@@ -5,29 +5,50 @@
      check     membership of a single mapping (naive or pebble algorithm)
      width     structural analysis: all width measures and the regime
      validate  well-designedness check with a diagnostic
-     clique    solve k-CLIQUE via the hardness reduction (demo) *)
+     clique    solve k-CLIQUE via the hardness reduction (demo)
+
+   Every subcommand accepts --timeout/--fuel/--max-solutions resource
+   limits. Exit codes: 0 success, 1 negative answer (check/validate/
+   containment/fuzz), 2 user error (bad input), 3 budget exhausted,
+   4 internal error. *)
 
 open Cmdliner
+module Budget = Resource.Budget
+module E = Wdsparql_error
 
 let read_file path =
-  let ic = open_in_bin path in
-  Fun.protect
-    ~finally:(fun () -> close_in ic)
-    (fun () -> really_input_string ic (in_channel_length ic))
+  match
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  with
+  | contents -> contents
+  | exception Sys_error msg ->
+      (* [Sys_error] messages usually lead with the path already *)
+      let prefix = path ^ ": " in
+      let msg =
+        if String.length msg > String.length prefix
+           && String.sub msg 0 (String.length prefix) = prefix
+        then String.sub msg (String.length prefix) (String.length msg - String.length prefix)
+        else msg
+      in
+      E.fail (E.Io_error { path; msg })
 
 let load_graph path =
-  match Rdf.Turtle.parse_graph (read_file path) with
+  match Rdf.Turtle.parse_graph_err ~source:path (read_file path) with
   | Ok g -> g
-  | Error e -> Fmt.failwith "%s: %s" path e
+  | Error e -> E.fail e
 
 let load_query path_or_inline =
-  let src =
-    if Sys.file_exists path_or_inline then read_file path_or_inline
-    else path_or_inline
+  let source, src =
+    if Sys.file_exists path_or_inline then
+      (path_or_inline, read_file path_or_inline)
+    else ("query", path_or_inline)
   in
   match Sparql.Parser.parse src with
   | Ok p -> p
-  | Error e -> Fmt.failwith "query: %s" e
+  | Error msg -> E.fail (E.Parse_error { source; line = 0; col = 0; msg })
 
 let parse_mapping spec =
   (* "x=person:ann,y=person:bob" *)
@@ -35,22 +56,53 @@ let parse_mapping spec =
   |> List.filter (fun s -> String.trim s <> "")
   |> List.map (fun binding ->
          match String.index_opt binding '=' with
-         | Some i ->
+         | Some i -> (
              let var = String.trim (String.sub binding 0 i) in
              let value =
                String.trim
                  (String.sub binding (i + 1) (String.length binding - i - 1))
              in
-             (Rdf.Variable.of_string var, Rdf.Iri.of_string value)
-         | None -> Fmt.failwith "bad binding %S (expected var=iri)" binding)
+             if var = "" then
+               E.fail (E.Invalid_input (Fmt.str "bad binding %S: empty variable" binding));
+             match Rdf.Iri.of_string value with
+             | iri -> (Rdf.Variable.of_string var, iri)
+             | exception Invalid_argument _ ->
+                 E.fail
+                   (E.Invalid_input (Fmt.str "bad binding %S: empty IRI" binding)))
+         | None ->
+             E.fail
+               (E.Invalid_input
+                  (Fmt.str "bad binding %S (expected var=iri)" binding)))
   |> Sparql.Mapping.of_list
+
+(* Uniform failure handling: every subcommand body runs under [handle],
+   which turns structured errors into a one-line stderr diagnostic and
+   the documented exit code — never a backtrace. *)
+let handle f =
+  match f () with
+  | () -> ()
+  | exception exn -> (
+      let err =
+        match exn with
+        | Wdpt.Translate.Not_well_designed v ->
+            Some (E.Not_well_designed (Fmt.str "%a" Sparql.Well_designed.pp_violation v))
+        | Invalid_argument msg -> Some (E.Invalid_input msg)
+        | _ -> E.of_exn exn
+      in
+      match err with
+      | Some e ->
+          Fmt.epr "wdsparql: %a@." E.pp e;
+          exit (E.exit_code e)
+      | None ->
+          Fmt.epr "wdsparql: internal error: %s@." (Printexc.to_string exn);
+          exit E.exit_internal)
 
 (* ---------------- arguments ---------------- *)
 
 let data_arg =
   Arg.(
     required
-    & opt (some file) None
+    & opt (some string) None
     & info [ "d"; "data" ] ~docv:"FILE" ~doc:"Turtle data file.")
 
 let query_arg =
@@ -70,10 +122,13 @@ let mapping_arg =
 let algorithm_arg =
   Arg.(
     value
-    & opt (enum [ ("naive", `Naive); ("pebble", `Pebble); ("reference", `Reference) ]) `Pebble
+    & opt (some (enum [ ("naive", `Naive); ("pebble", `Pebble); ("reference", `Reference) ]))
+        None
     & info [ "a"; "algorithm" ] ~docv:"ALGO"
         ~doc:"Evaluation algorithm: naive (exact homomorphism tests), pebble \
-              (Theorem 1), or reference (recursive algebra semantics).")
+              (Theorem 1), or reference (recursive algebra semantics). \
+              Default: let the engine plan (pebble at the measured width, \
+              degrading gracefully under a budget).")
 
 let pebbles_arg =
   Arg.(
@@ -83,68 +138,133 @@ let pebbles_arg =
         ~doc:"Domination-width bound for the pebble algorithm (defaults to \
               the computed dw of the query).")
 
+(* Resource limits: a spec, from which each processing stage gets a fresh
+   budget (so with --timeout T, planning and evaluation may each take up
+   to T — worst case ~2T end to end). *)
+
+type budget_spec = {
+  timeout : float option;
+  fuel : int option;
+  max_solutions : int option;
+}
+
+let budget_term =
+  let timeout_arg =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "timeout" ] ~docv:"SECONDS"
+          ~doc:"Wall-clock limit per processing stage; exceeding it exits \
+                with code 3 (or degrades the plan where possible).")
+  in
+  let fuel_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "fuel" ] ~docv:"STEPS"
+          ~doc:"Abstract step limit per processing stage (deterministic \
+                alternative to --timeout).")
+  in
+  let max_solutions_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "max-solutions" ] ~docv:"N"
+          ~doc:"Stop after N solutions have been produced.")
+  in
+  let make timeout fuel max_solutions = { timeout; fuel; max_solutions } in
+  Term.(const make $ timeout_arg $ fuel_arg $ max_solutions_arg)
+
+let fresh_budget ?(solutions = false) spec =
+  Budget.make ?fuel:spec.fuel ?timeout:spec.timeout
+    ?max_solutions:(if solutions then spec.max_solutions else None)
+    ()
+
 (* ---------------- commands ---------------- *)
 
 let eval_cmd =
-  let run data query algorithm k =
+  let explain_arg =
+    Arg.(
+      value & flag
+      & info [ "explain" ]
+          ~doc:"Print the evaluation plan (including any budget-forced \
+                degradation) before the solutions.")
+  in
+  let run data query algorithm k spec explain =
+    handle @@ fun () ->
     let graph = load_graph data in
     let pattern = load_query query in
-    let forest = Wdpt.Pattern_forest.of_algebra pattern in
     let sols =
       match algorithm with
-      | `Reference -> Sparql.Eval.eval pattern graph
-      | `Naive -> Wdpt.Semantics.solutions forest graph
-      | `Pebble ->
-          let k =
-            match k with
-            | Some k -> k
-            | None -> Wd_core.Domination_width.of_forest forest
+      | Some `Reference ->
+          Sparql.Eval.eval ~budget:(fresh_budget ~solutions:true spec) pattern graph
+      | Some `Naive ->
+          let forest = Wdpt.Pattern_forest.of_algebra pattern in
+          Wdpt.Semantics.solutions
+            ~budget:(fresh_budget ~solutions:true spec)
+            forest graph
+      | Some `Pebble | None ->
+          let force = Option.map (fun k -> Wd_core.Engine.Pebble k) k in
+          let plan =
+            Wd_core.Engine.plan ~budget:(fresh_budget spec) ?force pattern
           in
-          Wd_core.Pebble_eval.solutions ~k forest graph
+          if explain then Fmt.pr "%a@." Wd_core.Engine.pp_plan plan;
+          Wd_core.Engine.solutions
+            ~budget:(fresh_budget ~solutions:true spec)
+            plan graph
     in
     Fmt.pr "%d solution(s)@." (Sparql.Mapping.Set.cardinal sols);
     Sparql.Mapping.Set.iter (fun mu -> Fmt.pr "%a@." Sparql.Mapping.pp mu) sols
   in
   Cmd.v
     (Cmd.info "eval" ~doc:"Evaluate a query over a data file.")
-    Term.(const run $ data_arg $ query_arg $ algorithm_arg $ pebbles_arg)
+    Term.(
+      const run $ data_arg $ query_arg $ algorithm_arg $ pebbles_arg
+      $ budget_term $ explain_arg)
 
 let check_cmd =
-  let run data query mapping algorithm k =
+  let run data query mapping algorithm k spec =
+    handle @@ fun () ->
     let graph = load_graph data in
     let pattern = load_query query in
-    let forest = Wdpt.Pattern_forest.of_algebra pattern in
     let mu = parse_mapping mapping in
     let result =
       match algorithm with
-      | `Reference -> Sparql.Eval.check pattern graph mu
-      | `Naive -> Wd_core.Naive_eval.check forest graph mu
-      | `Pebble ->
-          let k =
-            match k with
-            | Some k -> k
-            | None -> Wd_core.Domination_width.of_forest forest
+      | Some `Reference ->
+          Sparql.Eval.check ~budget:(fresh_budget spec) pattern graph mu
+      | Some `Naive ->
+          let forest = Wdpt.Pattern_forest.of_algebra pattern in
+          Wd_core.Naive_eval.check ~budget:(fresh_budget spec) forest graph mu
+      | Some `Pebble | None ->
+          let force = Option.map (fun k -> Wd_core.Engine.Pebble k) k in
+          let plan =
+            Wd_core.Engine.plan ~budget:(fresh_budget spec) ?force pattern
           in
-          Wd_core.Pebble_eval.check ~k forest graph mu
+          Wd_core.Engine.check ~budget:(fresh_budget spec) plan graph mu
     in
     Fmt.pr "µ %s ⟦P⟧G@." (if result then "∈" else "∉");
     exit (if result then 0 else 1)
   in
   Cmd.v
     (Cmd.info "check" ~doc:"Decide membership of a mapping (wdEVAL).")
-    Term.(const run $ data_arg $ query_arg $ mapping_arg $ algorithm_arg $ pebbles_arg)
+    Term.(
+      const run $ data_arg $ query_arg $ mapping_arg $ algorithm_arg
+      $ pebbles_arg $ budget_term)
 
 let width_cmd =
-  let run query =
+  let run query spec =
+    handle @@ fun () ->
     let pattern = load_query query in
-    Fmt.pr "%a@." Wd_core.Classify.pp (Wd_core.Classify.classify pattern)
+    Fmt.pr "%a@." Wd_core.Classify.pp
+      (Wd_core.Classify.classify ~budget:(fresh_budget spec) pattern)
   in
   Cmd.v
     (Cmd.info "width" ~doc:"Width measures and predicted complexity regime.")
-    Term.(const run $ query_arg)
+    Term.(const run $ query_arg $ budget_term)
 
 let validate_cmd =
-  let run query =
+  let run query _spec =
+    handle @@ fun () ->
     let pattern = load_query query in
     match Sparql.Well_designed.check pattern with
     | Ok () ->
@@ -156,7 +276,7 @@ let validate_cmd =
   in
   Cmd.v
     (Cmd.info "validate" ~doc:"Check well-designedness.")
-    Term.(const run $ query_arg)
+    Term.(const run $ query_arg $ budget_term)
 
 let clique_cmd =
   let n_arg =
@@ -171,7 +291,8 @@ let clique_cmd =
   let seed_arg =
     Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc:"Random seed.")
   in
-  let run n k prob seed =
+  let run n k prob seed _spec =
+    handle @@ fun () ->
     let h = Hardness.Clique.random_graph ~seed ~n ~edge_prob:prob in
     Fmt.pr "G(%d, %.2f) with %d edges, k = %d@." n prob
       (Graphtheory.Ugraph.m h) k;
@@ -181,30 +302,33 @@ let clique_cmd =
           (if answer then "clique found" else "no clique");
         Fmt.pr "brute force:      %s@."
           (if Hardness.Clique.has_clique h k then "clique found" else "no clique")
-    | Error e -> Fmt.failwith "%s" e
+    | Error e -> E.fail (E.Invalid_input e)
   in
   Cmd.v
     (Cmd.info "clique" ~doc:"Solve k-CLIQUE through the Theorem 2 reduction.")
-    Term.(const run $ n_arg $ k_arg $ prob_arg $ seed_arg)
+    Term.(const run $ n_arg $ k_arg $ prob_arg $ seed_arg $ budget_term)
 
 let explain_cmd =
-  let run data query =
+  let run data query spec =
+    handle @@ fun () ->
     let graph = load_graph data in
     let pattern = load_query query in
-    Fmt.pr "%a@." Wd_core.Explain.pp (Wd_core.Explain.explain pattern graph)
+    Fmt.pr "%a@." Wd_core.Explain.pp
+      (Wd_core.Explain.explain ~budget:(fresh_budget spec) pattern graph)
   in
   Cmd.v
     (Cmd.info "explain" ~doc:"Show the evaluation plan with cardinality estimates.")
-    Term.(const run $ data_arg $ query_arg)
+    Term.(const run $ data_arg $ query_arg $ budget_term)
 
 let stats_cmd =
-  let run data =
+  let run data _spec =
+    handle @@ fun () ->
     let graph = load_graph data in
     Fmt.pr "%a@." Rdf.Stats.pp (Rdf.Stats.of_graph graph)
   in
   Cmd.v
     (Cmd.info "stats" ~doc:"Print graph statistics (per-predicate cardinalities).")
-    Term.(const run $ data_arg)
+    Term.(const run $ data_arg $ budget_term)
 
 let containment_cmd =
   let q2_arg =
@@ -216,7 +340,8 @@ let containment_cmd =
   let attempts_arg =
     Arg.(value & opt int 200 & info [ "attempts" ] ~docv:"N" ~doc:"Refutation attempts.")
   in
-  let run query rhs attempts =
+  let run query rhs attempts _spec =
+    handle @@ fun () ->
     let p1 = load_query query and p2 = load_query rhs in
     match Wd_core.Containment.refute ~attempts p1 p2 with
     | Some ce ->
@@ -233,10 +358,11 @@ let containment_cmd =
   Cmd.v
     (Cmd.info "containment"
        ~doc:"Search for a counterexample to ⟦Q⟧ ⊆ ⟦RHS⟧ (randomised refutation).")
-    Term.(const run $ query_arg $ q2_arg $ attempts_arg)
+    Term.(const run $ query_arg $ q2_arg $ attempts_arg $ budget_term)
 
 let optimize_cmd =
-  let run query =
+  let run query _spec =
+    handle @@ fun () ->
     let pattern = load_query query in
     let forest, report = Wdpt.Optimize.pattern pattern in
     Fmt.pr "removed %d redundant triple(s), %d duplicate tree(s)@."
@@ -248,7 +374,7 @@ let optimize_cmd =
     (Cmd.info "optimize"
        ~doc:"Apply the provably-safe simplifications (ancestor triple dedup, \
              duplicate UNION branches) and print the result.")
-    Term.(const run $ query_arg)
+    Term.(const run $ query_arg $ budget_term)
 
 let fuzz_cmd =
   let runs_arg =
@@ -257,7 +383,8 @@ let fuzz_cmd =
   let seed_arg =
     Arg.(value & opt int 0 & info [ "seed" ] ~docv:"SEED" ~doc:"Base random seed.")
   in
-  let run runs seed =
+  let run runs seed spec =
+    handle @@ fun () ->
     (* Differential testing: algebra reference vs naive wdPF vs pebble(dw)
        vs the shared-prefix enumerator, on random instances. *)
     let failures = ref 0 in
@@ -272,11 +399,14 @@ let fuzz_cmd =
           ~predicates:[ "q0"; "q1" ] ~m:18
       in
       let forest = Wdpt.Pattern_forest.of_algebra pattern in
-      let dw = Wd_core.Domination_width.of_forest forest in
-      let reference = Sparql.Eval.eval pattern graph in
-      let naive = Wdpt.Semantics.solutions forest graph in
-      let pebble = Wd_core.Pebble_eval.solutions ~k:dw forest graph in
-      let shared = Wd_core.Enumerate.solutions forest graph in
+      let budget () = fresh_budget spec in
+      let dw = Wd_core.Domination_width.of_forest ~budget:(budget ()) forest in
+      let reference = Sparql.Eval.eval ~budget:(budget ()) pattern graph in
+      let naive = Wdpt.Semantics.solutions ~budget:(budget ()) forest graph in
+      let pebble =
+        Wd_core.Pebble_eval.solutions ~budget:(budget ()) ~k:dw forest graph
+      in
+      let shared = Wd_core.Enumerate.solutions ~budget:(budget ()) forest graph in
       if
         not
           (Sparql.Mapping.Set.equal reference naive
@@ -297,7 +427,7 @@ let fuzz_cmd =
   Cmd.v
     (Cmd.info "fuzz"
        ~doc:"Differential testing: all four evaluators on random instances.")
-    Term.(const run $ runs_arg $ seed_arg)
+    Term.(const run $ runs_arg $ seed_arg $ budget_term)
 
 let () =
   let doc = "well-designed SPARQL with width-based evaluation (PODS'18)" in

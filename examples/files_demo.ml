@@ -40,6 +40,8 @@ let () =
             Printf.sprintf "frontier (dw = %d)" k
         | Wd_core.Classify.Not_well_designed -> "not well-designed"
         | Wd_core.Classify.Outside_core_fragment -> "outside core fragment (§5)"
+        | Wd_core.Classify.Width_unknown ub ->
+            Printf.sprintf "width unknown (budget exhausted, dw <= %d)" ub
       in
       Fmt.pr "@.%-22s %-28s %5d answer(s)@." file regime
         (Sparql.Mapping.Set.cardinal answers);

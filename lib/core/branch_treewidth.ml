@@ -12,11 +12,11 @@ let branch_gtgraph tree n =
   let s = Tgraph.union (Wdpt.Pattern_tree.pat tree n) branch_pat in
   Gtgraph.make s (Tgraph.vars branch_pat)
 
-let of_tree tree =
+let of_tree ?budget tree =
   List.fold_left
     (fun acc n ->
       if n = Wdpt.Pattern_tree.root then acc
-      else max acc (Cores.ctw (branch_gtgraph tree n)))
+      else max acc (Cores.ctw ?budget (branch_gtgraph tree n)))
     1 (Wdpt.Pattern_tree.nodes tree)
 
-let of_pattern p = of_tree (Wdpt.Translate.tree_of_algebra p)
+let of_pattern ?budget p = of_tree ?budget (Wdpt.Translate.tree_of_algebra p)

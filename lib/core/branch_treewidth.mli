@@ -14,9 +14,9 @@ val branch_gtgraph : Wdpt.Pattern_tree.t -> Wdpt.Pattern_tree.node -> Gtgraph.t
 (** [(S^br_n, X^br_n)] for a non-root node [n]. Raises [Invalid_argument]
     on the root. *)
 
-val of_tree : Wdpt.Pattern_tree.t -> int
+val of_tree : ?budget:Resource.Budget.t -> Wdpt.Pattern_tree.t -> int
 (** [bw(T)]. Always ≥ 1. *)
 
-val of_pattern : Sparql.Algebra.t -> int
+val of_pattern : ?budget:Resource.Budget.t -> Sparql.Algebra.t -> int
 (** [bw(P)] for a UNION-free well-designed pattern.
     Raises {!Wdpt.Translate.Not_well_designed} otherwise. *)

@@ -3,6 +3,7 @@ type regime =
   | Intractable_frontier of int
   | Not_well_designed
   | Outside_core_fragment
+  | Width_unknown of int
 
 type t = {
   well_designed : bool;
@@ -15,7 +16,7 @@ type t = {
   regime : regime;
 }
 
-let classify ?(frontier = 3) p =
+let classify ?(budget = Resource.Budget.unlimited) ?(frontier = 3) p =
   let union_free = Sparql.Well_designed.is_union_free p in
   if not (Sparql.Algebra.is_core p) then
     {
@@ -41,20 +42,36 @@ let classify ?(frontier = 3) p =
     }
   else begin
     let forest = Wdpt.Pattern_forest.of_algebra p in
-    let dw = Domination_width.of_forest forest in
-    let bw =
-      match forest with [ tree ] -> Some (Branch_treewidth.of_tree tree) | _ -> None
+    (* Each width measure is exponential to compute exactly; under a
+       budget, a measure that runs out simply reports [None] rather than
+       aborting the whole classification. *)
+    let dw =
+      Wdsparql_error.attempt (fun () -> Domination_width.of_forest ~budget forest)
     in
-    let lt = Local_tractability.width_of_forest forest in
+    let bw =
+      match forest with
+      | [ tree ] ->
+          Wdsparql_error.attempt (fun () -> Branch_treewidth.of_tree ~budget tree)
+      | _ -> None
+    in
+    let lt =
+      Wdsparql_error.attempt (fun () ->
+          Local_tractability.width_of_forest ~budget forest)
+    in
+    let regime =
+      match dw with
+      | Some dw -> if dw <= frontier then Ptime dw else Intractable_frontier dw
+      | None -> Width_unknown (Domination_width.cheap_upper_bound forest)
+    in
     {
       well_designed = true;
       union_free;
       trees = List.length forest;
       nodes = Wdpt.Pattern_forest.size forest;
-      domination_width = Some dw;
+      domination_width = dw;
       branch_treewidth = bw;
-      local_width = Some lt;
-      regime = (if dw <= frontier then Ptime dw else Intractable_frontier dw);
+      local_width = lt;
+      regime;
     }
   end
 
@@ -77,5 +94,10 @@ let pp ppf t =
       | Outside_core_fragment ->
           Fmt.string ppf
             "uses FILTER/SELECT — outside the core fragment; the dichotomy \
-             does not apply (Section 5)")
+             does not apply (Section 5)"
+      | Width_unknown ub ->
+          Fmt.pf ppf
+            "exact width computation exhausted its budget; dw <= %d by the \
+             polynomial treewidth bound"
+            ub)
     t.regime

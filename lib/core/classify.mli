@@ -15,6 +15,11 @@ type regime =
       (** Uses FILTER or SELECT: Section 5 shows the dichotomy fails there,
           so no width-based regime applies; evaluation still works through
           the reference semantics. *)
+  | Width_unknown of int
+      (** The exact (exponential) width computations exhausted their
+          budget. The payload is the polynomial-time treewidth upper bound
+          on the domination width
+          ({!Domination_width.cheap_upper_bound}). *)
 
 type t = {
   well_designed : bool;
@@ -28,8 +33,11 @@ type t = {
   regime : regime;
 }
 
-val classify : ?frontier:int -> Sparql.Algebra.t -> t
+val classify :
+  ?budget:Resource.Budget.t -> ?frontier:int -> Sparql.Algebra.t -> t
 (** [frontier] (default 3) is the domination width above which we flag the
-    pattern as on the intractable side of the dichotomy. *)
+    pattern as on the intractable side of the dichotomy. Under a [budget],
+    width measures that run out of resources degrade to [None] (and the
+    regime to {!Width_unknown}) instead of raising. *)
 
 val pp : t Fmt.t

@@ -1,50 +1,82 @@
 open Tgraphs
+module Budget = Resource.Budget
 
-let dominated_with_ctws with_ctw k =
+let dominated_with_ctws ?budget with_ctw k =
   let dominators = List.filter (fun (c, _) -> c <= k) with_ctw in
   List.for_all
     (fun (c, g) ->
-      c <= k || List.exists (fun (_, g') -> Gtgraph.maps_to g' g) dominators)
+      c <= k
+      || List.exists (fun (_, g') -> Gtgraph.maps_to ?budget g' g) dominators)
     with_ctw
 
-let dominated_at family k =
-  dominated_with_ctws (List.map (fun g -> (Cores.ctw g, g)) family) k
+let dominated_at ?budget family k =
+  dominated_with_ctws ?budget
+    (List.map (fun g -> (Cores.ctw ?budget g, g)) family)
+    k
 
-let domination_level family =
+let domination_level ?budget family =
   match family with
   | [] -> 1
   | _ ->
-      let with_ctw = List.map (fun g -> (Cores.ctw g, g)) family in
+      let with_ctw = List.map (fun g -> (Cores.ctw ?budget g, g)) family in
       let candidates =
         List.sort_uniq compare (1 :: List.map fst with_ctw)
       in
       let rec first = function
         | [] -> List.fold_left (fun acc (c, _) -> max acc c) 1 with_ctw
-        | k :: rest -> if dominated_with_ctws with_ctw k then k else first rest
+        | k :: rest ->
+            if dominated_with_ctws ?budget with_ctw k then k else first rest
       in
       first candidates
 
-let of_subtree forest subtree =
-  domination_level (Wdpt.Children_assignment.gtg forest subtree)
+let of_subtree ?budget forest subtree =
+  domination_level ?budget (Wdpt.Children_assignment.gtg forest subtree)
 
-let subtrees_of forest =
+let subtrees_of ?budget forest =
   List.concat
     (List.mapi
-       (fun i tree -> List.map (fun st -> (i, st)) (Wdpt.Subtree.all tree))
+       (fun i tree ->
+         List.map (fun st -> (i, st)) (Wdpt.Subtree.all ?budget tree))
        forest)
 
-let of_forest forest =
+let of_forest ?(budget = Budget.unlimited) forest =
+  Budget.with_phase budget "domination-width" @@ fun () ->
   List.fold_left
-    (fun acc (_, st) -> max acc (of_subtree forest st))
-    1 (subtrees_of forest)
+    (fun acc (_, st) ->
+      Budget.tick budget;
+      max acc (of_subtree ~budget forest st))
+    1
+    (subtrees_of ~budget forest)
 
-let at_most forest k =
+let at_most ?(budget = Budget.unlimited) forest k =
+  Budget.with_phase budget "domination-width" @@ fun () ->
   List.for_all
     (fun (_, st) ->
-      dominated_at (Wdpt.Children_assignment.gtg forest st) k)
-    (subtrees_of forest)
+      Budget.tick budget;
+      dominated_at ~budget (Wdpt.Children_assignment.gtg forest st) k)
+    (subtrees_of ~budget forest)
 
-let of_pattern p = of_forest (Wdpt.Pattern_forest.of_algebra p)
+let of_pattern ?budget p = of_forest ?budget (Wdpt.Pattern_forest.of_algebra p)
+
+(* Conservative fallback when the exact computation is too expensive:
+   dw(F) ≤ max ctw over GtG members ≤ max tw over members, and every
+   member's pattern is a subgraph of its tree's full pattern, so the
+   heuristic treewidth upper bound of each tree's whole Gaifman graph
+   (existential variables only, which can only shrink it further) bounds
+   them all. Polynomial: two elimination heuristics per tree. *)
+let cheap_upper_bound forest =
+  List.fold_left
+    (fun acc tree ->
+      let pat = Wdpt.Subtree.pat (Wdpt.Subtree.full tree) in
+      let gaifman, _ = Gaifman.graph Rdf.Variable.Set.empty pat in
+      let ub =
+        if
+          Graphtheory.Ugraph.n gaifman = 0 || Graphtheory.Ugraph.m gaifman = 0
+        then 1
+        else max 1 (Graphtheory.Treewidth.upper_bound gaifman)
+      in
+      max acc ub)
+    1 forest
 
 type profile = {
   subtree_members : int list;
@@ -53,14 +85,14 @@ type profile = {
   level : int;
 }
 
-let profile forest =
+let profile ?budget forest =
   List.map
     (fun (i, st) ->
       let gtg = Wdpt.Children_assignment.gtg forest st in
       {
         subtree_members = Wdpt.Subtree.members st;
         tree_index = i;
-        gtg_ctws = List.map Cores.ctw gtg;
-        level = domination_level gtg;
+        gtg_ctws = List.map (Cores.ctw ?budget) gtg;
+        level = domination_level ?budget gtg;
       })
-    (subtrees_of forest)
+    (subtrees_of ?budget forest)

@@ -13,27 +13,35 @@
 
 open Tgraphs
 
-val dominated_at : Gtgraph.t list -> int -> bool
+val dominated_at : ?budget:Resource.Budget.t -> Gtgraph.t list -> int -> bool
 (** [dominated_at g k]: is the family [k]-dominated? *)
 
-val domination_level : Gtgraph.t list -> int
+val domination_level : ?budget:Resource.Budget.t -> Gtgraph.t list -> int
 (** The least [k ≥ 1] at which the family is [k]-dominated. *)
 
-val of_subtree : Wdpt.Pattern_forest.t -> Wdpt.Subtree.t -> int
+val of_subtree :
+  ?budget:Resource.Budget.t -> Wdpt.Pattern_forest.t -> Wdpt.Subtree.t -> int
 (** [domination_level (GtG T)]. *)
 
-val of_forest : Wdpt.Pattern_forest.t -> int
+val of_forest : ?budget:Resource.Budget.t -> Wdpt.Pattern_forest.t -> int
 (** [dw(F)]: maximum over all subtrees of all trees. Always ≥ 1. *)
 
-val at_most : Wdpt.Pattern_forest.t -> int -> bool
+val at_most : ?budget:Resource.Budget.t -> Wdpt.Pattern_forest.t -> int -> bool
 (** [at_most f k] decides [dw(f) ≤ k] — the recognition problem of
     Section 5 — short-circuiting on the first subtree whose [GtG] is not
     [k]-dominated, which is much cheaper than computing [dw] exactly when
     the answer is negative. *)
 
-val of_pattern : Sparql.Algebra.t -> int
+val of_pattern : ?budget:Resource.Budget.t -> Sparql.Algebra.t -> int
 (** [dw(P) = dw(wdpf(P))].
     Raises {!Wdpt.Translate.Not_well_designed} if not well-designed. *)
+
+val cheap_upper_bound : Wdpt.Pattern_forest.t -> int
+(** A polynomial-time conservative bound on [dw(F)]: the heuristic
+    treewidth upper bound of each tree's full Gaifman graph (dw ≤ max
+    member ctw ≤ max member tw ≤ this). The degradation target when
+    {!of_forest} exhausts its budget — running the pebble algorithm at
+    this [k] is still exact, only more expensive than at the true dw. *)
 
 type profile = {
   subtree_members : int list;  (** node ids of the subtree *)
@@ -42,5 +50,5 @@ type profile = {
   level : int;  (** least [k] at which [GtG(T)] is k-dominated *)
 }
 
-val profile : Wdpt.Pattern_forest.t -> profile list
+val profile : ?budget:Resource.Budget.t -> Wdpt.Pattern_forest.t -> profile list
 (** Per-subtree diagnostics, used by the width-landscape experiment. *)

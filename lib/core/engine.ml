@@ -1,38 +1,67 @@
+module Budget = Resource.Budget
+
 type algorithm =
   | Naive
   | Pebble of int
+
+type width_source =
+  | Exact
+  | Fallback_upper_bound of { phase : string; spent : int }
 
 type plan = {
   pattern : Sparql.Algebra.t;
   forest : Wdpt.Pattern_forest.t;
   domination_width : int;
+  width_source : width_source;
   algorithm : algorithm;
 }
 
-let plan ?force pattern =
+let plan ?(budget = Budget.unlimited) ?force pattern =
   let forest = Wdpt.Pattern_forest.of_algebra pattern in
-  let domination_width = Domination_width.of_forest forest in
+  let domination_width, width_source =
+    match Domination_width.of_forest ~budget forest with
+    | dw -> (dw, Exact)
+    | exception Budget.Exhausted { phase; spent } ->
+        (* Exact dw ran out of budget: degrade to a polynomial-time
+           treewidth upper bound on the full patterns. dw(F) never exceeds
+           it, so running the pebble game at this k stays exact — just
+           possibly slower than at the true dw. *)
+        ( Domination_width.cheap_upper_bound forest,
+          Fallback_upper_bound { phase; spent } )
+  in
   let algorithm =
     match force with Some a -> a | None -> Pebble domination_width
   in
-  { pattern; forest; domination_width; algorithm }
+  { pattern; forest; domination_width; width_source; algorithm }
 
-let check plan graph mu =
+let check ?budget plan graph mu =
   match plan.algorithm with
-  | Naive -> Naive_eval.check plan.forest graph mu
-  | Pebble k -> Pebble_eval.check ~k plan.forest graph mu
+  | Naive -> Naive_eval.check ?budget plan.forest graph mu
+  | Pebble k -> Pebble_eval.check ?budget ~k plan.forest graph mu
 
-let solutions plan graph =
+let solutions ?budget plan graph =
   match plan.algorithm with
-  | Naive -> Wdpt.Semantics.solutions plan.forest graph
-  | Pebble k -> Enumerate.solutions ~maximality:(`Pebble k) plan.forest graph
+  | Naive -> Wdpt.Semantics.solutions ?budget plan.forest graph
+  | Pebble k ->
+      Enumerate.solutions ?budget ~maximality:(`Pebble k) plan.forest graph
 
-let count plan graph = Sparql.Mapping.Set.cardinal (solutions plan graph)
+let count ?budget plan graph =
+  Sparql.Mapping.Set.cardinal (solutions ?budget plan graph)
+
+let pp_width_source ppf = function
+  | Exact -> Fmt.string ppf "exact"
+  | Fallback_upper_bound { phase; spent } ->
+      Fmt.pf ppf
+        "upper bound (exact computation exhausted its budget in phase %s \
+         after %d steps; degraded to the polynomial treewidth heuristic)"
+        phase spent
 
 let pp_plan ppf plan =
-  Fmt.pf ppf "@[<v>query: %d triple pattern(s), %d tree(s)@ dw: %d@ algorithm: %a@]"
+  Fmt.pf ppf
+    "@[<v>query: %d triple pattern(s), %d tree(s)@ dw: %d (%a)@ algorithm: %a@]"
     (Sparql.Algebra.size plan.pattern)
-    (List.length plan.forest) plan.domination_width
+    (List.length plan.forest) plan.domination_width pp_width_source
+    plan.width_source
     (fun ppf -> function
       | Naive -> Fmt.string ppf "naive (exact homomorphism tests)"
       | Pebble k -> Fmt.pf ppf "pebble with k = %d (%d pebbles)" k (k + 1))

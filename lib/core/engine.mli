@@ -8,25 +8,43 @@ type algorithm =
   | Naive  (** exact homomorphism tests (exponential in the query) *)
   | Pebble of int  (** Theorem-1 algorithm with [k]+1 pebbles *)
 
+type width_source =
+  | Exact  (** the plan's width is the measured domination width *)
+  | Fallback_upper_bound of { phase : string; spent : int }
+      (** exact domination width exhausted its budget (in [phase], after
+          [spent] steps); the plan carries the polynomial-time treewidth
+          upper bound of {!Domination_width.cheap_upper_bound} instead.
+          Evaluation stays exact — the pebble game is sound and complete at
+          any [k >= dw] — it may just be slower than at the true width. *)
+
 type plan = {
   pattern : Sparql.Algebra.t;
   forest : Wdpt.Pattern_forest.t;
   domination_width : int;
+  width_source : width_source;
   algorithm : algorithm;
 }
 
-val plan : ?force:algorithm -> Sparql.Algebra.t -> plan
+val plan :
+  ?budget:Resource.Budget.t -> ?force:algorithm -> Sparql.Algebra.t -> plan
 (** Build a plan. By default the pebble algorithm at the query's measured
-    domination width is chosen (always exact); [force] overrides.
-    Raises {!Wdpt.Translate.Not_well_designed} on non-well-designed
-    input. *)
+    domination width is chosen (always exact); [force] overrides. If
+    [budget] runs out during the (exponential) exact domination-width
+    computation, the plan gracefully degrades to a conservative treewidth
+    upper bound and records the downgrade in [width_source] so that
+    {!pp_plan} and [Explain] surface it. Raises
+    {!Wdpt.Translate.Not_well_designed} on non-well-designed input. *)
 
-val check : plan -> Graph.t -> Sparql.Mapping.t -> bool
+val check :
+  ?budget:Resource.Budget.t -> plan -> Graph.t -> Sparql.Mapping.t -> bool
 (** [µ ∈ ⟦P⟧G] with the planned algorithm. *)
 
-val solutions : plan -> Graph.t -> Sparql.Mapping.Set.t
+val solutions :
+  ?budget:Resource.Budget.t -> plan -> Graph.t -> Sparql.Mapping.Set.t
 (** All answers: the shared-prefix enumerator under [Pebble], the baseline
     enumerator under [Naive]. *)
 
-val count : plan -> Graph.t -> int
+val count : ?budget:Resource.Budget.t -> plan -> Graph.t -> int
+
+val pp_width_source : width_source Fmt.t
 val pp_plan : plan Fmt.t

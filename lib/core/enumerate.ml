@@ -1,15 +1,17 @@
 open Rdf
 open Tgraphs
+module Budget = Resource.Budget
 
 type maximality = [ `Hom | `Pebble of int ]
 
-let solutions_tree ?(maximality = `Hom) tree graph =
+let solutions_tree ?(budget = Budget.unlimited) ?(maximality = `Hom) tree graph =
+  Budget.with_phase budget "enumerate" @@ fun () ->
   let target = Graph.to_index graph in
   let results = ref Sparql.Mapping.Set.empty in
   let child_extends subtree mu n =
     match maximality with
-    | `Hom -> Wdpt.Semantics.child_extends tree graph mu n
-    | `Pebble k -> Pebble_eval.child_test ~k tree graph mu subtree n
+    | `Hom -> Wdpt.Semantics.child_extends ~budget tree graph mu n
+    | `Pebble k -> Pebble_eval.child_test ~budget ~k tree graph mu subtree n
   in
   let maximal subtree mu =
     not (List.exists (child_extends subtree mu) (Wdpt.Subtree.children subtree))
@@ -23,12 +25,16 @@ let solutions_tree ?(maximality = `Hom) tree graph =
         match Sparql.Mapping.of_assignment h with
         | None -> ()
         | Some mu ->
-            if maximal subtree mu then
-              results := Sparql.Mapping.Set.add mu !results)
+            if maximal subtree mu then begin
+              if not (Sparql.Mapping.Set.mem mu !results) then
+                Budget.solution budget;
+              results := Sparql.Mapping.Set.add mu !results
+            end)
       homs;
     List.iter
       (fun n ->
         if n > last then begin
+          Budget.tick budget;
           let child_pat = Wdpt.Pattern_tree.pat tree n in
           let homs' =
             List.concat_map
@@ -36,7 +42,7 @@ let solutions_tree ?(maximality = `Hom) tree graph =
                 List.map
                   (fun extension ->
                     Variable.Map.union (fun _ a _ -> Some a) h extension)
-                  (Homomorphism.all ~pre:h ~source:child_pat ~target ()))
+                  (Homomorphism.all ~budget ~pre:h ~source:child_pat ~target ()))
               homs
           in
           if homs' <> [] then go (Wdpt.Subtree.add_child subtree n) homs' n
@@ -45,16 +51,16 @@ let solutions_tree ?(maximality = `Hom) tree graph =
   in
   let root_subtree = Wdpt.Subtree.root_only tree in
   let root_homs =
-    Homomorphism.all ~source:(Wdpt.Subtree.pat root_subtree) ~target ()
+    Homomorphism.all ~budget ~source:(Wdpt.Subtree.pat root_subtree) ~target ()
   in
   if root_homs <> [] then go root_subtree root_homs Wdpt.Pattern_tree.root;
   !results
 
-let solutions ?maximality forest graph =
+let solutions ?budget ?maximality forest graph =
   List.fold_left
     (fun acc tree ->
-      Sparql.Mapping.Set.union acc (solutions_tree ?maximality tree graph))
+      Sparql.Mapping.Set.union acc (solutions_tree ?budget ?maximality tree graph))
     Sparql.Mapping.Set.empty forest
 
-let count ?maximality forest graph =
-  Sparql.Mapping.Set.cardinal (solutions ?maximality forest graph)
+let count ?budget ?maximality forest graph =
+  Sparql.Mapping.Set.cardinal (solutions ?budget ?maximality forest graph)

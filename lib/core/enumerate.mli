@@ -21,14 +21,18 @@ open Rdf
 type maximality = [ `Hom | `Pebble of int ]
 
 val solutions_tree :
+  ?budget:Resource.Budget.t ->
   ?maximality:maximality -> Wdpt.Pattern_tree.t -> Graph.t ->
   Sparql.Mapping.Set.t
 
 val solutions :
+  ?budget:Resource.Budget.t ->
   ?maximality:maximality -> Wdpt.Pattern_forest.t -> Graph.t ->
   Sparql.Mapping.Set.t
 (** Equals {!Wdpt.Semantics.solutions} under [`Hom], and under
     [`Pebble k] whenever [dw(F) ≤ k] (tested). *)
 
-val count : ?maximality:maximality -> Wdpt.Pattern_forest.t -> Graph.t -> int
+val count :
+  ?budget:Resource.Budget.t -> ?maximality:maximality -> Wdpt.Pattern_forest.t ->
+  Graph.t -> int
 (** Number of distinct answers. *)

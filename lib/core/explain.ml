@@ -45,11 +45,11 @@ let plan_tree stats tree =
   in
   walk Wdpt.Pattern_tree.root 0
 
-let explain pattern graph =
+let explain ?budget pattern graph =
   let stats = Stats.of_graph graph in
-  let plan = Engine.plan pattern in
+  let plan = Engine.plan ?budget pattern in
   {
-    classification = Classify.classify pattern;
+    classification = Classify.classify ?budget pattern;
     plan;
     trees = List.map (plan_tree stats) plan.Engine.forest;
     graph_triples = Stats.triples stats;

@@ -29,5 +29,9 @@ type t = {
   graph_triples : int;
 }
 
-val explain : Sparql.Algebra.t -> Rdf.Graph.t -> t
+(** [explain ?budget p g]: under a [budget], width analysis degrades
+    gracefully (see {!Engine.plan} and {!Classify.classify}) instead of
+    raising. *)
+val explain :
+  ?budget:Resource.Budget.t -> Sparql.Algebra.t -> Rdf.Graph.t -> t
 val pp : t Fmt.t

@@ -1,7 +1,7 @@
 open Rdf
 open Tgraphs
 
-let width_of_tree tree =
+let width_of_tree ?budget tree =
   List.fold_left
     (fun acc n ->
       match Wdpt.Pattern_tree.parent tree n with
@@ -13,10 +13,11 @@ let width_of_tree tree =
               (Wdpt.Pattern_tree.vars_of_node tree p)
           in
           let g = Gtgraph.make (Wdpt.Pattern_tree.pat tree n) interface in
-          max acc (Cores.ctw g))
+          max acc (Cores.ctw ?budget g))
     1 (Wdpt.Pattern_tree.nodes tree)
 
-let width_of_forest forest =
-  List.fold_left (fun acc tree -> max acc (width_of_tree tree)) 1 forest
+let width_of_forest ?budget forest =
+  List.fold_left (fun acc tree -> max acc (width_of_tree ?budget tree)) 1 forest
 
-let width_of_pattern p = width_of_forest (Wdpt.Pattern_forest.of_algebra p)
+let width_of_pattern ?budget p =
+  width_of_forest ?budget (Wdpt.Pattern_forest.of_algebra p)

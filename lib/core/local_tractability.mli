@@ -4,10 +4,10 @@
     tractability condition known before the paper; bounded domination width
     strictly extends it (Example 5). *)
 
-val width_of_tree : Wdpt.Pattern_tree.t -> int
+val width_of_tree : ?budget:Resource.Budget.t -> Wdpt.Pattern_tree.t -> int
 (** The least [k ≥ 1] bounding the local ctw of every non-root node. *)
 
-val width_of_forest : Wdpt.Pattern_forest.t -> int
+val width_of_forest : ?budget:Resource.Budget.t -> Wdpt.Pattern_forest.t -> int
 
-val width_of_pattern : Sparql.Algebra.t -> int
+val width_of_pattern : ?budget:Resource.Budget.t -> Sparql.Algebra.t -> int
 (** Raises {!Wdpt.Translate.Not_well_designed} if not well-designed. *)

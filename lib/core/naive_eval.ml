@@ -1,6 +1,6 @@
-let check = Wdpt.Semantics.check
+let check ?budget forest graph mu = Wdpt.Semantics.check ?budget forest graph mu
 
-let check_pattern p graph mu =
-  check (Wdpt.Pattern_forest.of_algebra p) graph mu
+let check_pattern ?budget p graph mu =
+  check ?budget (Wdpt.Pattern_forest.of_algebra p) graph mu
 
-let solutions = Wdpt.Semantics.solutions
+let solutions ?budget forest graph = Wdpt.Semantics.solutions ?budget forest graph

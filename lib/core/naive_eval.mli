@@ -7,11 +7,17 @@
 
 open Rdf
 
-val check : Wdpt.Pattern_forest.t -> Graph.t -> Sparql.Mapping.t -> bool
+val check :
+  ?budget:Resource.Budget.t -> Wdpt.Pattern_forest.t -> Graph.t ->
+  Sparql.Mapping.t -> bool
 (** [µ ∈ ⟦F⟧G]. *)
 
-val check_pattern : Sparql.Algebra.t -> Graph.t -> Sparql.Mapping.t -> bool
+val check_pattern :
+  ?budget:Resource.Budget.t -> Sparql.Algebra.t -> Graph.t -> Sparql.Mapping.t ->
+  bool
 (** Translate then {!check}.
     Raises {!Wdpt.Translate.Not_well_designed} if not well-designed. *)
 
-val solutions : Wdpt.Pattern_forest.t -> Graph.t -> Sparql.Mapping.Set.t
+val solutions :
+  ?budget:Resource.Budget.t -> Wdpt.Pattern_forest.t -> Graph.t ->
+  Sparql.Mapping.Set.t

@@ -1,16 +1,18 @@
 open Rdf
 open Tgraphs
+module Budget = Resource.Budget
 
-let child_test ~k tree graph mu subtree n =
+let child_test ?budget ~k tree graph mu subtree n =
   let s =
     Tgraph.union (Wdpt.Subtree.pat subtree) (Wdpt.Pattern_tree.pat tree n)
   in
   let g = Gtgraph.make s (Wdpt.Subtree.vars subtree) in
-  Pebble.Pebble_game.wins ~k:(k + 1) g ~mu:(Sparql.Mapping.to_assignment mu)
-    graph
+  Pebble.Pebble_game.wins ?budget ~k:(k + 1) g
+    ~mu:(Sparql.Mapping.to_assignment mu) graph
 
-let check ~k forest graph mu =
+let check ?(budget = Budget.unlimited) ~k forest graph mu =
   if k < 1 then invalid_arg "Pebble_eval.check: k must be at least 1";
+  Budget.with_phase budget "pebble-eval" @@ fun () ->
   List.exists
     (fun tree ->
       match Wdpt.Subtree.matching tree graph mu with
@@ -18,32 +20,41 @@ let check ~k forest graph mu =
       | Some subtree ->
           not
             (List.exists
-               (child_test ~k tree graph mu subtree)
+               (child_test ~budget ~k tree graph mu subtree)
                (Wdpt.Subtree.children subtree)))
     forest
 
-let check_pattern ~k p graph mu =
-  check ~k (Wdpt.Pattern_forest.of_algebra p) graph mu
+let check_pattern ?budget ~k p graph mu =
+  check ?budget ~k (Wdpt.Pattern_forest.of_algebra p) graph mu
 
-let check_auto forest graph mu =
-  check ~k:(Domination_width.of_forest forest) forest graph mu
+let check_auto ?budget forest graph mu =
+  check ?budget ~k:(Domination_width.of_forest ?budget forest) forest graph mu
 
-let solutions ~k forest graph =
+let solutions ?(budget = Budget.unlimited) ~k forest graph =
+  Budget.with_phase budget "pebble-eval" @@ fun () ->
   let target = Graph.to_index graph in
   List.fold_left
     (fun acc tree ->
       List.fold_left
         (fun acc subtree ->
           let homs =
-            Homomorphism.all ~source:(Wdpt.Subtree.pat subtree) ~target ()
+            Homomorphism.all ~budget ~source:(Wdpt.Subtree.pat subtree) ~target
+              ()
           in
           List.fold_left
             (fun acc h ->
               match Sparql.Mapping.of_assignment h with
               | None -> acc
               | Some mu ->
-                  if check ~k forest graph mu then Sparql.Mapping.Set.add mu acc
+                  if
+                    (not (Sparql.Mapping.Set.mem mu acc))
+                    && check ~budget ~k forest graph mu
+                  then begin
+                    Budget.solution budget;
+                    Sparql.Mapping.Set.add mu acc
+                  end
                   else acc)
             acc homs)
-        acc (Wdpt.Subtree.all tree))
+        acc
+        (Wdpt.Subtree.all ~budget tree))
     Sparql.Mapping.Set.empty forest

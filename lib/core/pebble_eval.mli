@@ -15,23 +15,31 @@
 open Rdf
 
 val child_test :
-  k:int -> Wdpt.Pattern_tree.t -> Graph.t -> Sparql.Mapping.t ->
-  Wdpt.Subtree.t -> Wdpt.Pattern_tree.node -> bool
+  ?budget:Resource.Budget.t -> k:int -> Wdpt.Pattern_tree.t -> Graph.t ->
+  Sparql.Mapping.t -> Wdpt.Subtree.t -> Wdpt.Pattern_tree.node -> bool
 (** The relaxed extension test of the algorithm:
     [(pat(T') ∪ pat(n), vars(T')) →µ_{k+1} G]. Exposed for the optimised
     enumerator and for tests. *)
 
-val check : k:int -> Wdpt.Pattern_forest.t -> Graph.t -> Sparql.Mapping.t -> bool
+val check :
+  ?budget:Resource.Budget.t -> k:int -> Wdpt.Pattern_forest.t -> Graph.t ->
+  Sparql.Mapping.t -> bool
 (** [check ~k F G µ] decides [µ ∈ ⟦F⟧G], exactly when [dw(F) ≤ k].
     Raises [Invalid_argument] if [k < 1]. *)
 
-val check_pattern : k:int -> Sparql.Algebra.t -> Graph.t -> Sparql.Mapping.t -> bool
+val check_pattern :
+  ?budget:Resource.Budget.t -> k:int -> Sparql.Algebra.t -> Graph.t ->
+  Sparql.Mapping.t -> bool
 
-val check_auto : Wdpt.Pattern_forest.t -> Graph.t -> Sparql.Mapping.t -> bool
+val check_auto :
+  ?budget:Resource.Budget.t -> Wdpt.Pattern_forest.t -> Graph.t ->
+  Sparql.Mapping.t -> bool
 (** Compute [dw(F)] first (exponential in the query only), then run
     {!check} with that bound — always exact. *)
 
-val solutions : k:int -> Wdpt.Pattern_forest.t -> Graph.t -> Sparql.Mapping.Set.t
+val solutions :
+  ?budget:Resource.Budget.t -> k:int -> Wdpt.Pattern_forest.t -> Graph.t ->
+  Sparql.Mapping.Set.t
 (** Answer enumeration built on the polynomial membership test: candidate
     mappings are generated per subtree from homomorphisms of its pattern
     and filtered with the pebble test. Exact when [dw(F) ≤ k]. *)

@@ -1,3 +1,5 @@
+module Budget = Resource.Budget
+
 (* Structure B = A with one tuple removed from one relation. *)
 let without_tuple a name tuple =
   Structure.make ~size:(Structure.size a)
@@ -13,11 +15,12 @@ let without_tuple a name tuple =
          (Structure.relation_names a))
     ~distinguished:(Structure.distinguished a) ()
 
-let shrinking_endomorphism a =
+let shrinking_endomorphism ?(budget = Budget.unlimited) a =
   let rec try_constraints = function
     | [] -> None
     | (name, tuple) :: rest -> (
-        match Hom.find a (without_tuple a name tuple) with
+        Budget.tick budget;
+        match Hom.find ~budget a (without_tuple a name tuple) with
         | Some h -> Some h
         | None -> try_constraints rest)
   in
@@ -26,7 +29,7 @@ let shrinking_endomorphism a =
        (fun name -> List.map (fun t -> (name, t)) (Structure.tuples a name))
        (Structure.relation_names a))
 
-let is_core a = Option.is_none (shrinking_endomorphism a)
+let is_core ?budget a = Option.is_none (shrinking_endomorphism ?budget a)
 
 (* Compact the image of an endomorphism into a fresh structure. *)
 let image a h =
@@ -55,9 +58,13 @@ let image a h =
       (List.map (fun e -> fresh_of.(h.(e))) (Structure.distinguished a))
     ()
 
-let rec core a =
-  match shrinking_endomorphism a with
-  | None -> a
-  | Some h -> core (image a h)
+let core ?(budget = Budget.unlimited) a =
+  Budget.with_phase budget "csp-core" @@ fun () ->
+  let rec shrink a =
+    match shrinking_endomorphism ~budget a with
+    | None -> a
+    | Some h -> shrink (image a h)
+  in
+  shrink a
 
-let core_treewidth a = Structure.treewidth (core a)
+let core_treewidth ?budget a = Structure.treewidth ?budget (core ?budget a)

@@ -3,12 +3,12 @@
     {!Tgraphs.Cores} (they agree through the {!Of_tgraph} encoding;
     tested). *)
 
-val is_core : Structure.t -> bool
+val is_core : ?budget:Resource.Budget.t -> Structure.t -> bool
 (** No homomorphism into a structure missing one of its tuples. *)
 
-val core : Structure.t -> Structure.t
+val core : ?budget:Resource.Budget.t -> Structure.t -> Structure.t
 (** A core retract, with the domain compacted (distinguished elements are
     preserved and stay distinguished). *)
 
-val core_treewidth : Structure.t -> int
+val core_treewidth : ?budget:Resource.Budget.t -> Structure.t -> int
 (** Treewidth of the core — the structure-level [ctw]. *)

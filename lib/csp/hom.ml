@@ -17,7 +17,8 @@ let check_compatible a b =
         | _ -> ())
     (Structure.relation_names a)
 
-let fold_homs a b ~init ~f =
+let fold_homs ?(budget = Resource.Budget.unlimited) a b ~init ~f =
+  Resource.Budget.with_phase budget "csp-hom" @@ fun () ->
   check_compatible a b;
   let n = Structure.size a in
   let assignment = Array.make n (-1) in
@@ -52,6 +53,7 @@ let fold_homs a b ~init ~f =
                 let result = ref acc and continue_ = ref true in
                 let be = ref 0 in
                 while !continue_ && !be < Structure.size b do
+                  Resource.Budget.tick budget;
                   assignment.(e) <- !be;
                   (match assign_free rest !result with
                   | acc', `Continue -> result := acc'
@@ -87,6 +89,7 @@ let fold_homs a b ~init ~f =
           List.iter
             (fun image ->
               if !continue_ then begin
+                Resource.Budget.tick budget;
                 let bound_here = ref [] in
                 let ok =
                   Array.for_all2
@@ -115,12 +118,13 @@ let fold_homs a b ~init ~f =
     fst (go all_constraints init)
   end
 
-let find a b =
-  fold_homs a b ~init:None ~f:(fun _ h -> (Some h, `Stop))
+let find ?budget a b =
+  fold_homs ?budget a b ~init:None ~f:(fun _ h -> (Some h, `Stop))
 
-let exists a b = Option.is_some (find a b)
+let exists ?budget a b = Option.is_some (find ?budget a b)
 
-let count a b = fold_homs a b ~init:0 ~f:(fun n _ -> (n + 1, `Continue))
+let count ?budget a b =
+  fold_homs ?budget a b ~init:0 ~f:(fun n _ -> (n + 1, `Continue))
 
 let is_homomorphism a b h =
   Array.length h = Structure.size a

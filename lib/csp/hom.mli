@@ -6,13 +6,16 @@
     distinguished element of [B]. Backtracking with fail-first tuple
     selection, like the t-graph solver it generalises. Raises
     [Invalid_argument] when the distinguished lists have different
-    lengths or a relation of [A] has a different arity in [B]. *)
+    lengths or a relation of [A] has a different arity in [B]. The
+    search ticks [budget] per branching step and raises
+    {!Resource.Budget.Exhausted} when it trips. *)
 
-val find : Structure.t -> Structure.t -> int array option
+val find :
+  ?budget:Resource.Budget.t -> Structure.t -> Structure.t -> int array option
 (** [find a b] is a homomorphism as an array indexed by [dom a]. *)
 
-val exists : Structure.t -> Structure.t -> bool
-val count : Structure.t -> Structure.t -> int
+val exists : ?budget:Resource.Budget.t -> Structure.t -> Structure.t -> bool
+val count : ?budget:Resource.Budget.t -> Structure.t -> Structure.t -> int
 
 val is_homomorphism : Structure.t -> Structure.t -> int array -> bool
 (** Validation helper (used by the tests). *)

@@ -107,10 +107,10 @@ let gaifman t =
     t.relations;
   Graphtheory.Ugraph.make ~n:!count ~edges:!edges
 
-let treewidth t =
+let treewidth ?budget t =
   let g = gaifman t in
   if Graphtheory.Ugraph.n g = 0 || Graphtheory.Ugraph.m g = 0 then 1
-  else max 1 (Graphtheory.Treewidth.treewidth g)
+  else max 1 (Graphtheory.Treewidth.treewidth ?budget g)
 
 let rename_apart t ~offset =
   {

@@ -40,7 +40,7 @@ val gaifman : t -> Graphtheory.Ugraph.t
     they co-occur in a tuple — exactly the paper's Gaifman graph
     convention for generalised t-graphs. *)
 
-val treewidth : t -> int
+val treewidth : ?budget:Resource.Budget.t -> t -> int
 (** Treewidth of {!gaifman}, with the paper's convention: 1 when that
     graph has no vertices or no edges. *)
 

@@ -1,0 +1,59 @@
+type t =
+  | Parse_error of { source : string; line : int; col : int; msg : string }
+  | Not_well_designed of string
+  | Budget_exhausted of { phase : string; spent : int }
+  | Io_error of { path : string; msg : string }
+  | Invalid_input of string
+  | Internal of string
+
+exception Error of t
+
+let fail e = raise (Error e)
+
+let of_exn = function
+  | Error e -> Some e
+  | Resource.Budget.Exhausted { phase; spent } ->
+      Some (Budget_exhausted { phase; spent })
+  | Sys_error msg -> Some (Io_error { path = ""; msg })
+  | Failure msg -> Some (Internal msg)
+  | _ -> None
+
+let guard f =
+  match f () with
+  | v -> Ok v
+  | exception e -> ( match of_exn e with Some err -> Error err | None -> raise e)
+
+let attempt f =
+  match guard f with
+  | Ok v -> Some v
+  | Error (Budget_exhausted _) -> None
+  | Error e -> fail e
+
+let exit_ok = 0
+let exit_user_error = 2
+let exit_budget = 3
+let exit_internal = 4
+
+let exit_code = function
+  | Parse_error _ | Not_well_designed _ | Io_error _ | Invalid_input _ ->
+      exit_user_error
+  | Budget_exhausted _ -> exit_budget
+  | Internal _ -> exit_internal
+
+let pp ppf = function
+  | Parse_error { source; line; col; msg } ->
+      if line > 0 then Fmt.pf ppf "%s: line %d, column %d: %s" source line col msg
+      else Fmt.pf ppf "%s: %s" source msg
+  | Not_well_designed msg -> Fmt.pf ppf "not well-designed: %s" msg
+  | Budget_exhausted { phase; spent } ->
+      Fmt.pf ppf
+        "budget exhausted during %s after %d step(s) — raise --fuel or \
+         --timeout, or let the engine degrade (drop --algorithm naive)"
+        phase spent
+  | Io_error { path; msg } ->
+      if path = "" then Fmt.pf ppf "I/O error: %s" msg
+      else Fmt.pf ppf "%s: %s" path msg
+  | Invalid_input msg -> Fmt.pf ppf "invalid input: %s" msg
+  | Internal msg -> Fmt.pf ppf "internal error: %s" msg
+
+let to_string e = Fmt.str "%a" pp e

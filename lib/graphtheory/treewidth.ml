@@ -1,4 +1,5 @@
 module ISet = Ugraph.ISet
+module Budget = Resource.Budget
 
 (* ------------------------------------------------------------------ *)
 (* Exact treewidth: the O(2^n) dynamic programme of Bodlaender et al.
@@ -38,11 +39,13 @@ let q_count adj full v s =
   let rec popcount m = if m = 0 then 0 else 1 + popcount (m land (m - 1)) in
   popcount outside
 
-let exact ?(limit = 20) g =
+let exact ?(budget = Budget.unlimited) ?(limit = 20) g =
   let n = Ugraph.n g in
   if n > limit then None
   else if n = 0 then Some (-1)
-  else begin
+  else
+    Budget.with_phase budget "treewidth" @@ fun () ->
+    begin
     let adj = adjacency_masks g in
     let full = (1 lsl n) - 1 in
     let size = 1 lsl n in
@@ -57,6 +60,7 @@ let exact ?(limit = 20) g =
     (* iterate subsets in increasing order: s-1 ⊂ relevant already done
        because removing a bit yields a smaller integer. *)
     for s = 1 to full do
+      Budget.tick budget;
       let best = ref max_int in
       let rest = ref s in
       while !rest <> 0 do
@@ -79,13 +83,14 @@ let exact ?(limit = 20) g =
 (* Elimination heuristics.                                             *)
 (* ------------------------------------------------------------------ *)
 
-let eliminate_with choose g =
+let eliminate_with ?(budget = Budget.unlimited) choose g =
   let n = Ugraph.n g in
   let adjacency = Array.init n (fun v -> Ugraph.adj g v) in
   let alive = Array.make n true in
   let order = ref [] in
   let width = ref 0 in
   for _ = 1 to n do
+    Budget.tick budget;
     let v = choose adjacency alive in
     order := v :: !order;
     width := max !width (ISet.cardinal adjacency.(v));
@@ -116,8 +121,8 @@ let argmin_alive score adjacency alive =
     alive;
   !best
 
-let min_degree_order g =
-  eliminate_with
+let min_degree_order ?budget g =
+  eliminate_with ?budget
     (argmin_alive (fun adjacency v -> ISet.cardinal adjacency.(v)))
     g
 
@@ -133,7 +138,7 @@ let fill_in adjacency v =
   pairs nbrs;
   !count
 
-let min_fill_order g = eliminate_with (argmin_alive fill_in) g
+let min_fill_order ?budget g = eliminate_with ?budget (argmin_alive fill_in) g
 
 (* ------------------------------------------------------------------ *)
 (* Exact treewidth, second opinion: branch and bound over elimination
@@ -141,15 +146,18 @@ let min_fill_order g = eliminate_with (argmin_alive fill_in) g
    identified by the bitmask of remaining vertices (memoised).            *)
 (* ------------------------------------------------------------------ *)
 
-let exact_branch_and_bound ?(limit = 26) g =
+let exact_branch_and_bound ?(budget = Budget.unlimited) ?(limit = 26) g =
   let n = Ugraph.n g in
   if n > limit then None
   else if n = 0 then Some (-1)
-  else begin
-    let best = ref (snd (min_fill_order g)) in
+  else
+    Budget.with_phase budget "treewidth" @@ fun () ->
+    begin
+    let best = ref (snd (min_fill_order ~budget g)) in
     (* visited: remaining-set -> smallest width-so-far seen entering it *)
     let visited : (int, int) Hashtbl.t = Hashtbl.create 4096 in
     let rec go adjacency remaining width =
+      Budget.tick budget;
       if width >= !best then ()
       else if remaining = 0 then best := width
       else begin
@@ -206,7 +214,7 @@ let exact_branch_and_bound ?(limit = 26) g =
   end
 
 
-let lower_bound g =
+let lower_bound ?(budget = Budget.unlimited) g =
   (* Maximum-minimum-degree: repeatedly delete a minimum-degree vertex,
      recording the largest minimum degree seen. *)
   let n = Ugraph.n g in
@@ -216,6 +224,7 @@ let lower_bound g =
     let alive = Array.make n true in
     let best = ref 0 in
     for _ = 1 to n do
+      Budget.tick budget;
       let v = argmin_alive (fun adjacency v -> ISet.cardinal adjacency.(v)) adjacency alive in
       best := max !best (ISet.cardinal adjacency.(v));
       ISet.iter (fun a -> adjacency.(a) <- ISet.remove v adjacency.(a)) adjacency.(v);
@@ -225,27 +234,27 @@ let lower_bound g =
     !best
   end
 
-let upper_bound g =
-  let _, w1 = min_fill_order g in
-  let _, w2 = min_degree_order g in
+let upper_bound ?budget g =
+  let _, w1 = min_fill_order ?budget g in
+  let _, w2 = min_degree_order ?budget g in
   min w1 w2
 
-let treewidth ?(exact_limit = 20) g =
-  match exact ~limit:exact_limit g with
+let treewidth ?budget ?(exact_limit = 20) g =
+  match exact ?budget ~limit:exact_limit g with
   | Some w -> w
-  | None -> upper_bound g
+  | None -> upper_bound ?budget g
 
-let is_at_most g k =
+let is_at_most ?budget g k =
   if k >= Ugraph.n g - 1 then true
-  else if lower_bound g > k then false
-  else if upper_bound g <= k then true
-  else treewidth g <= k
+  else if lower_bound ?budget g > k then false
+  else if upper_bound ?budget g <= k then true
+  else treewidth ?budget g <= k
 
-let decomposition g =
+let decomposition ?(budget = Budget.unlimited) g =
   if Ugraph.n g = 0 then Tree_decomposition.make ~bags:[||] ~tree_edges:[]
   else begin
-    let target = treewidth g in
-    let order, w = min_fill_order g in
+    let target = treewidth ~budget g in
+    let order, w = min_fill_order ~budget g in
     if w = target then Tree_decomposition.of_elimination_order g order
     else begin
       (* Search for an optimal ordering greedily guided by the DP values:
@@ -254,6 +263,7 @@ let decomposition g =
       if n <= 9 then begin
         let best = ref (order, w) in
         let rec permute prefix remaining =
+          Budget.tick budget;
           if snd !best = target then ()
           else
             match remaining with

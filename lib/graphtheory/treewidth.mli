@@ -1,18 +1,24 @@
 (** Treewidth computation: exact (exponential, for small graphs) and
     heuristic bounds.
 
+    Every function accepts an optional [budget]; the exponential searches
+    tick it at their loop heads and raise {!Resource.Budget.Exhausted}
+    when it trips (the [?budget] convention all intentionally-exponential
+    kernels of this codebase follow; see [docs/ROBUSTNESS.md]).
+
     Conventions: the empty graph has treewidth [-1]; a non-empty edgeless
     graph has treewidth [0]; trees have treewidth 1, cycles 2, the clique
     [K_k] has [k − 1], and the [k × k] grid has [k]. (The paper's
     convention of reporting 1 for edgeless Gaifman graphs is applied at the
     generalised-t-graph layer, not here.) *)
 
-val exact : ?limit:int -> Ugraph.t -> int option
+val exact : ?budget:Resource.Budget.t -> ?limit:int -> Ugraph.t -> int option
 (** Exact treewidth by dynamic programming over vertex subsets,
     [O(2^n · n^2)] time and [O(2^n)] space. Returns [None] when
     [Ugraph.n g > limit] (default 20). *)
 
-val exact_branch_and_bound : ?limit:int -> Ugraph.t -> int option
+val exact_branch_and_bound :
+  ?budget:Resource.Budget.t -> ?limit:int -> Ugraph.t -> int option
 (** Exact treewidth by branch and bound over elimination orderings, with
     min-fill initialisation, simplicial-vertex elimination and memoisation
     on the set of remaining vertices. An independent implementation used
@@ -20,28 +26,28 @@ val exact_branch_and_bound : ?limit:int -> Ugraph.t -> int option
     graphs, worse on dense ones. [None] when [Ugraph.n g > limit]
     (default 26). *)
 
-val min_fill_order : Ugraph.t -> int list * int
+val min_fill_order : ?budget:Resource.Budget.t -> Ugraph.t -> int list * int
 (** Min-fill elimination heuristic: the ordering and its width (an upper
     bound on treewidth). *)
 
-val min_degree_order : Ugraph.t -> int list * int
+val min_degree_order : ?budget:Resource.Budget.t -> Ugraph.t -> int list * int
 (** Min-degree elimination heuristic. *)
 
-val lower_bound : Ugraph.t -> int
+val lower_bound : ?budget:Resource.Budget.t -> Ugraph.t -> int
 (** The maximum-minimum-degree (degeneracy) lower bound. *)
 
-val upper_bound : Ugraph.t -> int
+val upper_bound : ?budget:Resource.Budget.t -> Ugraph.t -> int
 (** The better of the two elimination heuristics. *)
 
-val treewidth : ?exact_limit:int -> Ugraph.t -> int
+val treewidth : ?budget:Resource.Budget.t -> ?exact_limit:int -> Ugraph.t -> int
 (** Exact when [n ≤ exact_limit] (default 20); otherwise the heuristic
     upper bound. All query-derived graphs in this project are small enough
     for the exact path. *)
 
-val is_at_most : Ugraph.t -> int -> bool
+val is_at_most : ?budget:Resource.Budget.t -> Ugraph.t -> int -> bool
 (** Decision procedure [tw(g) ≤ k], using bounds before falling back to
     the exact computation. *)
 
-val decomposition : Ugraph.t -> Tree_decomposition.t
+val decomposition : ?budget:Resource.Budget.t -> Ugraph.t -> Tree_decomposition.t
 (** A tree decomposition witnessing [treewidth g] when the exact path was
     taken (min-fill width otherwise). *)

@@ -28,8 +28,10 @@ let key_remove key v =
 
 let key_add key v a = key_of_pairs ((v, a) :: pairs_of_key key)
 
-let wins ?(prune_unary = true) ~k g ~mu graph =
+let wins ?(budget = Resource.Budget.unlimited) ?(prune_unary = true) ~k g ~mu
+    graph =
   if k < 1 then invalid_arg "Pebble_game.wins: k must be at least 1";
+  Resource.Budget.with_phase budget "pebble" @@ fun () ->
   (* Freeze µ into S: distinguished variables become IRIs. *)
   let x = Gtgraph.x g in
   let mu_term v =
@@ -119,6 +121,7 @@ let wins ?(prune_unary = true) ~k g ~mu graph =
             | v :: rest ->
                 List.iter
                   (fun a ->
+                    Resource.Budget.tick budget;
                     let assoc' = (v, a) :: assoc in
                     (* check triples fully covered by assoc' and touching v *)
                     let dom' = List.map fst assoc' in
@@ -162,6 +165,7 @@ let wins ?(prune_unary = true) ~k g ~mu graph =
             if List.length dom < k then
               for v = 0 to n - 1 do
                 if not (List.mem v dom) then begin
+                  Resource.Budget.tick budget;
                   let cnt = ref 0 in
                   List.iter
                     (fun a ->
@@ -174,6 +178,7 @@ let wins ?(prune_unary = true) ~k g ~mu graph =
           alive;
         (* Worklist removal. *)
         while not (Queue.is_empty dead_queue) do
+          Resource.Budget.tick budget;
           let key = Queue.pop dead_queue in
           if Hashtbl.mem alive key then begin
             Hashtbl.remove alive key;

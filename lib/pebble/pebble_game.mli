@@ -18,6 +18,7 @@
 open Rdf
 
 val wins :
+  ?budget:Resource.Budget.t ->
   ?prune_unary:bool -> k:int -> Tgraphs.Gtgraph.t ->
   mu:Tgraphs.Homomorphism.assignment -> Graph.t -> bool
 (** [wins ~k g ~mu graph] decides [(S, X) →µ_k G]. [µ] must be defined on
@@ -28,7 +29,10 @@ val wins :
     [prune_unary] (default [true]) pre-filters each variable's candidate
     values by the triples in which it is the only variable; disabling it
     never changes the answer (the k-consistency fixpoint subsumes the
-    filter) — it exists for the ablation benchmark A2. *)
+    filter) — it exists for the ablation benchmark A2.
+
+    [budget] is ticked through the family enumeration and the worklist
+    fixpoint; {!Resource.Budget.Exhausted} is raised when it trips. *)
 
 val stats_families_explored : unit -> int
 (** Total number of partial maps materialised since {!reset_stats};

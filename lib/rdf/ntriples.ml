@@ -1,45 +1,71 @@
+let is_ws c = c = ' ' || c = '\t' || c = '\r'
+
+(* [Error (col, msg)] with 1-based columns into the raw line. *)
 let parse_term line pos =
   let n = String.length line in
-  let rec skip_ws i = if i < n && (line.[i] = ' ' || line.[i] = '\t') then skip_ws (i + 1) else i in
+  let rec skip_ws i = if i < n && is_ws line.[i] then skip_ws (i + 1) else i in
   let i = skip_ws pos in
   if i < n && line.[i] = '"' then
     (* literal objects, stored IRI-encoded (see Rdf.Literal) *)
     match Literal.scan line i with
     | Ok (literal, next) -> Ok (Term.Iri (Literal.encode literal), next)
-    | Error _ as e -> e
-  else if i >= n || line.[i] <> '<' then
-    Error (Printf.sprintf "expected '<' at column %d" i)
+    | Error msg -> Error (i + 1, msg)
+  else if i >= n || line.[i] <> '<' then Error (i + 1, "expected '<'")
   else
     match String.index_from_opt line i '>' with
-    | None -> Error "unterminated IRI"
+    | None -> Error (i + 1, "unterminated IRI")
     | Some j ->
         let body = String.sub line (i + 1) (j - i - 1) in
-        if body = "" then Error "empty IRI"
+        if body = "" then Error (i + 1, "empty IRI")
         else Ok (Term.iri body, j + 1)
 
-let parse_line line =
-  let stripped = String.trim line in
-  if stripped = "" || stripped.[0] = '#' then Ok None
+let parse_line_loc line =
+  let n = String.length line in
+  let rec skip_ws i = if i < n && is_ws line.[i] then skip_ws (i + 1) else i in
+  let start = skip_ws 0 in
+  if start >= n || line.[start] = '#' then Ok None
   else
     let ( let* ) = Result.bind in
-    let* s, pos = parse_term stripped 0 in
-    let* p, pos = parse_term stripped pos in
-    let* o, pos = parse_term stripped pos in
-    let rest = String.trim (String.sub stripped pos (String.length stripped - pos)) in
-    if rest = "." then Ok (Some (Triple.make s p o))
-    else Error "expected terminating '.'"
+    let* s, pos = parse_term line start in
+    let* p, pos = parse_term line pos in
+    let* o, pos = parse_term line pos in
+    let dot = skip_ws pos in
+    if dot >= n || line.[dot] <> '.' then
+      Error (dot + 1, "expected terminating '.'")
+    else
+      let after = skip_ws (dot + 1) in
+      if after < n && line.[after] <> '#' then
+        Error (after + 1, "trailing content after '.'")
+      else Ok (Some (Triple.make s p o))
 
-let parse src =
+let parse_line line =
+  Result.map_error
+    (fun (col, msg) -> Printf.sprintf "column %d: %s" col msg)
+    (parse_line_loc line)
+
+let parse_err ?source src =
   let lines = String.split_on_char '\n' src in
   let rec go acc lineno = function
-    | [] -> Ok (Graph.of_triples (List.rev acc))
+    | [] -> (
+        match Graph.of_triples (List.rev acc) with
+        | graph -> Ok graph
+        | exception Graph.Not_ground t ->
+            Error
+              (Wdsparql_error.Invalid_input
+                 (Fmt.str "non-ground triple in data: %a" Triple.pp t)))
     | line :: rest -> (
-        match parse_line line with
+        match parse_line_loc line with
         | Ok (Some t) -> go (t :: acc) (lineno + 1) rest
         | Ok None -> go acc (lineno + 1) rest
-        | Error e -> Error (Printf.sprintf "line %d: %s" lineno e))
+        | Error (col, msg) ->
+            Error (Wdsparql_error.Parse_error { source = Option.value source ~default:"input"; line = lineno; col; msg })
+        | exception Invalid_argument msg ->
+            Error
+              (Wdsparql_error.Parse_error { source = Option.value source ~default:"input"; line = lineno; col = 1; msg }))
   in
   go [] 1 lines
+
+let parse src = Result.map_error Wdsparql_error.to_string (parse_err src)
 
 let to_string graph =
   let buf = Buffer.create 1024 in

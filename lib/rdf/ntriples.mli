@@ -1,11 +1,20 @@
 (** Strict N-Triples-style I/O: one triple per line, every term in angle
     brackets, terminated by [.]. Unlike {!Turtle} there are no prefixes
     and no abbreviations, which makes the format trivially streamable and
-    line-diffable — the interchange format the benchmark fixtures use. *)
+    line-diffable — the interchange format the benchmark fixtures use.
+
+    Parsers never raise on malformed input: every syntax problem comes
+    back as [Error] carrying the offending line and column. *)
+
+val parse_err : ?source:string -> string -> (Graph.t, Wdsparql_error.t) result
+(** Blank lines and [#] comment lines are allowed; anything else must be
+    [<s> <p> <o> .]. Syntax errors come back as
+    {!Wdsparql_error.Parse_error} with 1-based line/column; non-ground
+    data as {!Wdsparql_error.Invalid_input}. [source] names the input
+    (e.g. a file path) in diagnostics. *)
 
 val parse : string -> (Graph.t, string) result
-(** Blank lines and [#] comment lines are allowed; anything else must be
-    [<s> <p> <o> .]. *)
+(** {!parse_err} with the error rendered as a one-line message. *)
 
 val to_string : Graph.t -> string
 (** One line per triple, sorted (deterministic output). *)

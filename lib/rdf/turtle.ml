@@ -5,9 +5,10 @@ type token =
   | Tok_dot
   | Tok_prefix_decl
 
-exception Error of string
+exception Err of { line : int; col : int; msg : string }
 
-let error line fmt = Fmt.kstr (fun msg -> raise (Error (Printf.sprintf "line %d: %s" line msg))) fmt
+let error line col fmt =
+  Fmt.kstr (fun msg -> raise (Err { line; col; msg })) fmt
 
 let is_ws c = c = ' ' || c = '\t' || c = '\r' || c = '\n'
 
@@ -17,18 +18,22 @@ let is_name_char c =
   || (c >= '0' && c <= '9')
   || c = '_' || c = '-' || c = '.'
 
-(* Tokenise the whole document, tracking line numbers for error messages. *)
+(* Tokenise the whole document, tracking line and column numbers for
+   error messages. Columns are 1-based byte offsets from the line start. *)
 let tokenize src =
   let n = String.length src in
   let tokens = ref [] in
   let line = ref 1 in
+  let line_start = ref 0 in
   let i = ref 0 in
-  let emit tok = tokens := (tok, !line) :: !tokens in
+  let col_of pos = pos - !line_start + 1 in
+  let emit pos tok = tokens := (tok, !line, col_of pos) :: !tokens in
   while !i < n do
     let c = src.[!i] in
     if c = '\n' then begin
       incr line;
-      incr i
+      incr i;
+      line_start := !i
     end
     else if is_ws c then incr i
     else if c = '#' then begin
@@ -37,31 +42,33 @@ let tokenize src =
     else if c = '.'
             && (!i + 1 >= n || is_ws src.[!i + 1] || src.[!i + 1] = '#')
     then begin
-      emit Tok_dot;
+      emit !i Tok_dot;
       incr i
     end
     else if c = '<' then begin
       let start = !i + 1 in
       let j = ref start in
       while !j < n && src.[!j] <> '>' && src.[!j] <> '\n' do incr j done;
-      if !j >= n || src.[!j] <> '>' then error !line "unterminated IRI";
-      emit (Tok_iri (String.sub src start (!j - start)));
+      if !j >= n || src.[!j] <> '>' then
+        error !line (col_of !i) "unterminated IRI";
+      if !j = start then error !line (col_of !i) "empty IRI";
+      emit !i (Tok_iri (String.sub src start (!j - start)));
       i := !j + 1
     end
     else if c = '"' then begin
       (* literals are stored IRI-encoded; see Rdf.Literal *)
       match Literal.scan src !i with
       | Ok (literal, next) ->
-          emit (Tok_iri (Iri.to_string (Literal.encode literal)));
+          emit !i (Tok_iri (Iri.to_string (Literal.encode literal)));
           i := next
-      | Error msg -> error !line "%s" msg
+      | Error msg -> error !line (col_of !i) "%s" msg
     end
     else if c = '?' then begin
       let start = !i + 1 in
       let j = ref start in
       while !j < n && is_name_char src.[!j] do incr j done;
-      if !j = start then error !line "empty variable name";
-      emit (Tok_var (String.sub src start (!j - start)));
+      if !j = start then error !line (col_of !i) "empty variable name";
+      emit !i (Tok_var (String.sub src start (!j - start)));
       i := !j
     end
     else if c = '@' then begin
@@ -69,8 +76,9 @@ let tokenize src =
       let j = ref start in
       while !j < n && is_name_char src.[!j] do incr j done;
       let word = String.sub src start (!j - start) in
-      if word <> "prefix" then error !line "unknown directive @%s" word;
-      emit Tok_prefix_decl;
+      if word <> "prefix" then
+        error !line (col_of !i) "unknown directive @%s" word;
+      emit !i Tok_prefix_decl;
       i := !j
     end
     else if is_name_char c || c = ':' then begin
@@ -90,69 +98,92 @@ let tokenize src =
       in
       (match String.index_opt word ':' with
       | Some k ->
-          emit
+          emit start
             (Tok_pname
                (String.sub word 0 k, String.sub word (k + 1) (String.length word - k - 1)))
-      | None -> error !line "expected a prefixed name or IRI, got %S" word);
-      if extra_dot then emit Tok_dot;
+      | None ->
+          error !line (col_of start) "expected a prefixed name or IRI, got %S"
+            word);
+      if extra_dot then emit (!j - 1) Tok_dot;
       i := !j
     end
-    else error !line "unexpected character %C" c
+    else error !line (col_of !i) "unexpected character %C" c
   done;
-  List.rev !tokens
+  (List.rev !tokens, !line)
 
-let resolve prefixes _line prefix local =
-  match List.assoc_opt prefix prefixes with
-  | Some expansion -> Iri.of_string (expansion ^ local)
-  | None ->
-      (* Undeclared prefixes denote themselves, matching the query parser:
-         [p:knows] is the IRI "p:knows". *)
-      Iri.of_string (prefix ^ ":" ^ local)
+let resolve prefixes line col prefix local =
+  let s =
+    match List.assoc_opt prefix prefixes with
+    | Some expansion -> expansion ^ local
+    | None ->
+        (* Undeclared prefixes denote themselves, matching the query parser:
+           [p:knows] is the IRI "p:knows". *)
+        prefix ^ ":" ^ local
+  in
+  if s = "" then error line col "empty IRI after prefix expansion"
+  else Iri.of_string s
 
-let parse_tokens tokens =
+let parse_tokens (tokens, last_line) =
   let rec statements prefixes acc = function
     | [] -> List.rev acc
-    | (Tok_prefix_decl, line) :: rest -> (
+    | (Tok_prefix_decl, line, col) :: rest -> (
         match rest with
-        | (Tok_pname (prefix, ""), _) :: (Tok_iri iri, _) :: (Tok_dot, _) :: rest ->
+        | (Tok_pname (prefix, ""), _, _) :: (Tok_iri iri, _, _)
+          :: (Tok_dot, _, _) :: rest ->
             statements ((prefix, iri) :: prefixes) acc rest
-        | _ -> error line "malformed @prefix declaration")
+        | _ -> error line col "malformed @prefix declaration")
     | rest ->
         let term rest =
           match rest with
-          | (Tok_iri iri, _) :: rest -> (Term.iri iri, rest)
-          | (Tok_pname (prefix, local), line) :: rest ->
-              (Term.Iri (resolve prefixes line prefix local), rest)
-          | (Tok_var v, _) :: rest -> (Term.var v, rest)
-          | (_, line) :: _ -> error line "expected a term"
-          | [] -> raise (Error "unexpected end of input in triple")
+          | (Tok_iri iri, _, _) :: rest -> (Term.iri iri, rest)
+          | (Tok_pname (prefix, local), line, col) :: rest ->
+              (Term.Iri (resolve prefixes line col prefix local), rest)
+          | (Tok_var v, _, _) :: rest -> (Term.var v, rest)
+          | (_, line, col) :: _ -> error line col "expected a term"
+          | [] -> error last_line 1 "unexpected end of input in triple"
         in
         let s, rest = term rest in
         let p, rest = term rest in
         let o, rest = term rest in
         let rest =
           match rest with
-          | (Tok_dot, _) :: rest -> rest
-          | (_, line) :: _ -> error line "expected '.' after triple"
-          | [] -> raise (Error "missing final '.'")
+          | (Tok_dot, _, _) :: rest -> rest
+          | (_, line, col) :: _ -> error line col "expected '.' after triple"
+          | [] -> error last_line 1 "missing final '.'"
         in
         statements prefixes (Triple.make s p o :: acc) rest
   in
   statements [] [] tokens
 
-let parse_triples src =
-  match parse_tokens (tokenize src) with
-  | triples -> Ok triples
-  | exception Error msg -> Error msg
+let located ?source src parse =
+  (* Every failure — including defensive catches of [Invalid_argument]
+     from term constructors — surfaces as a structured parse error; no
+     exception escapes. *)
+  match parse (tokenize src) with
+  | v -> Ok v
+  | exception Err { line; col; msg } ->
+      Error (Wdsparql_error.Parse_error { source = Option.value source ~default:"input"; line; col; msg })
+  | exception Invalid_argument msg ->
+      Error (Wdsparql_error.Parse_error { source = Option.value source ~default:"input"; line = 1; col = 1; msg })
 
-let parse_graph src =
-  match parse_triples src with
+let parse_triples_err ?source src = located ?source src parse_tokens
+
+let parse_graph_err ?source src =
+  match parse_triples_err ?source src with
   | Error _ as e -> e
   | Ok triples -> (
       match Graph.of_triples triples with
       | graph -> Ok graph
       | exception Graph.Not_ground t ->
-          Error (Fmt.str "non-ground triple in data: %a" Triple.pp t))
+          Error
+            (Wdsparql_error.Invalid_input
+               (Fmt.str "non-ground triple in data: %a" Triple.pp t)))
+
+let parse_triples src =
+  Result.map_error Wdsparql_error.to_string (parse_triples_err src)
+
+let parse_graph src =
+  Result.map_error Wdsparql_error.to_string (parse_graph_err src)
 
 let abbreviate prefixes iri =
   match Literal.decode iri with

@@ -10,14 +10,28 @@
       {!parse_graph}).
 
     Literals and blank nodes are not supported: the paper's data model is
-    ground IRI-only RDF. *)
+    ground IRI-only RDF.
+
+    Parsers never raise on malformed input: every syntax problem comes
+    back as [Error] carrying the offending line and column. *)
+
+val parse_triples_err :
+  ?source:string -> string -> (Triple.t list, Wdsparql_error.t) result
+(** Parse a document into triples (variables allowed). [source] names the
+    input (e.g. a file path) in diagnostics. Syntax errors come back as
+    {!Wdsparql_error.Parse_error} with 1-based line/column. *)
+
+val parse_graph_err :
+  ?source:string -> string -> (Graph.t, Wdsparql_error.t) result
+(** As {!parse_triples_err} but requires every triple to be ground
+    (non-ground data is reported as {!Wdsparql_error.Invalid_input}). *)
 
 val parse_triples : string -> (Triple.t list, string) result
-(** Parse a document into triples (variables allowed). Errors carry a
-    line-numbered message. *)
+(** {!parse_triples_err} with the error rendered as a one-line
+    [line L, column C: ...] message. *)
 
 val parse_graph : string -> (Graph.t, string) result
-(** As {!parse_triples} but requires every triple to be ground. *)
+(** {!parse_graph_err} with the error rendered as a one-line message. *)
 
 val to_string : ?prefixes:(string * string) list -> Graph.t -> string
 (** Serialise; IRIs matching a [(prefix, expansion)] pair are written as

@@ -1,0 +1,99 @@
+type t = {
+  mutable fuel_left : int;  (* max_int = no fuel limit *)
+  mutable spent : int;
+  mutable solutions_left : int;  (* max_int = no cap *)
+  deadline : float;  (* absolute Unix time; infinity = none *)
+  mutable phase : string;
+  limited : bool;
+}
+
+exception Exhausted of { phase : string; spent : int }
+
+let deadline_check_interval = 64
+
+let unlimited =
+  {
+    fuel_left = max_int;
+    spent = 0;
+    solutions_left = max_int;
+    deadline = infinity;
+    phase = "-";
+    limited = false;
+  }
+
+let make ?fuel ?timeout ?max_solutions () =
+  match (fuel, timeout, max_solutions) with
+  | None, None, None -> unlimited
+  | _ ->
+      let fuel_left =
+        match fuel with
+        | None -> max_int
+        | Some f ->
+            if f <= 0 then invalid_arg "Budget.make: fuel must be positive";
+            f
+      in
+      let deadline =
+        match timeout with
+        | None -> infinity
+        | Some s ->
+            if s <= 0. then invalid_arg "Budget.make: timeout must be positive";
+            Unix.gettimeofday () +. s
+      in
+      let solutions_left =
+        match max_solutions with
+        | None -> max_int
+        | Some n ->
+            if n <= 0 then
+              invalid_arg "Budget.make: max_solutions must be positive";
+            n
+      in
+      { fuel_left; spent = 0; solutions_left; deadline; phase = "-"; limited = true }
+
+let exhaust b = raise (Exhausted { phase = b.phase; spent = b.spent })
+
+let tick b =
+  if b.limited then begin
+    b.spent <- b.spent + 1;
+    if b.fuel_left <> max_int then begin
+      b.fuel_left <- b.fuel_left - 1;
+      if b.fuel_left <= 0 then exhaust b
+    end;
+    if
+      b.deadline < infinity
+      && b.spent land (deadline_check_interval - 1) = 0
+      && Unix.gettimeofday () > b.deadline
+    then exhaust b
+  end
+
+let solution b =
+  if b.limited then begin
+    (* a solution is also work — and keeps the deadline honest when an
+       enumerator produces answers faster than it ticks *)
+    tick b;
+    if b.solutions_left <> max_int then begin
+      b.solutions_left <- b.solutions_left - 1;
+      if b.solutions_left < 0 then exhaust b
+    end
+  end
+
+let with_phase b label f =
+  if not b.limited then f ()
+  else begin
+    let saved = b.phase in
+    b.phase <- label;
+    Fun.protect ~finally:(fun () -> b.phase <- saved) f
+  end
+
+let is_limited b = b.limited
+let spent b = b.spent
+let phase b = b.phase
+
+let pp ppf b =
+  if not b.limited then Fmt.string ppf "unlimited"
+  else
+    Fmt.pf ppf "budget{spent %d; fuel left %s; deadline %s; solutions left %s}"
+      b.spent
+      (if b.fuel_left = max_int then "∞" else string_of_int b.fuel_left)
+      (if b.deadline = infinity then "none"
+       else Fmt.str "%.3fs away" (b.deadline -. Unix.gettimeofday ()))
+      (if b.solutions_left = max_int then "∞" else string_of_int b.solutions_left)

@@ -1,0 +1,70 @@
+(** Resource budgets for the intentionally-exponential kernels.
+
+    Half of this codebase — exact treewidth, cores, exact homomorphism
+    tests, naive evaluation, domination width — is worst-case exponential
+    {e by design} (the paper's Theorem 2 side). A budget makes "too hard
+    under current limits" a first-class, promptly-reported outcome instead
+    of an unbounded burn: every such kernel accepts a [Budget.t] and calls
+    {!tick} at its loop heads, which raises {!Exhausted} as soon as any of
+    the three limits trips:
+
+    - a {b fuel} counter: a deterministic step budget, decremented on every
+      tick — reproducible across runs, the fault-injection lever the tests
+      use;
+    - a wall-clock {b deadline}: checked every few ticks (the clock is only
+      read once per {!deadline_check_interval} ticks, so ticking stays
+      cheap);
+    - a {b solution cap}: counted by {!solution} at every answer an
+      enumerator emits.
+
+    A budget is a single mutable object threaded by reference: spending is
+    visible to the caller afterwards via {!spent}, so a planner can try an
+    exact computation under a slice and fall back when it trips (see
+    [Wd_core.Engine.plan]). The shared {!unlimited} budget never trips and
+    costs one branch per tick, so un-budgeted callers pay essentially
+    nothing. *)
+
+type t
+
+exception Exhausted of { phase : string; spent : int }
+(** Raised by {!tick} / {!solution} when a limit trips. [phase] is the
+    innermost {!with_phase} label active at the raise ("treewidth",
+    "pebble", "naive-eval", …); [spent] the number of ticks consumed.
+    Catch it at an entry point — or let [Wdsparql_error.guard] turn it
+    into [`Budget_exhausted`]. *)
+
+val unlimited : t
+(** The shared never-tripping budget; the default everywhere. *)
+
+val make : ?fuel:int -> ?timeout:float -> ?max_solutions:int -> unit -> t
+(** A fresh budget. [fuel] is a tick count (raises [Invalid_argument] if
+    [≤ 0]); [timeout] is seconds from now; [max_solutions] caps
+    {!solution} calls. With no limits given, returns {!unlimited}. *)
+
+val tick : t -> unit
+(** Account one unit of work; raises {!Exhausted} when the fuel or the
+    deadline is gone. Call at loop heads of exponential searches. *)
+
+val solution : t -> unit
+(** Account one emitted answer; raises {!Exhausted} once the cap is
+    exceeded (the capped number of answers itself is allowed). *)
+
+val with_phase : t -> string -> (unit -> 'a) -> 'a
+(** [with_phase b label f] runs [f] with [label] as the budget's current
+    phase, restoring the previous label afterwards (also on exceptions).
+    Kernels wrap their entry points so {!Exhausted} can say {e where} the
+    budget went. No-op on {!unlimited}. *)
+
+val is_limited : t -> bool
+(** [false] exactly for {!unlimited}. *)
+
+val spent : t -> int
+(** Ticks consumed so far (diagnostics; meaningless on {!unlimited}). *)
+
+val phase : t -> string
+(** The current phase label. *)
+
+val deadline_check_interval : int
+(** How many ticks pass between wall-clock reads (a power of two). *)
+
+val pp : t Fmt.t

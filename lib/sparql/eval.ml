@@ -1,41 +1,48 @@
 open Rdf
 open Tgraphs
+module Budget = Resource.Budget
 
-let eval_triple t graph =
+let eval_triple ?budget t graph =
   let source = Tgraph.of_triples [ t ] in
-  Homomorphism.all ~source ~target:(Graph.to_index graph) ()
+  Homomorphism.all ?budget ~source ~target:(Graph.to_index graph) ()
   |> List.filter_map Mapping.of_assignment
   |> Mapping.Set.of_list
 
-let join left right =
+let join budget left right =
   Mapping.Set.fold
     (fun m1 acc ->
       Mapping.Set.fold
         (fun m2 acc ->
+          Budget.tick budget;
           if Mapping.compatible m1 m2 then
             Mapping.Set.add (Mapping.union m1 m2) acc
           else acc)
         right acc)
     left Mapping.Set.empty
 
-let rec eval p graph =
-  match p with
-  | Algebra.Triple t -> eval_triple t graph
-  | Algebra.And (a, b) -> join (eval a graph) (eval b graph)
-  | Algebra.Opt (a, b) ->
-      let left = eval a graph and right = eval b graph in
-      let joined = join left right in
-      let unmatched =
-        Mapping.Set.filter
-          (fun m1 ->
-            not (Mapping.Set.exists (fun m2 -> Mapping.compatible m1 m2) right))
-          left
-      in
-      Mapping.Set.union joined unmatched
-  | Algebra.Union (a, b) -> Mapping.Set.union (eval a graph) (eval b graph)
-  | Algebra.Filter (q, condition) ->
-      Mapping.Set.filter (fun mu -> Condition.satisfies mu condition) (eval q graph)
-  | Algebra.Select (vars, q) ->
-      Mapping.Set.map (Mapping.restrict vars) (eval q graph)
+let eval ?(budget = Budget.unlimited) p graph =
+  Budget.with_phase budget "reference-eval" @@ fun () ->
+  let rec go p =
+    match p with
+    | Algebra.Triple t -> eval_triple ~budget t graph
+    | Algebra.And (a, b) -> join budget (go a) (go b)
+    | Algebra.Opt (a, b) ->
+        let left = go a and right = go b in
+        let joined = join budget left right in
+        let unmatched =
+          Mapping.Set.filter
+            (fun m1 ->
+              Budget.tick budget;
+              not (Mapping.Set.exists (fun m2 -> Mapping.compatible m1 m2) right))
+            left
+        in
+        Mapping.Set.union joined unmatched
+    | Algebra.Union (a, b) -> Mapping.Set.union (go a) (go b)
+    | Algebra.Filter (q, condition) ->
+        Mapping.Set.filter (fun mu -> Condition.satisfies mu condition) (go q)
+    | Algebra.Select (vars, q) ->
+        Mapping.Set.map (Mapping.restrict vars) (go q)
+  in
+  go p
 
-let check p graph mu = Mapping.Set.mem mu (eval p graph)
+let check ?budget p graph mu = Mapping.Set.mem mu (eval ?budget p graph)

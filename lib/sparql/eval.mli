@@ -6,8 +6,9 @@
 
 open Rdf
 
-val eval : Algebra.t -> Graph.t -> Mapping.Set.t
+val eval : ?budget:Resource.Budget.t -> Algebra.t -> Graph.t -> Mapping.Set.t
 (** [⟦P⟧G]. *)
 
-val check : Algebra.t -> Graph.t -> Mapping.t -> bool
+val check :
+  ?budget:Resource.Budget.t -> Algebra.t -> Graph.t -> Mapping.t -> bool
 (** [µ ∈ ⟦P⟧G], by full evaluation. *)

@@ -1,16 +1,18 @@
 open Rdf
+module Budget = Resource.Budget
 
 (* An endomorphism of (S, X) into S \ {t} for some t ∈ S witnesses that
    (S, X) is not a core; its image is a strictly smaller equivalent
    subgraph. *)
-let shrinking_endomorphism g =
+let shrinking_endomorphism ?(budget = Budget.unlimited) g =
   let s = Gtgraph.s g in
   let pre = Gtgraph.identity_pre g in
   let rec try_triples = function
     | [] -> None
     | t :: rest -> (
+        Budget.tick budget;
         let target = Tgraph.remove s t in
-        match Homomorphism.find ~pre ~source:s ~target () with
+        match Homomorphism.find ~budget ~pre ~source:s ~target () with
         | Some h -> Some h
         | None -> try_triples rest)
   in
@@ -23,11 +25,15 @@ let image g h =
   in
   Gtgraph.make (Tgraph.of_triples mapped) (Gtgraph.x g)
 
-let is_core g = Option.is_none (shrinking_endomorphism g)
+let is_core ?budget g = Option.is_none (shrinking_endomorphism ?budget g)
 
-let rec core g =
-  match shrinking_endomorphism g with
-  | None -> g
-  | Some h -> core (image g h)
+let core ?(budget = Budget.unlimited) g =
+  Budget.with_phase budget "core" @@ fun () ->
+  let rec shrink g =
+    match shrinking_endomorphism ~budget g with
+    | None -> g
+    | Some h -> shrink (image g h)
+  in
+  shrink g
 
-let ctw g = Gtgraph.tw (core g)
+let ctw ?(budget = Budget.unlimited) g = Gtgraph.tw ~budget (core ~budget g)

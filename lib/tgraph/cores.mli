@@ -6,15 +6,15 @@
     renaming of variables; we return the concrete retract reached by
     repeatedly shrinking along endomorphisms. *)
 
-val is_core : Gtgraph.t -> bool
+val is_core : ?budget:Resource.Budget.t -> Gtgraph.t -> bool
 (** No homomorphism fixing [X] into a proper subgraph. *)
 
-val core : Gtgraph.t -> Gtgraph.t
+val core : ?budget:Resource.Budget.t -> Gtgraph.t -> Gtgraph.t
 (** The core, computed by iterated retraction: while some endomorphism
     fixing [X] misses a triple, replace [S] by its image. Worst-case
     exponential (core identification is NP-hard) — intended for
     query-sized inputs. *)
 
-val ctw : Gtgraph.t -> int
+val ctw : ?budget:Resource.Budget.t -> Gtgraph.t -> int
 (** [ctw(S, X) = tw(core(S, X))] — the central width measure the paper
     builds domination width from. *)

@@ -16,13 +16,14 @@ let identity_pre t =
     (fun v acc -> Variable.Map.add v (Term.Var v) acc)
     t.x Variable.Map.empty
 
-let hom a b =
+let hom ?budget a b =
   if not (Variable.Set.equal a.x b.x) then
     invalid_arg "Gtgraph.hom: distinguished variable sets differ";
-  Homomorphism.find ~pre:(identity_pre a) ~source:a.s ~target:b.s ()
+  Homomorphism.find ?budget ~pre:(identity_pre a) ~source:a.s ~target:b.s ()
 
-let maps_to a b = Option.is_some (hom a b)
-let hom_equivalent a b = maps_to a b && maps_to b a
+let maps_to ?budget a b = Option.is_some (hom ?budget a b)
+
+let hom_equivalent ?budget a b = maps_to ?budget a b && maps_to ?budget b a
 
 let hom_to_graph t ~mu graph =
   Variable.Set.iter
@@ -36,10 +37,10 @@ let maps_to_graph t ~mu graph = Option.is_some (hom_to_graph t ~mu graph)
 
 let subgraph a b = Variable.Set.equal a.x b.x && Tgraph.subset a.s b.s
 
-let tw t =
+let tw ?budget t =
   let gaifman, _ = Gaifman.graph t.x t.s in
   if Graphtheory.Ugraph.n gaifman = 0 || Graphtheory.Ugraph.m gaifman = 0 then 1
-  else max 1 (Graphtheory.Treewidth.treewidth gaifman)
+  else max 1 (Graphtheory.Treewidth.treewidth ?budget gaifman)
 
 let equal a b = Tgraph.equal a.s b.s && Variable.Set.equal a.x b.x
 

@@ -19,14 +19,14 @@ val identity_pre : t -> Homomorphism.assignment
 (** The pre-assignment [x ↦ ?x] for all [x ∈ X], used so that
     homomorphisms between generalised t-graphs fix [X] pointwise. *)
 
-val hom : t -> t -> Homomorphism.assignment option
+val hom : ?budget:Resource.Budget.t -> t -> t -> Homomorphism.assignment option
 (** [(S, X) → (S', X)]: a homomorphism fixing [X] pointwise. Raises
     [Invalid_argument] if the two [X] sets differ. *)
 
-val maps_to : t -> t -> bool
+val maps_to : ?budget:Resource.Budget.t -> t -> t -> bool
 (** [maps_to a b] iff [a → b]. *)
 
-val hom_equivalent : t -> t -> bool
+val hom_equivalent : ?budget:Resource.Budget.t -> t -> t -> bool
 (** Homomorphic equivalence: maps both ways. *)
 
 val hom_to_graph : t -> mu:Homomorphism.assignment -> Graph.t ->
@@ -40,7 +40,7 @@ val maps_to_graph : t -> mu:Homomorphism.assignment -> Graph.t -> bool
 val subgraph : t -> t -> bool
 (** [(S', X)] is a subgraph of [(S, X)]: [S' ⊆ S], same [X]. *)
 
-val tw : t -> int
+val tw : ?budget:Resource.Budget.t -> t -> int
 (** The paper's [tw(S, X)]: treewidth of the Gaifman graph on
     [vars(S) \ X], defined as 1 when that graph has no vertices or no
     edges. *)

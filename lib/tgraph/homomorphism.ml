@@ -81,8 +81,8 @@ let pick_pattern ~strategy target assignment = function
           let _, chosen = best in
           Some (chosen, List.filter (fun p -> p != chosen) patterns))
 
-let fold ?(strategy = `Fail_first) ?(use_index = true)
-    ?(pre = Variable.Map.empty) ~source ~target ~init ~f =
+let fold ?(budget = Resource.Budget.unlimited) ?(strategy = `Fail_first)
+    ?(use_index = true) ?(pre = Variable.Map.empty) ~source ~target ~init ~f =
   let source_vars = Tgraph.vars source in
   let pre =
     Variable.Map.filter (fun v _ -> Variable.Set.mem v source_vars) pre
@@ -93,6 +93,7 @@ let fold ?(strategy = `Fail_first) ?(use_index = true)
     | None -> f acc assignment
     | Some (pat, rest) ->
         incr nodes;
+        Resource.Budget.tick budget;
         let images = candidates ~use_index target assignment pat in
         let rec try_images acc = function
           | [] -> (acc, `Continue)
@@ -108,20 +109,20 @@ let fold ?(strategy = `Fail_first) ?(use_index = true)
   in
   fst (go pre patterns init)
 
-let find ?strategy ?use_index ?pre ~source ~target () =
-  fold ?strategy ?use_index ?pre ~source ~target ~init:None
+let find ?budget ?strategy ?use_index ?pre ~source ~target () =
+  fold ?budget ?strategy ?use_index ?pre ~source ~target ~init:None
     ~f:(fun _ assignment -> (Some assignment, `Stop))
 
-let exists ?strategy ?use_index ?pre ~source ~target () =
-  Option.is_some (find ?strategy ?use_index ?pre ~source ~target ())
+let exists ?budget ?strategy ?use_index ?pre ~source ~target () =
+  Option.is_some (find ?budget ?strategy ?use_index ?pre ~source ~target ())
 
-let count ?strategy ?use_index ?pre ~source ~target () =
-  fold ?strategy ?use_index ?pre ~source ~target ~init:0 ~f:(fun n _ ->
+let count ?budget ?strategy ?use_index ?pre ~source ~target () =
+  fold ?budget ?strategy ?use_index ?pre ~source ~target ~init:0 ~f:(fun n _ ->
       (n + 1, `Continue))
 
-let all ?strategy ?use_index ?pre ?limit ~source ~target () =
+let all ?budget ?strategy ?use_index ?pre ?limit ~source ~target () =
   let results =
-    fold ?strategy ?use_index ?pre ~source ~target ~init:[]
+    fold ?budget ?strategy ?use_index ?pre ~source ~target ~init:[]
       ~f:(fun acc assignment ->
         let acc = assignment :: acc in
         match limit with

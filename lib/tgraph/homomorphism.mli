@@ -16,7 +16,10 @@
     - [strategy]: [`Fail_first] (default) picks the most constrained
       pattern next; [`Static] processes patterns in a fixed order;
     - [use_index]: when [false], candidate lookups linearly scan the
-      target instead of using its hash indexes. *)
+      target instead of using its hash indexes.
+
+    [budget] is ticked once per backtracking node; the search raises
+    {!Resource.Budget.Exhausted} when it trips. *)
 
 open Rdf
 
@@ -28,6 +31,7 @@ type strategy = [ `Fail_first | `Static ]
 val pp_assignment : assignment Fmt.t
 
 val find :
+  ?budget:Resource.Budget.t ->
   ?strategy:strategy -> ?use_index:bool -> ?pre:assignment ->
   source:Tgraph.t -> target:Rdf.Index.t -> unit -> assignment option
 (** [find ?pre ~source ~target ()] searches for a homomorphism from
@@ -37,20 +41,24 @@ val find :
     fully-bound triple. *)
 
 val exists :
+  ?budget:Resource.Budget.t ->
   ?strategy:strategy -> ?use_index:bool -> ?pre:assignment ->
   source:Tgraph.t -> target:Rdf.Index.t -> unit -> bool
 
 val count :
+  ?budget:Resource.Budget.t ->
   ?strategy:strategy -> ?use_index:bool -> ?pre:assignment ->
   source:Tgraph.t -> target:Rdf.Index.t -> unit -> int
 (** Number of distinct homomorphisms. *)
 
 val all :
+  ?budget:Resource.Budget.t ->
   ?strategy:strategy -> ?use_index:bool -> ?pre:assignment -> ?limit:int ->
   source:Tgraph.t -> target:Rdf.Index.t -> unit -> assignment list
 (** All homomorphisms (up to [limit] if given). Order unspecified. *)
 
 val fold :
+  ?budget:Resource.Budget.t ->
   ?strategy:strategy -> ?use_index:bool -> ?pre:assignment ->
   source:Tgraph.t -> target:Rdf.Index.t ->
   init:'acc -> f:('acc -> assignment -> 'acc * [ `Continue | `Stop ]) ->

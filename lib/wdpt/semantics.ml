@@ -1,27 +1,32 @@
 open Rdf
 open Tgraphs
+module Budget = Resource.Budget
 
-let child_extends tree graph mu n =
+let child_extends ?budget tree graph mu n =
   let source = Pattern_tree.pat tree n in
   let pre = Sparql.Mapping.to_assignment mu in
-  Homomorphism.exists ~pre ~source ~target:(Graph.to_index graph) ()
+  Homomorphism.exists ?budget ~pre ~source ~target:(Graph.to_index graph) ()
 
-let check_tree tree graph mu =
+let check_tree ?(budget = Budget.unlimited) tree graph mu =
+  Budget.with_phase budget "naive-eval" @@ fun () ->
   match Subtree.matching tree graph mu with
   | None -> false
   | Some subtree ->
       not
-        (List.exists (child_extends tree graph mu) (Subtree.children subtree))
+        (List.exists
+           (child_extends ~budget tree graph mu)
+           (Subtree.children subtree))
 
-let check forest graph mu =
-  List.exists (fun tree -> check_tree tree graph mu) forest
+let check ?budget forest graph mu =
+  List.exists (fun tree -> check_tree ?budget tree graph mu) forest
 
-let solutions_tree tree graph =
+let solutions_tree ?(budget = Budget.unlimited) tree graph =
+  Budget.with_phase budget "naive-eval" @@ fun () ->
   let target = Graph.to_index graph in
   List.fold_left
     (fun acc subtree ->
       let source = Subtree.pat subtree in
-      let homs = Homomorphism.all ~source ~target () in
+      let homs = Homomorphism.all ~budget ~source ~target () in
       List.fold_left
         (fun acc h ->
           match Sparql.Mapping.of_assignment h with
@@ -30,14 +35,20 @@ let solutions_tree tree graph =
               let maximal =
                 not
                   (List.exists
-                     (child_extends tree graph mu)
+                     (child_extends ~budget tree graph mu)
                      (Subtree.children subtree))
               in
-              if maximal then Sparql.Mapping.Set.add mu acc else acc)
+              if maximal then begin
+                if not (Sparql.Mapping.Set.mem mu acc) then Budget.solution budget;
+                Sparql.Mapping.Set.add mu acc
+              end
+              else acc)
         acc homs)
-    Sparql.Mapping.Set.empty (Subtree.all tree)
+    Sparql.Mapping.Set.empty
+    (Subtree.all ~budget tree)
 
-let solutions forest graph =
+let solutions ?budget forest graph =
   List.fold_left
-    (fun acc tree -> Sparql.Mapping.Set.union acc (solutions_tree tree graph))
+    (fun acc tree ->
+      Sparql.Mapping.Set.union acc (solutions_tree ?budget tree graph))
     Sparql.Mapping.Set.empty forest

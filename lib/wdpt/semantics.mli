@@ -7,24 +7,35 @@
     NP-hard homomorphism tests and is therefore exponential in the query in
     the worst case (this is the paper's baseline; the polynomial relaxation
     lives in [Wd_core.Pebble_eval]). [solutions] enumerates the full answer
-    set. *)
+    set.
+
+    All functions thread [budget] into the underlying homomorphism
+    searches (phase ["naive-eval"]); [solutions] additionally accounts
+    each distinct answer against the budget's solution cap. *)
 
 open Rdf
 
-val check_tree : Pattern_tree.t -> Graph.t -> Sparql.Mapping.t -> bool
+val check_tree :
+  ?budget:Resource.Budget.t -> Pattern_tree.t -> Graph.t -> Sparql.Mapping.t ->
+  bool
 (** [µ ∈ ⟦T⟧G]. *)
 
-val check : Pattern_forest.t -> Graph.t -> Sparql.Mapping.t -> bool
+val check :
+  ?budget:Resource.Budget.t -> Pattern_forest.t -> Graph.t -> Sparql.Mapping.t ->
+  bool
 (** [µ ∈ ⟦F⟧G = ⟦T1⟧G ∪ … ∪ ⟦Tm⟧G]. *)
 
-val solutions_tree : Pattern_tree.t -> Graph.t -> Sparql.Mapping.Set.t
+val solutions_tree :
+  ?budget:Resource.Budget.t -> Pattern_tree.t -> Graph.t -> Sparql.Mapping.Set.t
 (** All of [⟦T⟧G], by enumerating subtrees, their homomorphisms, and
     filtering non-maximal ones. *)
 
-val solutions : Pattern_forest.t -> Graph.t -> Sparql.Mapping.Set.t
+val solutions :
+  ?budget:Resource.Budget.t -> Pattern_forest.t -> Graph.t -> Sparql.Mapping.Set.t
 
 val child_extends :
-  Pattern_tree.t -> Graph.t -> Sparql.Mapping.t -> Pattern_tree.node -> bool
+  ?budget:Resource.Budget.t -> Pattern_tree.t -> Graph.t -> Sparql.Mapping.t ->
+  Pattern_tree.node -> bool
 (** Is there a homomorphism from [pat(n)] to [G] compatible with [µ]? The
     inner test both evaluators share; exposed for the pebble variant and
     for tests. *)

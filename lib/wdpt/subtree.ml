@@ -45,9 +45,10 @@ let add_child t n =
   if List.mem n (children t) then { t with nodes = NSet.add n t.nodes }
   else invalid_arg "Subtree.add_child: not a child of the subtree"
 
-let all tree =
+let all ?(budget = Resource.Budget.unlimited) tree =
   (* Node ids are topological, so processing them in order means a node's
-     parent has already been decided. *)
+     parent has already been decided. The lattice has up to 2^nodes
+     members, so the expansion itself is budgeted. *)
   let rec go acc = function
     | [] -> acc
     | n :: rest ->
@@ -56,6 +57,7 @@ let all tree =
           else
             List.concat_map
               (fun s ->
+                Resource.Budget.tick budget;
                 if NSet.mem (Option.get (Pattern_tree.parent tree n)) s then
                   [ s; NSet.add n s ]
                 else [ s ])

@@ -30,7 +30,7 @@ val children : t -> Pattern_tree.node list
 val add_child : t -> Pattern_tree.node -> t
 (** Raises [Invalid_argument] if the node is not a child of the subtree. *)
 
-val all : Pattern_tree.t -> t list
+val all : ?budget:Resource.Budget.t -> Pattern_tree.t -> t list
 (** Every subtree (exponentially many — query-sized trees only). *)
 
 val with_vars : Pattern_tree.t -> Variable.Set.t -> t option

@@ -174,6 +174,72 @@ let test_turtle_errors () =
   bad "p:a p:b p:c"
 (* missing final dot *)
 
+(* Table-driven malformed input: every case must come back as a structured
+   [Parse_error] carrying the expected position — never an exception. *)
+let test_turtle_malformed_table () =
+  let cases =
+    [
+      (* src, expected line, expected column *)
+      ("<unterminated p:q n:a .", 1, 1);
+      ("<> p:q n:a .", 1, 1);
+      (* empty IRI used to crash with Invalid_argument *)
+      ("p:a p:b .", 1, 9);
+      ("@prefix broken <http://x/> .", 1, 9);
+      ("@nonsense p: <http://x/> .", 1, 1);
+      ("p:a p:b p:c", 1, 1);
+      ("p:a p:b \"unterminated", 1, 9);
+      ("p:a !! p:c .", 1, 5);
+      ("p:a ? p:c .", 1, 5);
+      ("p:a p:b p:c .\np:a p:b .", 2, 9);
+      ("p:a p:b p:c .\n\n  justaword p:b p:c .", 3, 3);
+    ]
+  in
+  List.iter
+    (fun (src, line, col) ->
+      match Turtle.parse_graph_err src with
+      | Ok _ -> Alcotest.fail ("should not parse: " ^ src)
+      | Error (Wdsparql_error.Parse_error e) ->
+          check Alcotest.int ("line of " ^ src) line e.line;
+          check Alcotest.int ("col of " ^ src) col e.col
+      | Error e ->
+          Alcotest.fail
+            (Printf.sprintf "expected Parse_error for %s, got: %s" src
+               (Wdsparql_error.to_string e)))
+    cases;
+  (* non-ground data is an Invalid_input, not a parse error *)
+  match Turtle.parse_graph_err "?x p:q n:a ." with
+  | Error (Wdsparql_error.Invalid_input _) -> ()
+  | Error e ->
+      Alcotest.fail ("expected Invalid_input, got " ^ Wdsparql_error.to_string e)
+  | Ok _ -> Alcotest.fail "graph parse must reject variables"
+
+let test_ntriples_malformed_table () =
+  let cases =
+    [
+      ("<a> <b> <c>", 1, 12);
+      (* missing dot *)
+      ("<a> <b> .", 1, 9);
+      (* missing object *)
+      ("<a> <b> <c> . trailing", 1, 15);
+      ("<a> <b> <unterminated .", 1, 9);
+      ("<a> <b> <> .", 1, 9);
+      ("plain <b> <c> .", 1, 1);
+      ("<a> <b> <c> .\n<a> <b> \"unterminated", 2, 9);
+    ]
+  in
+  List.iter
+    (fun (src, line, col) ->
+      match Ntriples.parse_err src with
+      | Ok _ -> Alcotest.fail ("should not parse: " ^ src)
+      | Error (Wdsparql_error.Parse_error e) ->
+          check Alcotest.int ("line of " ^ src) line e.line;
+          check Alcotest.int ("col of " ^ src) col e.col
+      | Error e ->
+          Alcotest.fail
+            (Printf.sprintf "expected Parse_error for %s, got: %s" src
+               (Wdsparql_error.to_string e)))
+    cases
+
 let test_turtle_roundtrip () =
   let g = Generator.social ~seed:3 ~people:15 in
   let s = Turtle.to_string g in
@@ -338,6 +404,10 @@ let () =
           Alcotest.test_case "parse" `Quick test_turtle_parse;
           Alcotest.test_case "variables" `Quick test_turtle_variables;
           Alcotest.test_case "errors" `Quick test_turtle_errors;
+          Alcotest.test_case "malformed input table" `Quick
+            test_turtle_malformed_table;
+          Alcotest.test_case "ntriples malformed table" `Quick
+            test_ntriples_malformed_table;
           Alcotest.test_case "roundtrip social" `Quick test_turtle_roundtrip;
           QCheck_alcotest.to_alcotest
             (QCheck.Test.make ~count:50 ~name:"roundtrip (random graphs)"
