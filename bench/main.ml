@@ -16,6 +16,91 @@ open Workload
 let fast = ref false
 
 (* ------------------------------------------------------------------ *)
+(* JSON recording (--json / --json-out FILE)                           *)
+(* ------------------------------------------------------------------ *)
+
+let json_out : string option ref = ref None
+
+(* (experiment, metric, value) in emission order; experiments that never
+   call [record] simply don't appear in the JSON. *)
+let records : (string * string * float) list ref = ref []
+
+let record ~experiment ~metric value =
+  records := (experiment, metric, value) :: !records
+
+let json_escape s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (function
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let json_number v =
+  if Float.is_integer v && Float.abs v < 1e15 then
+    Printf.sprintf "%.0f" v
+  else Printf.sprintf "%.6f" v
+
+let write_json file =
+  let ordered = List.rev !records in
+  let experiment_ids =
+    List.fold_left
+      (fun acc (e, _, _) -> if List.mem e acc then acc else acc @ [ e ])
+      [] ordered
+  in
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "{\n";
+  Buffer.add_string buf "  \"schema_version\": 1,\n";
+  Buffer.add_string buf "  \"pr\": \"pr2\",\n";
+  Buffer.add_string buf
+    (Printf.sprintf "  \"fast\": %b,\n" !fast);
+  Buffer.add_string buf "  \"experiments\": {\n";
+  List.iteri
+    (fun i e ->
+      Buffer.add_string buf (Printf.sprintf "    \"%s\": {\n" (json_escape e));
+      Buffer.add_string buf "      \"metrics\": {\n";
+      let metrics = List.filter (fun (e', _, _) -> e' = e) ordered in
+      List.iteri
+        (fun j (_, m, v) ->
+          Buffer.add_string buf
+            (Printf.sprintf "        \"%s\": %s%s\n" (json_escape m)
+               (json_number v)
+               (if j = List.length metrics - 1 then "" else ",")))
+        metrics;
+      Buffer.add_string buf "      }\n";
+      Buffer.add_string buf
+        (Printf.sprintf "    }%s\n"
+           (if i = List.length experiment_ids - 1 then "" else ",")))
+    experiment_ids;
+  Buffer.add_string buf "  }\n}\n";
+  let oc = open_out file in
+  output_string oc (Buffer.contents buf);
+  close_out oc;
+  (* self-validation: re-read and make sure the schema marker and every
+     recorded experiment survived the round trip, so downstream tooling
+     that diffs BENCH_*.json notices drift as a hard failure *)
+  let ic = open_in file in
+  let len = in_channel_length ic in
+  let contents = really_input_string ic len in
+  close_in ic;
+  let ok =
+    Astring.String.is_infix ~affix:"\"schema_version\": 1" contents
+    && List.for_all
+         (fun e ->
+           Astring.String.is_infix ~affix:(Printf.sprintf "\"%s\": {" e) contents)
+         experiment_ids
+  in
+  if not ok then begin
+    Fmt.epr "JSON self-validation failed for %s@." file;
+    exit 1
+  end;
+  Fmt.pr "@.wrote %s (%d experiments, %d metrics)@." file
+    (List.length experiment_ids) (List.length ordered)
+
+(* ------------------------------------------------------------------ *)
 (* Timing helpers                                                      *)
 (* ------------------------------------------------------------------ *)
 
@@ -57,6 +142,7 @@ let t1 () =
     "answers" "agree" "algebra(ms)" "naive(ms)" "pebble(ms)";
   let seeds = if !fast then [ 1; 2; 3 ] else [ 1; 2; 3; 4; 5; 6; 7; 8 ] in
   let agree_all = ref true in
+  let tot_ref = ref 0.0 and tot_naive = ref 0.0 and tot_pebble = ref 0.0 in
   List.iter
     (fun seed ->
       let p =
@@ -79,11 +165,18 @@ let t1 () =
         && Sparql.Mapping.Set.equal reference pebble
       in
       agree_all := !agree_all && agree;
+      tot_ref := !tot_ref +. t_ref;
+      tot_naive := !tot_naive +. t_naive;
+      tot_pebble := !tot_pebble +. t_pebble;
       Fmt.pr "%4d %8d %6d %8d %7b %12.3f %12.3f %12.3f@." seed
         (Sparql.Algebra.size p) (Rdf.Graph.cardinal g)
         (Sparql.Mapping.Set.cardinal reference)
         agree (ms t_ref) (ms t_naive) (ms t_pebble))
     seeds;
+  record ~experiment:"T1" ~metric:"algebra_total_ms" (ms !tot_ref);
+  record ~experiment:"T1" ~metric:"naive_total_ms" (ms !tot_naive);
+  record ~experiment:"T1" ~metric:"pebble_total_ms" (ms !tot_pebble);
+  record ~experiment:"T1" ~metric:"agree" (if !agree_all then 1.0 else 0.0);
   Fmt.pr "@.all evaluators agree: %b@." !agree_all
 
 (* ------------------------------------------------------------------ *)
@@ -117,6 +210,10 @@ let f1 () =
           (ms t_pebble)
           (t_naive /. t_pebble)
           (naive_ans = pebble_ans);
+        record ~experiment:"F1" ~metric:(Printf.sprintf "k%d.naive_ms" k)
+          (ms t_naive);
+        record ~experiment:"F1" ~metric:(Printf.sprintf "k%d.pebble_ms" k)
+          (ms t_pebble);
         if t_naive > 5.0 then stop := true
       end)
     ks;
@@ -622,6 +719,9 @@ let a2 () =
             Pebble.Pebble_game.wins ~prune_unary ~k:2 gtg
               ~mu:(Sparql.Mapping.to_assignment mu) graph)
       in
+      record ~experiment:"A2"
+        ~metric:(Printf.sprintf "prune_%s.time_ms" name)
+        (ms t);
       Fmt.pr "%-14s %8b %12.3f %16d@." name answer (ms t)
         (Pebble.Pebble_game.stats_families_explored () / 3))
     [ ("on", true); ("off", false) ];
@@ -756,10 +856,276 @@ let a4 () =
         time_median (fun () -> Encoded.Encoded_hom.count compiled enc)
       in
       assert (n_term = n_enc);
+      record ~experiment:"A4" ~metric:(name ^ ".term_ms") (ms t_term);
+      record ~experiment:"A4" ~metric:(name ^ ".encoded_ms") (ms t_enc);
       Fmt.pr "%-28s %12.3f %12.3f %9d@." name (ms t_term) (ms t_enc) n_term)
     queries;
   Fmt.pr "@.shape: identical counts (cross-checked); the encoded engine@.";
   Fmt.pr "avoids term hashing and allocation in the inner join loop.@."
+
+(* ------------------------------------------------------------------ *)
+(* A5 — encoded vs term-level pebble kernel                            *)
+(* ------------------------------------------------------------------ *)
+
+(* The A2 instance: sparse anchored digraph where the unary candidate
+   domains collapse to a handful of nodes. *)
+let a2_instance () =
+  let nodes = if !fast then 30 else 60 in
+  let graph =
+    let anchor = Rdf.Term.iri "n:anchor" in
+    let node i = Rdf.Term.iri (Printf.sprintf "d:%d" i) in
+    let r = Rdf.Term.iri "p:r" and p = Rdf.Term.iri "p:p" in
+    let state = Random.State.make [| 42; nodes |] in
+    let triples = ref [ Rdf.Triple.make anchor p (node 0) ] in
+    for i = 1 to 3 do
+      triples := Rdf.Triple.make (node 0) r (node i) :: !triples
+    done;
+    for _ = 1 to 6 * nodes do
+      let i = 1 + Random.State.int state (nodes - 1) in
+      let j = 1 + Random.State.int state (nodes - 1) in
+      if i <> j then triples := Rdf.Triple.make (node i) r (node j) :: !triples
+    done;
+    Rdf.Graph.of_triples !triples
+  in
+  let mu =
+    Sparql.Mapping.of_list
+      [
+        (Rdf.Variable.of_string "x", Rdf.Iri.of_string "n:anchor");
+        (Rdf.Variable.of_string "y", Rdf.Iri.of_string "d:0");
+      ]
+  in
+  let tree = Query_families.clique_child 4 in
+  let subtree = Wdpt.Subtree.root_only tree in
+  let s =
+    Tgraphs.Tgraph.union (Wdpt.Subtree.pat subtree) (Wdpt.Pattern_tree.pat tree 1)
+  in
+  (Tgraphs.Gtgraph.make s (Wdpt.Subtree.vars subtree), mu, graph)
+
+(* The F_k child test the Theorem-1 path actually issues: the union game
+   of a matched subtree and its optional clique child, over an anchored
+   tournament. *)
+let f_k_child_game ~k ~n =
+  let forest = Query_families.f_k k in
+  let g, mu = Graph_families.tournament_instance ~seed:1 ~n in
+  let tree, subtree =
+    List.find_map
+      (fun tree ->
+        match Wdpt.Subtree.matching tree g mu with
+        | Some st when Wdpt.Subtree.children st <> [] -> Some (tree, st)
+        | _ -> None)
+      forest
+    |> Option.get
+  in
+  let child = List.hd (Wdpt.Subtree.children subtree) in
+  let s =
+    Tgraphs.Tgraph.union (Wdpt.Subtree.pat subtree)
+      (Wdpt.Pattern_tree.pat tree child)
+  in
+  (Tgraphs.Gtgraph.make s (Wdpt.Subtree.vars subtree), mu, g)
+
+let a5 () =
+  header "A5" "ablation: encoded vs term-level pebble kernel"
+    "ISSUE 2 tentpole: the k-consistency fixpoint over the encoded store";
+  Fmt.pr "The same child-test games, decided by the term-level kernel and by@.";
+  Fmt.pr "Encoded_pebble — cold (compile + run) and warm (precompiled, the@.";
+  Fmt.pr "regime the evaluation-wide cache operates in). Answers cross-checked.@.@.";
+  let workloads =
+    [
+      ("a2-sparse-anchor", 2, a2_instance ());
+      ("clique-child-4-tournament", 2,
+       f_k_child_game ~k:4 ~n:(if !fast then 14 else 20));
+      ("f8-tournament", 2, f_k_child_game ~k:8 ~n:(if !fast then 14 else 20));
+    ]
+  in
+  Fmt.pr "%-28s %8s %10s %10s %10s %8s@." "workload" "answer" "term(ms)"
+    "cold(ms)" "warm(ms)" "speedup";
+  let speedups = ref [] in
+  List.iter
+    (fun (name, k, (gtg, mu, graph)) ->
+      let assignment = Sparql.Mapping.to_assignment mu in
+      let term_ans, t_term =
+        time_median ~runs:5 (fun () ->
+            Pebble.Pebble_game.wins ~k gtg ~mu:assignment graph)
+      in
+      let enc = Encoded.Encoded_graph.of_graph_cached graph in
+      let cold_ans, t_cold =
+        time_median ~runs:5 (fun () ->
+            Encoded.Encoded_pebble.wins ~k gtg ~mu:assignment enc)
+      in
+      let compiled = Encoded.Encoded_pebble.compile ~k gtg enc in
+      let ids = Encoded.Encoded_pebble.encode_mu compiled assignment in
+      let warm_ans, t_warm =
+        time_median ~runs:5 (fun () ->
+            Encoded.Encoded_pebble.run compiled ~mu:ids)
+      in
+      assert (term_ans = cold_ans && cold_ans = warm_ans);
+      let speedup = t_term /. t_warm in
+      speedups := speedup :: !speedups;
+      record ~experiment:"A5" ~metric:(name ^ ".term_ms") (ms t_term);
+      record ~experiment:"A5" ~metric:(name ^ ".encoded_cold_ms") (ms t_cold);
+      record ~experiment:"A5" ~metric:(name ^ ".encoded_warm_ms") (ms t_warm);
+      record ~experiment:"A5" ~metric:(name ^ ".speedup_warm") speedup;
+      Fmt.pr "%-28s %8b %10.3f %10.3f %10.3f %7.1fx@." name term_ans
+        (ms t_term) (ms t_cold) (ms t_warm) speedup)
+    workloads;
+  let median_speedup =
+    let sorted = List.sort compare !speedups in
+    List.nth sorted (List.length sorted / 2)
+  in
+  record ~experiment:"A5" ~metric:"median_speedup_warm" median_speedup;
+  Fmt.pr "@.median warm speedup: %.1fx (target: >= 3x)@." median_speedup
+
+(* ------------------------------------------------------------------ *)
+(* A6 — evaluation-wide pebble cache on/off                            *)
+(* ------------------------------------------------------------------ *)
+
+(* A membership-check stream: a tournament on t:0..t:n-1 plus [anchors]
+   extra sources a:i with a p-edge to every tournament node, and one
+   candidate mapping {x → a:i, y → t:j} per p-edge.  Each
+   [Pebble_eval.check] call is dominated by the K_k child game, and the
+   verdict of that game depends only on µ|{y} — so across the stream the
+   cache answers (anchors-1)/anchors of the tests from the memo table. *)
+let stream_instance ~seed ~n ~anchors =
+  let state = Random.State.make [| seed; n; 77 |] in
+  let tnode i = Rdf.Term.iri (Printf.sprintf "t:%d" i) in
+  let anode i = Rdf.Term.iri (Printf.sprintf "a:%d" i) in
+  let r = Rdf.Term.iri "p:r" and p = Rdf.Term.iri "p:p" in
+  let triples = ref [] in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      let src, dst = if Random.State.bool state then (i, j) else (j, i) in
+      triples := Rdf.Triple.make (tnode src) r (tnode dst) :: !triples
+    done
+  done;
+  for i = 0 to anchors - 1 do
+    for j = 0 to n - 1 do
+      triples := Rdf.Triple.make (anode i) p (tnode j) :: !triples
+    done
+  done;
+  let graph = Rdf.Graph.of_triples !triples in
+  let mus =
+    List.concat_map
+      (fun i ->
+        List.init n (fun j ->
+            Sparql.Mapping.of_list
+              [
+                (Rdf.Variable.of_string "x",
+                 Rdf.Iri.of_string (Printf.sprintf "a:%d" i));
+                (Rdf.Variable.of_string "y",
+                 Rdf.Iri.of_string (Printf.sprintf "t:%d" j));
+              ]))
+      (List.init anchors Fun.id)
+  in
+  (graph, mus)
+
+let a6 () =
+  header "A6" "ablation: evaluation-wide pebble cache on/off"
+    "ISSUE 2 tentpole: compiled-game reuse + verdict memoization";
+  Fmt.pr "Theorem-1 membership streams (one Pebble_eval.check per candidate@.";
+  Fmt.pr "mapping) with three kernels: the term-level game, the encoded kernel@.";
+  Fmt.pr "without memoization, and the full cache (games compiled once,@.";
+  Fmt.pr "verdicts keyed on µ|shared).  Plus one end-to-end enumeration@.";
+  Fmt.pr "workload, where the shared homomorphism join dilutes the gain.@.@.";
+  Fmt.pr "%-28s %8s %10s %12s %10s %8s %8s %6s@." "workload" "answers"
+    "term(ms)" "nocache(ms)" "cache(ms)" "speedup" "hits" "games";
+  let speedups = ref [] in
+  let report name answers t_term t_nocache t_cached stats =
+    let speedup = t_term /. t_cached in
+    speedups := speedup :: !speedups;
+    record ~experiment:"A6" ~metric:(name ^ ".term_ms") (ms t_term);
+    record ~experiment:"A6" ~metric:(name ^ ".nocache_ms") (ms t_nocache);
+    record ~experiment:"A6" ~metric:(name ^ ".cache_ms") (ms t_cached);
+    record ~experiment:"A6" ~metric:(name ^ ".speedup_vs_term") speedup;
+    record ~experiment:"A6" ~metric:(name ^ ".cache_hits")
+      (float_of_int stats.Wd_core.Pebble_cache.hits);
+    record ~experiment:"A6" ~metric:(name ^ ".cache_misses")
+      (float_of_int stats.Wd_core.Pebble_cache.misses);
+    record ~experiment:"A6" ~metric:(name ^ ".games_compiled")
+      (float_of_int stats.Wd_core.Pebble_cache.compiled);
+    record ~experiment:"A6" ~metric:(name ^ ".families_explored")
+      (float_of_int stats.Wd_core.Pebble_cache.families);
+    Fmt.pr "%-28s %8d %10.3f %12.3f %10.3f %7.1fx %8d %6d@." name answers
+      (ms t_term) (ms t_nocache) (ms t_cached) speedup
+      stats.Wd_core.Pebble_cache.hits stats.Wd_core.Pebble_cache.compiled
+  in
+  (* membership-check streams *)
+  let n = if !fast then 10 else 14 and anchors = if !fast then 6 else 8 in
+  let stream_workloads =
+    [
+      ("f8-check-stream", 1, Query_families.f_k 8, 1);
+      ("f6-check-stream", 1, Query_families.f_k 6, 2);
+      ("clique-child-4-check-stream", 2, [ Query_families.clique_child 4 ], 3);
+    ]
+  in
+  List.iter
+    (fun (name, k, forest, seed) ->
+      let graph, mus = stream_instance ~seed ~n ~anchors in
+      let runs = 3 in
+      let stream kernel =
+        List.map
+          (fun mu -> Wd_core.Pebble_eval.check ~k ~kernel forest graph mu)
+          mus
+      in
+      let term_ans, t_term =
+        time_median ~runs (fun () -> stream Wd_core.Pebble_eval.Term)
+      in
+      let nocache_ans, t_nocache =
+        time_median ~runs (fun () ->
+            stream
+              (Wd_core.Pebble_eval.Cached
+                 (Wd_core.Pebble_cache.create ~memo:false graph)))
+      in
+      let cache = ref None in
+      let cached_ans, t_cached =
+        time_median ~runs (fun () ->
+            let c = Wd_core.Pebble_cache.create graph in
+            cache := Some c;
+            stream (Wd_core.Pebble_eval.Cached c))
+      in
+      assert (term_ans = nocache_ans && term_ans = cached_ans);
+      let stats = Wd_core.Pebble_cache.stats (Option.get !cache) in
+      let answers = List.length (List.filter Fun.id term_ans) in
+      report name answers t_term t_nocache t_cached stats)
+    stream_workloads;
+  (* end-to-end enumeration: the kernel is only part of the wall time *)
+  let () =
+    let forest = Query_families.f_k 4 in
+    let graph =
+      fst (Graph_families.tournament_instance ~seed:1 ~n:(if !fast then 10 else 14))
+    in
+    let enumerate kernel =
+      Wd_core.Enumerate.solutions ~maximality:(`Pebble 1) ~kernel forest graph
+    in
+    let runs = 3 in
+    let term_ans, t_term =
+      time_median ~runs (fun () -> enumerate Wd_core.Pebble_eval.Term)
+    in
+    let nocache_ans, t_nocache =
+      time_median ~runs (fun () ->
+          enumerate
+            (Wd_core.Pebble_eval.Cached
+               (Wd_core.Pebble_cache.create ~memo:false graph)))
+    in
+    let cache = ref None in
+    let cached_ans, t_cached =
+      time_median ~runs (fun () ->
+          let c = Wd_core.Pebble_cache.create graph in
+          cache := Some c;
+          enumerate (Wd_core.Pebble_eval.Cached c))
+    in
+    assert (Sparql.Mapping.Set.equal term_ans nocache_ans);
+    assert (Sparql.Mapping.Set.equal term_ans cached_ans);
+    let stats = Wd_core.Pebble_cache.stats (Option.get !cache) in
+    report "f4-enumerate" (Sparql.Mapping.Set.cardinal term_ans) t_term
+      t_nocache t_cached stats
+  in
+  let median_speedup =
+    let sorted = List.sort compare !speedups in
+    List.nth sorted (List.length sorted / 2)
+  in
+  record ~experiment:"A6" ~metric:"median_speedup_vs_term" median_speedup;
+  Fmt.pr "@.median cached speedup vs term kernel: %.1fx (target: >= 3x)@."
+    median_speedup
 
 (* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks: one Test.make per table/figure           *)
@@ -861,22 +1227,26 @@ let experiments =
     ("T1", t1); ("F1", f1); ("F2", f2); ("T2", t2); ("F3", f3);
     ("T3", t3); ("T4", t4); ("F4", f4); ("T5", t5); ("F5", f5);
     ("F6", f6); ("F7", f7); ("T6", t6); ("T7", t7);
-    ("A1", a1); ("A2", a2); ("A3", a3); ("A4", a4);
+    ("A1", a1); ("A2", a2); ("A3", a3); ("A4", a4); ("A5", a5); ("A6", a6);
     ("bechamel", bechamel_suite);
   ]
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
-  let args =
-    List.filter
-      (fun a ->
-        if a = "--fast" || a = "fast" then begin
-          fast := true;
-          false
-        end
-        else true)
-      args
+  let rec parse acc = function
+    | [] -> List.rev acc
+    | ("--fast" | "fast") :: rest ->
+        fast := true;
+        parse acc rest
+    | "--json" :: rest ->
+        json_out := Some "BENCH_pr2.json";
+        parse acc rest
+    | "--json-out" :: file :: rest ->
+        json_out := Some file;
+        parse acc rest
+    | a :: rest -> parse (a :: acc) rest
   in
+  let args = parse [] args in
   let selected =
     match args with
     | [] -> experiments
@@ -893,4 +1263,5 @@ let () =
   end;
   let total_t0 = Unix.gettimeofday () in
   List.iter (fun (_, run) -> run ()) selected;
-  Fmt.pr "@.total benchmark time: %.1fs@." (Unix.gettimeofday () -. total_t0)
+  Fmt.pr "@.total benchmark time: %.1fs@." (Unix.gettimeofday () -. total_t0);
+  Option.iter write_json !json_out

@@ -209,9 +209,16 @@ let eval_cmd =
             Wd_core.Engine.plan ~budget:(fresh_budget spec) ?force pattern
           in
           if explain then Fmt.pr "%a@." Wd_core.Engine.pp_plan plan;
-          Wd_core.Engine.solutions
-            ~budget:(fresh_budget ~solutions:true spec)
-            plan graph
+          let sols, cache_stats =
+            Wd_core.Engine.solutions_stats
+              ~budget:(fresh_budget ~solutions:true spec)
+              plan graph
+          in
+          if explain then
+            Option.iter
+              (Fmt.pr "%a@." Wd_core.Pebble_cache.pp_stats)
+              cache_stats;
+          sols
     in
     Fmt.pr "%d solution(s)@." (Sparql.Mapping.Set.cardinal sols);
     Sparql.Mapping.Set.iter (fun mu -> Fmt.pr "%a@." Sparql.Mapping.pp mu) sols

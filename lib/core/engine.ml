@@ -39,11 +39,18 @@ let check ?budget plan graph mu =
   | Naive -> Naive_eval.check ?budget plan.forest graph mu
   | Pebble k -> Pebble_eval.check ?budget ~k plan.forest graph mu
 
-let solutions ?budget plan graph =
+let solutions_stats ?budget plan graph =
   match plan.algorithm with
-  | Naive -> Wdpt.Semantics.solutions ?budget plan.forest graph
+  | Naive -> (Wdpt.Semantics.solutions ?budget plan.forest graph, None)
   | Pebble k ->
-      Enumerate.solutions ?budget ~maximality:(`Pebble k) plan.forest graph
+      let cache = Pebble_cache.create graph in
+      let answers =
+        Enumerate.solutions ?budget ~maximality:(`Pebble k)
+          ~kernel:(Pebble_eval.Cached cache) plan.forest graph
+      in
+      (answers, Some (Pebble_cache.stats cache))
+
+let solutions ?budget plan graph = fst (solutions_stats ?budget plan graph)
 
 let count ?budget plan graph =
   Sparql.Mapping.Set.cardinal (solutions ?budget plan graph)

@@ -44,6 +44,12 @@ val solutions :
 (** All answers: the shared-prefix enumerator under [Pebble], the baseline
     enumerator under [Naive]. *)
 
+val solutions_stats :
+  ?budget:Resource.Budget.t -> plan -> Graph.t ->
+  Sparql.Mapping.Set.t * Pebble_cache.stats option
+(** Like {!solutions}, also returning the pebble-cache counters of the
+    run ([None] under [Naive]) — what [--explain] prints. *)
+
 val count : ?budget:Resource.Budget.t -> plan -> Graph.t -> int
 
 val pp_width_source : width_source Fmt.t

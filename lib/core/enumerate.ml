@@ -4,14 +4,22 @@ module Budget = Resource.Budget
 
 type maximality = [ `Hom | `Pebble of int ]
 
-let solutions_tree ?(budget = Budget.unlimited) ?(maximality = `Hom) tree graph =
+let solutions_tree ?(budget = Budget.unlimited) ?(maximality = `Hom) ?kernel
+    tree graph =
+  let kernel =
+    match maximality, kernel with
+    | `Pebble _, None -> Pebble_eval.Cached (Pebble_cache.create graph)
+    | _, Some kernel -> kernel
+    | `Hom, None -> Pebble_eval.Term
+  in
   Budget.with_phase budget "enumerate" @@ fun () ->
   let target = Graph.to_index graph in
   let results = ref Sparql.Mapping.Set.empty in
   let child_extends subtree mu n =
     match maximality with
     | `Hom -> Wdpt.Semantics.child_extends ~budget tree graph mu n
-    | `Pebble k -> Pebble_eval.child_test ~budget ~k tree graph mu subtree n
+    | `Pebble k ->
+        Pebble_eval.child_test ~budget ~kernel ~k tree graph mu subtree n
   in
   let maximal subtree mu =
     not (List.exists (child_extends subtree mu) (Wdpt.Subtree.children subtree))
@@ -56,11 +64,19 @@ let solutions_tree ?(budget = Budget.unlimited) ?(maximality = `Hom) tree graph 
   if root_homs <> [] then go root_subtree root_homs Wdpt.Pattern_tree.root;
   !results
 
-let solutions ?budget ?maximality forest graph =
+let solutions ?budget ?maximality ?kernel forest graph =
+  let kernel =
+    (* One cache across the whole forest: trees share the graph and often
+       the same child patterns, so games and verdicts carry over. *)
+    match maximality, kernel with
+    | Some (`Pebble _), None -> Some (Pebble_eval.Cached (Pebble_cache.create graph))
+    | _, kernel -> kernel
+  in
   List.fold_left
     (fun acc tree ->
-      Sparql.Mapping.Set.union acc (solutions_tree ?budget ?maximality tree graph))
+      Sparql.Mapping.Set.union acc
+        (solutions_tree ?budget ?maximality ?kernel tree graph))
     Sparql.Mapping.Set.empty forest
 
-let count ?budget ?maximality forest graph =
-  Sparql.Mapping.Set.cardinal (solutions ?budget ?maximality forest graph)
+let count ?budget ?maximality ?kernel forest graph =
+  Sparql.Mapping.Set.cardinal (solutions ?budget ?maximality ?kernel forest graph)

@@ -22,17 +22,20 @@ type maximality = [ `Hom | `Pebble of int ]
 
 val solutions_tree :
   ?budget:Resource.Budget.t ->
-  ?maximality:maximality -> Wdpt.Pattern_tree.t -> Graph.t ->
-  Sparql.Mapping.Set.t
+  ?maximality:maximality -> ?kernel:Pebble_eval.kernel ->
+  Wdpt.Pattern_tree.t -> Graph.t -> Sparql.Mapping.Set.t
 
 val solutions :
   ?budget:Resource.Budget.t ->
-  ?maximality:maximality -> Wdpt.Pattern_forest.t -> Graph.t ->
-  Sparql.Mapping.Set.t
+  ?maximality:maximality -> ?kernel:Pebble_eval.kernel ->
+  Wdpt.Pattern_forest.t -> Graph.t -> Sparql.Mapping.Set.t
 (** Equals {!Wdpt.Semantics.solutions} under [`Hom], and under
-    [`Pebble k] whenever [dw(F) ≤ k] (tested). *)
+    [`Pebble k] whenever [dw(F) ≤ k] (tested). Under [`Pebble k] the
+    child tests run through a {!Pebble_cache.t} shared across the whole
+    forest — pass [kernel] to supply your own (e.g. to read its stats
+    afterwards) or to force the term-level kernel. *)
 
 val count :
-  ?budget:Resource.Budget.t -> ?maximality:maximality -> Wdpt.Pattern_forest.t ->
-  Graph.t -> int
+  ?budget:Resource.Budget.t -> ?maximality:maximality ->
+  ?kernel:Pebble_eval.kernel -> Wdpt.Pattern_forest.t -> Graph.t -> int
 (** Number of distinct answers. *)

@@ -1,0 +1,168 @@
+open Rdf
+module Budget = Resource.Budget
+
+type stats = { hits : int; misses : int; compiled : int; families : int }
+
+let pp_stats ppf s =
+  Fmt.pf ppf "pebble cache: %d hits, %d misses, %d games compiled, %d families"
+    s.hits s.misses s.compiled s.families
+
+(* Anchor position: the subtree pattern is fully grounded by µ, so it
+   compiles to constants and indices into the subtree's variable array. *)
+type apos = C of int | V of int
+
+type child_game = {
+  anchor_params : Variable.t array;
+  anchor : (apos * apos * apos) array;
+  game : Encoded.Encoded_pebble.t;
+  game_params : Variable.t array;
+  verdicts : (int list, bool) Hashtbl.t;
+}
+
+type game_key = { stamp : int; members : int list; child : int; key_k : int }
+
+type t = {
+  graph : Graph.t;
+  enc : Encoded.Encoded_graph.t;
+  memo : bool;
+  games : (game_key, child_game) Hashtbl.t;
+  mutable stamps : (Wdpt.Pattern_tree.t * int) list;
+  mutable hits : int;
+  mutable misses : int;
+  mutable compiled : int;
+  mutable families : int;
+}
+
+let create ?(memo = true) graph =
+  {
+    graph;
+    enc = Encoded.Encoded_graph.of_graph_cached graph;
+    memo;
+    games = Hashtbl.create 64;
+    stamps = [];
+    hits = 0;
+    misses = 0;
+    compiled = 0;
+    families = 0;
+  }
+
+let graph t = t.graph
+
+let stats t =
+  { hits = t.hits; misses = t.misses; compiled = t.compiled; families = t.families }
+
+let stamp_of t tree =
+  match List.find_opt (fun (tr, _) -> tr == tree) t.stamps with
+  | Some (_, id) -> id
+  | None ->
+      let id = List.length t.stamps in
+      t.stamps <- (tree, id) :: t.stamps;
+      id
+
+(* Compile the child test for (subtree, n): the union game
+   [(pat(T') ∪ pat(n), vars(T')) →µ_{k+1} G] splits exactly into
+   (1) every triple of pat(T') — ground under µ — being in G, and
+   (2) the game on [(pat(n), vars(T') ∩ vars(pat n))] with µ restricted,
+   because after freezing µ the free variables and non-ground patterns
+   of the union are precisely those of pat(n). *)
+let compile_game t ~k tree subtree n =
+  let dict = Encoded.Encoded_graph.dictionary t.enc in
+  let anchor_pat = Wdpt.Subtree.pat subtree in
+  let child_pat = Wdpt.Pattern_tree.pat tree n in
+  let anchor_params =
+    Array.of_list (Variable.Set.elements (Wdpt.Subtree.vars subtree))
+  in
+  let idx = Hashtbl.create 16 in
+  Array.iteri (fun i v -> Hashtbl.replace idx v i) anchor_params;
+  let apos_of = function
+    | Term.Iri _ as term -> (
+        match Dictionary.find dict term with
+        | Some id -> C id
+        | None -> C Encoded.Encoded_pebble.unknown_id)
+    | Term.Var v -> V (Hashtbl.find idx v)
+  in
+  let anchor =
+    Array.of_list
+      (List.map
+         (fun tr ->
+           (apos_of tr.Triple.s, apos_of tr.Triple.p, apos_of tr.Triple.o))
+         (Tgraphs.Tgraph.triples anchor_pat))
+  in
+  let shared =
+    Variable.Set.inter (Wdpt.Subtree.vars subtree)
+      (Tgraphs.Tgraph.vars child_pat)
+  in
+  let game =
+    Encoded.Encoded_pebble.compile ~k:(k + 1)
+      (Tgraphs.Gtgraph.make child_pat shared)
+      t.enc
+  in
+  t.compiled <- t.compiled + 1;
+  {
+    anchor_params;
+    anchor;
+    game;
+    game_params = Encoded.Encoded_pebble.params game;
+    verdicts = Hashtbl.create 256;
+  }
+
+let game_for t ~k tree subtree n =
+  if not t.memo then compile_game t ~k tree subtree n
+  else begin
+    let key =
+      {
+        stamp = stamp_of t tree;
+        members = Wdpt.Subtree.members subtree;
+        child = n;
+        key_k = k;
+      }
+    in
+    match Hashtbl.find_opt t.games key with
+    | Some g -> g
+    | None ->
+        let g = compile_game t ~k tree subtree n in
+        Hashtbl.add t.games key g;
+        g
+  end
+
+let id_of_var dict mu v =
+  match Sparql.Mapping.find v mu with
+  | None -> invalid_arg "Pebble_cache.child_test: µ does not cover the subtree"
+  | Some iri -> (
+      match Dictionary.find dict (Term.Iri iri) with
+      | Some id -> id
+      | None -> Encoded.Encoded_pebble.unknown_id)
+
+let child_test t ?(budget = Budget.unlimited) ~k tree mu subtree n =
+  if k < 1 then invalid_arg "Pebble_game.wins: k must be at least 1";
+  let cg = game_for t ~k tree subtree n in
+  let dict = Encoded.Encoded_graph.dictionary t.enc in
+  let anchor_ids = Array.map (id_of_var dict mu) cg.anchor_params in
+  let value = function C id -> id | V j -> anchor_ids.(j) in
+  let anchor_ok =
+    Array.for_all
+      (fun (a, b, c) ->
+        Budget.tick budget;
+        Encoded.Encoded_graph.mem t.enc (value a, value b, value c))
+      cg.anchor
+  in
+  if not anchor_ok then false
+  else begin
+    let mu_ids = Array.map (id_of_var dict mu) cg.game_params in
+    let memo_key = Array.to_list mu_ids in
+    match
+      if t.memo then Hashtbl.find_opt cg.verdicts memo_key else None
+    with
+    | Some verdict ->
+        t.hits <- t.hits + 1;
+        Budget.tick budget;
+        verdict
+    | None ->
+        t.misses <- t.misses + 1;
+        let before = Encoded.Encoded_pebble.stats_families_explored () in
+        let verdict = Encoded.Encoded_pebble.run ~budget cg.game ~mu:mu_ids in
+        t.families <-
+          t.families + (Encoded.Encoded_pebble.stats_families_explored () - before);
+        if t.memo then Hashtbl.add cg.verdicts memo_key verdict;
+        verdict
+  end

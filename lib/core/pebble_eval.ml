@@ -2,16 +2,27 @@ open Rdf
 open Tgraphs
 module Budget = Resource.Budget
 
-let child_test ?budget ~k tree graph mu subtree n =
-  let s =
-    Tgraph.union (Wdpt.Subtree.pat subtree) (Wdpt.Pattern_tree.pat tree n)
-  in
-  let g = Gtgraph.make s (Wdpt.Subtree.vars subtree) in
-  Pebble.Pebble_game.wins ?budget ~k:(k + 1) g
-    ~mu:(Sparql.Mapping.to_assignment mu) graph
+type kernel = Term | Cached of Pebble_cache.t
 
-let check ?(budget = Budget.unlimited) ~k forest graph mu =
+let child_test ?budget ?(kernel = Term) ~k tree graph mu subtree n =
+  match kernel with
+  | Cached cache when Pebble_cache.graph cache == graph ->
+      Pebble_cache.child_test cache ?budget ~k tree mu subtree n
+  | Cached _ | Term ->
+      let s =
+        Tgraph.union (Wdpt.Subtree.pat subtree) (Wdpt.Pattern_tree.pat tree n)
+      in
+      let g = Gtgraph.make s (Wdpt.Subtree.vars subtree) in
+      Pebble.Pebble_game.wins ?budget ~k:(k + 1) g
+        ~mu:(Sparql.Mapping.to_assignment mu) graph
+
+let check ?(budget = Budget.unlimited) ?kernel ~k forest graph mu =
   if k < 1 then invalid_arg "Pebble_eval.check: k must be at least 1";
+  let kernel =
+    match kernel with
+    | Some kernel -> kernel
+    | None -> Cached (Pebble_cache.create graph)
+  in
   Budget.with_phase budget "pebble-eval" @@ fun () ->
   List.exists
     (fun tree ->
@@ -20,17 +31,24 @@ let check ?(budget = Budget.unlimited) ~k forest graph mu =
       | Some subtree ->
           not
             (List.exists
-               (child_test ~budget ~k tree graph mu subtree)
+               (child_test ~budget ~kernel ~k tree graph mu subtree)
                (Wdpt.Subtree.children subtree)))
     forest
 
-let check_pattern ?budget ~k p graph mu =
-  check ?budget ~k (Wdpt.Pattern_forest.of_algebra p) graph mu
+let check_pattern ?budget ?kernel ~k p graph mu =
+  check ?budget ?kernel ~k (Wdpt.Pattern_forest.of_algebra p) graph mu
 
-let check_auto ?budget forest graph mu =
-  check ?budget ~k:(Domination_width.of_forest ?budget forest) forest graph mu
+let check_auto ?budget ?kernel forest graph mu =
+  check ?budget ?kernel
+    ~k:(Domination_width.of_forest ?budget forest)
+    forest graph mu
 
-let solutions ?(budget = Budget.unlimited) ~k forest graph =
+let solutions ?(budget = Budget.unlimited) ?kernel ~k forest graph =
+  let kernel =
+    match kernel with
+    | Some kernel -> kernel
+    | None -> Cached (Pebble_cache.create graph)
+  in
   Budget.with_phase budget "pebble-eval" @@ fun () ->
   let target = Graph.to_index graph in
   List.fold_left
@@ -48,7 +66,7 @@ let solutions ?(budget = Budget.unlimited) ~k forest graph =
               | Some mu ->
                   if
                     (not (Sparql.Mapping.Set.mem mu acc))
-                    && check ~budget ~k forest graph mu
+                    && check ~budget ~kernel ~k forest graph mu
                   then begin
                     Budget.solution budget;
                     Sparql.Mapping.Set.add mu acc

@@ -14,32 +14,46 @@
 
 open Rdf
 
+type kernel =
+  | Term  (** the reference term-level {!Pebble.Pebble_game.wins} *)
+  | Cached of Pebble_cache.t
+      (** the dictionary-encoded kernel with compiled-game reuse and
+          verdict memoization; results are identical to [Term] *)
+
 val child_test :
-  ?budget:Resource.Budget.t -> k:int -> Wdpt.Pattern_tree.t -> Graph.t ->
+  ?budget:Resource.Budget.t -> ?kernel:kernel -> k:int ->
+  Wdpt.Pattern_tree.t -> Graph.t ->
   Sparql.Mapping.t -> Wdpt.Subtree.t -> Wdpt.Pattern_tree.node -> bool
 (** The relaxed extension test of the algorithm:
     [(pat(T') ∪ pat(n), vars(T')) →µ_{k+1} G]. Exposed for the optimised
-    enumerator and for tests. *)
+    enumerator and for tests. [kernel] defaults to [Term] here (a single
+    test has nothing to reuse); a [Cached] kernel is used only when its
+    cache was created for [graph] (physical equality), otherwise the
+    term path runs. *)
 
 val check :
-  ?budget:Resource.Budget.t -> k:int -> Wdpt.Pattern_forest.t -> Graph.t ->
-  Sparql.Mapping.t -> bool
+  ?budget:Resource.Budget.t -> ?kernel:kernel -> k:int ->
+  Wdpt.Pattern_forest.t -> Graph.t -> Sparql.Mapping.t -> bool
 (** [check ~k F G µ] decides [µ ∈ ⟦F⟧G], exactly when [dw(F) ≤ k].
-    Raises [Invalid_argument] if [k < 1]. *)
+    Raises [Invalid_argument] if [k < 1]. When no [kernel] is given, a
+    fresh {!Pebble_cache.t} is created for the call, so the per-child
+    games are compiled once across the forest. *)
 
 val check_pattern :
-  ?budget:Resource.Budget.t -> k:int -> Sparql.Algebra.t -> Graph.t ->
-  Sparql.Mapping.t -> bool
+  ?budget:Resource.Budget.t -> ?kernel:kernel -> k:int -> Sparql.Algebra.t ->
+  Graph.t -> Sparql.Mapping.t -> bool
 
 val check_auto :
-  ?budget:Resource.Budget.t -> Wdpt.Pattern_forest.t -> Graph.t ->
-  Sparql.Mapping.t -> bool
+  ?budget:Resource.Budget.t -> ?kernel:kernel -> Wdpt.Pattern_forest.t ->
+  Graph.t -> Sparql.Mapping.t -> bool
 (** Compute [dw(F)] first (exponential in the query only), then run
     {!check} with that bound — always exact. *)
 
 val solutions :
-  ?budget:Resource.Budget.t -> k:int -> Wdpt.Pattern_forest.t -> Graph.t ->
-  Sparql.Mapping.Set.t
+  ?budget:Resource.Budget.t -> ?kernel:kernel -> k:int ->
+  Wdpt.Pattern_forest.t -> Graph.t -> Sparql.Mapping.Set.t
 (** Answer enumeration built on the polynomial membership test: candidate
     mappings are generated per subtree from homomorphisms of its pattern
-    and filtered with the pebble test. Exact when [dw(F) ≤ k]. *)
+    and filtered with the pebble test. Exact when [dw(F) ≤ k]. When no
+    [kernel] is given, one evaluation-wide {!Pebble_cache.t} is shared by
+    every membership test of the call. *)

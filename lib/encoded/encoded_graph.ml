@@ -26,6 +26,32 @@ let of_graph graph =
     osp = sorted_by rot_osp triples;
   }
 
+(* Bounded MRU memo for [of_graph], keyed on physical identity: the
+   evaluators hand the same immutable [Graph.t] to every encoded-kernel
+   call of a run, so re-encoding it each time would dominate small
+   queries. Physical equality keeps the lookup O(1)-ish and safe (a
+   structurally equal but distinct graph merely misses). *)
+let cache_capacity = 8
+let cache : (Rdf.Graph.t * t) list ref = ref []
+
+let clear_cache () = cache := []
+
+let of_graph_cached graph =
+  let rec take n = function
+    | [] -> []
+    | _ when n = 0 -> []
+    | x :: rest -> x :: take (n - 1) rest
+  in
+  match List.find_opt (fun (g, _) -> g == graph) !cache with
+  | Some (_, enc) ->
+      (* move to front *)
+      cache := (graph, enc) :: List.filter (fun (g, _) -> g != graph) !cache;
+      enc
+  | None ->
+      let enc = of_graph graph in
+      cache := take cache_capacity ((graph, enc) :: !cache);
+      enc
+
 let dictionary t = t.dict
 let cardinal t = Array.length t.spo
 

@@ -10,6 +10,16 @@
 type t
 
 val of_graph : Rdf.Graph.t -> t
+
+val of_graph_cached : Rdf.Graph.t -> t
+(** Like {!of_graph}, but memoized on the graph's physical identity in a
+    small bounded MRU cache, so evaluators that encode the same graph
+    for every (mapping, child) test pay the encoding cost once. *)
+
+val clear_cache : unit -> unit
+(** Drop every entry of the {!of_graph_cached} memo (frees the encoded
+    copies; mainly for tests and benchmarks). *)
+
 val dictionary : t -> Rdf.Dictionary.t
 val cardinal : t -> int
 

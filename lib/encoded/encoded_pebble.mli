@@ -1,0 +1,61 @@
+(** Existential (k+1)-pebble game over the dictionary-encoded store.
+
+    This is the hot kernel behind the paper's Theorem-1 PTIME evaluation
+    path: it decides the k-consistency relaxation [(S,X) →µ_k G] exactly
+    as {!Pebble.Pebble_game.wins} does (the two are cross-checked by
+    qcheck in the test suite), but over {!Encoded_graph.t} — dense int
+    ids for terms and variables, sorted-array range lookups for the
+    unary candidate domains, and flat int-array partial maps hashed with
+    a dedicated FNV-style family table instead of polymorphic hashing on
+    term maps.
+
+    The split into {!compile} and {!run} is what the evaluation-wide
+    cache ({!Wd_core.Pebble_cache}) builds on: a generalised t-graph is
+    compiled against a graph once — including the µ-independent unary
+    candidate domains — and then replayed for many frozen mappings µ. *)
+
+type t
+(** A generalised t-graph compiled against a fixed encoded graph. *)
+
+val unknown_id : int
+(** Sentinel id for an IRI absent from the graph's dictionary. It is
+    negative, so every range lookup involving it is empty — matching the
+    term-level kernel, where such a triple matches nothing. *)
+
+val compile : k:int -> Tgraphs.Gtgraph.t -> Encoded_graph.t -> t
+(** [compile ~k g graph] compiles [g = (S, X)] for the existential
+    k-pebble game on [graph]. Raises [Invalid_argument] if [k < 1]. *)
+
+val params : t -> Rdf.Variable.t array
+(** The distinguished variables X, sorted; [run]'s [mu] array gives the
+    image of each, positionally. *)
+
+val free_count : t -> int
+(** Number of existential (non-distinguished) variables. *)
+
+val encode_mu : t -> Tgraphs.Homomorphism.assignment -> int array
+(** Encode a term-level assignment into the positional id array expected
+    by {!run}. IRIs unknown to the graph map to {!unknown_id}. Raises
+    [Invalid_argument] if the assignment does not cover X or maps a
+    distinguished variable to a non-IRI. *)
+
+val run : ?budget:Resource.Budget.t -> t -> mu:int array -> bool
+(** [run t ~mu] decides whether the Duplicator wins, i.e. whether the
+    k-consistency fixpoint keeps the empty map alive once X is frozen to
+    [mu]. Ticks [budget] under phase ["pebble"] exactly like the
+    term-level kernel. Raises [Invalid_argument] on arity mismatch. *)
+
+val wins :
+  ?budget:Resource.Budget.t ->
+  k:int ->
+  Tgraphs.Gtgraph.t ->
+  mu:Tgraphs.Homomorphism.assignment ->
+  Encoded_graph.t ->
+  bool
+(** One-shot convenience: [compile] then [run]. Drop-in equivalent of
+    {!Pebble.Pebble_game.wins} over the encoded store. *)
+
+val stats_families_explored : unit -> int
+(** Families enumerated by {!run} since the last {!reset_stats}. *)
+
+val reset_stats : unit -> unit

@@ -1,16 +1,28 @@
+(* Each bucket carries its cardinality alongside the triples so that
+   [match_count] answers partially-bound lookups in O(1) instead of
+   materialising the bucket and walking it with [List.length]. *)
+type bucket = { count : int; bucket_triples : Triple.t list }
+
 type t = {
   set : Triple.Set.t;
-  by_s : (Term.t, Triple.t list) Hashtbl.t;
-  by_p : (Term.t, Triple.t list) Hashtbl.t;
-  by_o : (Term.t, Triple.t list) Hashtbl.t;
-  by_sp : (Term.t * Term.t, Triple.t list) Hashtbl.t;
-  by_so : (Term.t * Term.t, Triple.t list) Hashtbl.t;
-  by_po : (Term.t * Term.t, Triple.t list) Hashtbl.t;
+  by_s : (Term.t, bucket) Hashtbl.t;
+  by_p : (Term.t, bucket) Hashtbl.t;
+  by_o : (Term.t, bucket) Hashtbl.t;
+  by_sp : (Term.t * Term.t, bucket) Hashtbl.t;
+  by_so : (Term.t * Term.t, bucket) Hashtbl.t;
+  by_po : (Term.t * Term.t, bucket) Hashtbl.t;
 }
 
 let push tbl key triple =
-  let existing = try Hashtbl.find tbl key with Not_found -> [] in
-  Hashtbl.replace tbl key (triple :: existing)
+  let existing =
+    try Hashtbl.find tbl key
+    with Not_found -> { count = 0; bucket_triples = [] }
+  in
+  Hashtbl.replace tbl key
+    {
+      count = existing.count + 1;
+      bucket_triples = triple :: existing.bucket_triples;
+    }
 
 let of_set set =
   let n = max 16 (Triple.Set.cardinal set) in
@@ -40,7 +52,13 @@ let mem t triple = Triple.Set.mem triple t.set
 let union a b = of_set (Triple.Set.union a.set b.set)
 let add_triples t list = of_set (Triple.Set.add_seq (List.to_seq list) t.set)
 
-let find tbl key = try Hashtbl.find tbl key with Not_found -> []
+let find tbl key =
+  match Hashtbl.find_opt tbl key with
+  | Some b -> b.bucket_triples
+  | None -> []
+
+let find_count tbl key =
+  match Hashtbl.find_opt tbl key with Some b -> b.count | None -> 0
 
 let matching t ?s ?p ?o () =
   match s, p, o with
@@ -73,8 +91,13 @@ let match_count t ?s ?p ?o () =
   match s, p, o with
   | Some s, Some p, Some o ->
       if Triple.Set.mem (Triple.make s p o) t.set then 1 else 0
+  | Some s, Some p, None -> find_count t.by_sp (s, p)
+  | Some s, None, Some o -> find_count t.by_so (s, o)
+  | None, Some p, Some o -> find_count t.by_po (p, o)
+  | Some s, None, None -> find_count t.by_s s
+  | None, Some p, None -> find_count t.by_p p
+  | None, None, Some o -> find_count t.by_o o
   | None, None, None -> cardinal t
-  | _ -> List.length (matching t ?s ?p ?o ())
 
 let terms t =
   Triple.Set.fold

@@ -164,6 +164,22 @@ let test_pebble_game () =
   exhausts (fun () ->
       Pebble.Pebble_game.wins ~budget:(tiny ()) ~k:3 g ~mu:Variable.Map.empty graph)
 
+let test_encoded_pebble_game () =
+  (* same hard instance as the term-level kernel test, through the
+     dictionary-encoded kernel: it must tick the budget just as well *)
+  let tree = Workload.Query_families.clique_child 4 in
+  let sub = Wdpt.Subtree.full tree in
+  let g = Tgraphs.Gtgraph.make (Wdpt.Subtree.pat sub) Variable.Set.empty in
+  let graph = Generator.transitive_tournament ~n:10 ~pred:"r" in
+  let enc = Encoded.Encoded_graph.of_graph graph in
+  (match
+     Encoded.Encoded_pebble.wins ~budget:(tiny ()) ~k:3 g
+       ~mu:Variable.Map.empty enc
+   with
+  | _ -> Alcotest.fail "expected Budget.Exhausted"
+  | exception Budget.Exhausted { phase; _ } ->
+      check Alcotest.string "phase" "pebble" phase)
+
 let test_naive_eval () =
   exhausts (fun () ->
       Wd_core.Naive_eval.solutions ~budget:(tiny ()) (star_forest 8) big_data)
@@ -173,8 +189,14 @@ let test_domination_width () =
       Wd_core.Domination_width.of_forest ~budget:(tiny ()) (star_forest 8))
 
 let test_pebble_eval () =
+  (* default kernel: the evaluation-wide cache over the encoded store *)
   exhausts (fun () ->
       Wd_core.Pebble_eval.solutions ~budget:(tiny ()) ~k:2 (star_forest 8) big_data)
+
+let test_pebble_eval_term () =
+  exhausts (fun () ->
+      Wd_core.Pebble_eval.solutions ~budget:(tiny ())
+        ~kernel:Wd_core.Pebble_eval.Term ~k:2 (star_forest 8) big_data)
 
 let test_enumerate () =
   exhausts (fun () ->
@@ -293,9 +315,11 @@ let () =
           Alcotest.test_case "csp homomorphism" `Quick test_csp_hom;
           Alcotest.test_case "csp core" `Quick test_csp_core;
           Alcotest.test_case "pebble game" `Quick test_pebble_game;
+          Alcotest.test_case "encoded pebble game" `Quick test_encoded_pebble_game;
           Alcotest.test_case "naive eval" `Quick test_naive_eval;
           Alcotest.test_case "domination width" `Quick test_domination_width;
-          Alcotest.test_case "pebble eval" `Quick test_pebble_eval;
+          Alcotest.test_case "pebble eval (cached)" `Quick test_pebble_eval;
+          Alcotest.test_case "pebble eval (term)" `Quick test_pebble_eval_term;
           Alcotest.test_case "enumerate" `Quick test_enumerate;
         ] );
       ( "degradation",
