@@ -216,7 +216,7 @@ let eval_cmd =
           in
           if explain then
             Option.iter
-              (Fmt.pr "%a@." Wd_core.Pebble_cache.pp_stats)
+              (Fmt.pr "%a@." Wd_core.Plan_cache.pp_stats)
               cache_stats;
           sols
     in

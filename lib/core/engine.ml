@@ -14,9 +14,10 @@ type plan = {
   domination_width : int;
   width_source : width_source;
   algorithm : algorithm;
+  cache : Plan_cache.t;
 }
 
-let plan ?(budget = Budget.unlimited) ?force pattern =
+let plan ?(budget = Budget.unlimited) ?force ?verdict_capacity pattern =
   let forest = Wdpt.Pattern_forest.of_algebra pattern in
   let domination_width, width_source =
     match Domination_width.of_forest ~budget forest with
@@ -32,23 +33,32 @@ let plan ?(budget = Budget.unlimited) ?force pattern =
   let algorithm =
     match force with Some a -> a | None -> Pebble domination_width
   in
-  { pattern; forest; domination_width; width_source; algorithm }
+  {
+    pattern;
+    forest;
+    domination_width;
+    width_source;
+    algorithm;
+    cache = Plan_cache.create ?verdict_capacity ();
+  }
 
 let check ?budget plan graph mu =
   match plan.algorithm with
   | Naive -> Naive_eval.check ?budget plan.forest graph mu
-  | Pebble k -> Pebble_eval.check ?budget ~k plan.forest graph mu
+  | Pebble k ->
+      Pebble_eval.check ?budget
+        ~kernel:(Pebble_eval.Cached (Plan_cache.pebble plan.cache graph))
+        ~k plan.forest graph mu
 
 let solutions_stats ?budget plan graph =
   match plan.algorithm with
   | Naive -> (Wdpt.Semantics.solutions ?budget plan.forest graph, None)
   | Pebble k ->
-      let cache = Pebble_cache.create graph in
       let answers =
-        Enumerate.solutions ?budget ~maximality:(`Pebble k)
-          ~kernel:(Pebble_eval.Cached cache) plan.forest graph
+        Enumerate.solutions ?budget ~maximality:(`Pebble k) ~cache:plan.cache
+          plan.forest graph
       in
-      (answers, Some (Pebble_cache.stats cache))
+      (answers, Some (Plan_cache.stats plan.cache))
 
 let solutions ?budget plan graph = fst (solutions_stats ?budget plan graph)
 

@@ -23,16 +23,22 @@ type plan = {
   domination_width : int;
   width_source : width_source;
   algorithm : algorithm;
+  cache : Plan_cache.t;
+      (** compiled hom sources and pebble games, reused across every
+          evaluation of this plan and invalidated when the graph's
+          {!Rdf.Graph.epoch} changes *)
 }
 
 val plan :
-  ?budget:Resource.Budget.t -> ?force:algorithm -> Sparql.Algebra.t -> plan
+  ?budget:Resource.Budget.t -> ?force:algorithm -> ?verdict_capacity:int ->
+  Sparql.Algebra.t -> plan
 (** Build a plan. By default the pebble algorithm at the query's measured
     domination width is chosen (always exact); [force] overrides. If
     [budget] runs out during the (exponential) exact domination-width
     computation, the plan gracefully degrades to a conservative treewidth
     upper bound and records the downgrade in [width_source] so that
-    {!pp_plan} and [Explain] surface it. Raises
+    {!pp_plan} and [Explain] surface it. [verdict_capacity] bounds the
+    plan's memoized pebble verdicts ({!Pebble_cache.create}). Raises
     {!Wdpt.Translate.Not_well_designed} on non-well-designed input. *)
 
 val check :
@@ -46,9 +52,13 @@ val solutions :
 
 val solutions_stats :
   ?budget:Resource.Budget.t -> plan -> Graph.t ->
-  Sparql.Mapping.Set.t * Pebble_cache.stats option
-(** Like {!solutions}, also returning the pebble-cache counters of the
-    run ([None] under [Naive]) — what [--explain] prints. *)
+  Sparql.Mapping.Set.t * Plan_cache.stats option
+(** Like {!solutions}, also returning the plan-cache counters accumulated
+    over the plan's lifetime — pebble hits/misses/compiled/evictions,
+    hom sources compiled, epoch invalidations ([None] under [Naive]) —
+    what [--explain] prints. Because the cache lives on the plan,
+    repeated calls on the same graph reuse compiled artefacts and the
+    counters keep growing. *)
 
 val count : ?budget:Resource.Budget.t -> plan -> Graph.t -> int
 

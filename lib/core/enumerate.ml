@@ -1,17 +1,16 @@
 open Rdf
 open Tgraphs
 module Budget = Resource.Budget
+module Encoded_hom = Encoded.Encoded_hom
 
 type maximality = [ `Hom | `Pebble of int ]
+type join = [ `Encoded | `Term ]
 
-let solutions_tree ?(budget = Budget.unlimited) ?(maximality = `Hom) ?kernel
-    tree graph =
-  let kernel =
-    match maximality, kernel with
-    | `Pebble _, None -> Pebble_eval.Cached (Pebble_cache.create graph)
-    | _, Some kernel -> kernel
-    | `Hom, None -> Pebble_eval.Term
-  in
+(* ------------------------------------------------------------------ *)
+(* Term-level join (the PR 2 baseline, kept for ablation A7)           *)
+(* ------------------------------------------------------------------ *)
+
+let solutions_tree_term ~budget ~maximality ~kernel tree graph =
   Budget.with_phase budget "enumerate" @@ fun () ->
   let target = Graph.to_index graph in
   let results = ref Sparql.Mapping.Set.empty in
@@ -64,19 +63,128 @@ let solutions_tree ?(budget = Budget.unlimited) ?(maximality = `Hom) ?kernel
   if root_homs <> [] then go root_subtree root_homs Wdpt.Pattern_tree.root;
   !results
 
-let solutions ?budget ?maximality ?kernel forest graph =
-  let kernel =
-    (* One cache across the whole forest: trees share the graph and often
-       the same child patterns, so games and verdicts carry over. *)
+(* ------------------------------------------------------------------ *)
+(* Encoded join (default)                                              *)
+(* ------------------------------------------------------------------ *)
+
+(* Same lattice walk, but every partial homomorphism is a flat int array
+   over the tree's shared variable table ({!Plan_cache.node_source}):
+   the parent's solution array IS the child join's [pre] (no map union,
+   no re-encoding), and terms only reappear at the solution boundary
+   where the maximality test needs a mapping. *)
+let solutions_tree_encoded ~budget ~maximality ~kernel ~cache tree graph =
+  Budget.with_phase budget "enumerate" @@ fun () ->
+  let results = ref Sparql.Mapping.Set.empty in
+  let vars = Plan_cache.variables cache graph tree in
+  (* When the kernel is this graph's cache, the maximality test runs
+     entirely on dictionary ids ({!Pebble_cache.child_test_ids}) and
+     only maximal candidates are ever decoded — the solution boundary.
+     Any other kernel (a foreign cache, or the term game) needs a term
+     mapping, so those candidates decode first. *)
+  let id_kernel =
     match maximality, kernel with
-    | Some (`Pebble _), None -> Some (Pebble_eval.Cached (Pebble_cache.create graph))
+    | `Pebble k, Pebble_eval.Cached c
+      when Graph.epoch (Pebble_cache.graph c) = Graph.epoch graph ->
+        Some (k, c)
+    | _ -> None
+  in
+  let child_extends subtree mu n =
+    match maximality with
+    | `Hom -> Wdpt.Semantics.child_extends ~budget tree graph mu n
+    | `Pebble k ->
+        Pebble_eval.child_test ~budget ~kernel ~k tree graph mu subtree n
+  in
+  let maximal subtree mu =
+    not (List.exists (child_extends subtree mu) (Wdpt.Subtree.children subtree))
+  in
+  let source_of n = Plan_cache.node_source cache graph tree n in
+  let root_source = source_of Wdpt.Pattern_tree.root in
+  (* decoding any node's source decodes the whole shared array *)
+  let decode h = Encoded_hom.decode root_source h in
+  let add_solution mu =
+    if not (Sparql.Mapping.Set.mem mu !results) then Budget.solution budget;
+    results := Sparql.Mapping.Set.add mu !results
+  in
+  (* Stage the id-level child tests once per candidate batch: the
+     (subtree, child) games and slot tables are fixed across the whole
+     batch, so only the per-assignment work stays in the loop. *)
+  let visit subtree =
+    match id_kernel with
+    | Some (k, c) ->
+        let tests =
+          List.map
+            (Pebble_cache.stage_child_test_ids c ~budget ~k tree ~vars subtree)
+            (Wdpt.Subtree.children subtree)
+        in
+        fun h ->
+          if not (List.exists (fun test -> test h) tests) then
+            Option.iter add_solution (Sparql.Mapping.of_assignment (decode h))
+    | None -> (
+        fun h ->
+          match Sparql.Mapping.of_assignment (decode h) with
+          | None -> ()
+          | Some mu -> if maximal subtree mu then add_solution mu)
+  in
+  let rec go subtree homs last =
+    List.iter (visit subtree) homs;
+    List.iter
+      (fun n ->
+        if n > last then begin
+          Budget.tick budget;
+          let child_source = source_of n in
+          let homs' =
+            List.concat_map
+              (fun h ->
+                Encoded_hom.fold ~budget ~pre:h child_source ~init:[]
+                  ~f:(fun acc extension ->
+                    (Array.copy extension :: acc, `Continue)))
+              homs
+          in
+          if homs' <> [] then go (Wdpt.Subtree.add_child subtree n) homs' n
+        end)
+      (Wdpt.Subtree.children subtree)
+  in
+  let root_homs =
+    Encoded_hom.fold ~budget root_source ~init:[] ~f:(fun acc h ->
+        (Array.copy h :: acc, `Continue))
+  in
+  if root_homs <> [] then
+    go (Wdpt.Subtree.root_only tree) root_homs Wdpt.Pattern_tree.root;
+  !results
+
+let solutions_tree ?(budget = Budget.unlimited) ?(maximality = `Hom) ?kernel
+    ?(join = `Encoded) ?cache tree graph =
+  let cache =
+    match cache with Some c -> c | None -> Plan_cache.create ()
+  in
+  let kernel =
+    match maximality, kernel with
+    | `Pebble _, None -> Pebble_eval.Cached (Plan_cache.pebble cache graph)
+    | _, Some kernel -> kernel
+    | `Hom, None -> Pebble_eval.Term
+  in
+  match join with
+  | `Term -> solutions_tree_term ~budget ~maximality ~kernel tree graph
+  | `Encoded ->
+      solutions_tree_encoded ~budget ~maximality ~kernel ~cache tree graph
+
+let solutions ?budget ?maximality ?kernel ?join ?cache forest graph =
+  (* One plan cache (and hence one pebble cache) across the whole forest:
+     trees share the graph and often the same child patterns, so games
+     and verdicts carry over. *)
+  let cache = match cache with Some c -> c | None -> Plan_cache.create () in
+  let kernel =
+    match maximality, kernel with
+    | Some (`Pebble _), None ->
+        Some (Pebble_eval.Cached (Plan_cache.pebble cache graph))
     | _, kernel -> kernel
   in
   List.fold_left
     (fun acc tree ->
       Sparql.Mapping.Set.union acc
-        (solutions_tree ?budget ?maximality ?kernel tree graph))
+        (solutions_tree ?budget ?maximality ?kernel ?join ~cache tree graph))
     Sparql.Mapping.Set.empty forest
 
-let count ?budget ?maximality ?kernel forest graph =
-  Sparql.Mapping.Set.cardinal (solutions ?budget ?maximality ?kernel forest graph)
+let count ?budget ?maximality ?kernel ?join ?cache forest graph =
+  Sparql.Mapping.Set.cardinal
+    (solutions ?budget ?maximality ?kernel ?join ?cache forest graph)

@@ -9,6 +9,13 @@
     increasing node-id order, which is compatible with the parent order
     because node ids are topological).
 
+    The join itself runs over the dictionary-encoded store by default
+    ([`Encoded]): node patterns are compiled once per (tree, graph
+    epoch) into a {!Plan_cache.t} and partial homomorphisms round-trip
+    through flat int arrays, decoded only at the solution boundary.
+    [`Term] keeps the PR 2 term-level join (hash probes on terms) — the
+    ablation A7 baseline; both produce identical answer sets (tested).
+
     The Lemma-1 maximality condition is checked per candidate answer:
     - [`Hom] (default) uses the exact homomorphism test — cheap when
       children are easy to match;
@@ -19,23 +26,28 @@
 open Rdf
 
 type maximality = [ `Hom | `Pebble of int ]
+type join = [ `Encoded | `Term ]
 
 val solutions_tree :
   ?budget:Resource.Budget.t ->
   ?maximality:maximality -> ?kernel:Pebble_eval.kernel ->
+  ?join:join -> ?cache:Plan_cache.t ->
   Wdpt.Pattern_tree.t -> Graph.t -> Sparql.Mapping.Set.t
 
 val solutions :
   ?budget:Resource.Budget.t ->
   ?maximality:maximality -> ?kernel:Pebble_eval.kernel ->
+  ?join:join -> ?cache:Plan_cache.t ->
   Wdpt.Pattern_forest.t -> Graph.t -> Sparql.Mapping.Set.t
 (** Equals {!Wdpt.Semantics.solutions} under [`Hom], and under
-    [`Pebble k] whenever [dw(F) ≤ k] (tested). Under [`Pebble k] the
-    child tests run through a {!Pebble_cache.t} shared across the whole
-    forest — pass [kernel] to supply your own (e.g. to read its stats
-    afterwards) or to force the term-level kernel. *)
+    [`Pebble k] whenever [dw(F) ≤ k] (tested). One {!Plan_cache.t} is
+    shared across the whole forest — pass [cache] to supply your own
+    (e.g. a plan's cache, to reuse compiled sources and pebble games
+    across calls, or to read its stats afterwards); pass [kernel] to
+    force a specific child-test kernel (e.g. the term-level one). *)
 
 val count :
   ?budget:Resource.Budget.t -> ?maximality:maximality ->
-  ?kernel:Pebble_eval.kernel -> Wdpt.Pattern_forest.t -> Graph.t -> int
+  ?kernel:Pebble_eval.kernel -> ?join:join -> ?cache:Plan_cache.t ->
+  Wdpt.Pattern_forest.t -> Graph.t -> int
 (** Number of distinct answers. *)

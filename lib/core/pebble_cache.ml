@@ -1,55 +1,138 @@
 open Rdf
 module Budget = Resource.Budget
 
-type stats = { hits : int; misses : int; compiled : int; families : int }
+type stats = {
+  hits : int;
+  misses : int;
+  compiled : int;
+  families : int;
+  evictions : int;
+}
 
 let pp_stats ppf s =
-  Fmt.pf ppf "pebble cache: %d hits, %d misses, %d games compiled, %d families"
-    s.hits s.misses s.compiled s.families
+  Fmt.pf ppf
+    "pebble cache: %d hits, %d misses, %d games compiled, %d families, %d \
+     verdicts evicted"
+    s.hits s.misses s.compiled s.families s.evictions
 
 (* Anchor position: the subtree pattern is fully grounded by µ, so it
    compiles to constants and indices into the subtree's variable array. *)
 type apos = C of int | V of int
+
+(* Verdict entries are intrusive doubly-linked LRU nodes threaded through
+   a single recency list shared by every game of the cache, so one global
+   capacity bounds the whole evaluation's verdict memory (long
+   enumerations over huge µ|shared spaces would otherwise grow without
+   bound). [owner] is the per-game table the node lives in, so eviction
+   at the cold end can remove it without knowing which game it belongs
+   to. *)
+type lru_node = {
+  nkey : int list;
+  verdict : bool;
+  owner : (int list, lru_node) Hashtbl.t;
+  mutable prev : lru_node option;
+  mutable next : lru_node option;
+}
 
 type child_game = {
   anchor_params : Variable.t array;
   anchor : (apos * apos * apos) array;
   game : Encoded.Encoded_pebble.t;
   game_params : Variable.t array;
-  verdicts : (int list, bool) Hashtbl.t;
+  verdicts : (int list, lru_node) Hashtbl.t;
+  (* param positions resolved against a caller's shared variable table
+     (physical identity), so id-level callers skip the µ round-trip *)
+  mutable slots : (Variable.t array * int array * int array) option;
 }
 
 type game_key = { stamp : int; members : int list; child : int; key_k : int }
+
+let default_verdict_capacity = 1 lsl 20
 
 type t = {
   graph : Graph.t;
   enc : Encoded.Encoded_graph.t;
   memo : bool;
+  verdict_capacity : int;
   games : (game_key, child_game) Hashtbl.t;
   mutable stamps : (Wdpt.Pattern_tree.t * int) list;
+  mutable lru_head : lru_node option;
+  mutable lru_tail : lru_node option;
+  mutable lru_size : int;
   mutable hits : int;
   mutable misses : int;
   mutable compiled : int;
   mutable families : int;
+  mutable evictions : int;
 }
 
-let create ?(memo = true) graph =
+let create ?(memo = true) ?(verdict_capacity = default_verdict_capacity) graph =
+  if verdict_capacity < 1 then
+    invalid_arg "Pebble_cache.create: verdict_capacity must be positive";
   {
     graph;
     enc = Encoded.Encoded_graph.of_graph_cached graph;
     memo;
+    verdict_capacity;
     games = Hashtbl.create 64;
     stamps = [];
+    lru_head = None;
+    lru_tail = None;
+    lru_size = 0;
     hits = 0;
     misses = 0;
     compiled = 0;
     families = 0;
+    evictions = 0;
   }
 
 let graph t = t.graph
 
 let stats t =
-  { hits = t.hits; misses = t.misses; compiled = t.compiled; families = t.families }
+  {
+    hits = t.hits;
+    misses = t.misses;
+    compiled = t.compiled;
+    families = t.families;
+    evictions = t.evictions;
+  }
+
+(* --- intrusive LRU list ------------------------------------------------ *)
+
+let lru_unlink t node =
+  (match node.prev with
+  | Some p -> p.next <- node.next
+  | None -> t.lru_head <- node.next);
+  (match node.next with
+  | Some n -> n.prev <- node.prev
+  | None -> t.lru_tail <- node.prev);
+  node.prev <- None;
+  node.next <- None
+
+let lru_push_front t node =
+  node.next <- t.lru_head;
+  (match t.lru_head with Some h -> h.prev <- Some node | None -> ());
+  t.lru_head <- Some node;
+  if t.lru_tail = None then t.lru_tail <- Some node
+
+let lru_touch t node =
+  match t.lru_head with
+  | Some h when h == node -> ()
+  | _ ->
+      lru_unlink t node;
+      lru_push_front t node
+
+let lru_insert t node =
+  lru_push_front t node;
+  t.lru_size <- t.lru_size + 1;
+  if t.lru_size > t.verdict_capacity then
+    match t.lru_tail with
+    | None -> assert false
+    | Some cold ->
+        lru_unlink t cold;
+        Hashtbl.remove cold.owner cold.nkey;
+        t.lru_size <- t.lru_size - 1;
+        t.evictions <- t.evictions + 1
 
 let stamp_of t tree =
   match List.find_opt (fun (tr, _) -> tr == tree) t.stamps with
@@ -104,6 +187,7 @@ let compile_game t ~k tree subtree n =
     game;
     game_params = Encoded.Encoded_pebble.params game;
     verdicts = Hashtbl.create 256;
+    slots = None;
   }
 
 let game_for t ~k tree subtree n =
@@ -133,11 +217,11 @@ let id_of_var dict mu v =
       | Some id -> id
       | None -> Encoded.Encoded_pebble.unknown_id)
 
-let child_test t ?(budget = Budget.unlimited) ~k tree mu subtree n =
-  if k < 1 then invalid_arg "Pebble_game.wins: k must be at least 1";
-  let cg = game_for t ~k tree subtree n in
-  let dict = Encoded.Encoded_graph.dictionary t.enc in
-  let anchor_ids = Array.map (id_of_var dict mu) cg.anchor_params in
+(* The shared back half of the child test: anchor triples checked with
+   grounded ids, then the verdict memo / kernel run. [mu_ids] is a thunk
+   so the term-level caller keeps its dictionary lookups lazy on anchor
+   failure. *)
+let run_child_test t ~budget cg ~anchor_ids ~mu_ids =
   let value = function C id -> id | V j -> anchor_ids.(j) in
   let anchor_ok =
     Array.for_all
@@ -148,21 +232,86 @@ let child_test t ?(budget = Budget.unlimited) ~k tree mu subtree n =
   in
   if not anchor_ok then false
   else begin
-    let mu_ids = Array.map (id_of_var dict mu) cg.game_params in
+    let mu_ids = mu_ids () in
     let memo_key = Array.to_list mu_ids in
     match
       if t.memo then Hashtbl.find_opt cg.verdicts memo_key else None
     with
-    | Some verdict ->
+    | Some node ->
         t.hits <- t.hits + 1;
+        lru_touch t node;
         Budget.tick budget;
-        verdict
+        node.verdict
     | None ->
         t.misses <- t.misses + 1;
         let before = Encoded.Encoded_pebble.stats_families_explored () in
         let verdict = Encoded.Encoded_pebble.run ~budget cg.game ~mu:mu_ids in
         t.families <-
           t.families + (Encoded.Encoded_pebble.stats_families_explored () - before);
-        if t.memo then Hashtbl.add cg.verdicts memo_key verdict;
+        if t.memo then begin
+          let node =
+            {
+              nkey = memo_key;
+              verdict;
+              owner = cg.verdicts;
+              prev = None;
+              next = None;
+            }
+          in
+          Hashtbl.add cg.verdicts memo_key node;
+          lru_insert t node
+        end;
         verdict
   end
+
+let child_test t ?(budget = Budget.unlimited) ~k tree mu subtree n =
+  if k < 1 then invalid_arg "Pebble_game.wins: k must be at least 1";
+  let cg = game_for t ~k tree subtree n in
+  let dict = Encoded.Encoded_graph.dictionary t.enc in
+  let anchor_ids = Array.map (id_of_var dict mu) cg.anchor_params in
+  run_child_test t ~budget cg ~anchor_ids ~mu_ids:(fun () ->
+      Array.map (id_of_var dict mu) cg.game_params)
+
+let slots_for cg vars =
+  match cg.slots with
+  | Some (v, a, g) when v == vars -> (a, g)
+  | _ ->
+      let slot_of v =
+        let rec go i =
+          if i >= Array.length vars then
+            invalid_arg
+              (Fmt.str
+                 "Pebble_cache.child_test_ids: variable %a missing from the \
+                  table"
+                 Variable.pp v)
+          else if Variable.equal vars.(i) v then i
+          else go (i + 1)
+        in
+        go 0
+      in
+      let a = Array.map slot_of cg.anchor_params in
+      let g = Array.map slot_of cg.game_params in
+      cg.slots <- Some (vars, a, g);
+      (a, g)
+
+let stage_child_test_ids t ?(budget = Budget.unlimited) ~k tree ~vars subtree
+    n =
+  if k < 1 then invalid_arg "Pebble_game.wins: k must be at least 1";
+  let stage () =
+    let cg = game_for t ~k tree subtree n in
+    let anchor_slots, game_slots = slots_for cg vars in
+    (cg, anchor_slots, game_slots)
+  in
+  (* [memo:false] means no reuse at all (the ablation baseline), so the
+     game must be recompiled per candidate, not once per batch *)
+  let staged = if t.memo then Some (stage ()) else None in
+  fun assignment ->
+    let cg, anchor_slots, game_slots =
+      match staged with Some s -> s | None -> stage ()
+    in
+    let anchor_ids = Array.map (Array.get assignment) anchor_slots in
+    run_child_test t ~budget cg ~anchor_ids ~mu_ids:(fun () ->
+        Array.map (Array.get assignment) game_slots)
+
+let child_test_ids t ?budget ~k tree ~vars ~assignment subtree n =
+  stage_child_test_ids t ?budget ~k tree ~vars subtree n assignment

@@ -23,19 +23,30 @@ open Rdf
 
 type t
 
-type stats = { hits : int; misses : int; compiled : int; families : int }
+type stats = {
+  hits : int;
+  misses : int;
+  compiled : int;
+  families : int;
+  evictions : int;
+}
 (** [hits]/[misses]: verdict-memo outcomes; [compiled]: child games
     compiled; [families]: partial-homomorphism families enumerated by
-    the kernel on behalf of this cache. *)
+    the kernel on behalf of this cache; [evictions]: verdicts dropped by
+    the LRU capacity bound. *)
 
-val create : ?memo:bool -> Graph.t -> t
+val create : ?memo:bool -> ?verdict_capacity:int -> Graph.t -> t
 (** A cache for evaluations against [graph]. [memo:false] disables both
     game reuse and verdict memoization (every call recompiles and
-    replays) while still counting work — the A6 ablation baseline. *)
+    replays) while still counting work — the A6 ablation baseline.
+    [verdict_capacity] bounds the number of memoized verdicts across
+    {e all} games of this cache (least-recently-used eviction; default
+    [2^20]), so enumerations over huge µ|shared spaces stop growing
+    without bound. Raises [Invalid_argument] if it is [< 1]. *)
 
 val graph : t -> Graph.t
 (** The graph this cache was created for. Callers must not use the
-    cache against any other graph (checked by physical equality in
+    cache against any other graph (checked by epoch equality in
     {!Pebble_eval}). *)
 
 val child_test :
@@ -55,6 +66,41 @@ val child_test :
     {!Wdpt.Subtree.matching} and the enumerator produce. (The term-level
     kernel would ground a child variable bound by a larger µ, whereas
     the compiled game quantifies it existentially.) *)
+
+val child_test_ids :
+  t ->
+  ?budget:Resource.Budget.t ->
+  k:int ->
+  Wdpt.Pattern_tree.t ->
+  vars:Variable.t array ->
+  assignment:int array ->
+  Wdpt.Subtree.t ->
+  Wdpt.Pattern_tree.node ->
+  bool
+(** Id-level variant of {!child_test} for the encoded enumerator: the
+    candidate is the flat dictionary-id [assignment] over the shared
+    variable table [vars] ({!Plan_cache.variables}) instead of a term
+    mapping, so no decode/re-encode round-trip happens per candidate.
+    [assignment] must cover [vars(subtree)] with ids valid for this
+    cache's graph (which the encoded join guarantees). Same precondition
+    and verdict memoization as {!child_test}; param-to-slot resolution
+    is cached per game keyed on [vars]'s physical identity. *)
+
+val stage_child_test_ids :
+  t ->
+  ?budget:Resource.Budget.t ->
+  k:int ->
+  Wdpt.Pattern_tree.t ->
+  vars:Variable.t array ->
+  Wdpt.Subtree.t ->
+  Wdpt.Pattern_tree.node ->
+  int array ->
+  bool
+(** Staged form of {!child_test_ids}: resolves the game and the
+    param-to-slot tables once for a (subtree, child) pair and returns
+    the per-assignment test. The enumerator stages each child's test
+    once per candidate batch instead of re-resolving them per
+    candidate. *)
 
 val stats : t -> stats
 val pp_stats : stats Fmt.t

@@ -6,7 +6,8 @@ type kernel = Term | Cached of Pebble_cache.t
 
 let child_test ?budget ?(kernel = Term) ~k tree graph mu subtree n =
   match kernel with
-  | Cached cache when Pebble_cache.graph cache == graph ->
+  | Cached cache when Graph.epoch (Pebble_cache.graph cache) = Graph.epoch graph
+    ->
       Pebble_cache.child_test cache ?budget ~k tree mu subtree n
   | Cached _ | Term ->
       let s =
@@ -50,14 +51,14 @@ let solutions ?(budget = Budget.unlimited) ?kernel ~k forest graph =
     | None -> Cached (Pebble_cache.create graph)
   in
   Budget.with_phase budget "pebble-eval" @@ fun () ->
-  let target = Graph.to_index graph in
+  let enc = Encoded.Encoded_graph.of_graph_cached graph in
   List.fold_left
     (fun acc tree ->
       List.fold_left
         (fun acc subtree ->
           let homs =
-            Homomorphism.all ~budget ~source:(Wdpt.Subtree.pat subtree) ~target
-              ()
+            Encoded.Encoded_hom.all ~budget
+              (Encoded.Encoded_hom.compile (Wdpt.Subtree.pat subtree) enc)
           in
           List.fold_left
             (fun acc h ->

@@ -1,0 +1,140 @@
+open Rdf
+module Budget = Resource.Budget
+
+type stats = {
+  pebble : Pebble_cache.stats;
+  hom_sources : int;
+  invalidations : int;
+}
+
+let pp_stats ppf s =
+  Fmt.pf ppf "@[<v>%a@ plan cache: %d hom sources compiled, %d invalidations@]"
+    Pebble_cache.pp_stats s.pebble s.hom_sources s.invalidations
+
+(* Per-tree compiled join artefacts. Every node pattern of a tree is
+   compiled against ONE shared variable table covering vars(T), so the
+   enumerator's assignments are flat int arrays over that table: a
+   parent's solution doubles as the child join's [pre] with no
+   re-encoding, and the union of parent and extension bindings is
+   implicit in the array. *)
+type tree_sources = {
+  tvars : Variable.t array;
+  node_sources : (Wdpt.Pattern_tree.node, Encoded.Encoded_hom.source) Hashtbl.t;
+}
+
+type entry = {
+  epoch : int;
+  enc : Encoded.Encoded_graph.t;
+  pebble : Pebble_cache.t;
+  mutable trees : (Wdpt.Pattern_tree.t * tree_sources) list;
+      (* keyed on physical identity, like Pebble_cache's tree stamps:
+         plans hold their forest alive, so the same tree value flows
+         through every evaluation of a plan *)
+}
+
+type t = {
+  verdict_capacity : int option;
+  mutable entry : entry option;
+  mutable hom_sources : int;
+  mutable invalidations : int;
+  mutable retired : Pebble_cache.stats;
+      (* accumulated stats of pebble caches dropped by invalidation, so
+         [stats] reports the plan's whole history *)
+}
+
+let zero_pebble_stats =
+  {
+    Pebble_cache.hits = 0;
+    misses = 0;
+    compiled = 0;
+    families = 0;
+    evictions = 0;
+  }
+
+let add_pebble_stats (a : Pebble_cache.stats) (b : Pebble_cache.stats) =
+  {
+    Pebble_cache.hits = a.hits + b.hits;
+    misses = a.misses + b.misses;
+    compiled = a.compiled + b.compiled;
+    families = a.families + b.families;
+    evictions = a.evictions + b.evictions;
+  }
+
+let create ?verdict_capacity () =
+  {
+    verdict_capacity;
+    entry = None;
+    hom_sources = 0;
+    invalidations = 0;
+    retired = zero_pebble_stats;
+  }
+
+let entry_for t graph =
+  let epoch = Graph.epoch graph in
+  match t.entry with
+  | Some e when e.epoch = epoch -> e
+  | stale ->
+      (match stale with
+      | Some e ->
+          t.invalidations <- t.invalidations + 1;
+          t.retired <- add_pebble_stats t.retired (Pebble_cache.stats e.pebble)
+      | None -> ());
+      let e =
+        {
+          epoch;
+          enc = Encoded.Encoded_graph.of_graph_cached graph;
+          pebble =
+            Pebble_cache.create ?verdict_capacity:t.verdict_capacity graph;
+          trees = [];
+        }
+      in
+      t.entry <- Some e;
+      e
+
+let encoded t graph = (entry_for t graph).enc
+let pebble t graph = (entry_for t graph).pebble
+
+let tree_sources t graph tree =
+  let e = entry_for t graph in
+  match List.find_opt (fun (tr, _) -> tr == tree) e.trees with
+  | Some (_, ts) -> ts
+  | None ->
+      let ts =
+        {
+          tvars =
+            Array.of_list
+              (Variable.Set.elements (Wdpt.Pattern_tree.vars tree));
+          node_sources = Hashtbl.create 8;
+        }
+      in
+      e.trees <- (tree, ts) :: e.trees;
+      ts
+
+let variables t graph tree = (tree_sources t graph tree).tvars
+
+let node_source t graph tree n =
+  let e = entry_for t graph in
+  let ts = tree_sources t graph tree in
+  match Hashtbl.find_opt ts.node_sources n with
+  | Some source -> source
+  | None ->
+      let source =
+        Encoded.Encoded_hom.compile ~vars:ts.tvars
+          (Wdpt.Pattern_tree.pat tree n)
+          e.enc
+      in
+      t.hom_sources <- t.hom_sources + 1;
+      Hashtbl.add ts.node_sources n source;
+      source
+
+let stats t =
+  let current =
+    match t.entry with
+    | Some e -> Pebble_cache.stats e.pebble
+    | None -> zero_pebble_stats
+  in
+  {
+    pebble = add_pebble_stats t.retired current;
+    hom_sources = t.hom_sources;
+    invalidations = t.invalidations;
+  }

@@ -1,0 +1,52 @@
+(** Plan-level cache: compiled evaluation artefacts reused across
+    repeated {!Engine.solutions} calls on the same plan.
+
+    A plan's expensive-to-build, graph-dependent state is (1) the
+    dictionary-encoded copy of the graph, (2) the compiled hom-join
+    sources of every tree node (one per node, compiled against a
+    tree-wide shared variable table so enumeration assignments are flat
+    int arrays), and (3) the {!Pebble_cache} of compiled child games and
+    memoized verdicts. This module holds all three keyed on the graph's
+    {!Rdf.Graph.epoch}: evaluating the same plan against the same store
+    again reuses everything; evaluating it against a different (or
+    derived — epochs are unique per construction) store drops the stale
+    entry, counts an invalidation, and rebuilds lazily.
+
+    All artefacts are compiled on demand, so a cache costs nothing until
+    the first evaluation touches it. *)
+
+open Rdf
+
+type t
+
+type stats = {
+  pebble : Pebble_cache.stats;
+      (** accumulated over every entry this cache has held, including
+          ones dropped by invalidation *)
+  hom_sources : int;  (** node join sources compiled over the lifetime *)
+  invalidations : int;  (** entries dropped because the graph epoch changed *)
+}
+
+val create : ?verdict_capacity:int -> unit -> t
+(** [verdict_capacity] is forwarded to the {!Pebble_cache.create} of
+    every entry. *)
+
+val encoded : t -> Graph.t -> Encoded.Encoded_graph.t
+(** The encoded copy of [graph] for the current entry (building the
+    entry if the epoch changed). *)
+
+val pebble : t -> Graph.t -> Pebble_cache.t
+(** The pebble-game cache of the current entry. *)
+
+val variables : t -> Graph.t -> Wdpt.Pattern_tree.t -> Variable.t array
+(** The tree's shared variable table: the decode table of every source
+    returned by {!node_source} for this tree. *)
+
+val node_source :
+  t -> Graph.t -> Wdpt.Pattern_tree.t -> Wdpt.Pattern_tree.node ->
+  Encoded.Encoded_hom.source
+(** The compiled hom-join source of [pat tree n] against [graph],
+    compiled on first use and reused until the epoch changes. *)
+
+val stats : t -> stats
+val pp_stats : stats Fmt.t

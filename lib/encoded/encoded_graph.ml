@@ -1,4 +1,5 @@
 type t = {
+  epoch : int;
   dict : Rdf.Dictionary.t;
   spo : (int * int * int) array;
   pos : (int * int * int) array;
@@ -20,19 +21,20 @@ let of_graph graph =
     List.map (Rdf.Dictionary.encode_triple dict) (Rdf.Graph.triples graph)
   in
   {
+    epoch = Rdf.Graph.epoch graph;
     dict;
     spo = sorted_by rot_spo triples;
     pos = sorted_by rot_pos triples;
     osp = sorted_by rot_osp triples;
   }
 
-(* Bounded MRU memo for [of_graph], keyed on physical identity: the
-   evaluators hand the same immutable [Graph.t] to every encoded-kernel
-   call of a run, so re-encoding it each time would dominate small
-   queries. Physical equality keeps the lookup O(1)-ish and safe (a
-   structurally equal but distinct graph merely misses). *)
+(* Bounded MRU memo for [of_graph], keyed on the graph's epoch: graphs
+   are immutable and each constructed store carries a globally unique
+   epoch, so epoch equality is exactly "the same store" — stronger than
+   the physical-identity key this cache used before (it now also hits
+   when the same graph value flows through a copy-preserving pipeline). *)
 let cache_capacity = 8
-let cache : (Rdf.Graph.t * t) list ref = ref []
+let cache : (int * t) list ref = ref []
 
 let clear_cache () = cache := []
 
@@ -42,16 +44,18 @@ let of_graph_cached graph =
     | _ when n = 0 -> []
     | x :: rest -> x :: take (n - 1) rest
   in
-  match List.find_opt (fun (g, _) -> g == graph) !cache with
+  let key = Rdf.Graph.epoch graph in
+  match List.find_opt (fun (e, _) -> e = key) !cache with
   | Some (_, enc) ->
       (* move to front *)
-      cache := (graph, enc) :: List.filter (fun (g, _) -> g != graph) !cache;
+      cache := (key, enc) :: List.filter (fun (e, _) -> e <> key) !cache;
       enc
   | None ->
       let enc = of_graph graph in
-      cache := take cache_capacity ((graph, enc) :: !cache);
+      cache := take cache_capacity ((key, enc) :: !cache);
       enc
 
+let epoch t = t.epoch
 let dictionary t = t.dict
 let cardinal t = Array.length t.spo
 

@@ -12,9 +12,12 @@ type t
 val of_graph : Rdf.Graph.t -> t
 
 val of_graph_cached : Rdf.Graph.t -> t
-(** Like {!of_graph}, but memoized on the graph's physical identity in a
-    small bounded MRU cache, so evaluators that encode the same graph
+(** Like {!of_graph}, but memoized on the graph's {!Rdf.Graph.epoch} in
+    a small bounded MRU cache, so evaluators that encode the same graph
     for every (mapping, child) test pay the encoding cost once. *)
+
+val epoch : t -> int
+(** The {!Rdf.Graph.epoch} of the graph this store was encoded from. *)
 
 val clear_cache : unit -> unit
 (** Drop every entry of the {!of_graph_cached} memo (frees the encoded

@@ -5,131 +5,202 @@ type pterm =
   | Const of int
   | Var of int
 
-type source =
-  | Unsat
-  | Sat of {
-      patterns : (pterm * pterm * pterm) list;
-      vars : Variable.t array;
-    }
+(* Sentinels for assignment slots. [unassigned] marks a free variable;
+   [absent_id] marks a variable (or constant) bound to a term that is not
+   in the graph's dictionary. Both are negative, so they can never collide
+   with a real id, and a lookup keyed on [absent_id] binary-searches into
+   an empty range — "matches nothing" falls out of the store with no
+   special-casing (the term solver gets the same behaviour from a hash
+   probe on a term the index has never seen). *)
+let unassigned = -1
+let absent_id = -2
 
-let compile tgraph graph =
+type source = {
+  graph : Encoded_graph.t;
+  patterns : (pterm * pterm * pterm) list;
+  vars : Variable.t array;
+      (* decode table for the whole assignment array — possibly wider than
+         this source's own variables when a shared numbering is in use *)
+  own : int list;
+      (* indices (into [vars]) of the variables of the compiled t-graph;
+         the domain of a decoded homomorphism, mirroring the term solver's
+         "domain = vars(source)" contract *)
+}
+
+let compile ?vars tgraph graph =
   let dict = Encoded_graph.dictionary graph in
-  let vars = Variable.Set.elements (Tgraphs.Tgraph.vars tgraph) in
-  let var_arr = Array.of_list vars in
+  let own_vars = Variable.Set.elements (Tgraphs.Tgraph.vars tgraph) in
+  let var_arr =
+    match vars with
+    | Some table -> table
+    | None -> Array.of_list own_vars
+  in
   let var_id = Hashtbl.create 16 in
   Array.iteri (fun i v -> Hashtbl.replace var_id v i) var_arr;
-  let exception Unsatisfiable in
+  let own =
+    List.map
+      (fun v ->
+        match Hashtbl.find_opt var_id v with
+        | Some i -> i
+        | None ->
+            invalid_arg
+              (Fmt.str "Encoded_hom.compile: variable %a missing from table"
+                 Variable.pp v))
+      own_vars
+  in
   let encode_term = function
     | Term.Var v -> Var (Hashtbl.find var_id v)
     | Term.Iri _ as t -> (
         match Dictionary.find dict t with
         | Some id -> Const id
-        | None -> raise Unsatisfiable)
+        | None -> Const absent_id)
   in
-  match
+  let patterns =
     List.map
       (fun t ->
         ( encode_term t.Triple.s,
           encode_term t.Triple.p,
           encode_term t.Triple.o ))
       (Tgraphs.Tgraph.triples tgraph)
-  with
-  | patterns -> Sat { patterns; vars = var_arr }
-  | exception Unsatisfiable -> Unsat
+  in
+  { graph; patterns; vars = var_arr; own }
 
-let variables = function
-  | Unsat -> [||]
-  | Sat { vars; _ } -> vars
+let graph source = source.graph
+let variables source = source.vars
 
-(* -1 = unassigned *)
+let encode_pre source (pre : Tgraphs.Homomorphism.assignment) =
+  let dict = Encoded_graph.dictionary source.graph in
+  let arr = Array.make (Array.length source.vars) unassigned in
+  Array.iteri
+    (fun i v ->
+      match Variable.Map.find_opt v pre with
+      | None -> ()
+      | Some term -> (
+          match Dictionary.find dict term with
+          | Some id -> arr.(i) <- id
+          | None -> arr.(i) <- absent_id))
+    source.vars;
+  arr
+
+let decode source assignment =
+  let dict = Encoded_graph.dictionary source.graph in
+  let acc = ref Variable.Map.empty in
+  Array.iteri
+    (fun i id ->
+      if id >= 0 then
+        acc := Variable.Map.add source.vars.(i) (Dictionary.term_of dict id) !acc)
+    assignment;
+  !acc
+
+(* Decode only the source's own variables — exact parity with the term
+   solver, whose results have domain [vars source] (pre bindings of other
+   variables are dropped). *)
+let decode_own source assignment =
+  let dict = Encoded_graph.dictionary source.graph in
+  List.fold_left
+    (fun acc i ->
+      let id = assignment.(i) in
+      if id >= 0 then
+        Variable.Map.add source.vars.(i) (Dictionary.term_of dict id) acc
+      else acc)
+    Variable.Map.empty source.own
+
 let bound assignment = function
   | Const id -> Some id
-  | Var v -> if assignment.(v) >= 0 then Some assignment.(v) else None
+  | Var v -> if assignment.(v) <> unassigned then Some assignment.(v) else None
 
 let pattern_lookup assignment (s, p, o) =
   (bound assignment s, bound assignment p, bound assignment o)
 
-let fold_homs source graph ~init ~f =
-  match source with
-  | Unsat -> init
-  | Sat { patterns; vars } ->
-      let nvars = Array.length vars in
-      let assignment = Array.make nvars (-1) in
-      let rec go remaining acc =
-        match remaining with
-        | [] -> f acc assignment
-        | _ ->
-            (* fail-first: pattern with the fewest matches right now *)
-            let scored =
-              List.map
-                (fun pat ->
-                  let s, p, o = pattern_lookup assignment pat in
-                  (Encoded_graph.match_count graph ?s ?p ?o (), pat))
-                remaining
-            in
-            let best_count, best =
-              List.fold_left
-                (fun (bc, bp) (c, p) -> if c < bc then (c, p) else (bc, bp))
-                (List.hd scored) (List.tl scored)
-            in
-            ignore best_count;
-            let rest = List.filter (fun p -> p != best) remaining in
-            let s, p, o = pattern_lookup assignment best in
-            let ps, pp, po = best in
-            let acc = ref acc in
-            let continue_ = ref true in
-            Encoded_graph.iter_matching graph ?s ?p ?o
-              ~f:(fun (ts, tp, to_) ->
-                if !continue_ then begin
-                  (* unify the wildcard positions; record which variables
-                     we bind here so we can undo *)
-                  let bound_here = ref [] in
-                  let unify_pos pterm value =
-                    match pterm with
-                    | Const id -> id = value
-                    | Var v ->
-                        if assignment.(v) = value then true
-                        else if assignment.(v) = -1 then begin
-                          assignment.(v) <- value;
-                          bound_here := v :: !bound_here;
-                          true
-                        end
-                        else false
-                  in
-                  let ok =
-                    unify_pos ps ts && unify_pos pp tp && unify_pos po to_
-                  in
-                  if ok then begin
-                    match go rest !acc with
-                    | acc', `Continue -> acc := acc'
-                    | acc', `Stop ->
-                        acc := acc';
-                        continue_ := false
-                  end;
-                  List.iter (fun v -> assignment.(v) <- -1) !bound_here
-                end)
-              ();
-            (!acc, if !continue_ then `Continue else `Stop)
-      in
-      fst (go patterns init)
+let fold ?(budget = Resource.Budget.unlimited) ?pre source ~init ~f =
+  Resource.Budget.with_phase budget "hom" @@ fun () ->
+  let { graph; patterns; vars; _ } = source in
+  let nvars = Array.length vars in
+  let assignment =
+    match pre with
+    | None -> Array.make nvars unassigned
+    | Some p ->
+        if Array.length p <> nvars then
+          invalid_arg "Encoded_hom.fold: pre has the wrong width";
+        Array.copy p
+  in
+  let rec go remaining acc =
+    match remaining with
+    | [] -> f acc assignment
+    | _ ->
+        Resource.Budget.tick budget;
+        (* fail-first: pattern with the fewest matches under the current
+           prefix (including [pre]'s bindings, so the ordering is
+           recomputed for every prefix, not fixed at compile time) *)
+        let scored =
+          List.map
+            (fun pat ->
+              let s, p, o = pattern_lookup assignment pat in
+              (Encoded_graph.match_count graph ?s ?p ?o (), pat))
+            remaining
+        in
+        let _, best =
+          List.fold_left
+            (fun (bc, bp) (c, p) -> if c < bc then (c, p) else (bc, bp))
+            (List.hd scored) (List.tl scored)
+        in
+        let rest = List.filter (fun p -> p != best) remaining in
+        let s, p, o = pattern_lookup assignment best in
+        let ps, pp, po = best in
+        let acc = ref acc in
+        let continue_ = ref true in
+        Encoded_graph.iter_matching graph ?s ?p ?o
+          ~f:(fun (ts, tp, to_) ->
+            if !continue_ then begin
+              (* unify the wildcard positions; record which variables we
+                 bind here so we can undo *)
+              let bound_here = ref [] in
+              let unify_pos pterm value =
+                match pterm with
+                | Const id -> id = value
+                | Var v ->
+                    if assignment.(v) = value then true
+                    else if assignment.(v) = unassigned then begin
+                      assignment.(v) <- value;
+                      bound_here := v :: !bound_here;
+                      true
+                    end
+                    else false
+              in
+              let ok = unify_pos ps ts && unify_pos pp tp && unify_pos po to_ in
+              if ok then begin
+                match go rest !acc with
+                | acc', `Continue -> acc := acc'
+                | acc', `Stop ->
+                    acc := acc';
+                    continue_ := false
+              end;
+              List.iter (fun v -> assignment.(v) <- unassigned) !bound_here
+            end)
+          ();
+        (!acc, if !continue_ then `Continue else `Stop)
+  in
+  fst (go patterns init)
 
-let exists source graph =
-  fold_homs source graph ~init:false ~f:(fun _ _ -> (true, `Stop))
+let iter ?budget ?pre source ~f =
+  fold ?budget ?pre source ~init:() ~f:(fun () assignment ->
+      (f assignment, `Continue))
 
-let count source graph =
-  fold_homs source graph ~init:0 ~f:(fun n _ -> (n + 1, `Continue))
+let exists ?budget ?pre source =
+  let pre = Option.map (encode_pre source) pre in
+  fold ?budget ?pre source ~init:false ~f:(fun _ _ -> (true, `Stop))
 
-let all source graph =
-  let dict = Encoded_graph.dictionary graph in
-  let vars = variables source in
-  fold_homs source graph ~init:[] ~f:(fun acc assignment ->
-      let decoded =
-        Array.to_seq (Array.mapi (fun i id -> (vars.(i), id)) assignment)
-        |> Seq.filter (fun (_, id) -> id >= 0)
-        |> Seq.map (fun (v, id) -> (v, Dictionary.term_of dict id))
-        |> Variable.Map.of_seq
-      in
-      (decoded :: acc, `Continue))
+let count ?budget ?pre source =
+  let pre = Option.map (encode_pre source) pre in
+  fold ?budget ?pre source ~init:0 ~f:(fun n _ -> (n + 1, `Continue))
+
+let all ?budget ?pre ?limit source =
+  let pre = Option.map (encode_pre source) pre in
+  fold ?budget ?pre source ~init:[] ~f:(fun acc assignment ->
+      let acc = decode_own source assignment :: acc in
+      match limit with
+      | Some l when List.length acc >= l -> (acc, `Stop)
+      | _ -> (acc, `Continue))
   |> List.rev
 
-let count_tgraph tgraph graph = count (compile tgraph graph) graph
+let count_tgraph ?budget tgraph graph = count ?budget (compile tgraph graph)

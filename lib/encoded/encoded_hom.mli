@@ -2,26 +2,87 @@
     fail-first backtracking join as {!Tgraphs.Homomorphism}, operating on
     integer ids and sorted-array range lookups instead of terms and hash
     probes. Results are identical (cross-checked in the tests); bench A4
-    compares throughput. *)
+    and A7 compare throughput.
+
+    Assignments are flat int arrays indexed by dense variable ids. A
+    source can be compiled against a {e shared} variable table ([?vars]),
+    so every node of a pattern tree numbers its variables in the same
+    array and a parent's solution doubles as the child join's [pre] with
+    no re-encoding — the whole enumeration round-trips through ids and is
+    decoded only at the solution boundary.
+
+    [budget] is ticked once per backtracking node under phase ["hom"];
+    the search raises {!Resource.Budget.Exhausted} when it trips. *)
 
 open Rdf
 
 type source
-(** A t-graph compiled against a graph's dictionary. *)
+(** A t-graph compiled against a graph's dictionary (the graph is
+    captured in the source). *)
 
-val compile : Tgraphs.Tgraph.t -> Encoded_graph.t -> source
-(** Variables are numbered densely; IRIs are looked up in the graph's
-    dictionary — an IRI absent from the data compiles to an unsatisfiable
-    source (zero homomorphisms) rather than an error. *)
+val compile : ?vars:Variable.t array -> Tgraphs.Tgraph.t -> Encoded_graph.t -> source
+(** Variables are numbered densely against [vars] when given (raising
+    [Invalid_argument] if a t-graph variable is missing from it), or
+    against the t-graph's own variables otherwise. IRIs absent from the
+    dictionary compile to a negative sentinel id whose lookups hit empty
+    ranges, so such sources simply yield zero homomorphisms. *)
+
+val graph : source -> Encoded_graph.t
 
 val variables : source -> Variable.t array
-(** Decode table: variable of each dense id. *)
+(** Decode table: variable of each dense id (the shared table when one
+    was supplied to {!compile}). *)
 
-val exists : source -> Encoded_graph.t -> bool
-val count : source -> Encoded_graph.t -> int
+val unassigned : int
+(** Sentinel for a free slot in an assignment array ([-1]). *)
 
-val all : source -> Encoded_graph.t -> Tgraphs.Homomorphism.assignment list
-(** Assignments decoded back to terms via the dictionary. *)
+val absent_id : int
+(** Sentinel id for a term absent from the dictionary ([-2]); lookups
+    keyed on it match nothing. *)
 
-val count_tgraph : Tgraphs.Tgraph.t -> Encoded_graph.t -> int
-(** Convenience: [compile] + [count]. *)
+val encode_pre : source -> Tgraphs.Homomorphism.assignment -> int array
+(** Encode a term-level partial assignment into an assignment array over
+    {!variables}: unmapped variables become {!unassigned}, terms outside
+    the dictionary become {!absent_id}. *)
+
+val decode : source -> int array -> Tgraphs.Homomorphism.assignment
+(** Decode every bound ([>= 0]) slot back to terms — the solution
+    boundary for shared-table enumeration. *)
+
+val fold :
+  ?budget:Resource.Budget.t ->
+  ?pre:int array ->
+  source ->
+  init:'acc ->
+  f:('acc -> int array -> 'acc * [ `Continue | `Stop ]) ->
+  'acc
+(** Fold over all homomorphisms extending [pre] (an encoded assignment
+    of {!variables}'s width, e.g. from {!encode_pre} or a previous
+    solution), with early exit. [f] receives the {e live} working array:
+    copy it ([Array.copy]) to retain it beyond the callback. Fail-first
+    ordering is recomputed under the prefix. *)
+
+val iter :
+  ?budget:Resource.Budget.t ->
+  ?pre:int array -> source -> f:(int array -> unit) -> unit
+
+val exists :
+  ?budget:Resource.Budget.t ->
+  ?pre:Tgraphs.Homomorphism.assignment -> source -> bool
+
+val count :
+  ?budget:Resource.Budget.t ->
+  ?pre:Tgraphs.Homomorphism.assignment -> source -> int
+(** Number of distinct homomorphisms. *)
+
+val all :
+  ?budget:Resource.Budget.t ->
+  ?pre:Tgraphs.Homomorphism.assignment ->
+  ?limit:int -> source -> Tgraphs.Homomorphism.assignment list
+(** All homomorphisms (up to [limit] if given), decoded back to terms
+    with domain [vars source] — exact parity with
+    {!Tgraphs.Homomorphism.all}. Order unspecified. *)
+
+val count_tgraph :
+  ?budget:Resource.Budget.t -> Tgraphs.Tgraph.t -> Encoded_graph.t -> int
+(** Convenience: {!compile} + {!count}. *)

@@ -18,6 +18,7 @@ let of_index idx =
   idx
 
 let to_index t = t
+let epoch = Index.epoch
 let triples = Index.triples
 let cardinal = Index.cardinal
 let mem = Index.mem

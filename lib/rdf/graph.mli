@@ -19,6 +19,12 @@ val of_index : Index.t -> t
 val to_index : t -> Index.t
 (** The underlying matching index (all triples ground). *)
 
+val epoch : t -> int
+(** Globally unique construction stamp inherited from {!Index.epoch}:
+    two graphs share an epoch iff they are the same store. Derived
+    graphs ({!union}, …) carry fresh epochs, so cross-evaluation caches
+    key their invalidation on this. *)
+
 val triples : t -> Triple.t list
 val cardinal : t -> int
 val mem : t -> Triple.t -> bool

@@ -4,6 +4,7 @@
 type bucket = { count : int; bucket_triples : Triple.t list }
 
 type t = {
+  epoch : int;
   set : Triple.Set.t;
   by_s : (Term.t, bucket) Hashtbl.t;
   by_p : (Term.t, bucket) Hashtbl.t;
@@ -12,6 +13,14 @@ type t = {
   by_so : (Term.t * Term.t, bucket) Hashtbl.t;
   by_po : (Term.t * Term.t, bucket) Hashtbl.t;
 }
+
+(* Monotone global stamp: every constructed index gets a fresh epoch, so
+   epoch equality implies "the same store". Derived indexes (union,
+   add_triples) count as mutations and carry new epochs — which is what
+   the plan-level caches key their invalidation on. *)
+let epoch_counter = ref 0
+
+let epoch t = t.epoch
 
 let push tbl key triple =
   let existing =
@@ -41,7 +50,8 @@ let of_set set =
       push by_so (triple.Triple.s, triple.Triple.o) triple;
       push by_po (triple.Triple.p, triple.Triple.o) triple)
     set;
-  { set; by_s; by_p; by_o; by_sp; by_so; by_po }
+  incr epoch_counter;
+  { epoch = !epoch_counter; set; by_s; by_p; by_o; by_sp; by_so; by_po }
 
 let of_triples list = of_set (Triple.Set.of_list list)
 let empty = of_set Triple.Set.empty

@@ -15,6 +15,13 @@ val of_triples : Triple.t list -> t
 val of_set : Triple.Set.t -> t
 val empty : t
 
+val epoch : t -> int
+(** A globally unique stamp assigned when the index is constructed.
+    Because indexes are immutable, any "mutation" (e.g. {!union},
+    {!add_triples}) builds a new index with a fresh epoch — so two values
+    share an epoch iff they are the same store, which is what the
+    cross-evaluation caches key their invalidation on. *)
+
 val triples : t -> Triple.t list
 (** All triples, without duplicates, in unspecified order. *)
 

@@ -1,10 +1,10 @@
-open Rdf
 open Tgraphs
 module Budget = Resource.Budget
 
 let eval_triple ?budget t graph =
   let source = Tgraph.of_triples [ t ] in
-  Homomorphism.all ?budget ~source ~target:(Graph.to_index graph) ()
+  let enc = Encoded.Encoded_graph.of_graph_cached graph in
+  Encoded.Encoded_hom.all ?budget (Encoded.Encoded_hom.compile source enc)
   |> List.filter_map Mapping.of_assignment
   |> Mapping.Set.of_list
 

@@ -1,11 +1,10 @@
-open Rdf
-open Tgraphs
 module Budget = Resource.Budget
 
 let child_extends ?budget tree graph mu n =
   let source = Pattern_tree.pat tree n in
   let pre = Sparql.Mapping.to_assignment mu in
-  Homomorphism.exists ?budget ~pre ~source ~target:(Graph.to_index graph) ()
+  let enc = Encoded.Encoded_graph.of_graph_cached graph in
+  Encoded.Encoded_hom.exists ?budget ~pre (Encoded.Encoded_hom.compile source enc)
 
 let check_tree ?(budget = Budget.unlimited) tree graph mu =
   Budget.with_phase budget "naive-eval" @@ fun () ->
@@ -22,11 +21,11 @@ let check ?budget forest graph mu =
 
 let solutions_tree ?(budget = Budget.unlimited) tree graph =
   Budget.with_phase budget "naive-eval" @@ fun () ->
-  let target = Graph.to_index graph in
+  let enc = Encoded.Encoded_graph.of_graph_cached graph in
   List.fold_left
     (fun acc subtree ->
       let source = Subtree.pat subtree in
-      let homs = Homomorphism.all ~budget ~source ~target () in
+      let homs = Encoded.Encoded_hom.all ~budget (Encoded.Encoded_hom.compile source enc) in
       List.fold_left
         (fun acc h ->
           match Sparql.Mapping.of_assignment h with

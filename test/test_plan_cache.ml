@@ -1,0 +1,142 @@
+(* PR 3: plan-level caching across evaluations. The contract under test:
+   repeated [Engine.solutions] calls on one plan reuse compiled hom
+   sources and pebble games; mutating the graph (a new store, hence a new
+   epoch) invalidates and recompiles without changing answers; and the
+   size-capped verdict LRU only ever trades memory for recomputation,
+   never answers. *)
+
+open Rdf
+module Engine = Wd_core.Engine
+module Plan_cache = Wd_core.Plan_cache
+
+let check = Alcotest.check
+
+let set_equal = Sparql.Mapping.Set.equal
+
+let pattern =
+  Sparql.Parser.parse_exn "{ ?a p:knows ?b . OPTIONAL { ?b p:email ?m } }"
+
+let graph = Generator.social ~seed:5 ~people:30
+
+let reference g = Sparql.Eval.eval pattern g
+
+(* ------------------------------------------------------------------ *)
+(* Epoch stamps                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let test_epochs () =
+  let t =
+    Triple.make (Term.iri "n:a") (Term.iri "p:knows") (Term.iri "n:b")
+  in
+  let g1 = Graph.of_triples [ t ] and g2 = Graph.of_triples [ t ] in
+  check Alcotest.bool "structurally equal graphs" true (Graph.equal g1 g2);
+  check Alcotest.bool "distinct stores get distinct epochs" true
+    (Graph.epoch g1 <> Graph.epoch g2);
+  check Alcotest.bool "union is a new store" true
+    (Graph.epoch (Graph.union g1 g2) <> Graph.epoch g1);
+  check Alcotest.int "encoded copy carries the source epoch"
+    (Graph.epoch g1)
+    (Encoded.Encoded_graph.epoch (Encoded.Encoded_graph.of_graph g1))
+
+(* ------------------------------------------------------------------ *)
+(* Warm reuse on an unchanged graph                                    *)
+(* ------------------------------------------------------------------ *)
+
+let test_warm_reuse () =
+  let plan = Engine.plan pattern in
+  let a1, s1 = Engine.solutions_stats plan graph in
+  let s1 = Option.get s1 in
+  let a2, s2 = Engine.solutions_stats plan graph in
+  let s2 = Option.get s2 in
+  check Alcotest.bool "both runs match the reference" true
+    (set_equal a1 (reference graph) && set_equal a2 a1);
+  check Alcotest.int "no invalidation" 0 s2.Plan_cache.invalidations;
+  check Alcotest.int "hom sources compiled once, reused warm"
+    s1.Plan_cache.hom_sources s2.Plan_cache.hom_sources;
+  check Alcotest.int "pebble games compiled once, reused warm"
+    s1.Plan_cache.pebble.Wd_core.Pebble_cache.compiled
+    s2.Plan_cache.pebble.Wd_core.Pebble_cache.compiled;
+  check Alcotest.bool "warm run hits the verdict memo" true
+    (s2.Plan_cache.pebble.Wd_core.Pebble_cache.hits
+    > s1.Plan_cache.pebble.Wd_core.Pebble_cache.hits)
+
+(* ------------------------------------------------------------------ *)
+(* Epoch invalidation on mutation                                      *)
+(* ------------------------------------------------------------------ *)
+
+let test_epoch_invalidation () =
+  let plan = Engine.plan pattern in
+  let a1, s1 = Engine.solutions_stats plan graph in
+  let s1 = Option.get s1 in
+  check Alcotest.bool "first run matches the reference" true
+    (set_equal a1 (reference graph));
+  (* "mutate" the graph: immutable stores make every mutation a new
+     store with a fresh epoch *)
+  let g2 =
+    Graph.union graph
+      (Graph.of_triples
+         [
+           Triple.make (Term.iri "n:fresh") (Term.iri "p:knows")
+             (Term.iri "n:person0");
+         ])
+  in
+  let a2, s2 = Engine.solutions_stats plan g2 in
+  let s2 = Option.get s2 in
+  check Alcotest.bool "answers track the mutated graph" true
+    (set_equal a2 (reference g2));
+  check Alcotest.int "stats report the invalidation" 1
+    s2.Plan_cache.invalidations;
+  check Alcotest.bool "sources were recompiled for the new store" true
+    (s2.Plan_cache.hom_sources > s1.Plan_cache.hom_sources);
+  check Alcotest.bool "games were recompiled for the new store" true
+    (s2.Plan_cache.pebble.Wd_core.Pebble_cache.compiled
+    > s1.Plan_cache.pebble.Wd_core.Pebble_cache.compiled);
+  (* steady again on the new store *)
+  let a3, s3 = Engine.solutions_stats plan g2 in
+  let s3 = Option.get s3 in
+  check Alcotest.bool "re-run on the new store agrees" true (set_equal a3 a2);
+  check Alcotest.int "no further invalidation" 1 s3.Plan_cache.invalidations;
+  check Alcotest.int "no further compilation"
+    s2.Plan_cache.hom_sources s3.Plan_cache.hom_sources;
+  (* membership checks share the plan cache and survive the swap too *)
+  Sparql.Mapping.Set.iter
+    (fun mu ->
+      check Alcotest.bool "check agrees on the new store" true
+        (Engine.check plan g2 mu))
+    a2
+
+(* ------------------------------------------------------------------ *)
+(* Verdict LRU                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let test_verdict_lru () =
+  let capped = Engine.plan ~verdict_capacity:1 pattern in
+  let uncapped = Engine.plan pattern in
+  let ac, sc = Engine.solutions_stats capped graph in
+  let au, su = Engine.solutions_stats uncapped graph in
+  let sc = Option.get sc and su = Option.get su in
+  check Alcotest.bool "capped answers = uncapped answers" true
+    (set_equal ac au);
+  check Alcotest.bool "capped answers = reference" true
+    (set_equal ac (reference graph));
+  check Alcotest.bool "a capacity of 1 must evict" true
+    (sc.Plan_cache.pebble.Wd_core.Pebble_cache.evictions > 0);
+  check Alcotest.int "the generous default evicts nothing" 0
+    su.Plan_cache.pebble.Wd_core.Pebble_cache.evictions;
+  (* the cap trades memo hits for recomputation, nothing else *)
+  check Alcotest.bool "capped run recomputes more" true
+    (sc.Plan_cache.pebble.Wd_core.Pebble_cache.misses
+    >= su.Plan_cache.pebble.Wd_core.Pebble_cache.misses)
+
+let () =
+  Alcotest.run "plan_cache"
+    [
+      ("epochs", [ Alcotest.test_case "stamps" `Quick test_epochs ]);
+      ( "reuse",
+        [
+          Alcotest.test_case "warm reuse" `Quick test_warm_reuse;
+          Alcotest.test_case "epoch invalidation" `Quick
+            test_epoch_invalidation;
+        ] );
+      ("lru", [ Alcotest.test_case "verdict eviction" `Quick test_verdict_lru ]);
+    ]

@@ -128,6 +128,19 @@ let test_hom_fold () =
   exhausts (fun () ->
       Tgraphs.Homomorphism.all ~budget:(tiny ()) ~source ~target ())
 
+let test_encoded_hom_fold () =
+  (* same hard instance as the term-level solver test, through the
+     encoded join: it must tick the budget just as well, under its own
+     phase label *)
+  let source = Workload.Query_families.kk 4 [ "a"; "b"; "c"; "d" ] in
+  let graph = Generator.transitive_tournament ~n:10 ~pred:"r" in
+  let enc = Encoded.Encoded_graph.of_graph graph in
+  let compiled = Encoded.Encoded_hom.compile source enc in
+  match Encoded.Encoded_hom.all ~budget:(tiny ()) compiled with
+  | _ -> Alcotest.fail "expected Budget.Exhausted"
+  | exception Budget.Exhausted { phase; _ } ->
+      check Alcotest.string "phase" "hom" phase
+
 let test_cores () =
   let g =
     Tgraphs.Gtgraph.make
@@ -311,6 +324,7 @@ let () =
           Alcotest.test_case "treewidth exact" `Quick test_treewidth_exact;
           Alcotest.test_case "treewidth branch&bound" `Quick test_treewidth_bb;
           Alcotest.test_case "homomorphism fold" `Quick test_hom_fold;
+          Alcotest.test_case "encoded hom fold" `Quick test_encoded_hom_fold;
           Alcotest.test_case "tgraph cores" `Quick test_cores;
           Alcotest.test_case "csp homomorphism" `Quick test_csp_hom;
           Alcotest.test_case "csp core" `Quick test_csp_core;

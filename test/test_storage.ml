@@ -167,6 +167,96 @@ let encoded_hom_agrees =
       Tgraphs.Homomorphism.count ~source ~target:(Graph.to_index g) ()
       = Encoded.Encoded_hom.count_tgraph source enc)
 
+(* The PR 3 contract: ?pre / fold / limit on the encoded solver agree
+   with the term-level solver, including prefixes binding IRIs absent
+   from the dictionary, the empty prefix, and the full-domain prefix. *)
+let encoded_hom_pre_limit_agrees =
+  qcheck ~count:220 "encoded pre/fold/limit = term-based solver"
+    seed_arb (fun seed ->
+      let source = Testutil.tgraph_of_seed ~triples:3 ~vars:3 seed in
+      let g = Testutil.graph_of_seed ~nodes:5 ~preds:2 ~triples:12 (seed + 1) in
+      let enc = Encoded.Encoded_graph.of_graph g in
+      let compiled = Encoded.Encoded_hom.compile source enc in
+      let target = Graph.to_index g in
+      let state = Random.State.make [| seed; 99 |] in
+      let vars = Variable.Set.elements (Tgraphs.Tgraph.vars source) in
+      let iris = Iri.Set.elements (Graph.dom g) in
+      let pick_value () =
+        (* sometimes an IRI the dictionary has never seen *)
+        if iris = [] || Random.State.int state 5 = 0 then Term.iri "absent:iri"
+        else Term.Iri (List.nth iris (Random.State.int state (List.length iris)))
+      in
+      (* mode 0: empty prefix; mode 1: full-domain prefix; mode 2: random
+         subset (possibly including variables outside the source, which
+         both solvers must ignore) *)
+      let mode = Random.State.int state 3 in
+      let pre =
+        let keep () =
+          match mode with
+          | 0 -> false
+          | 1 -> true
+          | _ -> Random.State.int state 2 = 0
+        in
+        let base =
+          List.fold_left
+            (fun acc v ->
+              if keep () then Variable.Map.add v (pick_value ()) acc else acc)
+            Variable.Map.empty vars
+        in
+        if mode = 2 && Random.State.int state 2 = 0 then
+          Variable.Map.add (Variable.of_string "outside") (pick_value ()) base
+        else base
+      in
+      let norm homs =
+        List.sort_uniq (Variable.Map.compare Term.compare) homs
+      in
+      let same a b = List.equal (Variable.Map.equal Term.equal) (norm a) (norm b) in
+      let term_all = Tgraphs.Homomorphism.all ~pre ~source ~target () in
+      let enc_all = Encoded.Encoded_hom.all ~pre compiled in
+      let agree_all = same term_all enc_all in
+      let agree_count =
+        Tgraphs.Homomorphism.count ~pre ~source ~target ()
+        = Encoded.Encoded_hom.count ~pre compiled
+      in
+      let agree_exists =
+        Tgraphs.Homomorphism.exists ~pre ~source ~target ()
+        = Encoded.Encoded_hom.exists ~pre compiled
+      in
+      (* limit: right cardinality, and every returned hom is genuine *)
+      let limit = 1 + Random.State.int state 3 in
+      let limited = Encoded.Encoded_hom.all ~pre ~limit compiled in
+      let agree_limit =
+        List.length limited = min limit (List.length term_all)
+        && List.for_all
+             (fun h ->
+               List.exists (Variable.Map.equal Term.equal h) term_all)
+             limited
+      in
+      (* streaming fold with early exit: the first solution (if any) is a
+         genuine one, delivered through the encoded pre path *)
+      let first =
+        Encoded.Encoded_hom.fold
+          ~pre:(Encoded.Encoded_hom.encode_pre compiled pre)
+          compiled ~init:None
+          ~f:(fun _ arr -> (Some (Array.copy arr), `Stop))
+      in
+      let agree_first =
+        match first, term_all with
+        | None, [] -> true
+        | None, _ :: _ | Some _, [] -> false
+        | Some arr, _ :: _ ->
+            (* decode yields the full array; restrict to the source's
+               variables before comparing against the term solver *)
+            let dec = Encoded.Encoded_hom.decode compiled arr in
+            let dec_own =
+              Variable.Map.filter
+                (fun v _ -> Variable.Set.mem v (Tgraphs.Tgraph.vars source))
+                dec
+            in
+            List.exists (Variable.Map.equal Term.equal dec_own) term_all
+      in
+      agree_all && agree_count && agree_exists && agree_limit && agree_first)
+
 let test_encoded_hom_assignments () =
   let g = Generator.transitive_tournament ~n:4 ~pred:"r" in
   let enc = Encoded.Encoded_graph.of_graph g in
@@ -179,9 +269,9 @@ let test_encoded_hom_assignments () =
       ]
   in
   let source = Encoded.Encoded_hom.compile tri enc in
-  check Alcotest.int "4 triangles" 4 (Encoded.Encoded_hom.count source enc);
-  check Alcotest.bool "exists" true (Encoded.Encoded_hom.exists source enc);
-  let homs = Encoded.Encoded_hom.all source enc in
+  check Alcotest.int "4 triangles" 4 (Encoded.Encoded_hom.count source);
+  check Alcotest.bool "exists" true (Encoded.Encoded_hom.exists source);
+  let homs = Encoded.Encoded_hom.all source in
   check Alcotest.int "all returns them" 4 (List.length homs);
   (* decoded assignments are genuine homomorphisms *)
   List.iter
@@ -202,10 +292,10 @@ let test_encoded_unsat_constant () =
   in
   let source = Encoded.Encoded_hom.compile absent enc in
   check Alcotest.int "unknown constant -> no homs" 0
-    (Encoded.Encoded_hom.count source enc);
+    (Encoded.Encoded_hom.count source);
   let empty_pattern = Encoded.Encoded_hom.compile Tgraphs.Tgraph.empty enc in
   check Alcotest.int "empty pattern -> one empty hom" 1
-    (Encoded.Encoded_hom.count empty_pattern enc)
+    (Encoded.Encoded_hom.count empty_pattern)
 
 (* ------------------------------------------------------------------ *)
 (* Explain                                                             *)
@@ -286,6 +376,7 @@ let () =
       ( "encoded joins",
         [
           encoded_hom_agrees;
+          encoded_hom_pre_limit_agrees;
           Alcotest.test_case "assignments" `Quick test_encoded_hom_assignments;
           Alcotest.test_case "unsat constants" `Quick test_encoded_unsat_constant;
         ] );
