@@ -190,7 +190,16 @@ let eval_cmd =
           ~doc:"Print the evaluation plan (including any budget-forced \
                 degradation) before the solutions.")
   in
-  let run data query algorithm k spec explain =
+  let domains_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "domains" ] ~docv:"N"
+          ~doc:"Total parallelism for the per-candidate maximality tests \
+                (pebble algorithm only): N-1 worker domains plus the \
+                caller. 1 (the default) is exactly the sequential path; \
+                answers are identical for every N.")
+  in
+  let run data query algorithm k spec explain domains =
     handle @@ fun () ->
     let graph = load_graph data in
     let pattern = load_query query in
@@ -212,7 +221,7 @@ let eval_cmd =
           let sols, cache_stats =
             Wd_core.Engine.solutions_stats
               ~budget:(fresh_budget ~solutions:true spec)
-              plan graph
+              ~domains plan graph
           in
           if explain then
             Option.iter
@@ -227,7 +236,7 @@ let eval_cmd =
     (Cmd.info "eval" ~doc:"Evaluate a query over a data file.")
     Term.(
       const run $ data_arg $ query_arg $ algorithm_arg $ pebbles_arg
-      $ budget_term $ explain_arg)
+      $ budget_term $ explain_arg $ domains_arg)
 
 let check_cmd =
   let run data query mapping algorithm k spec =

@@ -17,7 +17,8 @@ type plan = {
   cache : Plan_cache.t;
 }
 
-let plan ?(budget = Budget.unlimited) ?force ?verdict_capacity pattern =
+let plan ?(budget = Budget.unlimited) ?force ?verdict_capacity ?plan_capacity
+    pattern =
   let forest = Wdpt.Pattern_forest.of_algebra pattern in
   let domination_width, width_source =
     match Domination_width.of_forest ~budget forest with
@@ -39,7 +40,7 @@ let plan ?(budget = Budget.unlimited) ?force ?verdict_capacity pattern =
     domination_width;
     width_source;
     algorithm;
-    cache = Plan_cache.create ?verdict_capacity ();
+    cache = Plan_cache.create ?verdict_capacity ?plan_capacity ();
   }
 
 let check ?budget plan graph mu =
@@ -50,20 +51,21 @@ let check ?budget plan graph mu =
         ~kernel:(Pebble_eval.Cached (Plan_cache.pebble plan.cache graph))
         ~k plan.forest graph mu
 
-let solutions_stats ?budget plan graph =
+let solutions_stats ?budget ?domains plan graph =
   match plan.algorithm with
   | Naive -> (Wdpt.Semantics.solutions ?budget plan.forest graph, None)
   | Pebble k ->
       let answers =
-        Enumerate.solutions ?budget ~maximality:(`Pebble k) ~cache:plan.cache
-          plan.forest graph
+        Enumerate.solutions ?budget ?domains ~maximality:(`Pebble k)
+          ~cache:plan.cache plan.forest graph
       in
       (answers, Some (Plan_cache.stats plan.cache))
 
-let solutions ?budget plan graph = fst (solutions_stats ?budget plan graph)
+let solutions ?budget ?domains plan graph =
+  fst (solutions_stats ?budget ?domains plan graph)
 
-let count ?budget plan graph =
-  Sparql.Mapping.Set.cardinal (solutions ?budget plan graph)
+let count ?budget ?domains plan graph =
+  Sparql.Mapping.Set.cardinal (solutions ?budget ?domains plan graph)
 
 let pp_width_source ppf = function
   | Exact -> Fmt.string ppf "exact"

@@ -31,6 +31,7 @@ type plan = {
 
 val plan :
   ?budget:Resource.Budget.t -> ?force:algorithm -> ?verdict_capacity:int ->
+  ?plan_capacity:int ->
   Sparql.Algebra.t -> plan
 (** Build a plan. By default the pebble algorithm at the query's measured
     domination width is chosen (always exact); [force] overrides. If
@@ -38,7 +39,9 @@ val plan :
     computation, the plan gracefully degrades to a conservative treewidth
     upper bound and records the downgrade in [width_source] so that
     {!pp_plan} and [Explain] surface it. [verdict_capacity] bounds the
-    plan's memoized pebble verdicts ({!Pebble_cache.create}). Raises
+    plan's memoized pebble verdicts ({!Pebble_cache.create});
+    [plan_capacity] how many stores the plan caches compiled artefacts
+    for at once ({!Plan_cache.create}, default 4). Raises
     {!Wdpt.Translate.Not_well_designed} on non-well-designed input. *)
 
 val check :
@@ -46,21 +49,27 @@ val check :
 (** [µ ∈ ⟦P⟧G] with the planned algorithm. *)
 
 val solutions :
-  ?budget:Resource.Budget.t -> plan -> Graph.t -> Sparql.Mapping.Set.t
+  ?budget:Resource.Budget.t -> ?domains:int -> plan -> Graph.t ->
+  Sparql.Mapping.Set.t
 (** All answers: the shared-prefix enumerator under [Pebble], the baseline
-    enumerator under [Naive]. *)
+    enumerator under [Naive]. [domains] (default 1 — exactly the
+    sequential path) runs the per-candidate maximality tests on a domain
+    pool ({!Enumerate.solutions}); answers are identical for every
+    value. *)
 
 val solutions_stats :
-  ?budget:Resource.Budget.t -> plan -> Graph.t ->
+  ?budget:Resource.Budget.t -> ?domains:int -> plan -> Graph.t ->
   Sparql.Mapping.Set.t * Plan_cache.stats option
 (** Like {!solutions}, also returning the plan-cache counters accumulated
     over the plan's lifetime — pebble hits/misses/compiled/evictions,
     hom sources compiled, epoch invalidations ([None] under [Naive]) —
-    what [--explain] prints. Because the cache lives on the plan,
-    repeated calls on the same graph reuse compiled artefacts and the
-    counters keep growing. *)
+    what [--explain] prints. Parallel workers' counters are merged in
+    before returning, so hits + misses always equals the number of
+    lookups regardless of [domains]. Because the cache lives on the
+    plan, repeated calls on the same graph reuse compiled artefacts and
+    the counters keep growing. *)
 
-val count : ?budget:Resource.Budget.t -> plan -> Graph.t -> int
+val count : ?budget:Resource.Budget.t -> ?domains:int -> plan -> Graph.t -> int
 
 val pp_width_source : width_source Fmt.t
 val pp_plan : plan Fmt.t

@@ -72,7 +72,8 @@ let solutions_tree_term ~budget ~maximality ~kernel tree graph =
    the parent's solution array IS the child join's [pre] (no map union,
    no re-encoding), and terms only reappear at the solution boundary
    where the maximality test needs a mapping. *)
-let solutions_tree_encoded ~budget ~maximality ~kernel ~cache tree graph =
+let solutions_tree_encoded ~budget ~maximality ~kernel ~cache ~pool tree graph
+    =
   Budget.with_phase budget "enumerate" @@ fun () ->
   let results = ref Sparql.Mapping.Set.empty in
   let vars = Plan_cache.variables cache graph tree in
@@ -125,8 +126,43 @@ let solutions_tree_encoded ~budget ~maximality ~kernel ~cache tree graph =
           | None -> ()
           | Some mu -> if maximal subtree mu then add_solution mu)
   in
+  (* Parallel candidate checking: the maximality test of each candidate
+     in a batch is independent, so they fan out across the pool. Each
+     worker slot gets its own pebble-cache view (private verdict memo
+     and slot tables over the shared compiled games) and its own budget
+     view (shared fuel pool / cancellation flag), both staged lazily
+     per batch on the domain that owns the slot. The caller merges
+     results in input order, so [add_solution] — dedup, solution cap —
+     sees exactly the sequential sequence and answers are identical to
+     [domains:1]. *)
+  let par =
+    match (pool, id_kernel) with
+    | Some pool, Some (k, c) when Parallel.Pool.size pool > 1 ->
+        Some (pool, Budget.fork budget (Parallel.Pool.size pool), k, c)
+    | _ -> None
+  in
+  let visit_batch =
+    match par with
+    | Some (pool, wbudgets, k, c) ->
+        fun subtree homs ->
+          let stage slot =
+            let budget = wbudgets.(slot) in
+            let view = Pebble_cache.worker_view_for c slot in
+            List.map
+              (Pebble_cache.stage_child_test_ids view ~budget ~k tree ~vars
+                 subtree)
+              (Wdpt.Subtree.children subtree)
+          in
+          Parallel.Pool.fold_ordered pool ~init:stage
+            ~f:(fun tests h ->
+              if List.exists (fun test -> test h) tests then None
+              else Sparql.Mapping.of_assignment (decode h))
+            ~merge:(fun () -> Option.iter add_solution)
+            () homs
+    | None -> fun subtree homs -> List.iter (visit subtree) homs
+  in
   let rec go subtree homs last =
-    List.iter (visit subtree) homs;
+    visit_batch subtree homs;
     List.iter
       (fun n ->
         if n > last then begin
@@ -144,47 +180,79 @@ let solutions_tree_encoded ~budget ~maximality ~kernel ~cache tree graph =
         end)
       (Wdpt.Subtree.children subtree)
   in
-  let root_homs =
-    Encoded_hom.fold ~budget root_source ~init:[] ~f:(fun acc h ->
-        (Array.copy h :: acc, `Continue))
+  let run () =
+    let root_homs =
+      Encoded_hom.fold ~budget root_source ~init:[] ~f:(fun acc h ->
+          (Array.copy h :: acc, `Continue))
+    in
+    if root_homs <> [] then
+      go (Wdpt.Subtree.root_only tree) root_homs Wdpt.Pattern_tree.root;
+    !results
   in
-  if root_homs <> [] then
-    go (Wdpt.Subtree.root_only tree) root_homs Wdpt.Pattern_tree.root;
-  !results
+  match par with
+  | None -> run ()
+  | Some (_, wbudgets, _, c) ->
+      (* also on exception paths: the budget views' spending folds back
+         into the caller's budget and the worker views' cache counters
+         into the shared cache *)
+      Fun.protect
+        ~finally:(fun () ->
+          Budget.join budget wbudgets;
+          Pebble_cache.absorb_views c)
+        run
 
-let solutions_tree ?(budget = Budget.unlimited) ?(maximality = `Hom) ?kernel
-    ?(join = `Encoded) ?cache tree graph =
-  let cache =
-    match cache with Some c -> c | None -> Plan_cache.create ()
-  in
-  let kernel =
-    match maximality, kernel with
-    | `Pebble _, None -> Pebble_eval.Cached (Plan_cache.pebble cache graph)
-    | _, Some kernel -> kernel
-    | `Hom, None -> Pebble_eval.Term
-  in
+(* Resolve the shared defaults once: the kernel defaults to the cache's
+   pebble cache under [`Pebble] (so the id-level fast path kicks in) and
+   to the term game otherwise. *)
+let defaults ~maximality ~kernel ~cache graph =
+  match maximality, kernel with
+  | `Pebble _, None -> Pebble_eval.Cached (Plan_cache.pebble cache graph)
+  | _, Some kernel -> kernel
+  | `Hom, None -> Pebble_eval.Term
+
+let solutions_tree_with ~budget ~maximality ~kernel ~join ~cache ~pool tree
+    graph =
   match join with
   | `Term -> solutions_tree_term ~budget ~maximality ~kernel tree graph
   | `Encoded ->
-      solutions_tree_encoded ~budget ~maximality ~kernel ~cache tree graph
+      solutions_tree_encoded ~budget ~maximality ~kernel ~cache ~pool tree
+        graph
 
-let solutions ?budget ?maximality ?kernel ?join ?cache forest graph =
+let solutions_tree ?(budget = Budget.unlimited) ?(maximality = `Hom) ?kernel
+    ?(join = `Encoded) ?cache ?(domains = 1) tree graph =
+  let cache =
+    match cache with Some c -> c | None -> Plan_cache.create ()
+  in
+  let kernel = defaults ~maximality ~kernel ~cache graph in
+  if domains <= 1 || join = `Term then
+    solutions_tree_with ~budget ~maximality ~kernel ~join ~cache ~pool:None
+      tree graph
+  else
+    Parallel.Pool.borrow ~domains (fun pool ->
+        solutions_tree_with ~budget ~maximality ~kernel ~join ~cache
+          ~pool:(Some pool) tree graph)
+
+let solutions ?(budget = Budget.unlimited) ?(maximality = `Hom) ?kernel
+    ?(join = `Encoded) ?cache ?(domains = 1) forest graph =
   (* One plan cache (and hence one pebble cache) across the whole forest:
      trees share the graph and often the same child patterns, so games
      and verdicts carry over. *)
   let cache = match cache with Some c -> c | None -> Plan_cache.create () in
-  let kernel =
-    match maximality, kernel with
-    | Some (`Pebble _), None ->
-        Some (Pebble_eval.Cached (Plan_cache.pebble cache graph))
-    | _, kernel -> kernel
+  let kernel = defaults ~maximality ~kernel ~cache graph in
+  let run pool =
+    List.fold_left
+      (fun acc tree ->
+        Sparql.Mapping.Set.union acc
+          (solutions_tree_with ~budget ~maximality ~kernel ~join ~cache ~pool
+             tree graph))
+      Sparql.Mapping.Set.empty forest
   in
-  List.fold_left
-    (fun acc tree ->
-      Sparql.Mapping.Set.union acc
-        (solutions_tree ?budget ?maximality ?kernel ?join ~cache tree graph))
-    Sparql.Mapping.Set.empty forest
+  if domains <= 1 || join = `Term then run None
+  else
+    (* one borrowed pool across the whole forest, so domains spawn (at
+       most) once per evaluation, not once per tree *)
+    Parallel.Pool.borrow ~domains (fun pool -> run (Some pool))
 
-let count ?budget ?maximality ?kernel ?join ?cache forest graph =
+let count ?budget ?maximality ?kernel ?join ?cache ?domains forest graph =
   Sparql.Mapping.Set.cardinal
-    (solutions ?budget ?maximality ?kernel ?join ?cache forest graph)
+    (solutions ?budget ?maximality ?kernel ?join ?cache ?domains forest graph)

@@ -5,11 +5,16 @@ type stats = {
   pebble : Pebble_cache.stats;
   hom_sources : int;
   invalidations : int;
+  plan_evictions : int;
+  live_entries : int;
 }
 
 let pp_stats ppf s =
-  Fmt.pf ppf "@[<v>%a@ plan cache: %d hom sources compiled, %d invalidations@]"
+  Fmt.pf ppf
+    "@[<v>%a@ plan cache: %d hom sources compiled, %d invalidations, %d \
+     evictions, %d live entries@]"
     Pebble_cache.pp_stats s.pebble s.hom_sources s.invalidations
+    s.plan_evictions s.live_entries
 
 (* Per-tree compiled join artefacts. Every node pattern of a tree is
    compiled against ONE shared variable table covering vars(T), so the
@@ -32,13 +37,20 @@ type entry = {
          through every evaluation of a plan *)
 }
 
+let default_plan_capacity = 4
+
 type t = {
   verdict_capacity : int option;
-  mutable entry : entry option;
+  plan_capacity : int;
+  mutable entries : entry list;
+      (* most-recently-used first, keyed by store epoch; at most
+         [plan_capacity] long, so round-robin evaluation over a few
+         stores stops rebuilding everything on every switch *)
   mutable hom_sources : int;
   mutable invalidations : int;
+  mutable plan_evictions : int;
   mutable retired : Pebble_cache.stats;
-      (* accumulated stats of pebble caches dropped by invalidation, so
+      (* accumulated stats of pebble caches dropped by eviction, so
          [stats] reports the plan's whole history *)
 }
 
@@ -49,6 +61,8 @@ let zero_pebble_stats =
     compiled = 0;
     families = 0;
     evictions = 0;
+    unary_hits = 0;
+    unary_misses = 0;
   }
 
 let add_pebble_stats (a : Pebble_cache.stats) (b : Pebble_cache.stats) =
@@ -58,38 +72,62 @@ let add_pebble_stats (a : Pebble_cache.stats) (b : Pebble_cache.stats) =
     compiled = a.compiled + b.compiled;
     families = a.families + b.families;
     evictions = a.evictions + b.evictions;
+    unary_hits = a.unary_hits + b.unary_hits;
+    unary_misses = a.unary_misses + b.unary_misses;
   }
 
-let create ?verdict_capacity () =
+let create ?verdict_capacity ?(plan_capacity = default_plan_capacity) () =
+  if plan_capacity < 1 then
+    invalid_arg "Plan_cache.create: plan_capacity must be positive";
   {
     verdict_capacity;
-    entry = None;
+    plan_capacity;
+    entries = [];
     hom_sources = 0;
     invalidations = 0;
+    plan_evictions = 0;
     retired = zero_pebble_stats;
   }
 
 let entry_for t graph =
   let epoch = Graph.epoch graph in
-  match t.entry with
-  | Some e when e.epoch = epoch -> e
-  | stale ->
-      (match stale with
-      | Some e ->
-          t.invalidations <- t.invalidations + 1;
-          t.retired <- add_pebble_stats t.retired (Pebble_cache.stats e.pebble)
-      | None -> ());
-      let e =
-        {
-          epoch;
-          enc = Encoded.Encoded_graph.of_graph_cached graph;
-          pebble =
-            Pebble_cache.create ?verdict_capacity:t.verdict_capacity graph;
-          trees = [];
-        }
-      in
-      t.entry <- Some e;
-      e
+  match t.entries with
+  | e :: _ when e.epoch = epoch -> e
+  | entries -> (
+      match List.partition (fun e -> e.epoch = epoch) entries with
+      | [ e ], rest ->
+          (* known store, not most recent: bump to the front *)
+          t.entries <- e :: rest;
+          e
+      | _ ->
+          (* A build while other entries are live is what the old
+             single-entry cache counted as an invalidation; the count
+             keeps that meaning (first-ever build is free). *)
+          if entries <> [] then t.invalidations <- t.invalidations + 1;
+          let e =
+            {
+              epoch;
+              enc = Encoded.Encoded_graph.of_graph_cached graph;
+              pebble =
+                Pebble_cache.create ?verdict_capacity:t.verdict_capacity graph;
+              trees = [];
+            }
+          in
+          let live = e :: entries in
+          let keep, evicted =
+            if List.length live <= t.plan_capacity then (live, [])
+            else
+              ( List.filteri (fun i _ -> i < t.plan_capacity) live,
+                List.filteri (fun i _ -> i >= t.plan_capacity) live )
+          in
+          List.iter
+            (fun old ->
+              t.plan_evictions <- t.plan_evictions + 1;
+              t.retired <-
+                add_pebble_stats t.retired (Pebble_cache.stats old.pebble))
+            evicted;
+          t.entries <- keep;
+          e)
 
 let encoded t graph = (entry_for t graph).enc
 let pebble t graph = (entry_for t graph).pebble
@@ -128,13 +166,15 @@ let node_source t graph tree n =
       source
 
 let stats t =
-  let current =
-    match t.entry with
-    | Some e -> Pebble_cache.stats e.pebble
-    | None -> zero_pebble_stats
+  let live =
+    List.fold_left
+      (fun acc e -> add_pebble_stats acc (Pebble_cache.stats e.pebble))
+      zero_pebble_stats t.entries
   in
   {
-    pebble = add_pebble_stats t.retired current;
+    pebble = add_pebble_stats t.retired live;
     hom_sources = t.hom_sources;
     invalidations = t.invalidations;
+    plan_evictions = t.plan_evictions;
+    live_entries = List.length t.entries;
   }

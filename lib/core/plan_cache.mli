@@ -6,11 +6,12 @@
     sources of every tree node (one per node, compiled against a
     tree-wide shared variable table so enumeration assignments are flat
     int arrays), and (3) the {!Pebble_cache} of compiled child games and
-    memoized verdicts. This module holds all three keyed on the graph's
-    {!Rdf.Graph.epoch}: evaluating the same plan against the same store
-    again reuses everything; evaluating it against a different (or
-    derived — epochs are unique per construction) store drops the stale
-    entry, counts an invalidation, and rebuilds lazily.
+    memoized verdicts. This module holds all three in a small
+    most-recently-used store keyed on the graph's {!Rdf.Graph.epoch}
+    (epochs are unique per construction): evaluating the same plan
+    against a recently-seen store reuses everything, so round-robin
+    evaluation over a few stores stops rebuilding on every switch;
+    only past the capacity does the coldest entry get dropped.
 
     All artefacts are compiled on demand, so a cache costs nothing until
     the first evaluation touches it. *)
@@ -22,21 +23,28 @@ type t
 type stats = {
   pebble : Pebble_cache.stats;
       (** accumulated over every entry this cache has held, including
-          ones dropped by invalidation *)
+          ones dropped by eviction *)
   hom_sources : int;  (** node join sources compiled over the lifetime *)
-  invalidations : int;  (** entries dropped because the graph epoch changed *)
+  invalidations : int;
+      (** entries built for a store epoch the cache did not hold while
+          it already held others — the old single-entry cache's
+          invalidation count (the first-ever build is free) *)
+  plan_evictions : int;
+      (** entries dropped because the store capacity was exceeded *)
+  live_entries : int;  (** entries currently held *)
 }
 
-val create : ?verdict_capacity:int -> unit -> t
+val create : ?verdict_capacity:int -> ?plan_capacity:int -> unit -> t
 (** [verdict_capacity] is forwarded to the {!Pebble_cache.create} of
-    every entry. *)
+    every entry. [plan_capacity] bounds how many stores are cached at
+    once (default 4; raises [Invalid_argument] if [< 1]). *)
 
 val encoded : t -> Graph.t -> Encoded.Encoded_graph.t
-(** The encoded copy of [graph] for the current entry (building the
-    entry if the epoch changed). *)
+(** The encoded copy of [graph] for its entry (building the entry, and
+    possibly evicting the coldest one, if [graph]'s epoch is absent). *)
 
 val pebble : t -> Graph.t -> Pebble_cache.t
-(** The pebble-game cache of the current entry. *)
+(** The pebble-game cache of [graph]'s entry. *)
 
 val variables : t -> Graph.t -> Wdpt.Pattern_tree.t -> Variable.t array
 (** The tree's shared variable table: the decode table of every source
@@ -46,7 +54,8 @@ val node_source :
   t -> Graph.t -> Wdpt.Pattern_tree.t -> Wdpt.Pattern_tree.node ->
   Encoded.Encoded_hom.source
 (** The compiled hom-join source of [pat tree n] against [graph],
-    compiled on first use and reused until the epoch changes. *)
+    compiled on first use and reused while [graph]'s entry stays
+    cached. *)
 
 val stats : t -> stats
 val pp_stats : stats Fmt.t

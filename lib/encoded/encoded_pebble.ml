@@ -1,8 +1,11 @@
 open Rdf
 
-let explored = ref 0
-let stats_families_explored () = !explored
-let reset_stats () = explored := 0
+(* Families-explored counter. Domain-local so concurrent [run]s on a
+   domain pool don't race: each domain accumulates its own count, and
+   callers read/reset the counter of the domain their runs happened on. *)
+let explored_key = Domain.DLS.new_key (fun () -> ref 0)
+let stats_families_explored () = !(Domain.DLS.get explored_key)
+let reset_stats () = Domain.DLS.get explored_key := 0
 
 let unknown_id = -2
 
@@ -117,6 +120,24 @@ let unary_candidates graph (s, p, o) =
     ();
   Array.of_list (List.sort_uniq compare !acc)
 
+(* A unary-candidate cache shared across the compiles of one
+   (store, tree): two game families whose unary triples encode to the
+   same constant pattern get the same candidate array, so the range
+   scan runs once per (pattern, store-epoch) instead of once per
+   family. Keys mention dictionary ids, so a cache is only meaningful
+   against one store epoch — [Wd_core.Pebble_cache] owns one per entry.
+   Not thread-safe: callers serialise compiles (or use a private one). *)
+type unary_cache = {
+  table : (int option * int option * int option, int array) Hashtbl.t;
+  mutable hits : int;
+  mutable misses : int;
+}
+
+let create_unary_cache () =
+  { table = Hashtbl.create 64; hits = 0; misses = 0 }
+
+let unary_cache_stats c = (c.hits, c.misses)
+
 let intersect_sorted a b =
   let out = ref [] and i = ref 0 and j = ref 0 in
   while !i < Array.length a && !j < Array.length b do
@@ -135,8 +156,22 @@ let intersect_sorted a b =
 (* Compilation                                                         *)
 (* ------------------------------------------------------------------ *)
 
-let compile ~k g graph =
+let compile ?unary ~k g graph =
   if k < 1 then invalid_arg "Encoded_pebble.compile: k must be at least 1";
+  let unary_candidates_cached pat =
+    match unary with
+    | None -> unary_candidates graph pat
+    | Some c -> (
+        match Hashtbl.find_opt c.table pat with
+        | Some arr ->
+            c.hits <- c.hits + 1;
+            arr
+        | None ->
+            c.misses <- c.misses + 1;
+            let arr = unary_candidates graph pat in
+            Hashtbl.add c.table pat arr;
+            arr)
+  in
   let dict = Encoded_graph.dictionary graph in
   let x = Tgraphs.Gtgraph.x g in
   let s = Tgraphs.Gtgraph.s g in
@@ -184,7 +219,7 @@ let compile ~k g graph =
             | Prm _ -> assert false
           in
           let a, b, c = pat in
-          let cands = unary_candidates graph (pos a, pos b, pos c) in
+          let cands = unary_candidates_cached (pos a, pos b, pos c) in
           base.(v) <-
             Some
               (match base.(v) with
@@ -274,6 +309,7 @@ let run ?(budget = Resource.Budget.unlimited) t ~mu =
         in
         Encoded_graph.mem t.graph (value ra, value rb, value rc)
       in
+      let explored = Domain.DLS.get explored_key in
       let alive : unit Tbl.t = Tbl.create 4096 in
       let key_of_dom dom_vars =
         let len = List.length dom_vars in

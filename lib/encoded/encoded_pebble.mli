@@ -22,9 +22,24 @@ val unknown_id : int
     negative, so every range lookup involving it is empty — matching the
     term-level kernel, where such a triple matches nothing. *)
 
-val compile : k:int -> Tgraphs.Gtgraph.t -> Encoded_graph.t -> t
+type unary_cache
+(** Memo for the µ-independent unary candidate domains, shared across
+    the {!compile}s of one (tree, store-epoch): two game families whose
+    unary triples encode to the same constant pattern reuse one range
+    scan. Keys contain dictionary ids, so a cache must never outlive
+    its store epoch. Not thread-safe — serialise compiles against it. *)
+
+val create_unary_cache : unit -> unary_cache
+
+val unary_cache_stats : unary_cache -> int * int
+(** [(hits, misses)] — misses count the range scans actually run. *)
+
+val compile :
+  ?unary:unary_cache -> k:int -> Tgraphs.Gtgraph.t -> Encoded_graph.t -> t
 (** [compile ~k g graph] compiles [g = (S, X)] for the existential
-    k-pebble game on [graph]. Raises [Invalid_argument] if [k < 1]. *)
+    k-pebble game on [graph]. [unary] memoises the µ-independent unary
+    candidate scans across compiles against the same store. Raises
+    [Invalid_argument] if [k < 1]. *)
 
 val params : t -> Rdf.Variable.t array
 (** The distinguished variables X, sorted; [run]'s [mu] array gives the
@@ -56,6 +71,8 @@ val wins :
     {!Pebble.Pebble_game.wins} over the encoded store. *)
 
 val stats_families_explored : unit -> int
-(** Families enumerated by {!run} since the last {!reset_stats}. *)
+(** Families enumerated by {!run} since the last {!reset_stats} — {e on
+    the calling domain}: the counter is domain-local, so runs executed
+    on a pool worker accumulate into that worker's counter. *)
 
 val reset_stats : unit -> unit

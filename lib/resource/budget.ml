@@ -1,3 +1,12 @@
+(* A forked budget's workers drain one shared fuel pool in small leases
+   and observe a shared cancellation flag, so exhaustion (or an explicit
+   [cancel]) on any domain stops the siblings at their next sync point —
+   at most [lease] ticks away. *)
+type shared = {
+  cancelled : bool Atomic.t;
+  pool_fuel : int Atomic.t;  (* remaining unleased fuel; max_int = none *)
+}
+
 type t = {
   mutable fuel_left : int;  (* max_int = no fuel limit *)
   mutable spent : int;
@@ -5,11 +14,15 @@ type t = {
   deadline : float;  (* absolute Unix time; infinity = none *)
   mutable phase : string;
   limited : bool;
+  mutable shared : shared option;
+      (* Some while enrolled in a fork group: on worker views for their
+         whole life, on the parent between [fork] and [join] *)
 }
 
 exception Exhausted of { phase : string; spent : int }
 
 let deadline_check_interval = 64
+let lease = deadline_check_interval
 
 let unlimited =
   {
@@ -19,6 +32,7 @@ let unlimited =
     deadline = infinity;
     phase = "-";
     limited = false;
+    shared = None;
   }
 
 let make ?fuel ?timeout ?max_solutions () =
@@ -47,23 +61,115 @@ let make ?fuel ?timeout ?max_solutions () =
               invalid_arg "Budget.make: max_solutions must be positive";
             n
       in
-      { fuel_left; spent = 0; solutions_left; deadline; phase = "-"; limited = true }
+      {
+        fuel_left;
+        spent = 0;
+        solutions_left;
+        deadline;
+        phase = "-";
+        limited = true;
+        shared = None;
+      }
 
-let exhaust b = raise (Exhausted { phase = b.phase; spent = b.spent })
+let exhaust b =
+  (* a worker view going down takes its siblings with it: fuel and
+     deadline are shared fates, and a cancelled group must stop as one *)
+  (match b.shared with Some s -> Atomic.set s.cancelled true | None -> ());
+  raise (Exhausted { phase = b.phase; spent = b.spent })
+
+(* Take a fresh lease from the shared pool; empty pool = the group's
+   collective fuel is gone. [paid] says whether the triggering tick was
+   already covered by the old lease: an unpaid tick consumes the new
+   lease's first unit. *)
+let refill b s ~paid =
+  if Atomic.get s.cancelled then exhaust b;
+  let rec go () =
+    let cur = Atomic.get s.pool_fuel in
+    if cur = max_int then b.fuel_left <- max_int
+    else begin
+      let take = min lease cur in
+      if take <= 0 then exhaust b
+      else if Atomic.compare_and_set s.pool_fuel cur (cur - take) then
+        b.fuel_left <- (if paid then take else take - 1)
+      else go ()
+    end
+  in
+  go ()
 
 let tick b =
   if b.limited then begin
     b.spent <- b.spent + 1;
     if b.fuel_left <> max_int then begin
       b.fuel_left <- b.fuel_left - 1;
-      if b.fuel_left <= 0 then exhaust b
+      if b.fuel_left <= 0 then
+        match b.shared with
+        | None -> exhaust b
+        | Some s ->
+            (* negative: this tick predates any lease (fresh fork) —
+               lease one and pay for it. Zero: the lease's last unit
+               went to this tick — lease eagerly so the group exhausts
+               on exactly the tick that would trip the unforked budget
+               (fuel f = f-1 successful ticks, like [make ~fuel]). *)
+            if b.fuel_left < 0 then refill b s ~paid:false;
+            if b.fuel_left <= 0 then refill b s ~paid:true
     end;
-    if
-      b.deadline < infinity
-      && b.spent land (deadline_check_interval - 1) = 0
-      && Unix.gettimeofday () > b.deadline
-    then exhaust b
+    if b.spent land (deadline_check_interval - 1) = 0 then begin
+      (match b.shared with
+      | Some s when Atomic.get s.cancelled -> exhaust b
+      | _ -> ());
+      if b.deadline < infinity && Unix.gettimeofday () > b.deadline then
+        exhaust b
+    end
   end
+
+let fork b n =
+  if n <= 0 then invalid_arg "Budget.fork: worker count must be positive";
+  if not b.limited then Array.init n (fun _ -> unlimited)
+  else begin
+    let pool = b.fuel_left in
+    let s =
+      { cancelled = Atomic.make false; pool_fuel = Atomic.make pool }
+    in
+    (* the parent joins the group too: its remaining fuel becomes the
+       pool, and until [join] it leases from that pool like any worker,
+       so solution ticks on the parent during the merge share one
+       account with the workers *)
+    b.shared <- Some s;
+    if pool <> max_int then b.fuel_left <- 0;
+    Array.init n (fun _ ->
+        {
+          fuel_left = (if pool = max_int then max_int else 0);
+          spent = 0;
+          solutions_left = max_int;
+          (* the solution cap stays with the parent: answers are only
+             counted on the calling domain, in merge order *)
+          deadline = b.deadline;
+          phase = b.phase;
+          limited = true;
+          shared = Some s;
+        })
+  end
+
+let join b workers =
+  if b.limited then
+    match b.shared with
+    | None -> ()
+    | Some s ->
+        b.shared <- None;
+        b.spent <-
+          Array.fold_left (fun acc w -> acc + w.spent) b.spent workers;
+        let pool = Atomic.get s.pool_fuel in
+        if pool <> max_int then begin
+          (* reclaim unleased pool fuel plus every member's unspent
+             lease (the parent's own lease included) *)
+          let reclaim acc m =
+            if m.fuel_left = max_int then acc else acc + max 0 m.fuel_left
+          in
+          b.fuel_left <- reclaim (Array.fold_left reclaim pool workers) b
+        end
+
+let cancel b =
+  match b.shared with Some s -> Atomic.set s.cancelled true | None -> ()
 
 let solution b =
   if b.limited then begin

@@ -55,6 +55,33 @@ val with_phase : t -> string -> (unit -> 'a) -> 'a
     Kernels wrap their entry points so {!Exhausted} can say {e where} the
     budget went. No-op on {!unlimited}. *)
 
+val fork : t -> int -> t array
+(** [fork b n] makes [n] worker views of [b] for a parallel region
+    (raises [Invalid_argument] on [n ≤ 0]). All remaining fuel of [b]
+    moves into one shared atomic pool that the views — and [b] itself,
+    until {!join} — drain in small leases ({!deadline_check_interval}
+    ticks at a time), so the group's collective spending honours the
+    original fuel limit to within one lease per member. The deadline is
+    shared by value; the {e solution cap stays on [b] alone}, because
+    answers are only counted on the calling domain in merge order. When
+    any member trips a limit (or {!cancel} is called on one), a shared
+    flag stops every sibling at its next lease boundary or
+    deadline-check tick — at most {!deadline_check_interval} ticks away.
+    Forking {!unlimited} just returns unlimited views. *)
+
+val join : t -> t array -> unit
+(** [join b workers] dissolves the group made by [fork b]: the workers'
+    tick counts fold into [b]'s {!spent}, unleased pool fuel and every
+    member's unspent lease return to [b], and [b] goes back to ticking
+    against its own counter. Call exactly once per [fork], also on
+    exception paths; harmless if the group never ran. *)
+
+val cancel : t -> unit
+(** Trip the shared cancellation flag of the fork group this budget
+    belongs to (no-op otherwise): every member raises {!Exhausted} at
+    its next sync point. For early exits that aren't budget trips, e.g.
+    an enumeration cap reached on the merging domain. *)
+
 val is_limited : t -> bool
 (** [false] exactly for {!unlimited}. *)
 

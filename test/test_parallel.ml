@@ -1,0 +1,289 @@
+(* PR 4: multicore candidate checking. The contract under test: the
+   domain pool preserves input order and first-exception semantics;
+   forked budgets share one fuel account and one cancellation flag, so
+   any member tripping stops the group within a lease; and
+   [solutions ~domains:n] is indistinguishable from [~domains:1] —
+   same answers in the same order, same number of verdict lookups —
+   for every n. *)
+
+open Rdf
+module Pool = Parallel.Pool
+module Budget = Resource.Budget
+module Engine = Wd_core.Engine
+module Enumerate = Wd_core.Enumerate
+module Plan_cache = Wd_core.Plan_cache
+module Pebble_cache = Wd_core.Pebble_cache
+
+let check = Alcotest.check
+
+(* ------------------------------------------------------------------ *)
+(* Pool units                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_map_order () =
+  Pool.with_pool ~domains:4 @@ fun pool ->
+  let items = List.init 257 Fun.id in
+  let out =
+    Pool.map_stream pool
+      ~init:(fun slot -> slot)
+      ~f:(fun _ x -> x * x)
+      items
+  in
+  check
+    Alcotest.(list int)
+    "results in input order"
+    (List.map (fun x -> x * x) items)
+    out;
+  (* a batch shorter than the chunking threshold stays inline *)
+  check Alcotest.(list int) "singleton batch" [ 49 ]
+    (Pool.map_stream pool ~init:(fun _ -> ()) ~f:(fun () x -> x * x) [ 7 ])
+
+let test_fold_merge_order () =
+  Pool.with_pool ~domains:3 @@ fun pool ->
+  let items = List.init 100 Fun.id in
+  let acc =
+    Pool.fold_ordered pool
+      ~init:(fun _ -> ())
+      ~f:(fun () x -> x)
+      ~merge:(fun acc x -> x :: acc)
+      [] items
+  in
+  check Alcotest.(list int) "merge sees sequential order" (List.rev items) acc
+
+let test_worker_state_per_slot () =
+  Pool.with_pool ~domains:4 @@ fun pool ->
+  let inits = Atomic.make 0 in
+  let out =
+    Pool.map_stream pool
+      ~init:(fun slot ->
+        Atomic.incr inits;
+        slot)
+      ~f:(fun slot _ -> slot)
+      (List.init 500 Fun.id)
+  in
+  check Alcotest.bool "init ran at most once per slot" true
+    (Atomic.get inits <= 4);
+  check Alcotest.bool "slots are within the pool" true
+    (List.for_all (fun s -> s >= 0 && s < 4) out)
+
+let test_exception_cancels () =
+  Pool.with_pool ~domains:4 @@ fun pool ->
+  let processed = Atomic.make 0 in
+  let n = 1000 in
+  match
+    Pool.map_stream pool
+      ~init:(fun _ -> ())
+      ~f:(fun () x ->
+        Atomic.incr processed;
+        if x = 0 then failwith "boom";
+        x)
+      (List.init n Fun.id)
+  with
+  | _ -> Alcotest.fail "the worker's exception was swallowed"
+  | exception Failure msg ->
+      check Alcotest.string "first exception is re-raised" "boom" msg;
+      check Alcotest.bool "remaining items were skipped cooperatively" true
+        (Atomic.get processed < n)
+
+(* ------------------------------------------------------------------ *)
+(* Budget forking                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let test_fork_unlimited () =
+  let views = Budget.fork Budget.unlimited 4 in
+  check Alcotest.int "four views" 4 (Array.length views);
+  Array.iter
+    (fun v -> check Alcotest.bool "unlimited stays unlimited" false
+        (Budget.is_limited v))
+    views
+
+let test_fork_fuel_exact () =
+  let fuel = 1000 in
+  let b = Budget.make ~fuel () in
+  let views = Budget.fork b 3 in
+  let total = ref 0 in
+  (try
+     Array.iter
+       (fun v ->
+         for _ = 1 to 10 * fuel do
+           Budget.tick v;
+           incr total
+         done)
+       views
+   with Budget.Exhausted _ -> ());
+  (* same contract as the unforked budget (see test_resource): fuel f
+     permits f-1 ticks, the f-th raises *)
+  check Alcotest.int "the group's ticks total exactly the fuel" (fuel - 1)
+    !total
+
+let test_cancel_trips_siblings () =
+  let b = Budget.make ~fuel:1_000_000 () in
+  let views = Budget.fork b 2 in
+  Budget.cancel views.(0);
+  let ticks = ref 0 in
+  (try
+     for _ = 1 to 1000 do
+       Budget.tick views.(1);
+       incr ticks
+     done;
+     Alcotest.fail "sibling kept running after cancel"
+   with Budget.Exhausted _ -> ());
+  check Alcotest.bool "sibling stopped within one lease" true (!ticks <= 64)
+
+let test_exhaustion_trips_siblings () =
+  let b = Budget.make ~fuel:100 () in
+  let views = Budget.fork b 2 in
+  (* view 0 drains the whole pool *)
+  (try
+     while true do
+       Budget.tick views.(0)
+     done
+   with Budget.Exhausted _ -> ());
+  let ticks = ref 0 in
+  (try
+     for _ = 1 to 1000 do
+       Budget.tick views.(1);
+       incr ticks
+     done;
+     Alcotest.fail "sibling kept running after exhaustion"
+   with Budget.Exhausted _ -> ());
+  check Alcotest.bool "sibling stopped within one lease" true (!ticks <= 64)
+
+let test_join_returns_fuel () =
+  let b = Budget.make ~fuel:1000 () in
+  let views = Budget.fork b 2 in
+  for _ = 1 to 100 do
+    Budget.tick views.(0)
+  done;
+  Budget.join b views;
+  check Alcotest.int "workers' spending is folded into the parent" 100
+    (Budget.spent b);
+  (* the parent got the unspent fuel back: 900 units remain, which — by
+     the fuel f = f-1 ticks contract — permit exactly 899 more ticks *)
+  let total = ref 0 in
+  (try
+     for _ = 1 to 10_000 do
+       Budget.tick b;
+       incr total
+     done
+   with Budget.Exhausted _ -> ());
+  check Alcotest.int "unspent fuel returned to the parent" 899 !total
+
+(* ------------------------------------------------------------------ *)
+(* Parallel evaluation: determinism                                    *)
+(* ------------------------------------------------------------------ *)
+
+let determinism_prop =
+  QCheck.Test.make ~count:25
+    ~name:"solutions ~domains:n = solutions ~domains:1 (same order)"
+    (QCheck.make
+       ~print:(fun (g, q) -> Printf.sprintf "graph seed %d, query seed %d" g q)
+       QCheck.Gen.(pair Testutil.seed_gen Testutil.seed_gen))
+    (fun (gseed, qseed) ->
+      let graph = Testutil.graph_of_seed ~nodes:8 ~preds:2 ~triples:20 gseed in
+      let p = Testutil.wd_pattern_of_seed ~union:1 ~triples:5 qseed in
+      let forest = Wdpt.Pattern_forest.of_algebra p in
+      let base = Enumerate.solutions ~maximality:(`Pebble 2) forest graph in
+      List.for_all
+        (fun n ->
+          let s =
+            Enumerate.solutions ~maximality:(`Pebble 2) ~domains:n forest
+              graph
+          in
+          Sparql.Mapping.Set.equal s base
+          && List.equal
+               (fun a b -> Sparql.Mapping.compare a b = 0)
+               (Sparql.Mapping.Set.elements s)
+               (Sparql.Mapping.Set.elements base))
+        [ 2; 4 ])
+
+let pattern =
+  Sparql.Parser.parse_exn
+    "{ ?a p:knows ?b . OPTIONAL { ?b p:email ?m } OPTIONAL { ?a p:knows ?c } }"
+
+let graph = Generator.social ~seed:7 ~people:40
+
+let test_stats_merge () =
+  let lookups domains =
+    let plan = Engine.plan pattern in
+    let answers, s = Engine.solutions_stats ~domains plan graph in
+    let s = (Option.get s).Plan_cache.pebble in
+    check Alcotest.bool "answers match the reference" true
+      (Sparql.Mapping.Set.equal answers (Sparql.Eval.eval pattern graph));
+    (s.Pebble_cache.hits + s.Pebble_cache.misses, s.Pebble_cache.compiled)
+  in
+  let l1, c1 = lookups 1 in
+  let l2, c2 = lookups 2 in
+  let l4, c4 = lookups 4 in
+  check Alcotest.int "verdict lookups invariant at 2 domains" l1 l2;
+  check Alcotest.int "verdict lookups invariant at 4 domains" l1 l4;
+  check Alcotest.int "games compiled once at 2 domains" c1 c2;
+  check Alcotest.int "games compiled once at 4 domains" c1 c4
+
+(* ------------------------------------------------------------------ *)
+(* Budget propagation into workers                                     *)
+(* ------------------------------------------------------------------ *)
+
+let test_parallel_exhaustion_phase () =
+  let big = Generator.social ~seed:21 ~people:80 in
+  let plan = Engine.plan pattern in
+  match Engine.solutions ~budget:(Budget.make ~fuel:500 ()) ~domains:2 plan big
+  with
+  | _ -> Alcotest.fail "a 500-tick budget should not cover this evaluation"
+  | exception Budget.Exhausted { phase; spent } ->
+      check Alcotest.bool "phase names an evaluation stage" true
+        (List.mem phase [ "enumerate"; "pebble"; "hom" ]);
+      check Alcotest.bool "spent is positive" true (spent > 0)
+
+let test_parallel_deadline_prompt () =
+  let big = Generator.social ~seed:22 ~people:150 in
+  let plan = Engine.plan pattern in
+  let t0 = Unix.gettimeofday () in
+  (match
+     Engine.solutions
+       ~budget:(Budget.make ~timeout:0.02 ())
+       ~domains:4 plan big
+   with
+  | _ -> () (* finished under the deadline: nothing to time *)
+  | exception Budget.Exhausted _ -> ());
+  let elapsed = Unix.gettimeofday () -. t0 in
+  check Alcotest.bool
+    (Printf.sprintf "workers stopped promptly (%.3fs)" elapsed)
+    true (elapsed < 5.0)
+
+let () =
+  Alcotest.run "parallel"
+    [
+      ( "pool",
+        [
+          Alcotest.test_case "map_stream order" `Quick test_map_order;
+          Alcotest.test_case "fold_ordered merge order" `Quick
+            test_fold_merge_order;
+          Alcotest.test_case "worker state per slot" `Quick
+            test_worker_state_per_slot;
+          Alcotest.test_case "exception cancels batch" `Quick
+            test_exception_cancels;
+        ] );
+      ( "budget",
+        [
+          Alcotest.test_case "fork unlimited" `Quick test_fork_unlimited;
+          Alcotest.test_case "fork conserves fuel" `Quick test_fork_fuel_exact;
+          Alcotest.test_case "cancel trips siblings" `Quick
+            test_cancel_trips_siblings;
+          Alcotest.test_case "exhaustion trips siblings" `Quick
+            test_exhaustion_trips_siblings;
+          Alcotest.test_case "join returns fuel" `Quick test_join_returns_fuel;
+        ] );
+      ( "determinism",
+        [
+          QCheck_alcotest.to_alcotest determinism_prop;
+          Alcotest.test_case "stats merge consistent" `Quick test_stats_merge;
+        ] );
+      ( "budget propagation",
+        [
+          Alcotest.test_case "exhaustion carries the phase" `Quick
+            test_parallel_exhaustion_phase;
+          Alcotest.test_case "deadline stops workers promptly" `Quick
+            test_parallel_deadline_prompt;
+        ] );
+    ]

@@ -106,6 +106,90 @@ let test_epoch_invalidation () =
     a2
 
 (* ------------------------------------------------------------------ *)
+(* Multi-store MRU (PR 4)                                              *)
+(* ------------------------------------------------------------------ *)
+
+let run_on plan g =
+  let a, s = Engine.solutions_stats plan g in
+  check Alcotest.bool "answers match the reference" true
+    (set_equal a (reference g));
+  Option.get s
+
+let test_mru_two_stores () =
+  let plan = Engine.plan pattern in
+  let g1 = graph and g2 = Generator.social ~seed:11 ~people:25 in
+  let _ = run_on plan g1 in
+  let s2 = run_on plan g2 in
+  check Alcotest.int "switching stores builds a second entry" 1
+    s2.Plan_cache.invalidations;
+  (* alternating between two live stores rebuilds nothing: each run is a
+     front-of-list bump, not a recompile *)
+  let s = ref s2 in
+  for _ = 1 to 3 do
+    s := run_on plan g1;
+    s := run_on plan g2
+  done;
+  check Alcotest.int "alternation never rebuilds" 1
+    !s.Plan_cache.invalidations;
+  check Alcotest.int "no eviction under the default capacity" 0
+    !s.Plan_cache.plan_evictions;
+  check Alcotest.int "both stores stay cached" 2 !s.Plan_cache.live_entries;
+  check Alcotest.int "no games recompiled while alternating"
+    s2.Plan_cache.pebble.Wd_core.Pebble_cache.compiled
+    !s.Plan_cache.pebble.Wd_core.Pebble_cache.compiled
+
+let test_plan_capacity_eviction () =
+  let plan = Engine.plan ~plan_capacity:1 pattern in
+  let g1 = graph and g2 = Generator.social ~seed:11 ~people:25 in
+  let _ = run_on plan g1 in
+  let s2 = run_on plan g2 in
+  let s3 = run_on plan g1 in
+  check Alcotest.int "every switch rebuilds at capacity 1" 2
+    s3.Plan_cache.invalidations;
+  check Alcotest.int "each rebuild evicted the previous store" 2
+    s3.Plan_cache.plan_evictions;
+  check Alcotest.int "one live entry" 1 s3.Plan_cache.live_entries;
+  (* counters from the evicted entries are retired, not lost: the third
+     build adds to a total that still includes the first two *)
+  check Alcotest.bool "retired compile counts accumulate" true
+    (s3.Plan_cache.pebble.Wd_core.Pebble_cache.compiled
+    > s2.Plan_cache.pebble.Wd_core.Pebble_cache.compiled)
+
+(* ------------------------------------------------------------------ *)
+(* Shared unary base domains (PR 4)                                    *)
+(* ------------------------------------------------------------------ *)
+
+let test_unary_sharing () =
+  let iri = Term.iri in
+  let knows a b = Triple.make (iri a) (iri "p:knows") (iri b) in
+  let active a = Triple.make (iri a) (iri "p:active") (iri "p:yes") in
+  let g =
+    Graph.of_triples
+      [
+        knows "n:a" "n:b"; knows "n:b" "n:c"; knows "n:a" "n:c";
+        knows "n:c" "n:d"; active "n:b"; active "n:c";
+      ]
+  in
+  (* both OPTIONAL children contain the same µ-independent unary triple
+     pattern (?_ p:active p:yes); its base domain is scanned once and
+     reused when the second child's game family is compiled *)
+  let p =
+    Sparql.Parser.parse_exn
+      "{ ?a p:knows ?b . OPTIONAL { ?a p:knows ?y . ?y p:active p:yes } \
+       OPTIONAL { ?b p:knows ?z . ?z p:active p:yes } }"
+  in
+  let plan = Engine.plan p in
+  let answers, s = Engine.solutions_stats plan g in
+  let s = Option.get s in
+  check Alcotest.bool "answers match the reference" true
+    (set_equal answers (Sparql.Eval.eval p g));
+  let pb = s.Plan_cache.pebble in
+  check Alcotest.bool "some unary domains were scanned" true
+    (pb.Wd_core.Pebble_cache.unary_misses > 0);
+  check Alcotest.bool "the two children's games share unary scans" true
+    (pb.Wd_core.Pebble_cache.unary_hits > 0)
+
+(* ------------------------------------------------------------------ *)
 (* Verdict LRU                                                         *)
 (* ------------------------------------------------------------------ *)
 
@@ -137,6 +221,18 @@ let () =
           Alcotest.test_case "warm reuse" `Quick test_warm_reuse;
           Alcotest.test_case "epoch invalidation" `Quick
             test_epoch_invalidation;
+        ] );
+      ( "mru",
+        [
+          Alcotest.test_case "two stores alternate warm" `Quick
+            test_mru_two_stores;
+          Alcotest.test_case "capacity 1 evicts" `Quick
+            test_plan_capacity_eviction;
+        ] );
+      ( "unary",
+        [
+          Alcotest.test_case "base domains shared across families" `Quick
+            test_unary_sharing;
         ] );
       ("lru", [ Alcotest.test_case "verdict eviction" `Quick test_verdict_lru ]);
     ]
