@@ -5,6 +5,7 @@
      check     membership of a single mapping (naive or pebble algorithm)
      width     structural analysis: all width measures and the regime
      validate  well-designedness check with a diagnostic
+     analyze   static analyzer: verdict + spans, lints, width estimates
      clique    solve k-CLIQUE via the hardness reduction (demo)
 
    Every subcommand accepts --timeout/--fuel/--max-solutions resource
@@ -214,8 +215,25 @@ let eval_cmd =
             forest graph
       | Some `Pebble | None ->
           let force = Option.map (fun k -> Wd_core.Engine.Pebble k) k in
+          (* Static width estimation up front: the exact dw it measures is
+             handed to [Engine.plan] as a hint, so planning skips its own
+             exponential recomputation; under a tight budget the static
+             bound is the degradation target. *)
+          let hints =
+            if Sparql.Algebra.is_core pattern then begin
+              let est =
+                Analysis.Width_est.estimate ~budget:(fresh_budget spec)
+                  (Wdpt.Pattern_forest.of_algebra pattern)
+              in
+              if explain then
+                Fmt.pr "static width: %a@." Analysis.Width_est.pp est;
+              Analysis.Width_est.hints est
+            end
+            else Wd_core.Engine.no_hints
+          in
           let plan =
-            Wd_core.Engine.plan ~budget:(fresh_budget spec) ?force pattern
+            Wd_core.Engine.plan ~budget:(fresh_budget spec) ~hints ?force
+              pattern
           in
           if explain then Fmt.pr "%a@." Wd_core.Engine.pp_plan plan;
           let sols, cache_stats =
@@ -293,6 +311,50 @@ let validate_cmd =
   Cmd.v
     (Cmd.info "validate" ~doc:"Check well-designedness.")
     Term.(const run $ query_arg $ budget_term)
+
+let analyze_cmd =
+  let json_arg =
+    Arg.(
+      value & flag
+      & info [ "json" ]
+          ~doc:"Machine-readable output: one JSON object with the verdict, \
+                width estimates and diagnostics (stable schema, see \
+                docs/ANALYSIS.md).")
+  in
+  let data_opt_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "d"; "data" ] ~docv:"FILE"
+          ~doc:"Optional Turtle data file; enables the store-dependent \
+                lint rules (unsatisfiable-triple).")
+  in
+  let run query data json spec =
+    handle @@ fun () ->
+    let graph = Option.map load_graph data in
+    let source, src =
+      if Sys.file_exists query then (query, read_file query)
+      else ("query", query)
+    in
+    let report =
+      match
+        Analysis.Analyzer.of_source ?graph ~budget:(fresh_budget spec)
+          ~source src
+      with
+      | Ok r -> r
+      | Error e -> E.fail e
+    in
+    if json then
+      print_endline (Analysis.Json.to_string (Analysis.Analyzer.to_json report))
+    else Fmt.pr "%a@." Analysis.Analyzer.pp report;
+    exit (if Analysis.Analyzer.has_findings report then 1 else 0)
+  in
+  Cmd.v
+    (Cmd.info "analyze"
+       ~doc:"Static analysis: designedness verdict (well / weakly-well / \
+             ill, with witness spans), lint findings, and static width \
+             estimates. Exit 0 when clean, 1 when there are findings.")
+    Term.(const run $ query_arg $ data_opt_arg $ json_arg $ budget_term)
 
 let clique_cmd =
   let n_arg =
@@ -452,6 +514,7 @@ let () =
        (Cmd.group
           (Cmd.info "wdsparql" ~version:"1.0.0" ~doc)
           [
-            eval_cmd; check_cmd; width_cmd; validate_cmd; explain_cmd;
+            eval_cmd; check_cmd; width_cmd; validate_cmd; analyze_cmd;
+            explain_cmd;
             stats_cmd; containment_cmd; optimize_cmd; clique_cmd; fuzz_cmd;
           ]))

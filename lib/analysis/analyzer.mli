@@ -1,0 +1,60 @@
+(** The static query analyzer: one pass over a parsed pattern — before any
+    evaluation — producing the designedness verdict (well / weakly-well /
+    ill), the lint findings of {!Lints}, and the static width estimates of
+    {!Width_est}, all with source spans. [wdsparql analyze] is a thin
+    wrapper over this module; [Engine.plan] consumes {!hints}. *)
+
+open Rdf
+
+type width_info =
+  | Width of Width_est.t
+  | Width_unavailable of string
+      (** why the width machinery does not apply (outside the core
+          fragment, or not well-designed) *)
+
+type report = {
+  source : string;  (** input name: a file path, or ["query"] *)
+  pattern : Sparql.Algebra.t;
+  spans : Sparql.Spans.t;
+  designedness : Designedness.t;
+  width : width_info;
+  diagnostics : Diagnostic.t list;  (** sorted by span, then rule *)
+}
+
+val analyze :
+  ?graph:Graph.t ->
+  ?budget:Resource.Budget.t ->
+  ?source:string ->
+  spans:Sparql.Spans.t ->
+  Sparql.Algebra.t ->
+  report
+(** Run every pass. [graph] enables the store-dependent
+    [unsatisfiable-triple] rule; [budget] limits the (exponential) exact
+    width computation, which degrades to the static bound on exhaustion. *)
+
+val of_source :
+  ?graph:Graph.t ->
+  ?budget:Resource.Budget.t ->
+  ?source:string ->
+  string ->
+  (report, Wdsparql_error.t) result
+(** Parse with spans, then {!analyze}. *)
+
+val hints : report -> Wd_core.Engine.hints
+(** The plan hints this analysis justifies; {!Wd_core.Engine.no_hints}
+    when the width machinery does not apply. *)
+
+val has_findings : report -> bool
+
+val node_spans :
+  spans:Sparql.Spans.t -> Wdpt.Pattern_tree.t ->
+  (Wdpt.Pattern_tree.node * Sparql.Span.t) list
+(** Source span of every pattern-forest node: the join of the spans of the
+    node's triples (resolved structurally against the parse). *)
+
+val to_json : report -> Json.t
+(** Stable machine-readable report: analyzer/schema tag, source, verdict,
+    width object (or the unavailability reason), sorted diagnostics. *)
+
+val pp : report Fmt.t
+(** Human-readable rendering: verdict, width summary, findings. *)

@@ -1,0 +1,164 @@
+open Rdf
+module A = Sparql.Algebra
+
+type unsafe_variable = {
+  variable : Variable.t;
+  opt : A.t;
+  right : A.t;
+  outside : A.t;
+  outside_opt : A.t option;
+  wwd_safe : bool;
+}
+
+type problem =
+  | Unsafe_variable of unsafe_variable
+  | Nested_union of A.t
+  | Unsafe_filter of A.t * Sparql.Condition.t
+  | Nested_select of A.t
+
+type verdict = Well_designed | Weakly_well_designed | Ill_designed
+
+type t = { verdict : verdict; problems : problem list }
+
+let verdict_to_string = function
+  | Well_designed -> "well-designed"
+  | Weakly_well_designed -> "weakly-well-designed"
+  | Ill_designed -> "ill-designed"
+
+(* Occurrences are addressed by their path from the branch root: 0 is the
+   left argument (or the only child of FILTER/SELECT), 1 the right. *)
+let rec is_prefix p q =
+  match (p, q) with
+  | [], _ -> true
+  | _, [] -> false
+  | a :: p', b :: q' -> a = b && is_prefix p' q'
+
+type occurrences = {
+  mutable opts : (int list * A.t * A.t * A.t) list;
+      (* path, Opt occurrence, left arm, right arm *)
+  mutable triples : (int list * Triple.t * A.t) list;
+      (* path, triple, Triple occurrence *)
+  mutable structural : problem list;
+}
+
+let collect branch =
+  let occ = { opts = []; triples = []; structural = [] } in
+  let rec walk path p =
+    match p with
+    | A.Triple t -> occ.triples <- (List.rev path, t, p) :: occ.triples
+    | A.And (a, b) ->
+        walk (0 :: path) a;
+        walk (1 :: path) b
+    | A.Opt (a, b) ->
+        occ.opts <- (List.rev path, p, a, b) :: occ.opts;
+        walk (0 :: path) a;
+        walk (1 :: path) b
+    | A.Union (a, b) ->
+        occ.structural <- Nested_union p :: occ.structural;
+        walk (0 :: path) a;
+        walk (1 :: path) b
+    | A.Filter (q, c) ->
+        if not (Variable.Set.subset (Sparql.Condition.vars c) (A.vars q)) then
+          occ.structural <- Unsafe_filter (p, c) :: occ.structural;
+        walk (0 :: path) q
+    | A.Select (_, q) ->
+        occ.structural <- Nested_select p :: occ.structural;
+        walk (0 :: path) q
+  in
+  walk [] branch;
+  occ.opts <- List.rev occ.opts;
+  occ.triples <- List.rev occ.triples;
+  occ.structural <- List.rev occ.structural;
+  occ
+
+(* Kaminski & Kostylev safety of an outside re-occurrence at [q_path],
+   w.r.t. the violated OPT at [opt_path]: there must be an OPT occurrence
+   e' = (A' OPT B') with the violated OPT inside A' and the re-occurrence
+   inside B'. *)
+let wwd_safe_occurrence occ ~opt_path ~occ_path =
+  List.exists
+    (fun (p', _, _, _) ->
+      is_prefix (p' @ [ 0 ]) opt_path && is_prefix (p' @ [ 1 ]) occ_path)
+    occ.opts
+
+(* The innermost OPT whose right arm contains the occurrence at [path]. *)
+let enclosing_opt occ path =
+  let candidates =
+    List.filter (fun (p', _, _, _) -> is_prefix (p' @ [ 1 ]) path) occ.opts
+  in
+  match
+    List.sort
+      (fun (a, _, _, _) (b, _, _, _) ->
+        compare (List.length b) (List.length a))
+      candidates
+  with
+  | (_, e, _, _) :: _ -> Some e
+  | [] -> None
+
+let analyze_branch branch =
+  let occ = collect branch in
+  let unsafe =
+    List.concat_map
+      (fun (opt_path, opt, left, right) ->
+        let dangerous = Variable.Set.diff (A.vars right) (A.vars left) in
+        Variable.Set.fold
+          (fun v acc ->
+            let outside_occs =
+              List.filter
+                (fun (q_path, t, _) ->
+                  Variable.Set.mem v (Triple.vars t)
+                  && not (is_prefix opt_path q_path))
+                occ.triples
+            in
+            match outside_occs with
+            | [] -> acc
+            | _ :: _ ->
+                let safe =
+                  List.for_all
+                    (fun (q_path, _, _) ->
+                      wwd_safe_occurrence occ ~opt_path ~occ_path:q_path)
+                    outside_occs
+                in
+                (* Point the witness at an unsafe re-occurrence when there
+                   is one, else at the first. *)
+                let q_path, _, outside =
+                  match
+                    List.find_opt
+                      (fun (q_path, _, _) ->
+                        not (wwd_safe_occurrence occ ~opt_path ~occ_path:q_path))
+                      outside_occs
+                  with
+                  | Some o -> o
+                  | None -> List.hd outside_occs
+                in
+                Unsafe_variable
+                  {
+                    variable = v;
+                    opt;
+                    right;
+                    outside;
+                    outside_opt = enclosing_opt occ q_path;
+                    wwd_safe = safe;
+                  }
+                :: acc)
+          dangerous []
+        |> List.rev)
+      occ.opts
+  in
+  occ.structural @ unsafe
+
+let analyze p =
+  let body = match p with A.Select (_, q) -> q | q -> q in
+  let problems =
+    List.concat_map analyze_branch (Sparql.Well_designed.union_branches body)
+  in
+  let verdict =
+    if problems = [] then Well_designed
+    else if
+      List.for_all
+        (function Unsafe_variable { wwd_safe; _ } -> wwd_safe | _ -> false)
+        problems
+    then Weakly_well_designed
+    else Ill_designed
+  in
+  { verdict; problems }

@@ -1,0 +1,53 @@
+(** Well-designedness analysis with full witnesses.
+
+    Where {!Sparql.Well_designed.check} stops at the first violation, this
+    pass finds {e every} offending variable, keeps the subpattern
+    occurrences witnessing each violation (so the analyzer can attach
+    source spans to both sides), and additionally classifies the pattern
+    against the {e weakly well-designed} fragment of Kaminski & Kostylev
+    (ICDT'16, see PAPERS.md): a violating re-occurrence is harmless when it
+    can only ever be reached after the violated OPT had its chance to bind
+    — concretely, when it sits in the right arm of a later OPT whose
+    mandatory (left) part contains the violated OPT.
+
+    The verdict agrees with {!Sparql.Well_designed.check} on
+    well-designedness: [verdict = Well_designed] iff [check] returns
+    [Ok ()] (property-tested). FILTER conditions follow the same
+    convention as [check]: only triple patterns bind variables. *)
+
+open Rdf
+
+type unsafe_variable = {
+  variable : Variable.t;
+  opt : Sparql.Algebra.t;  (** the OPT occurrence whose right arm introduces it *)
+  right : Sparql.Algebra.t;  (** that right arm *)
+  outside : Sparql.Algebra.t;
+      (** the triple occurrence re-using the variable outside [opt] *)
+  outside_opt : Sparql.Algebra.t option;
+      (** the innermost OPT occurrence whose right arm contains [outside],
+          when there is one — the second OPT span of the witness pair *)
+  wwd_safe : bool;
+      (** every outside re-occurrence of this variable sits in a
+          weakly-well-designed-safe position *)
+}
+
+type problem =
+  | Unsafe_variable of unsafe_variable
+  | Nested_union of Sparql.Algebra.t
+  | Unsafe_filter of Sparql.Algebra.t * Sparql.Condition.t
+  | Nested_select of Sparql.Algebra.t
+
+type verdict =
+  | Well_designed
+  | Weakly_well_designed
+      (** not well-designed, but every violation is wwd-safe *)
+  | Ill_designed
+
+type t = { verdict : verdict; problems : problem list }
+
+val analyze : Sparql.Algebra.t -> t
+(** [problems] is empty iff the pattern is well-designed; it lists one
+    {!Unsafe_variable} per (OPT occurrence, variable) violating pair. *)
+
+val verdict_to_string : verdict -> string
+(** ["well-designed" | "weakly-well-designed" | "ill-designed"]. *)

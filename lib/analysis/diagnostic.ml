@@ -1,0 +1,140 @@
+open Sparql
+
+type severity = Error | Warning | Info
+
+let severity_to_string = function
+  | Error -> "error"
+  | Warning -> "warning"
+  | Info -> "info"
+
+let severity_of_string = function
+  | "error" -> Some Error
+  | "warning" -> Some Warning
+  | "info" -> Some Info
+  | _ -> None
+
+type related = { where : Span.t; note : string }
+
+type t = {
+  rule : string;
+  severity : severity;
+  span : Span.t;
+  message : string;
+  related : related list;
+}
+
+let make ~rule ~severity ~span ?(related = []) message =
+  { rule; severity; span; message; related }
+
+let compare a b =
+  match Span.compare a.span b.span with
+  | 0 -> (
+      match String.compare a.rule b.rule with
+      | 0 -> String.compare a.message b.message
+      | c -> c)
+  | c -> c
+
+(* ---------------- JSON ---------------- *)
+
+let span_to_json span =
+  if Span.is_dummy span then Json.Null
+  else
+    Json.Obj
+      [
+        ( "start",
+          Json.Obj
+            [
+              ("line", Json.Int span.Span.start.Span.line);
+              ("col", Json.Int span.Span.start.Span.col);
+            ] );
+        ( "end",
+          Json.Obj
+            [
+              ("line", Json.Int span.Span.stop.Span.line);
+              ("col", Json.Int span.Span.stop.Span.col);
+            ] );
+      ]
+
+let span_of_json = function
+  | Json.Null -> Ok Span.dummy
+  | j -> (
+      let pos key =
+        match Json.member key j with
+        | Some p -> (
+            match
+              ( Option.bind (Json.member "line" p) Json.to_int,
+                Option.bind (Json.member "col" p) Json.to_int )
+            with
+            | Some line, Some col -> Some { Span.line; col }
+            | _ -> None)
+        | None -> None
+      in
+      match (pos "start", pos "end") with
+      | Some start, Some stop -> Ok (Span.make ~start ~stop)
+      | _ -> Error "malformed span")
+
+let to_json d =
+  Json.Obj
+    [
+      ("rule", Json.String d.rule);
+      ("severity", Json.String (severity_to_string d.severity));
+      ("span", span_to_json d.span);
+      ("message", Json.String d.message);
+      ( "related",
+        Json.List
+          (List.map
+             (fun r ->
+               Json.Obj
+                 [ ("span", span_to_json r.where); ("note", Json.String r.note) ])
+             d.related) );
+    ]
+
+let of_json j =
+  let ( let* ) = Result.bind in
+  let str key =
+    match Option.bind (Json.member key j) Json.to_str with
+    | Some s -> Ok s
+    | None -> Error (Printf.sprintf "missing string field %S" key)
+  in
+  let* rule = str "rule" in
+  let* severity_s = str "severity" in
+  let* severity =
+    match severity_of_string severity_s with
+    | Some s -> Ok s
+    | None -> Error (Printf.sprintf "unknown severity %S" severity_s)
+  in
+  let* span =
+    span_of_json (Option.value (Json.member "span" j) ~default:Json.Null)
+  in
+  let* message = str "message" in
+  let* related =
+    match Json.member "related" j with
+    | None | Some Json.Null -> Ok []
+    | Some rel -> (
+        match Json.to_list rel with
+        | None -> Error "related is not a list"
+        | Some items ->
+            List.fold_left
+              (fun acc item ->
+                let* acc = acc in
+                let* where =
+                  span_of_json
+                    (Option.value (Json.member "span" item) ~default:Json.Null)
+                in
+                match Option.bind (Json.member "note" item) Json.to_str with
+                | Some note -> Ok ({ where; note } :: acc)
+                | None -> Error "related item without note")
+              (Ok []) items
+            |> Result.map List.rev)
+  in
+  Ok { rule; severity; span; message; related }
+
+(* ---------------- human-readable ---------------- *)
+
+let pp ppf d =
+  Fmt.pf ppf "%a: %s[%s]: %s" Span.pp d.span
+    (severity_to_string d.severity)
+    d.rule d.message;
+  List.iter
+    (fun r -> Fmt.pf ppf "@.  note: %s at %a" r.note Span.pp r.where)
+    d.related

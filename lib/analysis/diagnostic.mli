@@ -1,0 +1,40 @@
+(** Structured analyzer findings: rule id, severity, source span, message,
+    and related locations — the unit of output of [wdsparql analyze],
+    rendered either human-readably or as SARIF-like JSON. *)
+
+type severity = Error | Warning | Info
+
+val severity_to_string : severity -> string
+(** ["error"], ["warning"], ["info"] — the JSON encoding. *)
+
+val severity_of_string : string -> severity option
+
+type related = { where : Sparql.Span.t; note : string }
+(** A secondary location: e.g. the second OPT span witnessing a
+    well-designedness violation. *)
+
+type t = {
+  rule : string;  (** stable rule id, e.g. ["wd-unsafe-variable"] *)
+  severity : severity;
+  span : Sparql.Span.t;  (** primary location; {!Sparql.Span.dummy} if unknown *)
+  message : string;
+  related : related list;
+}
+
+val make :
+  rule:string -> severity:severity -> span:Sparql.Span.t ->
+  ?related:related list -> string -> t
+
+val compare : t -> t -> int
+(** Span order, then rule id, then message — the stable output order. *)
+
+val to_json : t -> Json.t
+(** [{"rule": …, "severity": …, "span": {"start": {"line", "col"},
+    "end": …} | null, "message": …, "related": [{"span": …, "note": …}]}]. *)
+
+val of_json : Json.t -> (t, string) result
+(** Inverse of {!to_json} (tested by round-trip). *)
+
+val pp : t Fmt.t
+(** One finding, [line:col-line:col severity[rule]: message] plus indented
+    [note:] lines for related spans. *)

@@ -1,0 +1,264 @@
+open Rdf
+module A = Sparql.Algebra
+module Spans = Sparql.Spans
+
+let span spans p = Spans.find_or_dummy spans p
+
+(* Variables guaranteed to be bound by every solution of [p]: variables of
+   a mandatory triple occurrence. OPT right arms are optional; a UNION
+   binds only what every branch binds. *)
+let rec mandatory_vars = function
+  | A.Triple t -> Triple.vars t
+  | A.And (a, b) -> Variable.Set.union (mandatory_vars a) (mandatory_vars b)
+  | A.Opt (a, _) -> mandatory_vars a
+  | A.Union (a, b) -> Variable.Set.inter (mandatory_vars a) (mandatory_vars b)
+  | A.Filter (q, _) | A.Select (_, q) -> mandatory_vars q
+
+(* First (pre-order) triple occurrence mentioning [v]. *)
+let rec first_binding v = function
+  | A.Triple t as occ ->
+      if Variable.Set.mem v (Triple.vars t) then Some occ else None
+  | A.And (a, b) | A.Opt (a, b) | A.Union (a, b) -> (
+      match first_binding v a with Some o -> Some o | None -> first_binding v b)
+  | A.Filter (q, _) | A.Select (_, q) -> first_binding v q
+
+let binding_note spans v p =
+  match first_binding v p with
+  | Some occ ->
+      [
+        {
+          Diagnostic.where = span spans occ;
+          note = Fmt.str "%a is bound here, inside an optional arm" Variable.pp v;
+        };
+      ]
+  | None -> []
+
+(* ---------------- rules ---------------- *)
+
+let projected_unused ~spans p =
+  match p with
+  | A.Select (vars, body) ->
+      let body_vars = A.vars body in
+      Variable.Set.fold
+        (fun v acc ->
+          if Variable.Set.mem v body_vars then acc
+          else
+            Diagnostic.make ~rule:"projected-variable-unused"
+              ~severity:Diagnostic.Warning ~span:(span spans p)
+              (Fmt.str
+                 "projected variable %a does not occur in the pattern body"
+                 Variable.pp v)
+            :: acc)
+        vars []
+      |> List.rev
+  | _ -> []
+
+let possibly_unbound ~spans p =
+  let from_projection =
+    match p with
+    | A.Select (vars, body) ->
+        let body_vars = A.vars body and always = mandatory_vars body in
+        Variable.Set.fold
+          (fun v acc ->
+            if Variable.Set.mem v body_vars && not (Variable.Set.mem v always)
+            then
+              Diagnostic.make ~rule:"possibly-unbound-variable"
+                ~severity:Diagnostic.Warning ~span:(span spans p)
+                ~related:(binding_note spans v body)
+                (Fmt.str
+                   "projected variable %a is only bound inside an optional \
+                    arm and may be unbound in answers"
+                   Variable.pp v)
+              :: acc
+            else acc)
+          vars []
+        |> List.rev
+    | _ -> []
+  in
+  let from_filters = ref [] in
+  let rec walk q =
+    (match q with
+    | A.Filter (body, condition) ->
+        let body_vars = A.vars body and always = mandatory_vars body in
+        Variable.Set.iter
+          (fun v ->
+            if Variable.Set.mem v body_vars && not (Variable.Set.mem v always)
+            then
+              from_filters :=
+                Diagnostic.make ~rule:"possibly-unbound-variable"
+                  ~severity:Diagnostic.Warning ~span:(span spans q)
+                  ~related:(binding_note spans v body)
+                  (Fmt.str
+                     "FILTER uses %a, which is only bound inside an optional \
+                      arm and may be unbound when the filter runs"
+                     Variable.pp v)
+                :: !from_filters)
+          (Sparql.Condition.vars condition)
+    | A.Triple _ | A.And _ | A.Opt _ | A.Union _ | A.Select _ -> ());
+    match q with
+    | A.Triple _ -> ()
+    | A.And (a, b) | A.Opt (a, b) | A.Union (a, b) ->
+        walk a;
+        walk b
+    | A.Filter (body, _) | A.Select (_, body) -> walk body
+  in
+  walk p;
+  from_projection @ List.rev !from_filters
+
+let unsatisfiable ~stats ~dom ~spans p =
+  let diags = ref [] in
+  let check_triple occ t =
+    let reason =
+      match t.Triple.p with
+      | Term.Iri iri when Stats.predicate stats iri = None ->
+          Some (Fmt.str "predicate %a never occurs in the store" Iri.pp iri)
+      | _ -> (
+          let missing pos term =
+            match term with
+            | Term.Iri iri when not (Iri.Set.mem iri dom) ->
+                Some (Fmt.str "%s %a does not occur in the store" pos Iri.pp iri)
+            | _ -> None
+          in
+          match missing "subject" t.Triple.s with
+          | Some r -> Some r
+          | None -> missing "object" t.Triple.o)
+    in
+    match reason with
+    | Some r ->
+        diags :=
+          Diagnostic.make ~rule:"unsatisfiable-triple"
+            ~severity:Diagnostic.Warning ~span:(span spans occ)
+            (Fmt.str "triple pattern can never match: %s" r)
+          :: !diags
+    | None -> ()
+  in
+  let rec walk = function
+    | A.Triple t as occ -> check_triple occ t
+    | A.And (a, b) | A.Opt (a, b) | A.Union (a, b) ->
+        walk a;
+        walk b
+    | A.Filter (q, _) | A.Select (_, q) -> walk q
+  in
+  walk p;
+  List.rev !diags
+
+let dead_optional ~spans p =
+  let diags = ref [] in
+  let rec walk = function
+    | A.Triple _ -> ()
+    | A.Opt (a, b) as occ ->
+        if Variable.Set.subset (A.vars b) (A.vars a) then
+          diags :=
+            Diagnostic.make ~rule:"dead-optional" ~severity:Diagnostic.Warning
+              ~span:(span spans occ)
+              ~related:
+                [
+                  {
+                    Diagnostic.where = span spans b;
+                    note = "this optional arm introduces no new variable";
+                  };
+                ]
+              "OPTIONAL arm binds no new variable, so it never extends a \
+               solution (dead branch)"
+            :: !diags;
+        walk a;
+        walk b
+    | A.And (a, b) | A.Union (a, b) ->
+        walk a;
+        walk b
+    | A.Filter (q, _) | A.Select (_, q) -> walk q
+  in
+  walk p;
+  List.rev !diags
+
+let union_normal_form ~spans p =
+  let diags = ref [] in
+  (* UNION and a top-level SELECT are transparent; once below AND, OPT or
+     FILTER, any UNION deviates from UNION normal form. *)
+  let rec walk ~below_op = function
+    | A.Triple _ -> ()
+    | A.Union (a, b) as occ ->
+        if below_op then
+          diags :=
+            Diagnostic.make ~rule:"union-normal-form"
+              ~severity:Diagnostic.Error ~span:(span spans occ)
+              "UNION nested below AND/OPT/FILTER: the pattern is not in \
+               UNION normal form"
+            :: !diags;
+        walk ~below_op a;
+        walk ~below_op b
+    | A.And (a, b) | A.Opt (a, b) ->
+        walk ~below_op:true a;
+        walk ~below_op:true b
+    | A.Filter (q, _) -> walk ~below_op:true q
+    | A.Select (_, q) -> walk ~below_op q
+  in
+  walk ~below_op:false p;
+  List.rev !diags
+
+let duplicate_triples ~spans p =
+  let diags = ref [] in
+  (* Triple leaves of a maximal AND-chain (one conjunction scope). *)
+  let rec conjuncts = function
+    | A.And (a, b) -> conjuncts a @ conjuncts b
+    | q -> [ q ]
+  in
+  let scope_root = function
+    | A.And _ as q -> Some (conjuncts q)
+    | _ -> None
+  in
+  let report leaves =
+    let seen = ref [] in
+    List.iter
+      (fun occ ->
+        match occ with
+        | A.Triple t -> (
+            match
+              List.find_opt (fun (t', _) -> Triple.equal t t') !seen
+            with
+            | Some (_, first) ->
+                diags :=
+                  Diagnostic.make ~rule:"duplicate-triple"
+                    ~severity:Diagnostic.Info ~span:(span spans occ)
+                    ~related:
+                      [
+                        {
+                          Diagnostic.where = span spans first;
+                          note = "first occurrence";
+                        };
+                      ]
+                    (Fmt.str "duplicate triple pattern %a in one conjunction"
+                       Triple.pp t)
+                  :: !diags
+            | None -> seen := (t, occ) :: !seen)
+        | _ -> ())
+      leaves
+  in
+  let rec walk ~parent_is_and q =
+    (if not parent_is_and then
+       match scope_root q with Some leaves -> report leaves | None -> ());
+    match q with
+    | A.Triple _ -> ()
+    | A.And (a, b) ->
+        walk ~parent_is_and:true a;
+        walk ~parent_is_and:true b
+    | A.Opt (a, b) | A.Union (a, b) ->
+        walk ~parent_is_and:false a;
+        walk ~parent_is_and:false b
+    | A.Filter (body, _) | A.Select (_, body) -> walk ~parent_is_and:false body
+  in
+  walk ~parent_is_and:false p;
+  List.rev !diags
+
+let check ?stats ?dom ~spans p =
+  let store_rule =
+    match (stats, dom) with
+    | Some stats, Some dom -> unsatisfiable ~stats ~dom ~spans p
+    | _ -> []
+  in
+  projected_unused ~spans p
+  @ possibly_unbound ~spans p
+  @ store_rule
+  @ dead_optional ~spans p
+  @ union_normal_form ~spans p
+  @ duplicate_triples ~spans p

@@ -1,0 +1,35 @@
+(** The lint rules of the static analyzer — findings about patterns that
+    are {e legal} (often even well-designed) but wasteful, dead, or
+    probably not what the author meant. See [docs/ANALYSIS.md] for the
+    rule catalogue with minimal triggering queries.
+
+    Rules and ids:
+    - [projected-variable-unused] (warning): a SELECT variable that occurs
+      nowhere in the pattern body.
+    - [possibly-unbound-variable] (warning): a variable used in the
+      projection or in a FILTER whose every binding occurrence (triple
+      pattern) lies inside an OPT right arm — no solution is required to
+      bind it, so the use can observe an unbound variable.
+    - [unsatisfiable-triple] (warning, needs a store): a triple pattern
+      with a constant predicate/subject/object that does not occur in the
+      loaded store's vocabulary — the triple can never match.
+    - [dead-optional] (warning): an OPT whose right arm introduces no new
+      variable over its left arm; it never extends any solution (NR
+      normal form erases it).
+    - [union-normal-form] (error): a UNION nested below AND, OPT or
+      FILTER — the pattern deviates from UNION normal form (and is
+      consequently not well-designed).
+    - [duplicate-triple] (info): the same triple pattern written twice in
+      one conjunction. *)
+
+open Rdf
+
+val check :
+  ?stats:Stats.t ->
+  ?dom:Iri.Set.t ->
+  spans:Sparql.Spans.t ->
+  Sparql.Algebra.t ->
+  Diagnostic.t list
+(** All lint findings, in traversal order (the analyzer sorts). The
+    store-dependent [unsatisfiable-triple] rule only runs when [stats]
+    and [dom] (see {!Rdf.Stats.of_graph}, {!Rdf.Graph.dom}) are given. *)

@@ -6,7 +6,15 @@ type algorithm =
 
 type width_source =
   | Exact
+  | From_hint of { exact : bool }
   | Fallback_upper_bound of { phase : string; spent : int }
+
+type hints = {
+  dw_exact : int option;
+  dw_upper : int option;
+}
+
+let no_hints = { dw_exact = None; dw_upper = None }
 
 type plan = {
   pattern : Sparql.Algebra.t;
@@ -17,19 +25,31 @@ type plan = {
   cache : Plan_cache.t;
 }
 
-let plan ?(budget = Budget.unlimited) ?force ?verdict_capacity ?plan_capacity
-    pattern =
+let plan ?(budget = Budget.unlimited) ?(hints = no_hints) ?force
+    ?verdict_capacity ?plan_capacity pattern =
   let forest = Wdpt.Pattern_forest.of_algebra pattern in
   let domination_width, width_source =
-    match Domination_width.of_forest ~budget forest with
-    | dw -> (dw, Exact)
-    | exception Budget.Exhausted { phase; spent } ->
-        (* Exact dw ran out of budget: degrade to a polynomial-time
-           treewidth upper bound on the full patterns. dw(F) never exceeds
-           it, so running the pebble game at this k stays exact — just
-           possibly slower than at the true dw. *)
-        ( Domination_width.cheap_upper_bound forest,
-          Fallback_upper_bound { phase; spent } )
+    match hints.dw_exact with
+    | Some dw ->
+        (* The static analyzer already measured the exact width for this
+           pattern; reuse it rather than re-running the exponential
+           computation. *)
+        (dw, From_hint { exact = true })
+    | None -> (
+        match Domination_width.of_forest ~budget forest with
+        | dw -> (dw, Exact)
+        | exception Budget.Exhausted { phase; spent } -> (
+            (* Exact dw ran out of budget: degrade to a polynomial-time
+               upper bound. dw(F) never exceeds it, so running the pebble
+               game at this k stays exact — just possibly slower than at
+               the true dw. A hinted bound (the analyzer's static
+               branch-treewidth estimate) takes precedence over
+               recomputing the treewidth heuristic. *)
+            match hints.dw_upper with
+            | Some ub -> (ub, From_hint { exact = false })
+            | None ->
+                ( Domination_width.cheap_upper_bound forest,
+                  Fallback_upper_bound { phase; spent } )))
   in
   let algorithm =
     match force with Some a -> a | None -> Pebble domination_width
@@ -69,6 +89,12 @@ let count ?budget ?domains plan graph =
 
 let pp_width_source ppf = function
   | Exact -> Fmt.string ppf "exact"
+  | From_hint { exact = true } ->
+      Fmt.string ppf "exact (from static analyzer hint, recomputation skipped)"
+  | From_hint { exact = false } ->
+      Fmt.string ppf
+        "upper bound (static analyzer hint; exact computation exhausted its \
+         budget)"
   | Fallback_upper_bound { phase; spent } ->
       Fmt.pf ppf
         "upper bound (exact computation exhausted its budget in phase %s \

@@ -10,12 +10,35 @@ type algorithm =
 
 type width_source =
   | Exact  (** the plan's width is the measured domination width *)
+  | From_hint of { exact : bool }
+      (** the width came from a static-analysis hint ({!hints}): the
+          analyzer's exact measurement when [exact], its conservative
+          static upper bound otherwise. Either way the exponential
+          in-plan width computation was skipped. *)
   | Fallback_upper_bound of { phase : string; spent : int }
       (** exact domination width exhausted its budget (in [phase], after
           [spent] steps); the plan carries the polynomial-time treewidth
           upper bound of {!Domination_width.cheap_upper_bound} instead.
           Evaluation stays exact — the pebble game is sound and complete at
           any [k >= dw] — it may just be slower than at the true width. *)
+
+type hints = {
+  dw_exact : int option;
+      (** exact domination width, measured by the static analyzer; when
+          present, {!plan} uses it verbatim and skips its own
+          (exponential) computation *)
+  dw_upper : int option;
+      (** conservative static upper bound on the domination width (the
+          analyzer's per-branch treewidth estimate); used as the
+          degradation target when the in-plan exact computation runs out
+          of budget *)
+}
+(** Plan hints produced by static analysis ([Analysis.Width_est.hints]).
+    Soundness contract: [dw_exact] must be the true domination width of
+    the pattern and [dw_upper] an upper bound on it — the pebble
+    algorithm is exact at any [k >= dw]. *)
+
+val no_hints : hints
 
 type plan = {
   pattern : Sparql.Algebra.t;
@@ -30,15 +53,17 @@ type plan = {
 }
 
 val plan :
-  ?budget:Resource.Budget.t -> ?force:algorithm -> ?verdict_capacity:int ->
-  ?plan_capacity:int ->
+  ?budget:Resource.Budget.t -> ?hints:hints -> ?force:algorithm ->
+  ?verdict_capacity:int -> ?plan_capacity:int ->
   Sparql.Algebra.t -> plan
 (** Build a plan. By default the pebble algorithm at the query's measured
-    domination width is chosen (always exact); [force] overrides. If
+    domination width is chosen (always exact); [force] overrides. A
+    [hints.dw_exact] skips the width computation entirely; otherwise, if
     [budget] runs out during the (exponential) exact domination-width
-    computation, the plan gracefully degrades to a conservative treewidth
-    upper bound and records the downgrade in [width_source] so that
-    {!pp_plan} and [Explain] surface it. [verdict_capacity] bounds the
+    computation, the plan gracefully degrades to [hints.dw_upper] (when
+    given) or a conservative treewidth upper bound, and records the
+    downgrade in [width_source] so that {!pp_plan} and [Explain] surface
+    it. [verdict_capacity] bounds the
     plan's memoized pebble verdicts ({!Pebble_cache.create});
     [plan_capacity] how many stores the plan caches compiled artefacts
     for at once ({!Plan_cache.create}, default 4). Raises

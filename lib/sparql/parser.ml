@@ -36,46 +36,53 @@ let is_name_char c =
   || (c >= '0' && c <= '9')
   || c = '_' || c = '-'
 
+(* Tokens carry the span of their source text, so the parser can attach
+   line/column spans to every subpattern it builds (see {!Spans}). *)
 let tokenize src =
   let n = String.length src in
   let tokens = ref [] in
   let line = ref 1 in
+  let bol = ref 0 (* offset of the current line's first character *) in
   let i = ref 0 in
-  let emit tok = tokens := (tok, !line) :: !tokens in
+  let pos () = { Span.line = !line; col = !i - !bol + 1 } in
+  (* Advance over [k] chars of the current line. *)
+  let here k = Span.point ~line:!line ~col:(!i - !bol + 1) ~len:k in
+  let emit span tok = tokens := (tok, span) :: !tokens in
   while !i < n do
     let c = src.[!i] in
     if c = '\n' then begin
       incr line;
-      incr i
+      incr i;
+      bol := !i
     end
     else if is_ws c then incr i
     else if c = '#' then
       while !i < n && src.[!i] <> '\n' do incr i done
-    else if c = '{' then begin emit Lbrace; incr i end
-    else if c = '}' then begin emit Rbrace; incr i end
-    else if c = '(' then begin emit Lparen; incr i end
-    else if c = ')' then begin emit Rparen; incr i end
-    else if c = '=' then begin emit Op_eq; incr i end
+    else if c = '{' then begin emit (here 1) Lbrace; incr i end
+    else if c = '}' then begin emit (here 1) Rbrace; incr i end
+    else if c = '(' then begin emit (here 1) Lparen; incr i end
+    else if c = ')' then begin emit (here 1) Rparen; incr i end
+    else if c = '=' then begin emit (here 1) Op_eq; incr i end
     else if c = '!' && !i + 1 < n && src.[!i + 1] = '=' then begin
-      emit Op_neq;
+      emit (here 2) Op_neq;
       i := !i + 2
     end
-    else if c = '!' then begin emit Op_not; incr i end
+    else if c = '!' then begin emit (here 1) Op_not; incr i end
     else if c = '&' && !i + 1 < n && src.[!i + 1] = '&' then begin
-      emit Op_and;
+      emit (here 2) Op_and;
       i := !i + 2
     end
     else if c = '|' && !i + 1 < n && src.[!i + 1] = '|' then begin
-      emit Op_or;
+      emit (here 2) Op_or;
       i := !i + 2
     end
-    else if c = '.' then begin emit Dot; incr i end
+    else if c = '.' then begin emit (here 1) Dot; incr i end
     else if c = '<' then begin
       let start = !i + 1 in
       let j = ref start in
       while !j < n && src.[!j] <> '>' && src.[!j] <> '\n' do incr j done;
       if !j >= n || src.[!j] <> '>' then error !line "unterminated IRI";
-      emit (Iriref (String.sub src start (!j - start)));
+      emit (here (!j + 1 - !i)) (Iriref (String.sub src start (!j - start)));
       i := !j + 1
     end
     else if c = '?' then begin
@@ -83,15 +90,25 @@ let tokenize src =
       let j = ref start in
       while !j < n && is_name_char src.[!j] do incr j done;
       if !j = start then error !line "empty variable name";
-      emit (Var (String.sub src start (!j - start)));
+      emit (here (!j - !i)) (Var (String.sub src start (!j - start)));
       i := !j
     end
     else if c = '"' then begin
       (* literal constants, stored IRI-encoded (see Rdf.Literal) *)
       match Rdf.Literal.scan src !i with
       | Ok (literal, next) ->
-          emit (Iriref (Rdf.Iri.to_string (Rdf.Literal.encode literal)));
-          i := next
+          let start = pos () in
+          (* Literals may span lines; account for embedded newlines. *)
+          for k = !i to next - 1 do
+            if src.[k] = '\n' then begin
+              incr line;
+              bol := k + 1
+            end
+          done;
+          i := next;
+          emit
+            (Span.make ~start ~stop:(pos ()))
+            (Iriref (Rdf.Iri.to_string (Rdf.Literal.encode literal)))
       | Error msg -> error !line "%s" msg
     end
     else if is_name_char c || c = ':' then begin
@@ -107,18 +124,19 @@ let tokenize src =
         incr j
       done;
       let word = String.sub src start (!j - start) in
+      let span = here (!j - !i) in
       (match String.uppercase_ascii word with
-      | "UNION" -> emit Kw_union
-      | "OPTIONAL" -> emit Kw_optional
-      | "PREFIX" -> emit Kw_prefix
-      | "FILTER" -> emit Kw_filter
-      | "SELECT" -> emit Kw_select
-      | "WHERE" -> emit Kw_where
-      | "BOUND" -> emit Kw_bound
+      | "UNION" -> emit span Kw_union
+      | "OPTIONAL" -> emit span Kw_optional
+      | "PREFIX" -> emit span Kw_prefix
+      | "FILTER" -> emit span Kw_filter
+      | "SELECT" -> emit span Kw_select
+      | "WHERE" -> emit span Kw_where
+      | "BOUND" -> emit span Kw_bound
       | _ -> (
           match String.index_opt word ':' with
           | Some k ->
-              emit
+              emit span
                 (Pname
                    ( String.sub word 0 k,
                      String.sub word (k + 1) (String.length word - k - 1) ))
@@ -127,22 +145,38 @@ let tokenize src =
     end
     else error !line "unexpected character %C" c
   done;
-  List.rev ((Eof, !line) :: !tokens)
+  let eof = Span.point ~line:!line ~col:(n - !bol + 1) ~len:0 in
+  List.rev ((Eof, eof) :: !tokens)
 
 (* ------------------------------------------------------------------ *)
 (* Recursive descent.                                                  *)
 (* ------------------------------------------------------------------ *)
 
-type state = { mutable tokens : (token * int) list; mutable prefixes : (string * string) list }
+type state = {
+  mutable tokens : (token * Span.t) list;
+  mutable prefixes : (string * string) list;
+  mutable spans : Spans.t;
+}
 
-let peek st = match st.tokens with [] -> (Eof, 0) | t :: _ -> t
+let peek st = match st.tokens with [] -> (Eof, Span.dummy) | t :: _ -> t
+
+let line_of span = span.Span.start.Span.line
 
 let advance st =
   match st.tokens with [] -> () | _ :: rest -> st.tokens <- rest
 
 let expect st tok what =
-  let got, line = peek st in
-  if got = tok then advance st else error line "expected %s" what
+  let got, span = peek st in
+  if got = tok then begin
+    advance st;
+    span
+  end
+  else error (line_of span) "expected %s" what
+
+(* Record the span of a freshly built subpattern occurrence. *)
+let spanned st span p =
+  st.spans <- Spans.add st.spans p span;
+  p
 
 let resolve st _line prefix local =
   match List.assoc_opt prefix st.prefixes with
@@ -155,16 +189,16 @@ let resolve st _line prefix local =
 
 let term st =
   match peek st with
-  | Iriref iri, _ ->
+  | Iriref iri, span ->
       advance st;
-      Term.iri iri
-  | Pname (prefix, local), line ->
+      (Term.iri iri, span)
+  | Pname (prefix, local), span ->
       advance st;
-      resolve st line prefix local
-  | Var v, _ ->
+      (resolve st (line_of span) prefix local, span)
+  | Var v, span ->
       advance st;
-      Term.var v
-  | _, line -> error line "expected a term"
+      (Term.var v, span)
+  | _, span -> error (line_of span) "expected a term"
 
 (* FILTER conditions: ! binds tightest, then &&, then ||. *)
 let rec condition st = or_cond st
@@ -199,19 +233,19 @@ and unary_cond st =
   | Lparen, _ ->
       advance st;
       let c = condition st in
-      expect st Rparen "')'";
+      ignore (expect st Rparen "')'");
       c
   | Kw_bound, _ -> (
       advance st;
-      expect st Lparen "'('";
+      ignore (expect st Lparen "'('");
       match peek st with
       | Var v, _ ->
           advance st;
-          expect st Rparen "')'";
+          ignore (expect st Rparen "')'");
           Condition.Bound (Rdf.Variable.of_string v)
-      | _, line -> error line "expected a variable in BOUND(...)")
+      | _, span -> error (line_of span) "expected a variable in BOUND(...)")
   | _ ->
-      let lhs = term st in
+      let lhs, _ = term st in
       let negated =
         match peek st with
         | Op_eq, _ ->
@@ -220,75 +254,93 @@ and unary_cond st =
         | Op_neq, _ ->
             advance st;
             true
-        | _, line -> error line "expected '=' or '!=' in filter condition"
+        | _, span -> error (line_of span) "expected '=' or '!=' in filter condition"
       in
-      let rhs = term st in
+      let rhs, _ = term st in
       if negated then Condition.Not (Condition.Eq (lhs, rhs))
       else Condition.Eq (lhs, rhs)
 
+(* Each parsing function below returns the pattern together with its span;
+   every constructed subpattern occurrence is also recorded in [st.spans]. *)
 let rec group st =
-  expect st Lbrace "'{'";
+  let open_span = expect st Lbrace "'{'" in
   let rec items acc =
     match peek st with
-    | Rbrace, line ->
+    | Rbrace, close_span -> (
         advance st;
+        match acc with
+        | Some (p, _) ->
+            (* The group's pattern spans the braces; re-record the root
+               occurrence with the wider span so diagnostics can point at
+               the whole group. *)
+            let span = Span.join open_span close_span in
+            (spanned st span p, span)
+        | None -> error (line_of close_span) "empty group pattern")
+    | Kw_optional, span ->
+        advance st;
+        let right, right_span = union_chain st in
         (match acc with
-        | Some p -> p
-        | None -> error line "empty group pattern")
-    | Kw_optional, line ->
+        | Some (left, left_span) ->
+            let span = Span.join left_span right_span in
+            items (Some (spanned st span (Algebra.opt left right), span))
+        | None -> error (line_of span) "OPTIONAL cannot start a group")
+    | Kw_filter, span ->
         advance st;
-        let right = union_chain st in
-        (match acc with
-        | Some left -> items (Some (Algebra.opt left right))
-        | None -> error line "OPTIONAL cannot start a group")
-    | Kw_filter, line ->
-        advance st;
-        expect st Lparen "'(' after FILTER";
+        ignore (expect st Lparen "'(' after FILTER");
         let c = condition st in
-        expect st Rparen "')'";
+        let close = expect st Rparen "')'" in
         (match acc with
-        | Some left -> items (Some (Algebra.filter left c))
-        | None -> error line "FILTER cannot start a group")
+        | Some (left, left_span) ->
+            let span = Span.join left_span close in
+            items (Some (spanned st span (Algebra.filter left c), span))
+        | None -> error (line_of span) "FILTER cannot start a group")
     | Lbrace, _ ->
-        let sub = union_chain st in
+        let sub, sub_span = union_chain st in
         items
           (Some
              (match acc with
-             | Some left -> Algebra.and_ left sub
-             | None -> sub))
+             | Some (left, left_span) ->
+                 let span = Span.join left_span sub_span in
+                 (spanned st span (Algebra.and_ left sub), span)
+             | None -> (sub, sub_span)))
     | (Iriref _ | Pname _ | Var _), _ ->
-        let s = term st in
-        let p = term st in
-        let o = term st in
+        let s, s_span = term st in
+        let p, _ = term st in
+        let o, o_span = term st in
         (match peek st with Dot, _ -> advance st | _ -> ());
-        let t = Algebra.triple (Triple.make s p o) in
+        let t_span = Span.join s_span o_span in
+        let t = spanned st t_span (Algebra.triple (Triple.make s p o)) in
         items
           (Some
              (match acc with
-             | Some left -> Algebra.and_ left t
-             | None -> t))
+             | Some (left, left_span) ->
+                 let span = Span.join left_span t_span in
+                 (spanned st span (Algebra.and_ left t), span)
+             | None -> (t, t_span)))
     | ( Eof | Dot | Kw_union | Kw_prefix | Kw_select | Kw_where | Kw_bound
       | Rparen | Lparen | Op_eq | Op_neq | Op_and | Op_or | Op_not ),
-      line ->
-        error line "unexpected token inside group"
+      span ->
+        error (line_of span) "unexpected token inside group"
   in
   items None
 
 and union_chain st =
   let first = group st in
-  let rec chain acc =
+  let rec chain (acc, acc_span) =
     match peek st with
     | Kw_union, _ ->
         advance st;
-        chain (Algebra.union acc (group st))
-    | _ -> acc
+        let right, right_span = group st in
+        let span = Span.join acc_span right_span in
+        chain (spanned st span (Algebra.union acc right), span)
+    | _ -> (acc, acc_span)
   in
   chain first
 
 let prologue st =
   let rec go () =
     match peek st with
-    | Kw_prefix, line -> (
+    | Kw_prefix, span -> (
         advance st;
         match peek st with
         | Pname (prefix, ""), _ -> (
@@ -298,15 +350,15 @@ let prologue st =
                 advance st;
                 st.prefixes <- (prefix, iri) :: st.prefixes;
                 go ()
-            | _, line -> error line "expected <iri> in PREFIX declaration")
-        | _ -> error line "expected pname: in PREFIX declaration")
+            | _, span -> error (line_of span) "expected <iri> in PREFIX declaration")
+        | _ -> error (line_of span) "expected pname: in PREFIX declaration")
     | _ -> ()
   in
   go ()
 
 let select_clause st =
   match peek st with
-  | Kw_select, _ ->
+  | Kw_select, select_span ->
       advance st;
       let rec vars acc =
         match peek st with
@@ -317,31 +369,36 @@ let select_clause st =
       in
       let projected = vars [] in
       (match peek st with
-      | _, line when projected = [] -> error line "SELECT needs at least one variable"
+      | _, span when projected = [] ->
+          error (line_of span) "SELECT needs at least one variable"
       | Kw_where, _ ->
           advance st;
-          Some projected
-      | _ -> Some projected)
+          Some (projected, select_span)
+      | _ -> Some (projected, select_span))
   | _ -> None
 
-let parse src =
+let parse_spanned src =
   match
-    let st = { tokens = tokenize src; prefixes = [] } in
+    let st = { tokens = tokenize src; prefixes = []; spans = Spans.empty } in
     prologue st;
     let projection = select_clause st in
-    let p = union_chain st in
+    let p, p_span = union_chain st in
     let p =
       match projection with
-      | Some vars -> Algebra.select (Rdf.Variable.Set.of_list vars) p
+      | Some (vars, select_span) ->
+          let span = Span.join select_span p_span in
+          spanned st span (Algebra.select (Rdf.Variable.Set.of_list vars) p)
       | None -> p
     in
     (match peek st with
     | Eof, _ -> ()
-    | _, line -> error line "trailing input after pattern");
-    p
+    | _, span -> error (line_of span) "trailing input after pattern");
+    (p, st.spans)
   with
-  | p -> Ok p
+  | result -> Ok result
   | exception Error msg -> Error msg
+
+let parse src = Result.map fst (parse_spanned src)
 
 let parse_exn src =
   match parse src with Ok p -> p | Error msg -> failwith msg

@@ -19,5 +19,10 @@
 
 val parse : string -> (Algebra.t, string) result
 
+val parse_spanned : string -> (Algebra.t * Spans.t, string) result
+(** Like {!parse}, also returning the table of source spans of every
+    subpattern occurrence, keyed by physical identity — the input of the
+    static analyzer ([Analysis]). *)
+
 val parse_exn : string -> Algebra.t
 (** Raises [Failure] with the parse error. *)

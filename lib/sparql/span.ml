@@ -1,0 +1,36 @@
+type pos = { line : int; col : int }
+
+type t = { start : pos; stop : pos }
+
+let dummy = { start = { line = 0; col = 0 }; stop = { line = 0; col = 0 } }
+
+let is_dummy s = s = dummy
+
+let make ~start ~stop = { start; stop }
+
+let point ~line ~col ~len =
+  { start = { line; col }; stop = { line; col = col + len } }
+
+let pos_compare a b =
+  match compare a.line b.line with 0 -> compare a.col b.col | c -> c
+
+let pos_min a b = if pos_compare a b <= 0 then a else b
+let pos_max a b = if pos_compare a b >= 0 then a else b
+
+let join a b =
+  if is_dummy a then b
+  else if is_dummy b then a
+  else { start = pos_min a.start b.start; stop = pos_max a.stop b.stop }
+
+let compare a b =
+  match pos_compare a.start b.start with
+  | 0 -> pos_compare a.stop b.stop
+  | c -> c
+
+let equal a b = compare a b = 0
+
+let pp ppf s =
+  if is_dummy s then Fmt.string ppf "?:?"
+  else if s.start = s.stop then Fmt.pf ppf "%d:%d" s.start.line s.start.col
+  else
+    Fmt.pf ppf "%d:%d-%d:%d" s.start.line s.start.col s.stop.line s.stop.col

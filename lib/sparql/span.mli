@@ -1,0 +1,32 @@
+(** Source spans: half-open regions of query text, for diagnostics.
+
+    Lines and columns are 1-based; a span covers the characters from
+    [(start_line, start_col)] up to but not including [(end_line, end_col)].
+    {!dummy} (all zeros) marks synthetic patterns with no source text —
+    everything constructed through {!Algebra} directly rather than the
+    parser. *)
+
+type pos = { line : int; col : int }
+
+type t = { start : pos; stop : pos }
+
+val dummy : t
+(** The span of synthetic (non-parsed) syntax; {!is_dummy} recognises it. *)
+
+val is_dummy : t -> bool
+
+val make : start:pos -> stop:pos -> t
+
+val point : line:int -> col:int -> len:int -> t
+(** A single-line span of [len] characters starting at [line]/[col]. *)
+
+val join : t -> t -> t
+(** The smallest span covering both arguments; a {!dummy} argument is
+    ignored (joining two dummies is dummy). *)
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+
+val pp : t Fmt.t
+(** [line:col-line:col] (or [line:col] for empty spans); [?:?] for
+    {!dummy}. *)

@@ -1,0 +1,30 @@
+open Rdf
+
+(* Queries are tiny (tens of nodes), so an association list with physical
+   equality beats building a custom identity hashtable. Kept in insertion
+   order; the parser inserts leaves first, in source order. *)
+type t = (Algebra.t * Span.t) list
+
+let empty = []
+
+let add t p span = (p, span) :: t
+
+let find t p =
+  let rec go = function
+    | [] -> None
+    | (q, span) :: rest -> if q == p then Some span else go rest
+  in
+  go t
+
+let find_or_dummy t p = Option.value (find t p) ~default:Span.dummy
+
+let triple_spans t =
+  List.rev
+    (List.filter_map
+       (function Algebra.Triple tr, span -> Some (tr, span) | _ -> None)
+       t)
+
+let triple_span t tr =
+  match List.find_opt (fun (tr', _) -> Triple.equal tr tr') (triple_spans t) with
+  | Some (_, span) -> span
+  | None -> Span.dummy

@@ -1,0 +1,31 @@
+(** Source-span table for a parsed pattern.
+
+    {!Parser.parse_spanned} records the span of every subpattern occurrence
+    it builds. Because the algebra carries no annotations, the table is
+    keyed by {e physical} identity: each occurrence is a distinct value, so
+    structurally equal subpatterns (the same triple written twice) keep
+    distinct spans. Consequently lookups only make sense for subpattern
+    values reachable from the pattern the table was built for — rebuilt or
+    transformed patterns map to [None]. *)
+
+open Rdf
+
+type t
+
+val empty : t
+
+val add : t -> Algebra.t -> Span.t -> t
+
+val find : t -> Algebra.t -> Span.t option
+(** Span of this subpattern occurrence (physical identity). *)
+
+val find_or_dummy : t -> Algebra.t -> Span.t
+
+val triple_spans : t -> (Triple.t * Span.t) list
+(** The recorded triple-pattern leaves in source order. Lookups over this
+    list are structural, so duplicated triples resolve to their first
+    occurrence — good enough for node-level diagnostics. *)
+
+val triple_span : t -> Triple.t -> Span.t
+(** First recorded span of a structurally equal triple; {!Span.dummy} when
+    absent. *)

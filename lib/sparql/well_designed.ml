@@ -13,18 +13,22 @@ let rec union_branches = function
 
 type violation =
   | Nested_union of Algebra.t
-  | Unsafe_variable of Variable.t * Algebra.t
+  | Unsafe_variable of {
+      variable : Variable.t;
+      opt : Algebra.t;
+      outside : Algebra.t;
+    }
   | Unsafe_filter of Condition.t * Algebra.t
   | Nested_select of Algebra.t
   | Beyond_core_fragment of Algebra.t
 
 let pp_violation ppf = function
   | Nested_union p -> Fmt.pf ppf "UNION nested below AND/OPT in %a" Algebra.pp p
-  | Unsafe_variable (v, p) ->
+  | Unsafe_variable { variable; opt; outside } ->
       Fmt.pf ppf
         "variable %a occurs in the OPT right arm of %a, not in its left arm, \
-         and again outside it"
-        Variable.pp v Algebra.pp p
+         and again outside it (in %a)"
+        Variable.pp variable Algebra.pp opt Algebra.pp outside
   | Unsafe_filter (c, p) ->
       Fmt.pf ppf "unsafe filter (%a) in %a: it mentions variables outside its pattern"
         Condition.pp c Algebra.pp p
@@ -37,8 +41,13 @@ let pp_violation ppf = function
 
 let check p =
   let ( let* ) = Result.bind in
-  (* outside: variables occurring outside the current subpattern within the
-     enclosing UNION-free branch. *)
+  (* outside: for each variable occurring outside the current subpattern
+     (within the enclosing UNION-free branch), the innermost sibling
+     subpattern witnessing that occurrence — kept so a violation can name
+     the re-occurrence, not just the variable. *)
+  let contribute q m =
+    Variable.Set.fold (fun v m -> Variable.Map.add v q m) (Algebra.vars q) m
+  in
   let rec go outside p =
     match p with
     | Algebra.Triple _ -> Ok ()
@@ -52,28 +61,35 @@ let check p =
         in
         go outside q
     | Algebra.And (a, b) ->
-        let* () = go (Variable.Set.union outside (Algebra.vars b)) a in
-        go (Variable.Set.union outside (Algebra.vars a)) b
+        let* () = go (contribute b outside) a in
+        go (contribute a outside) b
     | Algebra.Opt (a, b) ->
         let dangerous =
-          Variable.Set.inter
+          Variable.Set.filter
+            (fun v -> Variable.Map.mem v outside)
             (Variable.Set.diff (Algebra.vars b) (Algebra.vars a))
-            outside
         in
         let* () =
           match Variable.Set.choose_opt dangerous with
-          | Some v -> Error (Unsafe_variable (v, p))
+          | Some v ->
+              Error
+                (Unsafe_variable
+                   {
+                     variable = v;
+                     opt = p;
+                     outside = Variable.Map.find v outside;
+                   })
           | None -> Ok ()
         in
-        let* () = go (Variable.Set.union outside (Algebra.vars b)) a in
-        go (Variable.Set.union outside (Algebra.vars a)) b
+        let* () = go (contribute b outside) a in
+        go (contribute a outside) b
   in
   (* a single outermost SELECT is allowed *)
   let body = match p with Algebra.Select (_, q) -> q | q -> q in
   List.fold_left
     (fun acc branch ->
       let* () = acc in
-      go Variable.Set.empty branch)
+      go Variable.Map.empty branch)
     (Ok ()) (union_branches body)
 
 let is_well_designed p = Result.is_ok (check p)

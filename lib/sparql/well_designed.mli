@@ -24,9 +24,16 @@ val union_branches : Algebra.t -> Algebra.t list
 type violation =
   | Nested_union of Algebra.t
       (** A UNION occurs below AND or OPT in this branch. *)
-  | Unsafe_variable of Variable.t * Algebra.t
-      (** The variable occurs in the right arm of this OPT subpattern, not
-          in its left arm, and again outside the subpattern. *)
+  | Unsafe_variable of {
+      variable : Variable.t;
+      opt : Algebra.t;
+      outside : Algebra.t;
+    }
+      (** [variable] occurs in the right arm of the OPT subpattern [opt],
+          not in its left arm, and again outside it; [outside] is the
+          innermost sibling subpattern witnessing the re-occurrence. The
+          full witness travels with the violation so consumers (the
+          analyzer, {!Wdpt.Translate}) need not re-derive it. *)
   | Unsafe_filter of Condition.t * Algebra.t
       (** The FILTER mentions a variable not occurring in its pattern. *)
   | Nested_select of Algebra.t

@@ -1,0 +1,482 @@
+(* The static analyzer (lib/analysis) and the codebase discipline lint
+   (tools/lint):
+
+   - the designedness verdict agrees with Sparql.Well_designed.check and
+     with Wdpt.Translate on generated patterns (well-designed families
+     and an unconstrained generator that also produces violations);
+   - diagnostics round-trip through the JSON encoding, byte-exact;
+   - spans point where they should on hand-written fixtures;
+   - every lint rule fires on its minimal triggering query;
+   - static width estimates bound the exact domination width and feed
+     Engine.plan as hints;
+   - the budget-discipline lint is clean on a compliant tree and fails,
+     with file:line, on seeded violations. *)
+
+open Rdf
+module A = Sparql.Algebra
+module D = Analysis.Designedness
+
+let check = Alcotest.check
+
+let qcheck ?(count = 220) name arb law =
+  QCheck_alcotest.to_alcotest (QCheck.Test.make ~count ~name arb law)
+
+let seed_arb = QCheck.make QCheck.Gen.(int_bound 1_000_000)
+
+let parse src =
+  match Sparql.Parser.parse_spanned src with
+  | Ok r -> r
+  | Error msg -> Alcotest.failf "parse: %s" msg
+
+let analyze ?graph src =
+  match Analysis.Analyzer.of_source ?graph src with
+  | Ok r -> r
+  | Error e -> Alcotest.failf "analyze: %a" Wdsparql_error.pp e
+
+let rules report =
+  List.map (fun d -> d.Analysis.Diagnostic.rule) report.Analysis.Analyzer.diagnostics
+
+let has_rule rule report = List.mem rule (rules report)
+
+(* ------------------------------------------------------------------ *)
+(* Verdict agreement (satellite: property test)                        *)
+(* ------------------------------------------------------------------ *)
+
+(* Unconstrained random patterns: small variable pool and free OPT
+   nesting, so well-designedness violations are frequent. *)
+let random_pattern seed =
+  let st = Random.State.make [| seed |] in
+  let term_var () = Term.var (Printf.sprintf "v%d" (Random.State.int st 5)) in
+  let triple () =
+    A.triple
+      (Triple.make (term_var ())
+         (Term.iri (Printf.sprintf "p%d" (Random.State.int st 2)))
+         (term_var ()))
+  in
+  let rec go depth =
+    if depth = 0 then triple ()
+    else
+      match Random.State.int st 6 with
+      | 0 | 1 -> triple ()
+      | 2 -> A.and_ (go (depth - 1)) (go (depth - 1))
+      | 3 | 4 -> A.opt (go (depth - 1)) (go (depth - 1))
+      | _ -> A.union (go (depth - 1)) (go (depth - 1))
+  in
+  go (2 + Random.State.int st 2)
+
+let translates p =
+  match Wdpt.Translate.forest_of_algebra p with
+  | (_ : Wdpt.Pattern_tree.t list) -> true
+  | exception Wdpt.Translate.Not_well_designed _ -> false
+
+let agreement p =
+  let verdict = (D.analyze p).D.verdict in
+  let checked = Result.is_ok (Sparql.Well_designed.check p) in
+  (verdict = D.Well_designed) = checked
+  && (not (A.is_core p)) || checked = translates p
+
+let verdict_agreement_random =
+  qcheck "analyzer verdict = Well_designed iff check = Ok (random)" seed_arb
+    (fun seed -> agreement (random_pattern seed))
+
+let verdict_agreement_wd =
+  qcheck "generated wd families are verdict Well_designed" seed_arb
+    (fun seed ->
+      let p = Testutil.wd_pattern_of_seed seed in
+      (D.analyze p).D.verdict = D.Well_designed && agreement p)
+
+let weakly_is_not_well =
+  qcheck "weak/ill verdicts imply check = Error" seed_arb (fun seed ->
+      let p = random_pattern seed in
+      match (D.analyze p).D.verdict with
+      | D.Well_designed -> true
+      | D.Weakly_well_designed | D.Ill_designed ->
+          Result.is_error (Sparql.Well_designed.check p))
+
+(* The translate witness (satellite: Translate returns the violation) *)
+let test_translate_witness () =
+  let p, _ = parse "{ ?a p:p ?o OPTIONAL { ?a p:q ?y } ?b p:r ?y }" in
+  match Wdpt.Translate.forest_of_algebra p with
+  | _ -> Alcotest.fail "expected Not_well_designed"
+  | exception Wdpt.Translate.Not_well_designed
+      (Sparql.Well_designed.Unsafe_variable { variable; outside; _ }) ->
+      check Alcotest.string "violating variable" "y"
+        (Fmt.str "%a" Variable.pp variable |> fun s ->
+         String.sub s 1 (String.length s - 1));
+      check Alcotest.bool "witness names the re-occurrence" true
+        (Variable.Set.mem variable (A.vars outside))
+  | exception Wdpt.Translate.Not_well_designed v ->
+      Alcotest.failf "unexpected violation %a" Sparql.Well_designed.pp_violation v
+
+(* ------------------------------------------------------------------ *)
+(* Diagnostic JSON round-trip (satellite: property test)               *)
+(* ------------------------------------------------------------------ *)
+
+let diagnostic_gen =
+  let open QCheck.Gen in
+  let nasty_string =
+    string_size ~gen:(oneof [ char_range 'a' 'z'; oneofl [ '"'; '\\'; '\n'; '\t'; '?'; ':'; '\001' ] ])
+      (int_bound 14)
+  in
+  let pos = map2 (fun line col -> { Sparql.Span.line; col }) (int_range 1 99) (int_range 0 99) in
+  let span =
+    oneof
+      [
+        return Sparql.Span.dummy;
+        map2 (fun start stop -> Sparql.Span.make ~start ~stop) pos pos;
+      ]
+  in
+  let related =
+    map2 (fun where note -> { Analysis.Diagnostic.where; note }) span nasty_string
+  in
+  let severity = oneofl Analysis.Diagnostic.[ Error; Warning; Info ] in
+  map
+    (fun (rule, severity, span, message, related) ->
+      Analysis.Diagnostic.make ~rule ~severity ~span ~related message)
+    (tup5 nasty_string severity span nasty_string (list_size (int_bound 3) related))
+
+let diagnostic_arb =
+  QCheck.make
+    ~print:(fun d -> Analysis.Json.to_string (Analysis.Diagnostic.to_json d))
+    diagnostic_gen
+
+let json_roundtrip =
+  qcheck ~count:300 "diagnostic JSON round-trips byte-exactly" diagnostic_arb
+    (fun d ->
+      let text = Analysis.Json.to_string (Analysis.Diagnostic.to_json d) in
+      match Analysis.Json.of_string text with
+      | Error e -> QCheck.Test.fail_reportf "re-parse failed: %s" e
+      | Ok j -> (
+          match Analysis.Diagnostic.of_json j with
+          | Error e -> QCheck.Test.fail_reportf "of_json failed: %s" e
+          | Ok d' -> d = d'))
+
+let test_report_json () =
+  let report = analyze "{ { ?a p:p ?o OPTIONAL { ?a p:q ?y } } { ?b p:r ?o2 OPTIONAL { ?b p:s ?y } } }" in
+  let text = Analysis.Json.to_string (Analysis.Analyzer.to_json report) in
+  match Analysis.Json.of_string text with
+  | Error e -> Alcotest.failf "report JSON does not parse: %s" e
+  | Ok j ->
+      let member k = Analysis.Json.member k j in
+      check Alcotest.(option string) "verdict" (Some "ill-designed")
+        (Option.bind (member "verdict") Analysis.Json.to_str);
+      let diags =
+        Option.bind (member "diagnostics") Analysis.Json.to_list
+        |> Option.value ~default:[]
+      in
+      check Alcotest.bool "every diagnostic decodes" true
+        (List.for_all
+           (fun d -> Result.is_ok (Analysis.Diagnostic.of_json d))
+           diags)
+
+(* ------------------------------------------------------------------ *)
+(* Spans                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_spans () =
+  let src = "{ ?x p:knows ?y .\n  OPTIONAL { ?y p:email ?m } }" in
+  let p, spans = parse src in
+  (match p with
+  | A.Opt (left, right) ->
+      let opt_span = Sparql.Spans.find_or_dummy spans p in
+      check Alcotest.int "opt starts on line 1" 1 opt_span.Sparql.Span.start.line;
+      check Alcotest.int "opt ends on line 2" 2 opt_span.Sparql.Span.stop.line;
+      let left_span = Sparql.Spans.find_or_dummy spans left in
+      check Alcotest.int "left arm is the line-1 triple" 1
+        left_span.Sparql.Span.stop.line;
+      let right_span = Sparql.Spans.find_or_dummy spans right in
+      check Alcotest.int "right arm sits on line 2" 2
+        right_span.Sparql.Span.start.line
+  | _ -> Alcotest.fail "expected an OPT at top level");
+  (* ill-designed witness spans: the two OPT subpatterns are reported *)
+  let report =
+    analyze
+      "{ { ?a p:p ?o OPTIONAL { ?a p:q ?y } }\n\
+      \  { ?b p:r ?o2 OPTIONAL { ?b p:s ?y } } }"
+  in
+  match
+    List.find_opt
+      (fun d -> d.Analysis.Diagnostic.rule = "wd-unsafe-variable")
+      report.Analysis.Analyzer.diagnostics
+  with
+  | None -> Alcotest.fail "expected a wd-unsafe-variable finding"
+  | Some d ->
+      check Alcotest.bool "primary span is real" false
+        (Sparql.Span.is_dummy d.Analysis.Diagnostic.span);
+      let second_opt =
+        List.exists
+          (fun r ->
+            (not (Sparql.Span.is_dummy r.Analysis.Diagnostic.where))
+            && r.Analysis.Diagnostic.where.Sparql.Span.start.line = 2)
+          d.Analysis.Diagnostic.related
+      in
+      check Alcotest.bool "a related span points at the second OPT (line 2)"
+        true second_opt
+
+let test_node_spans () =
+  let src = "{ ?x p:knows ?y .\n  OPTIONAL { ?y p:email ?m } }" in
+  let p, spans = parse src in
+  let tree = Wdpt.Translate.tree_of_algebra p in
+  let node_spans = Analysis.Analyzer.node_spans ~spans tree in
+  check Alcotest.int "one span per node" (Wdpt.Pattern_tree.size tree)
+    (List.length node_spans);
+  List.iter
+    (fun (n, sp) ->
+      check Alcotest.bool (Fmt.str "node %d span is real" n) false
+        (Sparql.Span.is_dummy sp))
+    node_spans
+
+(* ------------------------------------------------------------------ *)
+(* Lint rules: each fires on its minimal query                         *)
+(* ------------------------------------------------------------------ *)
+
+let test_lint_triggers () =
+  let fires rule src =
+    check Alcotest.bool (rule ^ " fires") true (has_rule rule (analyze src))
+  in
+  fires "projected-variable-unused" "SELECT ?x ?ghost WHERE { ?x p:p ?y }";
+  fires "possibly-unbound-variable"
+    "SELECT ?x ?m WHERE { ?x p:p ?y OPTIONAL { ?y p:q ?m } }";
+  fires "dead-optional" "{ ?x p:p ?y OPTIONAL { ?x p:q ?y } }";
+  fires "union-normal-form"
+    "{ ?x p:p ?y OPTIONAL { { ?x p:q ?z } UNION { ?x p:r ?z } } }";
+  fires "duplicate-triple" "{ ?x p:p ?y . ?x p:p ?y }";
+  fires "wd-unsafe-variable" "{ ?a p:p ?o OPTIONAL { ?a p:q ?y } ?b p:r ?y }";
+  fires "wwd-optional-reuse"
+    "{ { ?x p:a ?y OPTIONAL { ?y p:b ?z } } OPTIONAL { ?z p:c ?w } }";
+  fires "wd-unsafe-filter" "{ ?x p:p ?y FILTER (?z = ?y) }";
+  (* the parser only accepts top-level SELECT, so build the nested one *)
+  let nested_select =
+    A.and_
+      (A.triple (Triple.make (Term.var "x") (Term.iri "p") (Term.var "y")))
+      (A.select
+         (Variable.Set.singleton (Variable.of_string "y"))
+         (A.triple (Triple.make (Term.var "y") (Term.iri "q") (Term.var "z"))))
+  in
+  let report =
+    Analysis.Analyzer.analyze ~spans:Sparql.Spans.empty nested_select
+  in
+  check Alcotest.bool "wd-nested-select fires" true
+    (List.exists
+       (fun d -> d.Analysis.Diagnostic.rule = "wd-nested-select")
+       report.Analysis.Analyzer.diagnostics);
+  (* clean corpus queries stay clean *)
+  let clean = analyze "{ ?who p:knows ?friend OPTIONAL { ?friend p:email ?m } }" in
+  check (Alcotest.list Alcotest.string) "clean query has no findings" []
+    (rules clean);
+  check Alcotest.bool "has_findings mirrors diagnostics" false
+    (Analysis.Analyzer.has_findings clean)
+
+let test_unsatisfiable_triple () =
+  let graph = Testutil.graph_of_seed 7 in
+  (* generator predicates are q0/q1: p:nosuch never occurs *)
+  let report = analyze ~graph "{ ?x p:nosuch ?y }" in
+  check Alcotest.bool "unsatisfiable-triple fires with a store" true
+    (has_rule "unsatisfiable-triple" report);
+  let without_store = analyze "{ ?x p:nosuch ?y }" in
+  check Alcotest.bool "rule needs a store" false
+    (has_rule "unsatisfiable-triple" without_store)
+
+(* ------------------------------------------------------------------ *)
+(* Width estimates and Engine.plan hints                               *)
+(* ------------------------------------------------------------------ *)
+
+let width_bounds_sound =
+  qcheck ~count:120 "static dw_upper bounds the exact dw" seed_arb (fun seed ->
+      let p = Testutil.wd_pattern_of_seed seed in
+      let forest = Wdpt.Pattern_forest.of_algebra p in
+      let est = Analysis.Width_est.estimate forest in
+      match est.Analysis.Width_est.dw_exact with
+      | None -> QCheck.Test.fail_reportf "exact dw not computed"
+      | Some dw ->
+          dw <= est.Analysis.Width_est.dw_upper
+          && dw = Wd_core.Domination_width.of_forest forest)
+
+let test_plan_consumes_hints () =
+  let p, _ = parse "{ ?x p:knows ?y OPTIONAL { ?y p:email ?m } }" in
+  (* exact hint: planning skips the dw computation and trusts the value *)
+  let hints = { Wd_core.Engine.dw_exact = Some 2; dw_upper = None } in
+  let plan = Wd_core.Engine.plan ~hints p in
+  check Alcotest.int "hinted dw is used" 2 plan.Wd_core.Engine.domination_width;
+  (match plan.Wd_core.Engine.width_source with
+  | Wd_core.Engine.From_hint { exact = true } -> ()
+  | _ -> Alcotest.fail "expected From_hint {exact = true}");
+  (* upper-bound hint: used when the exact computation exhausts *)
+  let hints = { Wd_core.Engine.dw_exact = None; dw_upper = Some 3 } in
+  let plan =
+    Wd_core.Engine.plan ~budget:(Resource.Budget.make ~fuel:1 ()) ~hints p
+  in
+  check Alcotest.int "hinted upper bound on exhaustion" 3
+    plan.Wd_core.Engine.domination_width;
+  (match plan.Wd_core.Engine.width_source with
+  | Wd_core.Engine.From_hint { exact = false } -> ()
+  | _ -> Alcotest.fail "expected From_hint {exact = false}");
+  (* an analyzer-produced hint reproduces the engine's own exact width *)
+  let p = Testutil.wd_pattern_of_seed 42 in
+  let est = Analysis.Width_est.estimate (Wdpt.Pattern_forest.of_algebra p) in
+  let hinted = Wd_core.Engine.plan ~hints:(Analysis.Width_est.hints est) p in
+  let unhinted = Wd_core.Engine.plan p in
+  check Alcotest.int "hinted plan width = computed width"
+    unhinted.Wd_core.Engine.domination_width
+    hinted.Wd_core.Engine.domination_width;
+  (* hinted evaluation still matches the reference semantics *)
+  let graph = Testutil.graph_of_seed 43 in
+  check Alcotest.bool "hinted plan answers correctly" true
+    (Sparql.Mapping.Set.equal
+       (Sparql.Eval.eval p graph)
+       (Wd_core.Engine.solutions hinted graph))
+
+(* ------------------------------------------------------------------ *)
+(* Budget-discipline codebase lint (satellite: seeded violation)       *)
+(* ------------------------------------------------------------------ *)
+
+let with_scratch_tree files f =
+  let root =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "wdsparql_lint_%d" (Unix.getpid ()))
+  in
+  let rec rm path =
+    if Sys.is_directory path then begin
+      Array.iter (fun e -> rm (Filename.concat path e)) (Sys.readdir path);
+      Sys.rmdir path
+    end
+    else Sys.remove path
+  in
+  if Sys.file_exists root then rm root;
+  let rec mkdir_p dir =
+    if not (Sys.file_exists dir) then begin
+      mkdir_p (Filename.dirname dir);
+      Sys.mkdir dir 0o755
+    end
+  in
+  List.iter
+    (fun (rel, contents) ->
+      let path = Filename.concat root rel in
+      mkdir_p (Filename.dirname path);
+      let oc = open_out path in
+      output_string oc contents;
+      close_out oc)
+    files;
+  Fun.protect ~finally:(fun () -> rm root) (fun () -> f root)
+
+let test_strip () =
+  let src =
+    "let x = (* Pebble_game.wins (* nested *) *) 1\n\
+     let s = \"Pebble_game.wins\"\n\
+     let w = Pebble_game.wins\n"
+  in
+  let stripped = Lint_rules.strip src in
+  check Alcotest.int "same length" (String.length src) (String.length stripped);
+  check Alcotest.int "newlines preserved" 3
+    (String.fold_left (fun k c -> if c = '\n' then k + 1 else k) 0 stripped);
+  (* only the real call survives: one occurrence, on line 3 *)
+  let occurrences =
+    let needle = "Pebble_game.wins" in
+    let rec go i acc =
+      match String.index_from_opt stripped i 'P' with
+      | None -> acc
+      | Some j ->
+          if
+            j + String.length needle <= String.length stripped
+            && String.sub stripped j (String.length needle) = needle
+          then go (j + 1) (acc + 1)
+          else go (j + 1) acc
+    in
+    go 0 0
+  in
+  check Alcotest.int "comments and strings blanked" 1 occurrences
+
+let test_codebase_lint_clean () =
+  check (Alcotest.list Alcotest.string) "real tree has no lint surprises" []
+    (List.map (Fmt.str "%a" Lint_rules.pp_violation)
+       (with_scratch_tree
+          [
+            ("core/kernel.ml", "let search b = Resource.Budget.tick b\n");
+            ("core/caller.ml", "let go = Pebble_game.wins\n");
+          ]
+          (fun root ->
+            Lint_rules.check_tree ~manifest:[ "core/kernel.ml" ] ~root ())))
+
+let test_codebase_lint_seeded () =
+  with_scratch_tree
+    [
+      (* kernel that forgot its Budget.tick *)
+      ("core/kernel.ml", "let search x = x + 1 (* Budget.tick mentioned *)\n");
+      (* forbidden direct call outside lib/core, on line 2 *)
+      ("wdpt/sneaky.ml", "let a = 1\nlet b = Pebble.Pebble_game.wins\n");
+      (* string/comment mentions do not count *)
+      ("rdf/honest.ml", "let s = \"Pebble_game.wins\" (* Pebble_game.wins *)\n");
+    ]
+    (fun root ->
+      let violations = Lint_rules.check_tree ~manifest:[ "core/kernel.ml" ] ~root () in
+      check Alcotest.int "exactly the two seeded violations" 2
+        (List.length violations);
+      let rendered = List.map (Fmt.str "%a" Lint_rules.pp_violation) violations in
+      check Alcotest.bool "missing tick reported with file" true
+        (List.exists
+           (fun s ->
+             Astring.String.is_infix ~affix:"core/kernel.ml:1" s
+             && Astring.String.is_infix ~affix:"Budget.tick" s)
+           rendered);
+      check Alcotest.bool "forbidden wins reported with file:line" true
+        (List.exists
+           (fun s -> Astring.String.is_infix ~affix:"wdpt/sneaky.ml:2" s)
+           rendered));
+  (* a manifest entry that vanished (renamed kernel) is itself flagged *)
+  with_scratch_tree
+    [ ("core/present.ml", "let f b = Resource.Budget.tick b\n") ]
+    (fun root ->
+      let violations =
+        Lint_rules.check_tree ~manifest:[ "core/gone.ml"; "core/present.ml" ]
+          ~root ()
+      in
+      check Alcotest.int "missing manifest entry flagged" 1
+        (List.length violations))
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  Alcotest.run "analysis"
+    [
+      ( "designedness",
+        [
+          verdict_agreement_random;
+          verdict_agreement_wd;
+          weakly_is_not_well;
+          Alcotest.test_case "translate carries the witness" `Quick
+            test_translate_witness;
+        ] );
+      ( "json",
+        [
+          json_roundtrip;
+          Alcotest.test_case "report JSON parses and decodes" `Quick
+            test_report_json;
+        ] );
+      ( "spans",
+        [
+          Alcotest.test_case "parser spans" `Quick test_spans;
+          Alcotest.test_case "pattern-forest node spans" `Quick test_node_spans;
+        ] );
+      ( "lints",
+        [
+          Alcotest.test_case "every rule fires on its minimal query" `Quick
+            test_lint_triggers;
+          Alcotest.test_case "unsatisfiable-triple needs a store" `Quick
+            test_unsatisfiable_triple;
+        ] );
+      ( "width",
+        [
+          width_bounds_sound;
+          Alcotest.test_case "Engine.plan consumes hints" `Quick
+            test_plan_consumes_hints;
+        ] );
+      ( "codebase-lint",
+        [
+          Alcotest.test_case "strip blanks comments and strings" `Quick
+            test_strip;
+          Alcotest.test_case "clean scratch tree passes" `Quick
+            test_codebase_lint_clean;
+          Alcotest.test_case "seeded violations fail with file:line" `Quick
+            test_codebase_lint_seeded;
+        ] );
+    ]

@@ -227,7 +227,8 @@ let test_engine_degrades () =
   let plan = Wd_core.Engine.plan ~budget:(Budget.make ~fuel:1 ()) pattern in
   (match plan.Wd_core.Engine.width_source with
   | Wd_core.Engine.Fallback_upper_bound _ -> ()
-  | Wd_core.Engine.Exact -> Alcotest.fail "expected a degraded plan");
+  | Wd_core.Engine.Exact | Wd_core.Engine.From_hint _ ->
+      Alcotest.fail "expected a degraded plan");
   let rendered = Fmt.str "%a" Wd_core.Engine.pp_plan plan in
   check Alcotest.bool "pp_plan surfaces the downgrade" true
     (Astring.String.is_infix ~affix:"upper bound" rendered);

@@ -86,7 +86,7 @@ let test_example1 () =
   check Alcotest.bool "P1 is well-designed" true (Well_designed.is_well_designed p1);
   check Alcotest.bool "P2 is not" false (Well_designed.is_well_designed p2);
   (match Well_designed.check p2 with
-  | Error (Well_designed.Unsafe_variable (var, _)) ->
+  | Error (Well_designed.Unsafe_variable { variable = var; _ }) ->
       check Alcotest.string "?z is the offender" "z" (Variable.to_string var)
   | _ -> Alcotest.fail "expected Unsafe_variable ?z")
 

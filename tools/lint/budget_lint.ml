@@ -1,0 +1,16 @@
+(* Codebase discipline lint; see Lint_rules. Usage: budget_lint LIB_DIR *)
+
+let () =
+  let root =
+    match Sys.argv with
+    | [| _; root |] -> root
+    | _ ->
+        prerr_endline "usage: budget_lint LIB_DIR";
+        exit 2
+  in
+  match Lint_rules.check_tree ~root () with
+  | [] -> Fmt.pr "budget lint: %s clean@." root
+  | violations ->
+      List.iter (fun v -> Fmt.epr "%a@." Lint_rules.pp_violation v) violations;
+      Fmt.epr "budget lint: %d violation(s)@." (List.length violations);
+      exit 1

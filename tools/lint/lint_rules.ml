@@ -1,0 +1,190 @@
+type violation = { path : string; line : int; message : string }
+
+let pp_violation ppf v = Fmt.pf ppf "%s:%d: %s" v.path v.line v.message
+
+(* Blank out comments and string/char literals, keeping every byte
+   position (newlines survive, everything else becomes a space). A
+   pragmatic OCaml lexer: nested [(* *)] comments, ["..."] strings with
+   backslash escapes, and ['c'] char literals (distinguished from type
+   variables by lookahead). String literals inside comments are not
+   special-cased — none in this tree contain a ["*)"]. *)
+let strip src =
+  let n = String.length src in
+  let out = Bytes.of_string src in
+  let blank i = if Bytes.get out i <> '\n' then Bytes.set out i ' ' in
+  let rec code i =
+    if i >= n then ()
+    else
+      match src.[i] with
+      | '(' when i + 1 < n && src.[i + 1] = '*' ->
+          blank i;
+          blank (i + 1);
+          comment 1 (i + 2)
+      | '"' ->
+          blank i;
+          string (i + 1)
+      | '\'' when i + 2 < n && src.[i + 1] <> '\\' && src.[i + 2] = '\'' ->
+          blank i;
+          blank (i + 1);
+          blank (i + 2);
+          code (i + 3)
+      | '\'' when i + 1 < n && src.[i + 1] = '\\' ->
+          (* escaped char literal: blank until the closing quote *)
+          let rec close j =
+            if j >= n then ()
+            else begin
+              blank j;
+              if src.[j] = '\'' then code (j + 1) else close (j + 1)
+            end
+          in
+          blank i;
+          close (i + 1)
+      | _ -> code (i + 1)
+  and comment depth i =
+    if i >= n then ()
+    else if i + 1 < n && src.[i] = '(' && src.[i + 1] = '*' then begin
+      blank i;
+      blank (i + 1);
+      comment (depth + 1) (i + 2)
+    end
+    else if i + 1 < n && src.[i] = '*' && src.[i + 1] = ')' then begin
+      blank i;
+      blank (i + 1);
+      if depth = 1 then code (i + 2) else comment (depth - 1) (i + 2)
+    end
+    else begin
+      blank i;
+      comment depth (i + 1)
+    end
+  and string i =
+    if i >= n then ()
+    else begin
+      blank i;
+      match src.[i] with
+      | '\\' ->
+          if i + 1 < n then blank (i + 1);
+          string (i + 2)
+      | '"' -> code (i + 1)
+      | _ -> string (i + 1)
+    end
+  in
+  code 0;
+  Bytes.to_string out
+
+let kernel_modules =
+  [
+    "core/domination_width.ml";
+    "core/enumerate.ml";
+    "core/pebble_cache.ml";
+    "csp/core_of.ml";
+    "csp/hom.ml";
+    "encoded/encoded_hom.ml";
+    "encoded/encoded_pebble.ml";
+    "graphtheory/treewidth.ml";
+    "pebble/pebble_game.ml";
+    "sparql/eval.ml";
+    "tgraph/cores.ml";
+    "tgraph/homomorphism.ml";
+    "wdpt/subtree.ml";
+  ]
+
+let wins_allowed rel =
+  String.length rel >= 5 && String.sub rel 0 5 = "core/"
+  || String.length rel >= 7 && String.sub rel 0 7 = "pebble/"
+
+let contains ~needle hay =
+  let nl = String.length needle and hl = String.length hay in
+  let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+  go 0
+
+(* Line number (1-based) of the first occurrence of [needle]. *)
+let line_of ~needle hay =
+  let nl = String.length needle and hl = String.length hay in
+  let rec go i line =
+    if i + nl > hl then None
+    else if String.sub hay i nl = needle then Some line
+    else go (i + 1) (if hay.[i] = '\n' then line + 1 else line)
+  in
+  go 0 1
+
+let default_wins_allowed = wins_allowed
+
+let check_file ?(manifest = kernel_modules) ?(wins_allowed = wins_allowed)
+    ~rel contents =
+  let stripped = strip contents in
+  let missing_tick =
+    if
+      List.mem rel manifest
+      && (not (contains ~needle:"Budget.tick" stripped))
+      && not (contains ~needle:"Budget.guard" stripped)
+    then
+      [
+        {
+          path = rel;
+          line = 1;
+          message =
+            "exponential kernel module never calls Budget.tick (or \
+             Budget.guard): unbounded search escapes the resource \
+             discipline";
+        };
+      ]
+    else []
+  in
+  let forbidden_wins =
+    match line_of ~needle:"Pebble_game.wins" stripped with
+    | Some line when not (wins_allowed rel) ->
+        [
+          {
+            path = rel;
+            line;
+            message =
+              "direct call to Pebble_game.wins outside lib/core and \
+               lib/pebble: use the cached Engine entry points";
+          };
+        ]
+    | _ -> []
+  in
+  missing_tick @ forbidden_wins
+
+let check_tree ?(manifest = kernel_modules)
+    ?(wins_allowed = default_wins_allowed) ~root () =
+  let files = ref [] in
+  let rec walk dir rel_dir =
+    Array.iter
+      (fun entry ->
+        let path = Filename.concat dir entry in
+        let rel =
+          if rel_dir = "" then entry else rel_dir ^ "/" ^ entry
+        in
+        if Sys.is_directory path then walk path rel
+        else if Filename.check_suffix entry ".ml" then
+          files := (rel, path) :: !files)
+      (Sys.readdir dir)
+  in
+  walk root "";
+  let files = List.sort compare !files in
+  let read path =
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  let missing_manifest =
+    List.filter_map
+      (fun m ->
+        if List.mem_assoc m files then None
+        else
+          Some
+            {
+              path = m;
+              line = 1;
+              message =
+                "kernel module listed in the lint manifest does not \
+                 exist: update tools/lint/lint_rules.ml after the rename";
+            })
+      manifest
+  in
+  missing_manifest
+  @ List.concat_map
+      (fun (rel, path) -> check_file ~manifest ~wins_allowed ~rel (read path))
+      files

@@ -1,0 +1,50 @@
+(** The codebase discipline lint, run by [dune runtest] (see the rule in
+    [tools/lint/dune]):
+
+    - every exponential kernel module listed in {!kernel_modules} must
+      call [Budget.tick] (or go through [Budget.guard]) so that no
+      exponential loop can run unbounded — the PR-1 discipline;
+    - [Pebble_game.wins] may only be called under [lib/core] and
+      [lib/pebble]: everything else must go through the cached engine
+      entry points, never the raw game.
+
+    Matching is performed on source text with OCaml comments and string
+    literals blanked out, so mentions in documentation or error messages
+    do not count. *)
+
+type violation = { path : string; line : int; message : string }
+
+val pp_violation : violation Fmt.t
+(** [path:line: message] — clickable in editors and CI logs. *)
+
+val strip : string -> string
+(** Blank out OCaml comments (nested) and string/char literals,
+    preserving byte positions and newlines, so that [line] numbers of
+    matches in the result are those of the original source. *)
+
+val kernel_modules : string list
+(** Paths relative to the scanned root ([lib/]) of the modules housing
+    exponential search: these must tick a budget. *)
+
+val wins_allowed : string -> bool
+(** Whether this root-relative path may call [Pebble_game.wins]. *)
+
+val check_file :
+  ?manifest:string list ->
+  ?wins_allowed:(string -> bool) ->
+  rel:string ->
+  string ->
+  violation list
+(** Lint one file's contents; [rel] is its path relative to the root. *)
+
+val check_tree :
+  ?manifest:string list ->
+  ?wins_allowed:(string -> bool) ->
+  root:string ->
+  unit ->
+  violation list
+(** Lint every [.ml] file under [root] (recursively, sorted), and report
+    any manifest entry that does not exist on disk — a renamed kernel
+    silently escaping the discipline is itself a violation. The optional
+    parameters override the manifest and allow-list (used by the tests to
+    seed violations in a scratch tree). *)
