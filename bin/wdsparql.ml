@@ -507,6 +507,145 @@ let fuzz_cmd =
        ~doc:"Differential testing: all four evaluators on random instances.")
     Term.(const run $ runs_arg $ seed_arg $ budget_term)
 
+let serve_cmd =
+  let port_arg =
+    Arg.(
+      value & opt int 8080
+      & info [ "p"; "port" ] ~docv:"PORT"
+          ~doc:"TCP port to listen on (0 picks an ephemeral port).")
+  in
+  let host_arg =
+    Arg.(
+      value & opt string "127.0.0.1"
+      & info [ "host" ] ~docv:"ADDR" ~doc:"Address to bind.")
+  in
+  let workers_arg =
+    Arg.(
+      value & opt int 4
+      & info [ "workers" ] ~docv:"N"
+          ~doc:"Worker threads handling connections.")
+  in
+  let domains_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "domains" ] ~docv:"N"
+          ~doc:"Parallelism inside a single evaluation (as in eval).")
+  in
+  let global_fuel_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "global-fuel" ] ~docv:"TOKENS"
+          ~doc:"Capacity of the global admission token bucket; per-request \
+                fuel is withdrawn from it and unspent fuel returned. \
+                Unset: no global budget watermark.")
+  in
+  let refill_rate_arg =
+    Arg.(
+      value & opt float 0.
+      & info [ "refill-rate" ] ~docv:"TOKENS/S"
+          ~doc:"Refill rate of the global token bucket.")
+  in
+  let max_inflight_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "max-inflight" ] ~docv:"N"
+          ~doc:"In-flight request watermark (default: 2x workers).")
+  in
+  let queue_cap_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "queue-cap" ] ~docv:"N"
+          ~doc:"Accept-queue watermark (default: 8x workers).")
+  in
+  let max_request_bytes_arg =
+    Arg.(
+      value
+      & opt int (1 lsl 20)
+      & info [ "max-request-bytes" ] ~docv:"BYTES"
+          ~doc:"Largest accepted request (413 beyond).")
+  in
+  let io_timeout_arg =
+    Arg.(
+      value & opt float 10.
+      & info [ "io-timeout" ] ~docv:"SECONDS"
+          ~doc:"Per-connection read/write deadline.")
+  in
+  let fault_spec_arg =
+    Arg.(
+      value & opt string ""
+      & info [ "fault-spec" ] ~docv:"SPEC"
+          ~doc:"Deterministic fault injection, e.g. \
+                'slow:9,disconnect:11,malformed:5,starve:7,poison:13': \
+                request i suffers the kind whose period divides i.")
+  in
+  let plan_cache_arg =
+    Arg.(
+      value & opt int 64
+      & info [ "plan-cache" ] ~docv:"N"
+          ~doc:"Distinct query plans kept compiled across connections.")
+  in
+  let run data port host workers domains spec global_fuel refill_rate
+      max_inflight queue_cap max_request_bytes io_timeout fault_spec
+      plan_cache =
+    handle @@ fun () ->
+    let graph = load_graph data in
+    let faults =
+      match Wd_server.Faults.parse fault_spec with
+      | Ok f -> f
+      | Error msg -> E.fail (E.Invalid_input ("bad --fault-spec: " ^ msg))
+    in
+    let request_fuel = Option.value ~default:10_000_000 spec.fuel in
+    (* a bucket that can never cover one grant would shed every request
+       forever — refuse the footgun at startup *)
+    (match global_fuel with
+    | Some g when g < request_fuel ->
+        E.fail
+          (E.Invalid_input
+             (Printf.sprintf
+                "--global-fuel %d is below the per-request fuel %d: every \
+                 request would be shed"
+                g request_fuel))
+    | _ -> ());
+    let admission =
+      {
+        Wd_server.Admission.request_fuel;
+        request_timeout = Option.value ~default:10. spec.timeout;
+        max_solutions = spec.max_solutions;
+        global_fuel;
+        refill_rate;
+        max_inflight = Option.value ~default:(2 * workers) max_inflight;
+      }
+    in
+    Wd_server.Server.run
+      {
+        Wd_server.Server.graph;
+        host;
+        port;
+        workers;
+        domains;
+        queue_capacity = Option.value ~default:(8 * workers) queue_cap;
+        admission;
+        max_request_bytes;
+        io_timeout;
+        faults;
+        plan_capacity = plan_cache;
+      }
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:"Long-running SPARQL endpoint: GET/POST /sparql, /analyze, \
+             /health, /stats. Admission control carves per-request budgets \
+             from a refillable global token bucket; overload is shed with \
+             503 + Retry-After; SIGINT/SIGTERM drains gracefully.")
+    Term.(
+      const run $ data_arg $ port_arg $ host_arg $ workers_arg $ domains_arg
+      $ budget_term $ global_fuel_arg $ refill_rate_arg $ max_inflight_arg
+      $ queue_cap_arg $ max_request_bytes_arg $ io_timeout_arg
+      $ fault_spec_arg $ plan_cache_arg)
+
 let () =
   let doc = "well-designed SPARQL with width-based evaluation (PODS'18)" in
   exit
@@ -517,4 +656,5 @@ let () =
             eval_cmd; check_cmd; width_cmd; validate_cmd; analyze_cmd;
             explain_cmd;
             stats_cmd; containment_cmd; optimize_cmd; clique_cmd; fuzz_cmd;
+            serve_cmd;
           ]))

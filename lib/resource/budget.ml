@@ -14,6 +14,10 @@ type t = {
   deadline : float;  (* absolute Unix time; infinity = none *)
   mutable phase : string;
   limited : bool;
+  halted : bool Atomic.t;
+      (* standalone cancellation, settable from another thread (the
+         server's drain path): checked at deadline-check ticks. Worker
+         views share their parent's cell. *)
   mutable shared : shared option;
       (* Some while enrolled in a fork group: on worker views for their
          whole life, on the parent between [fork] and [join] *)
@@ -32,6 +36,7 @@ let unlimited =
     deadline = infinity;
     phase = "-";
     limited = false;
+    halted = Atomic.make false;
     shared = None;
   }
 
@@ -68,6 +73,7 @@ let make ?fuel ?timeout ?max_solutions () =
         deadline;
         phase = "-";
         limited = true;
+        halted = Atomic.make false;
         shared = None;
       }
 
@@ -117,6 +123,7 @@ let tick b =
       (match b.shared with
       | Some s when Atomic.get s.cancelled -> exhaust b
       | _ -> ());
+      if Atomic.get b.halted then exhaust b;
       if b.deadline < infinity && Unix.gettimeofday () > b.deadline then
         exhaust b
     end
@@ -146,6 +153,7 @@ let fork b n =
           deadline = b.deadline;
           phase = b.phase;
           limited = true;
+          halted = b.halted;
           shared = Some s;
         })
   end
@@ -169,7 +177,67 @@ let join b workers =
         end
 
 let cancel b =
-  match b.shared with Some s -> Atomic.set s.cancelled true | None -> ()
+  if b.limited then begin
+    Atomic.set b.halted true;
+    match b.shared with
+    | Some s -> Atomic.set s.cancelled true
+    | None -> ()
+  end
+
+(* Refill/withdraw treat a budget as a fuel account (the server's global
+   admission pool): no ticks are recorded, fuel just moves in and out.
+   On an enrolled budget both operate on the shared pool via CAS — a
+   member's current lease is never touched, so a worker mid-lease cannot
+   observe a refill until its next lease boundary. *)
+
+let default_cap = max_int - 1
+(* clamping at [max_int] would turn a limited pool into the "no fuel
+   limit" sentinel *)
+
+let replenish ?(cap = default_cap) b n =
+  if b.limited && n > 0 then begin
+    let cap = min cap default_cap in
+    match b.shared with
+    | Some s ->
+        let rec add () =
+          let cur = Atomic.get s.pool_fuel in
+          if cur < max_int then begin
+            let next = if cur >= cap - n then cap else cur + n in
+            if next > cur && not (Atomic.compare_and_set s.pool_fuel cur next)
+            then add ()
+          end
+        in
+        add ()
+    | None ->
+        if b.fuel_left < max_int then
+          b.fuel_left <-
+            (if b.fuel_left >= cap - n then max b.fuel_left cap
+             else b.fuel_left + n)
+  end
+
+let try_withdraw b n =
+  if n < 0 then invalid_arg "Budget.try_withdraw: negative amount";
+  if (not b.limited) || n = 0 then true
+  else
+    match b.shared with
+    | Some s ->
+        let rec sub () =
+          let cur = Atomic.get s.pool_fuel in
+          if cur = max_int then true
+          else if cur < n then false
+          else Atomic.compare_and_set s.pool_fuel cur (cur - n) || sub ()
+        in
+        sub ()
+    | None ->
+        if b.fuel_left = max_int then true
+        else if b.fuel_left < n then false
+        else begin
+          b.fuel_left <- b.fuel_left - n;
+          true
+        end
+
+let fuel_left b =
+  if (not b.limited) || b.fuel_left = max_int then None else Some b.fuel_left
 
 let solution b =
   if b.limited then begin

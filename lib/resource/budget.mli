@@ -77,10 +77,35 @@ val join : t -> t array -> unit
     exception paths; harmless if the group never ran. *)
 
 val cancel : t -> unit
-(** Trip the shared cancellation flag of the fork group this budget
-    belongs to (no-op otherwise): every member raises {!Exhausted} at
-    its next sync point. For early exits that aren't budget trips, e.g.
-    an enumeration cap reached on the merging domain. *)
+(** Halt this budget — and, if it belongs to a fork group, every member
+    of the group — at the next sync point: a lease boundary or a
+    deadline-check tick, at most {!deadline_check_interval} ticks away.
+    Safe to call from another thread (the server's drain path cancels
+    in-flight request budgets this way). Cancellation is permanent and
+    survives {!join}. No-op on {!unlimited}. *)
+
+val replenish : ?cap:int -> t -> int -> unit
+(** [replenish b n] adds [n] fuel units to [b]'s account, clamped so the
+    account never exceeds [cap] (default: effectively unbounded) and an
+    account above [cap] is left unchanged. On a budget enrolled in a
+    fork group the fuel goes into the group's {e shared pool} — a
+    member's already-leased fuel is never touched, so workers cannot
+    observe a refill mid-lease. No-op on {!unlimited}, on budgets
+    without a fuel limit, and for [n ≤ 0]. This is an account transfer,
+    not work: {!spent} is unaffected. *)
+
+val try_withdraw : t -> int -> bool
+(** [try_withdraw b n] atomically removes [n] fuel units from [b]'s
+    account (the shared pool when enrolled) if at least [n] are
+    available, returning whether it did. Always [true] on {!unlimited}
+    and on budgets without a fuel limit; raises [Invalid_argument] on
+    negative [n]. Together with {!replenish} this turns a budget into
+    the token-bucket account behind {!Token_bucket}. *)
+
+val fuel_left : t -> int option
+(** The fuel currently available to this budget alone — its remaining
+    lease when enrolled in a fork group — or [None] when fuel is
+    unlimited. Observability hook for refill tests and [/stats]. *)
 
 val is_limited : t -> bool
 (** [false] exactly for {!unlimited}. *)

@@ -1,0 +1,76 @@
+(* A thread-safe token bucket over a [Budget.t] fuel account: the whole
+   tokens live in the budget (so [Budget.try_withdraw] / [replenish] do
+   the accounting), the fractional carry and the refill clock live here
+   under a mutex. Refill is lazy — computed from elapsed time on every
+   operation — so there is no background thread to manage. *)
+
+type t = {
+  account : Budget.t;  (* fuel_left = whole tokens available *)
+  capacity : int;
+  rate : float;  (* tokens per second; 0 = no refill *)
+  mutable carry : float;  (* fractional tokens accrued, in [0, 1) *)
+  mutable last : float;  (* clock value at the last refresh *)
+  lock : Mutex.t;
+}
+
+let create ?now ~capacity ~rate () =
+  if capacity <= 0 then
+    invalid_arg "Token_bucket.create: capacity must be positive";
+  if rate < 0. then invalid_arg "Token_bucket.create: rate must be >= 0";
+  let now = match now with Some t -> t | None -> Unix.gettimeofday () in
+  {
+    account = Budget.make ~fuel:capacity ();
+    capacity;
+    rate;
+    carry = 0.;
+    last = now;
+    lock = Mutex.create ();
+  }
+
+let locked t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+(* Credit the tokens earned since [t.last]. Call with the lock held. *)
+let refresh t now =
+  if now > t.last then begin
+    if t.rate > 0. then begin
+      let accrued = t.carry +. ((now -. t.last) *. t.rate) in
+      let whole = int_of_float accrued in
+      t.carry <- accrued -. float_of_int whole;
+      if whole > 0 then Budget.replenish ~cap:t.capacity t.account whole
+    end;
+    t.last <- now
+  end
+
+let level_unlocked t =
+  match Budget.fuel_left t.account with Some n -> n | None -> t.capacity
+
+let try_take ?now t n =
+  if n < 0 then invalid_arg "Token_bucket.try_take: negative amount";
+  let now = match now with Some c -> c | None -> Unix.gettimeofday () in
+  locked t @@ fun () ->
+  refresh t now;
+  Budget.try_withdraw t.account n
+
+let give_back t n =
+  if n > 0 then
+    locked t @@ fun () -> Budget.replenish ~cap:t.capacity t.account n
+
+let level ?now t =
+  let now = match now with Some c -> c | None -> Unix.gettimeofday () in
+  locked t @@ fun () ->
+  refresh t now;
+  level_unlocked t
+
+let seconds_until ?now t n =
+  if n < 0 then invalid_arg "Token_bucket.seconds_until: negative amount";
+  let now = match now with Some c -> c | None -> Unix.gettimeofday () in
+  locked t @@ fun () ->
+  refresh t now;
+  let have = level_unlocked t in
+  if have >= n then 0.
+  else if t.rate <= 0. || n > t.capacity then infinity
+  else (float_of_int (n - have) -. t.carry) /. t.rate
+
+let capacity t = t.capacity

@@ -1,0 +1,38 @@
+(** A token bucket built on a {!Budget.t} fuel account: the refillable
+    global budget behind the server's admission control.
+
+    The bucket holds up to [capacity] tokens and earns [rate] tokens per
+    second (with fractional carry), credited lazily from elapsed time on
+    every operation — no background thread. Admission withdraws a
+    request's fuel allowance with {!try_take} and returns the unspent
+    remainder with {!give_back} when the request finishes, so sustained
+    load is bounded by what the bucket earns, not by how fast clients
+    knock.
+
+    All operations are thread-safe. Every operation takes an optional
+    [?now] clock value (defaulting to [Unix.gettimeofday ()]) so tests
+    can drive the clock deterministically. *)
+
+type t
+
+val create : ?now:float -> capacity:int -> rate:float -> unit -> t
+(** A full bucket. [capacity] must be positive, [rate] (tokens/second)
+    non-negative — [0.] means the bucket never refills on its own;
+    raises [Invalid_argument] otherwise. *)
+
+val try_take : ?now:float -> t -> int -> bool
+(** [try_take t n] withdraws [n] tokens if available, returning whether
+    it did. Never blocks. Raises [Invalid_argument] on negative [n]. *)
+
+val give_back : t -> int -> unit
+(** Return unspent tokens, clamped at [capacity]. No-op for [n ≤ 0]. *)
+
+val level : ?now:float -> t -> int
+(** Whole tokens currently available (after crediting elapsed time). *)
+
+val seconds_until : ?now:float -> t -> int -> float
+(** Seconds until [n] tokens will be available at the current rate: [0.]
+    if they already are, [infinity] if they never will be (zero rate, or
+    [n > capacity]). The server's [Retry-After] hint. *)
+
+val capacity : t -> int

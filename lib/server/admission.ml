@@ -1,0 +1,120 @@
+(* Admission control: each admitted request gets a private
+   [Resource.Budget] (fuel, deadline, solution cap) whose fuel is
+   withdrawn from a global [Token_bucket]; finished requests give the
+   unspent remainder back. Two watermarks shed load *before* any work
+   is queued — in-flight count and bucket level — so overload turns into
+   prompt [503 + Retry-After], never a silent queue timeout. *)
+
+module Budget = Resource.Budget
+module Token_bucket = Resource.Token_bucket
+
+type config = {
+  request_fuel : int;  (* fuel carved out per request *)
+  request_timeout : float;  (* seconds; per-request deadline *)
+  max_solutions : int option;
+  global_fuel : int option;  (* token-bucket capacity; None = no bucket *)
+  refill_rate : float;  (* tokens per second *)
+  max_inflight : int;  (* in-flight watermark *)
+}
+
+type reason = Inflight_watermark | Budget_watermark
+
+type lease = { budget : Budget.t; fuel : int }
+
+type t = {
+  config : config;
+  bucket : Token_bucket.t option;
+  inflight : int Atomic.t;
+  admitted : int Atomic.t;
+  shed_inflight : int Atomic.t;
+  shed_tokens : int Atomic.t;
+  fuel_returned : int Atomic.t;
+}
+
+let create config =
+  if config.request_fuel <= 0 then
+    invalid_arg "Admission.create: request_fuel must be positive";
+  if config.max_inflight <= 0 then
+    invalid_arg "Admission.create: max_inflight must be positive";
+  let bucket =
+    Option.map
+      (fun capacity ->
+        Token_bucket.create ~capacity ~rate:config.refill_rate ())
+      config.global_fuel
+  in
+  {
+    config;
+    bucket;
+    inflight = Atomic.make 0;
+    admitted = Atomic.make 0;
+    shed_inflight = Atomic.make 0;
+    shed_tokens = Atomic.make 0;
+    fuel_returned = Atomic.make 0;
+  }
+
+let config t = t.config
+
+(* Reserve an in-flight slot with a CAS loop so concurrent admits never
+   overshoot the watermark. *)
+let rec reserve_slot t =
+  let cur = Atomic.get t.inflight in
+  if cur >= t.config.max_inflight then false
+  else Atomic.compare_and_set t.inflight cur (cur + 1) || reserve_slot t
+
+let try_admit ?(starve = false) t =
+  if not (reserve_slot t) then begin
+    Atomic.incr t.shed_inflight;
+    Error (Inflight_watermark, 1.0)
+  end
+  else begin
+    let fuel = t.config.request_fuel in
+    let granted =
+      match t.bucket with
+      | None -> true
+      | Some b -> Token_bucket.try_take b fuel
+    in
+    if not granted then begin
+      Atomic.decr t.inflight;
+      Atomic.incr t.shed_tokens;
+      let retry =
+        match t.bucket with
+        | Some b ->
+            let s = Token_bucket.seconds_until b fuel in
+            if s = infinity then 60. else Float.max 1. (Float.round s)
+        | None -> 1.0
+      in
+      Error (Budget_watermark, retry)
+    end
+    else begin
+      Atomic.incr t.admitted;
+      (* a starved request keeps its grant (the tokens were withdrawn;
+         release returns what its tiny budget doesn't burn) but runs
+         under near-zero fuel — the budget-starvation fault *)
+      let budget =
+        Budget.make
+          ~fuel:(if starve then 2 else fuel)
+          ~timeout:t.config.request_timeout
+          ?max_solutions:t.config.max_solutions ()
+      in
+      Ok { budget; fuel }
+    end
+  end
+
+let release t lease =
+  Atomic.decr t.inflight;
+  (match t.bucket with
+  | None -> ()
+  | Some b ->
+      let unspent = lease.fuel - Budget.spent lease.budget in
+      if unspent > 0 then begin
+        Token_bucket.give_back b unspent;
+        ignore (Atomic.fetch_and_add t.fuel_returned unspent)
+      end)
+
+let inflight t = Atomic.get t.inflight
+let admitted t = Atomic.get t.admitted
+let shed_inflight t = Atomic.get t.shed_inflight
+let shed_tokens t = Atomic.get t.shed_tokens
+let fuel_returned t = Atomic.get t.fuel_returned
+
+let bucket_level t = Option.map (fun b -> Token_bucket.level b) t.bucket

@@ -1,0 +1,46 @@
+(** Admission control: per-request {!Resource.Budget}s carved from a
+    refillable global {!Resource.Token_bucket}, plus the in-flight
+    watermark. Both shed load {e before} any work is queued — the caller
+    turns an [Error] into [503 + Retry-After] immediately, never a
+    silent queue timeout. *)
+
+type config = {
+  request_fuel : int;  (** fuel units granted to each request *)
+  request_timeout : float;  (** per-request deadline, seconds *)
+  max_solutions : int option;
+  global_fuel : int option;
+      (** token-bucket capacity; [None] disables the global budget *)
+  refill_rate : float;  (** bucket refill, tokens/second *)
+  max_inflight : int;  (** in-flight request watermark *)
+}
+
+type reason = Inflight_watermark | Budget_watermark
+
+type lease = { budget : Resource.Budget.t; fuel : int }
+
+type t
+
+val create : config -> t
+(** Raises [Invalid_argument] on non-positive [request_fuel] or
+    [max_inflight]. *)
+
+val config : t -> config
+
+val try_admit : ?starve:bool -> t -> (lease, reason * float) result
+(** Admit one request: reserve an in-flight slot, withdraw
+    [request_fuel] tokens, and build its private budget. [Error] carries
+    the shed reason and a [Retry-After] hint in seconds. [starve] is the
+    budget-starvation fault: the grant is withdrawn normally but the
+    budget gets only a few ticks of fuel. *)
+
+val release : t -> lease -> unit
+(** Return the lease: frees the in-flight slot and gives the unspent
+    fuel ([request_fuel - spent]) back to the bucket. Call exactly once
+    per successful {!try_admit}, on all paths. *)
+
+val inflight : t -> int
+val admitted : t -> int
+val shed_inflight : t -> int
+val shed_tokens : t -> int
+val fuel_returned : t -> int
+val bucket_level : t -> int option

@@ -1,0 +1,81 @@
+(* Deterministic fault injection: a spec like
+   ["slow:9,disconnect:11,malformed:5"] arms one fault kind per period —
+   request [i] (1-based, in accept order) suffers kind [k] of period [p]
+   when [i mod p = 0]. Kinds are mutually exclusive per request, by the
+   fixed priority below, so a harness can predict from the request index
+   exactly which fault (if any) each request sees and reconcile its
+   client-side tallies against the server's counters. *)
+
+type kind = Disconnect | Slow | Malformed | Starve | Poison
+
+(* priority order when several periods divide the same index *)
+let all = [ Disconnect; Slow; Malformed; Starve; Poison ]
+
+let kind_name = function
+  | Disconnect -> "disconnect"
+  | Slow -> "slow"
+  | Malformed -> "malformed"
+  | Starve -> "starve"
+  | Poison -> "poison"
+
+let kind_of_name = function
+  | "disconnect" -> Some Disconnect
+  | "slow" -> Some Slow
+  | "malformed" -> Some Malformed
+  | "starve" -> Some Starve
+  | "poison" -> Some Poison
+  | _ -> None
+
+type t = (kind * int) list  (* kind -> period, at most one entry per kind *)
+
+let none = []
+
+let parse spec =
+  let spec = String.trim spec in
+  if spec = "" then Ok []
+  else
+    let rec go acc = function
+      | [] -> Ok (List.rev acc)
+      | item :: rest -> (
+          match String.split_on_char ':' (String.trim item) with
+          | [ name; period ] -> (
+              match (kind_of_name name, int_of_string_opt period) with
+              | None, _ ->
+                  Error
+                    (Printf.sprintf
+                       "unknown fault kind %S (expected \
+                        disconnect|slow|malformed|starve|poison)"
+                       name)
+              | Some _, None ->
+                  Error (Printf.sprintf "bad fault period in %S" item)
+              | Some _, Some p when p <= 0 ->
+                  Error (Printf.sprintf "fault period must be positive: %S" item)
+              | Some k, Some p ->
+                  if List.mem_assoc k acc then
+                    Error
+                      (Printf.sprintf "duplicate fault kind %S" (kind_name k))
+                  else go ((k, p) :: acc) rest)
+          | _ ->
+              Error
+                (Printf.sprintf "bad fault item %S (expected kind:period)" item))
+    in
+    go [] (String.split_on_char ',' spec)
+
+let for_request t i =
+  if i <= 0 then None
+  else
+    List.find_map
+      (fun k ->
+        match List.assoc_opt k t with
+        | Some p when i mod p = 0 -> Some k
+        | _ -> None)
+      all
+
+let to_string t =
+  String.concat ","
+    (List.filter_map
+       (fun k ->
+         Option.map
+           (fun p -> Printf.sprintf "%s:%d" (kind_name k) p)
+           (List.assoc_opt k t))
+       all)

@@ -1,0 +1,131 @@
+(* A deliberately small HTTP/1.1 subset: request line + headers + an
+   optional Content-Length body, one request per connection
+   (Connection: close on every response). Enough for the SPARQL
+   protocol's GET/POST surface; anything outside it is [Malformed]. *)
+
+exception Malformed of string
+
+type request = {
+  meth : string;  (* uppercased *)
+  path : string;  (* percent-decoded, query string stripped *)
+  query : (string * string) list;  (* decoded query-string parameters *)
+  headers : (string * string) list;  (* names lowercased *)
+  body : string;
+}
+
+let hex_val c =
+  match c with
+  | '0' .. '9' -> Char.code c - Char.code '0'
+  | 'a' .. 'f' -> Char.code c - Char.code 'a' + 10
+  | 'A' .. 'F' -> Char.code c - Char.code 'A' + 10
+  | _ -> raise (Malformed "bad percent escape")
+
+let percent_decode s =
+  let b = Buffer.create (String.length s) in
+  let n = String.length s in
+  let rec go i =
+    if i < n then begin
+      (match s.[i] with
+      | '%' ->
+          if i + 2 >= n then raise (Malformed "truncated percent escape");
+          Buffer.add_char b
+            (Char.chr ((hex_val s.[i + 1] * 16) + hex_val s.[i + 2]))
+      | '+' -> Buffer.add_char b ' '
+      | c -> Buffer.add_char b c);
+      go (if s.[i] = '%' then i + 3 else i + 1)
+    end
+  in
+  go 0;
+  Buffer.contents b
+
+let split_on_first ch s =
+  match String.index_opt s ch with
+  | None -> (s, None)
+  | Some i ->
+      ( String.sub s 0 i,
+        Some (String.sub s (i + 1) (String.length s - i - 1)) )
+
+let parse_query qs =
+  if qs = "" then []
+  else
+    String.split_on_char '&' qs
+    |> List.filter_map (fun kv ->
+           if kv = "" then None
+           else
+             let k, v = split_on_first '=' kv in
+             Some (percent_decode k, percent_decode (Option.value ~default:"" v)))
+
+let parse_request_line line =
+  match String.split_on_char ' ' line with
+  | [ meth; target; version ]
+    when version = "HTTP/1.1" || version = "HTTP/1.0" ->
+      let raw_path, qs = split_on_first '?' target in
+      if raw_path = "" || raw_path.[0] <> '/' then
+        raise (Malformed "request target must be absolute");
+      (String.uppercase_ascii meth, percent_decode raw_path,
+       parse_query (Option.value ~default:"" qs))
+  | _ -> raise (Malformed "bad request line")
+
+let parse_header line =
+  let k, v = split_on_first ':' line in
+  match v with
+  | None -> raise (Malformed "header without colon")
+  | Some v -> (String.lowercase_ascii (String.trim k), String.trim v)
+
+let header name req =
+  List.assoc_opt (String.lowercase_ascii name) req.headers
+
+(* [mangle]: the malformed-frame injection point — corrupts the request
+   line before parsing, as if the client spoke garbage. *)
+let read_request ?(mangle = false) conn ~deadline ~max_bytes =
+  let line = Io.read_line conn ~deadline ~max_bytes in
+  let line = if mangle then "\x01garbage " ^ line else line in
+  let meth, path, query = parse_request_line line in
+  let rec headers acc n =
+    if n > 100 then raise (Malformed "too many headers");
+    match Io.read_line conn ~deadline ~max_bytes with
+    | "" -> List.rev acc
+    | l -> headers (parse_header l :: acc) (n + 1)
+  in
+  let headers = headers [] 0 in
+  let body =
+    match List.assoc_opt "content-length" headers with
+    | None ->
+        if List.assoc_opt "transfer-encoding" headers <> None then
+          raise (Malformed "chunked bodies are not supported");
+        ""
+    | Some len -> (
+        match int_of_string_opt len with
+        | Some n when n >= 0 ->
+            if n > max_bytes then raise Io.Too_large;
+            Io.read_exact conn ~deadline ~max_bytes n
+        | _ -> raise (Malformed "bad Content-Length"))
+  in
+  { meth; path; query; headers; body }
+
+let status_text = function
+  | 200 -> "OK"
+  | 400 -> "Bad Request"
+  | 404 -> "Not Found"
+  | 405 -> "Method Not Allowed"
+  | 408 -> "Request Timeout"
+  | 413 -> "Content Too Large"
+  | 422 -> "Unprocessable Content"
+  | 500 -> "Internal Server Error"
+  | 503 -> "Service Unavailable"
+  | c -> if c < 400 then "OK" else "Error"
+
+let respond ?(headers = []) conn ~deadline ~status body =
+  let b = Buffer.create (String.length body + 256) in
+  Buffer.add_string b
+    (Printf.sprintf "HTTP/1.1 %d %s\r\n" status (status_text status));
+  if not (List.mem_assoc "Content-Type" headers) then
+    Buffer.add_string b "Content-Type: application/json\r\n";
+  List.iter
+    (fun (k, v) -> Buffer.add_string b (Printf.sprintf "%s: %s\r\n" k v))
+    headers;
+  Buffer.add_string b
+    (Printf.sprintf "Content-Length: %d\r\nConnection: close\r\n\r\n"
+       (String.length body));
+  Buffer.add_string b body;
+  Io.write_all conn ~deadline (Buffer.contents b)

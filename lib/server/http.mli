@@ -1,0 +1,38 @@
+(** A small HTTP/1.1 subset over {!Io}: request line, headers, optional
+    [Content-Length] body; one request per connection, every response
+    carries [Connection: close]. Anything outside the subset (chunked
+    bodies, malformed escapes, bad request lines) raises {!Malformed} —
+    the server maps it to [400]. *)
+
+exception Malformed of string
+
+type request = {
+  meth : string;  (** uppercased *)
+  path : string;  (** percent-decoded, query string stripped *)
+  query : (string * string) list;  (** decoded query-string parameters *)
+  headers : (string * string) list;  (** names lowercased *)
+  body : string;
+}
+
+val read_request :
+  ?mangle:bool -> Io.conn -> deadline:float -> max_bytes:int -> request
+(** Read and parse one request. [mangle] corrupts the request line
+    before parsing — the fault layer's malformed-frame injection.
+    Raises {!Malformed}, {!Io.Timeout}, {!Io.Disconnected},
+    {!Io.Too_large}. *)
+
+val respond :
+  ?headers:(string * string) list ->
+  Io.conn -> deadline:float -> status:int -> string -> unit
+(** Write a full response ([Content-Type: application/json] unless
+    overridden). *)
+
+val header : string -> request -> string option
+(** Case-insensitive header lookup (names are stored lowercased). *)
+
+val parse_query : string -> (string * string) list
+(** Decode an [application/x-www-form-urlencoded] string (also the POST
+    body format). Raises {!Malformed} on bad escapes. *)
+
+val percent_decode : string -> string
+val status_text : int -> string

@@ -1,0 +1,129 @@
+(* The one module allowed to touch raw [Unix.read]/[Unix.write] (the
+   lint rule in tools/lint enforces this): every socket operation here
+   honours an absolute deadline via [select], counts live descriptors
+   for the leak assertions in the fault harness, and folds the zoo of
+   disconnect errnos into one [Disconnected]. *)
+
+exception Timeout
+exception Disconnected
+exception Too_large
+
+type fault = Stall | Drop
+
+type conn = {
+  fd : Unix.file_descr;
+  mutable pending : string;  (* bytes read past the last line boundary *)
+  mutable read_fault : fault option;
+  mutable closed : bool;
+}
+
+(* fd accounting: [live] must return to its baseline after a drain, or
+   the server leaked descriptors *)
+let opened_total = Atomic.make 0
+let closed_total = Atomic.make 0
+let live () = Atomic.get opened_total - Atomic.get closed_total
+let opened () = Atomic.get opened_total
+
+let of_fd fd =
+  Atomic.incr opened_total;
+  { fd; pending = ""; read_fault = None; closed = false }
+
+let close c =
+  if not c.closed then begin
+    c.closed <- true;
+    Atomic.incr closed_total;
+    try Unix.close c.fd with Unix.Unix_error _ -> ()
+  end
+
+let inject_read_fault c f = c.read_fault <- Some f
+
+let now () = Unix.gettimeofday ()
+
+(* Wait until [fd] is ready or [deadline] passes. [select] is the only
+   readiness primitive in stdlib Unix; EINTR just means retry with the
+   remaining time. *)
+let wait ~readable c ~deadline =
+  let rec go () =
+    let remaining = deadline -. now () in
+    if remaining <= 0. then raise Timeout;
+    let r, w = if readable then ([ c.fd ], []) else ([], [ c.fd ]) in
+    match Unix.select r w [] (min remaining 1.0) with
+    | [], [], [] -> go ()
+    | _ -> ()
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ()
+  in
+  go ()
+
+let read_chunk c ~deadline =
+  (match c.read_fault with
+  | Some Drop ->
+      c.read_fault <- None;
+      raise Disconnected
+  | Some Stall ->
+      c.read_fault <- None;
+      (* a slow client: never delivers the rest of its request *)
+      let rec stall () =
+        if now () < deadline then begin
+          Unix.sleepf (min 0.05 (deadline -. now ()));
+          stall ()
+        end
+      in
+      stall ();
+      raise Timeout
+  | None -> ());
+  wait ~readable:true c ~deadline;
+  let buf = Bytes.create 4096 in
+  match Unix.read c.fd buf 0 (Bytes.length buf) with
+  | 0 -> raise Disconnected
+  | n -> Bytes.sub_string buf 0 n
+  | exception Unix.Unix_error ((ECONNRESET | EPIPE | EBADF), _, _) ->
+      raise Disconnected
+  | exception Unix.Unix_error (EINTR, _, _) -> ""
+
+(* One CRLF- (or bare-LF-)terminated line, without the terminator.
+   [max_bytes] bounds the line plus whatever is buffered beyond it. *)
+let read_line c ~deadline ~max_bytes =
+  let rec go () =
+    match String.index_opt c.pending '\n' with
+    | Some i ->
+        let line = String.sub c.pending 0 i in
+        c.pending <-
+          String.sub c.pending (i + 1) (String.length c.pending - i - 1);
+        let n = String.length line in
+        if n > 0 && line.[n - 1] = '\r' then String.sub line 0 (n - 1)
+        else line
+    | None ->
+        if String.length c.pending > max_bytes then raise Too_large;
+        c.pending <- c.pending ^ read_chunk c ~deadline;
+        go ()
+  in
+  go ()
+
+let read_exact c ~deadline ~max_bytes n =
+  if n > max_bytes then raise Too_large;
+  let rec go () =
+    if String.length c.pending >= n then begin
+      let body = String.sub c.pending 0 n in
+      c.pending <- String.sub c.pending n (String.length c.pending - n);
+      body
+    end
+    else begin
+      c.pending <- c.pending ^ read_chunk c ~deadline;
+      go ()
+    end
+  in
+  go ()
+
+let write_all c ~deadline s =
+  let n = String.length s in
+  let rec go off =
+    if off < n then begin
+      wait ~readable:false c ~deadline;
+      match Unix.write_substring c.fd s off (n - off) with
+      | w -> go (off + w)
+      | exception Unix.Unix_error ((EPIPE | ECONNRESET | EBADF), _, _) ->
+          raise Disconnected
+      | exception Unix.Unix_error (EINTR, _, _) -> go off
+    end
+  in
+  go 0

@@ -1,0 +1,40 @@
+(** Deadline-aware socket I/O — the only module in the tree allowed to
+    call raw [Unix.read]/[Unix.write] (enforced by [tools/lint]). Every
+    operation takes an {e absolute} deadline (Unix time) and raises
+    {!Timeout} rather than blocking past it; peer-gone errnos
+    ([ECONNRESET], [EPIPE], EOF) uniformly raise {!Disconnected}; input
+    larger than the caller's bound raises {!Too_large}. Live-descriptor
+    counters back the fault harness's leak assertions. *)
+
+exception Timeout
+exception Disconnected
+exception Too_large
+
+type fault =
+  | Stall  (** the peer stops sending: reads block until the deadline *)
+  | Drop  (** the peer vanishes: the next read raises {!Disconnected} *)
+
+type conn
+
+val of_fd : Unix.file_descr -> conn
+(** Wrap an accepted socket; counts toward {!live} until {!close}. *)
+
+val close : conn -> unit
+(** Close the descriptor (idempotent; errors ignored). *)
+
+val inject_read_fault : conn -> fault -> unit
+(** Arm a one-shot fault on the next read — the fault layer's hook. *)
+
+val read_line : conn -> deadline:float -> max_bytes:int -> string
+(** One line, CRLF or LF terminated, terminator stripped. *)
+
+val read_exact : conn -> deadline:float -> max_bytes:int -> int -> string
+(** Exactly [n] bytes (a Content-Length body). *)
+
+val write_all : conn -> deadline:float -> string -> unit
+
+val live : unit -> int
+(** Descriptors currently open ([opened - closed]). *)
+
+val opened : unit -> int
+(** Total descriptors ever wrapped (monotonic). *)

@@ -1,0 +1,63 @@
+(** The long-running SPARQL endpoint: an accept thread feeding a bounded
+    queue of worker threads, every request under a private
+    {!Resource.Budget} carved from {!Admission}, overload shed promptly
+    at three watermarks (accept-queue depth, in-flight count, global
+    token bucket) with [503 + Retry-After], graceful drain on
+    SIGINT/SIGTERM. See docs/ROBUSTNESS.md for the overload policy and
+    the HTTP ↔ error-taxonomy table.
+
+    Routes: [GET/POST /sparql?query=…] (SPARQL JSON results),
+    [GET/POST /analyze?query=…] (the static analyzer's JSON report),
+    [GET /health], [GET /stats]. *)
+
+type config = {
+  graph : Rdf.Graph.t;
+  host : string;
+  port : int;  (** 0 = pick an ephemeral port; see {!port} *)
+  workers : int;  (** worker threads handling connections *)
+  domains : int;  (** parallelism inside a single evaluation *)
+  queue_capacity : int;  (** accept-queue watermark *)
+  admission : Admission.config;
+  max_request_bytes : int;
+  io_timeout : float;  (** per-connection read/write deadline, seconds *)
+  faults : Faults.t;
+  plan_capacity : int;  (** distinct cached query plans *)
+}
+
+type t
+
+val start : config -> t
+(** Bind, listen, and spawn the accept and worker threads. Raises
+    [Unix.Unix_error] if the address cannot be bound; raises
+    [Invalid_argument] on non-positive [workers] / [queue_capacity] /
+    [plan_capacity]. *)
+
+val port : t -> int
+(** The bound port (the actual one when [config.port] was [0]). *)
+
+val draining : t -> bool
+
+val initiate_drain : t -> unit
+(** Begin graceful shutdown: stop accepting, answer queued connections
+    with [503 draining], cancel in-flight budgets. Async-signal-safe
+    (only sets a flag); {!join} does the actual work. *)
+
+val join : t -> Analysis.Json.t
+(** Block until a drain is initiated (by {!initiate_drain} or a signal
+    handler), then see it through — listener closed, queue flushed with
+    prompt 503s, in-flight budgets cancelled via [Budget.cancel],
+    threads joined — and return the final stats snapshot (the same
+    document [/stats] serves). *)
+
+val install_signal_handlers : t -> unit
+(** Route SIGINT and SIGTERM to {!initiate_drain}. *)
+
+val stats_json : t -> Analysis.Json.t
+(** The live stats document: request/response counters, admission and
+    shed counters, injected-fault counters, plan-cache totals (live
+    entries plus a retired accumulator, so totals are monotonic across
+    evictions). *)
+
+val run : config -> unit
+(** [start] + {!install_signal_handlers} + {!join}: print the listening
+    line, serve until signalled, flush the final stats to stdout. *)

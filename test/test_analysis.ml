@@ -433,6 +433,37 @@ let test_codebase_lint_seeded () =
       check Alcotest.int "missing manifest entry flagged" 1
         (List.length violations))
 
+(* PR 6 satellite: raw socket I/O is confined to lib/server/io.ml. *)
+let test_codebase_lint_raw_io () =
+  with_scratch_tree
+    [
+      (* seeded violation: a bare Unix.read outside the io module, line 2 *)
+      ( "workload/leaky.ml",
+        "let buf = Bytes.create 64\nlet n fd = Unix.read fd buf 0 64\n" );
+      (* the io module itself is allowed to use the raw calls *)
+      ( "server/io.ml",
+        "let read_chunk fd buf = Unix.read fd buf 0 (Bytes.length buf)\n\
+         let write_all fd s = Unix.write_substring fd s 0 (String.length s)\n"
+      );
+      (* string/comment mentions elsewhere do not count *)
+      ( "server/http.ml",
+        "let doc = \"Unix.read\" (* never call Unix.write here *)\n" );
+    ]
+    (fun root ->
+      let violations = Lint_rules.check_tree ~manifest:[] ~root () in
+      let rendered =
+        List.map (Fmt.str "%a" Lint_rules.pp_violation) violations
+      in
+      check Alcotest.int "exactly the seeded raw-I/O violation" 1
+        (List.length violations);
+      check Alcotest.bool "reported with file:line and the offending call"
+        true
+        (List.exists
+           (fun s ->
+             Astring.String.is_infix ~affix:"workload/leaky.ml:2" s
+             && Astring.String.is_infix ~affix:"Unix.read" s)
+           rendered))
+
 (* ------------------------------------------------------------------ *)
 
 let () =
@@ -478,5 +509,7 @@ let () =
             test_codebase_lint_clean;
           Alcotest.test_case "seeded violations fail with file:line" `Quick
             test_codebase_lint_seeded;
+          Alcotest.test_case "raw I/O confined to lib/server/io.ml" `Quick
+            test_codebase_lint_raw_io;
         ] );
     ]

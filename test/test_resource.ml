@@ -87,6 +87,161 @@ let test_validation () =
   invalid (fun () -> Budget.make ~max_solutions:(-5) ())
 
 (* ------------------------------------------------------------------ *)
+(* Refill semantics: replenish / try_withdraw / the token bucket       *)
+(* ------------------------------------------------------------------ *)
+
+let test_replenish_standalone () =
+  let b = Budget.make ~fuel:10 () in
+  for _ = 1 to 5 do Budget.tick b done;
+  check Alcotest.(option int) "fuel left after 5 ticks" (Some 5)
+    (Budget.fuel_left b);
+  Budget.replenish b 3;
+  check Alcotest.(option int) "replenish adds" (Some 8) (Budget.fuel_left b);
+  Budget.replenish ~cap:9 b 100;
+  check Alcotest.(option int) "replenish clamps at cap" (Some 9)
+    (Budget.fuel_left b);
+  Budget.replenish ~cap:5 b 100;
+  check Alcotest.(option int) "account above cap is left unchanged" (Some 9)
+    (Budget.fuel_left b);
+  (* fuel f permits f-1 further ticks, the f-th raises *)
+  let ticks = ref 0 in
+  (try
+     while true do
+       Budget.tick b;
+       incr ticks
+     done
+   with Budget.Exhausted _ -> ());
+  check Alcotest.int "replenished fuel is spendable" 8 !ticks;
+  (* no-ops *)
+  Budget.replenish Budget.unlimited 100;
+  let t = Budget.make ~timeout:3600. () in
+  Budget.replenish t 5;
+  check Alcotest.(option int) "no fuel limit stays unlimited" None
+    (Budget.fuel_left t)
+
+let test_try_withdraw () =
+  let b = Budget.make ~fuel:10 () in
+  check Alcotest.bool "withdraw 4" true (Budget.try_withdraw b 4);
+  check Alcotest.(option int) "6 left" (Some 6) (Budget.fuel_left b);
+  check Alcotest.bool "overdraw refused" false (Budget.try_withdraw b 7);
+  check Alcotest.(option int) "refusal leaves the account" (Some 6)
+    (Budget.fuel_left b);
+  check Alcotest.bool "exact drain" true (Budget.try_withdraw b 6);
+  check Alcotest.bool "empty account refuses" false (Budget.try_withdraw b 1);
+  check Alcotest.bool "zero always succeeds" true (Budget.try_withdraw b 0);
+  check Alcotest.bool "unlimited always grants" true
+    (Budget.try_withdraw Budget.unlimited 1_000_000);
+  match Budget.try_withdraw b (-1) with
+  | _ -> Alcotest.fail "negative withdrawal must be rejected"
+  | exception Invalid_argument _ -> ()
+
+let test_standalone_cancel () =
+  let b = Budget.make ~fuel:1_000_000 () in
+  Budget.cancel b;
+  let ticks = ref 0 in
+  (try
+     for _ = 1 to 1000 do
+       Budget.tick b;
+       incr ticks
+     done;
+     Alcotest.fail "cancelled budget kept running"
+   with Budget.Exhausted _ -> ());
+  check Alcotest.bool "stopped within one deadline-check interval" true
+    (!ticks <= Budget.deadline_check_interval);
+  (* cancel on unlimited stays a no-op *)
+  Budget.cancel Budget.unlimited;
+  Budget.tick Budget.unlimited
+
+(* Satellite: forked children never observe a refill mid-lease — the
+   refill lands in the shared pool, a worker's current lease is
+   untouched, and the extra fuel only becomes spendable at the next
+   lease boundary. *)
+let test_fork_refill_mid_lease () =
+  let lease = Budget.deadline_check_interval in
+  let b = Budget.make ~fuel:200 () in
+  let views = Budget.fork b 1 in
+  let v = views.(0) in
+  for _ = 1 to 32 do Budget.tick v done;
+  (* the first tick leased [lease] units; 32 ticks in, the lease holds
+     lease - 32 *)
+  check Alcotest.(option int) "mid-lease balance" (Some (lease - 32))
+    (Budget.fuel_left v);
+  Budget.replenish b 64;
+  check Alcotest.(option int) "refill is invisible mid-lease"
+    (Some (lease - 32))
+    (Budget.fuel_left v);
+  (* ... but it is spendable at the next lease boundary: the group's
+     ticks total exactly (200 + 64) - 1, same contract as make ~fuel *)
+  let ticks = ref 32 in
+  (try
+     while true do
+       Budget.tick v;
+       incr ticks
+     done
+   with Budget.Exhausted _ -> ());
+  check Alcotest.int "group total = original + refill - 1" (200 + 64 - 1)
+    !ticks
+
+let test_fork_refill_join_conservation () =
+  let b = Budget.make ~fuel:100 () in
+  let views = Budget.fork b 2 in
+  for _ = 1 to 10 do Budget.tick views.(0) done;
+  Budget.replenish b 50;
+  Budget.join b views;
+  check Alcotest.int "spending folded into the parent" 10 (Budget.spent b);
+  (* the parent reclaimed everything unspent: 100 + 50 - 10 = 140 units
+     permit exactly 139 more ticks *)
+  let ticks = ref 0 in
+  (try
+     while true do
+       Budget.tick b;
+       incr ticks
+     done
+   with Budget.Exhausted _ -> ());
+  check Alcotest.int "unspent + refill returned on join" 139 !ticks
+
+module Token_bucket = Resource.Token_bucket
+
+let test_token_bucket_basic () =
+  let tb = Token_bucket.create ~now:0. ~capacity:10 ~rate:2. () in
+  check Alcotest.int "starts full" 10 (Token_bucket.level ~now:0. tb);
+  check Alcotest.bool "drain the bucket" true (Token_bucket.try_take ~now:0. tb 10);
+  check Alcotest.bool "empty refuses" false (Token_bucket.try_take ~now:0. tb 1);
+  check Alcotest.(float 1e-9) "2 tokens/s: 4 tokens in 2s" 2.
+    (Token_bucket.seconds_until ~now:0. tb 4);
+  check Alcotest.int "refilled after 1s" 2 (Token_bucket.level ~now:1. tb);
+  check Alcotest.bool "elapsed time grants" true
+    (Token_bucket.try_take ~now:2.5 tb 5);
+  check Alcotest.int "capacity clamp" 10 (Token_bucket.level ~now:1000. tb);
+  Token_bucket.give_back tb 50;
+  check Alcotest.int "give_back clamps at capacity" 10
+    (Token_bucket.level ~now:1000. tb)
+
+let test_token_bucket_fractional_carry () =
+  let tb = Token_bucket.create ~now:0. ~capacity:4 ~rate:0.5 () in
+  ignore (Token_bucket.try_take ~now:0. tb 4);
+  check Alcotest.int "half a token is not a token" 0
+    (Token_bucket.level ~now:1. tb);
+  check Alcotest.int "two halves are" 1 (Token_bucket.level ~now:2. tb);
+  check Alcotest.int "carry accumulates across refreshes" 2
+    (Token_bucket.level ~now:4. tb)
+
+let test_token_bucket_zero_rate () =
+  let tb = Token_bucket.create ~now:0. ~capacity:5 ~rate:0. () in
+  ignore (Token_bucket.try_take ~now:0. tb 5);
+  check Alcotest.int "never refills" 0 (Token_bucket.level ~now:1e9 tb);
+  check Alcotest.bool "seconds_until is infinite" true
+    (Token_bucket.seconds_until ~now:0. tb 1 = infinity);
+  check Alcotest.bool "over capacity is unreachable" true
+    (Token_bucket.seconds_until ~now:0.
+       (Token_bucket.create ~now:0. ~capacity:5 ~rate:1. ())
+       6
+    = infinity);
+  Token_bucket.give_back tb 3;
+  check Alcotest.bool "give_back re-arms a zero-rate bucket" true
+    (Token_bucket.try_take ~now:0. tb 3)
+
+(* ------------------------------------------------------------------ *)
 (* Fault injection: every exponential kernel stops promptly           *)
 (* ------------------------------------------------------------------ *)
 
@@ -319,6 +474,23 @@ let () =
           Alcotest.test_case "timeout" `Quick test_timeout;
           Alcotest.test_case "phases" `Quick test_phase;
           Alcotest.test_case "validation" `Quick test_validation;
+        ] );
+      ( "refill",
+        [
+          Alcotest.test_case "replenish standalone" `Quick
+            test_replenish_standalone;
+          Alcotest.test_case "try_withdraw" `Quick test_try_withdraw;
+          Alcotest.test_case "standalone cancel" `Quick test_standalone_cancel;
+          Alcotest.test_case "fork: refill invisible mid-lease" `Quick
+            test_fork_refill_mid_lease;
+          Alcotest.test_case "fork: refill conserved across join" `Quick
+            test_fork_refill_join_conservation;
+          Alcotest.test_case "token bucket basics" `Quick
+            test_token_bucket_basic;
+          Alcotest.test_case "token bucket fractional carry" `Quick
+            test_token_bucket_fractional_carry;
+          Alcotest.test_case "token bucket zero rate" `Quick
+            test_token_bucket_zero_rate;
         ] );
       ( "fault injection",
         [

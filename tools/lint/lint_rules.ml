@@ -92,6 +92,15 @@ let wins_allowed rel =
   String.length rel >= 5 && String.sub rel 0 5 = "core/"
   || String.length rel >= 7 && String.sub rel 0 7 = "pebble/"
 
+(* Raw socket I/O is confined to the server's deadline-aware wrappers:
+   a bare [Unix.read]/[Unix.write] elsewhere can block forever and
+   bypasses the fd accounting the fault harness leans on. The needles
+   are prefixes, so [Unix.write_substring] etc. are caught too. *)
+let raw_io_needles =
+  [ "Unix.read"; "Unix.write"; "Unix.single_write"; "Unix.recv"; "Unix.send" ]
+
+let raw_io_allowed rel = rel = "server/io.ml"
+
 let contains ~needle hay =
   let nl = String.length needle and hl = String.length hay in
   let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
@@ -144,7 +153,27 @@ let check_file ?(manifest = kernel_modules) ?(wins_allowed = wins_allowed)
         ]
     | _ -> []
   in
-  missing_tick @ forbidden_wins
+  let forbidden_raw_io =
+    if raw_io_allowed rel then []
+    else
+      List.filter_map
+        (fun needle ->
+          match line_of ~needle stripped with
+          | Some line ->
+              Some
+                {
+                  path = rel;
+                  line;
+                  message =
+                    Printf.sprintf
+                      "raw %s outside lib/server/io.ml: socket I/O must \
+                       go through the deadline-aware Io wrappers"
+                      needle;
+                }
+          | None -> None)
+        raw_io_needles
+  in
+  missing_tick @ forbidden_wins @ forbidden_raw_io
 
 let check_tree ?(manifest = kernel_modules)
     ?(wins_allowed = default_wins_allowed) ~root () =
