@@ -54,7 +54,7 @@ let write_json file =
   let buf = Buffer.create 4096 in
   Buffer.add_string buf "{\n";
   Buffer.add_string buf "  \"schema_version\": 1,\n";
-  Buffer.add_string buf "  \"pr\": \"pr4\",\n";
+  Buffer.add_string buf "  \"pr\": \"pr7\",\n";
   Buffer.add_string buf
     (Printf.sprintf "  \"fast\": %b,\n" !fast);
   Buffer.add_string buf "  \"experiments\": {\n";
@@ -1457,6 +1457,154 @@ let a8 () =
   Fmt.pr "verdict caches keep that overhead bounded (see PERFORMANCE.md).@."
 
 (* ------------------------------------------------------------------ *)
+(* A10 — ablation: cost-based planning vs per-prefix rescoring         *)
+(* ------------------------------------------------------------------ *)
+
+let a10 () =
+  header "A10" "ablation: cost-based join planning on skewed stores"
+    "ISSUE 7 tentpole: compiled orders + incremental fail-first refinement";
+  Fmt.pr "Warm full enumeration on Zipf-skewed graphs under three join@.";
+  Fmt.pr "planning modes: per-prefix rescoring (the PR 3 exact fail-first@.";
+  Fmt.pr "baseline, --optimize off), the compiled static order, and the@.";
+  Fmt.pr "compiled order with incremental refinement plus per-node@.";
+  Fmt.pr "pebble-vs-naive maximality choices (--optimize on). Every variant@.";
+  Fmt.pr "is verified against the reference algebra evaluator.@.@.";
+  let preds = [ "q0"; "q1"; "q2"; "q3"; "q4"; "q5" ] in
+  (* Zipf-skewed stores: node 0 is the heaviest hub and predicate
+     cardinalities fall off steeply, so uniform-guess join orders are
+     maximally wrong. [--fast] halves both axes (density preserved). *)
+  let zg seed n m e =
+    let n = if !fast then n / 2 else n
+    and m = if !fast then m / 2 else m in
+    Rdf.Generator.zipf ~seed ~n ~predicates:preds ~m ~exponent:e ()
+  in
+  let q src = Wdpt.Pattern_forest.of_algebra (Sparql.Parser.parse_exn src) in
+  (* Joins where planning matters: multi-triple roots over predicates of
+     very different cardinality (the compiled order front-loads the rare
+     ones), with selective OPTIONAL children small enough for the
+     pebble-vs-naive verdict to pick the memoized naive test. *)
+  let workloads =
+    [
+      ( "star2-two-optionals",
+        q
+          "{ ?a p:q1 ?b . ?a p:q2 ?c . OPTIONAL { ?b p:q5 ?d } OPTIONAL \
+           { ?c p:q4 ?e } }",
+        zg 16 100 800 1.4 );
+      ( "three-optionals",
+        q
+          "{ ?a p:q1 ?b . OPTIONAL { ?b p:q5 ?c } OPTIONAL { ?a p:q4 ?d } \
+           OPTIONAL { ?b p:q3 ?e } }",
+        zg 12 100 800 1.4 );
+      ( "chain2-two-optionals",
+        q
+          "{ ?a p:q1 ?b . ?b p:q2 ?c . OPTIONAL { ?c p:q5 ?d } OPTIONAL \
+           { ?a p:q4 ?e } }",
+        zg 17 100 800 1.4 );
+      ( "nested-optionals",
+        q
+          "{ ?a p:q1 ?b . OPTIONAL { ?b p:q3 ?c . OPTIONAL { ?c p:q5 ?d } \
+           } OPTIONAL { ?a p:q4 ?e } }",
+        zg 18 100 800 1.4 );
+      ( "triangle-two-optionals",
+        q
+          "{ ?a p:q0 ?b . ?b p:q1 ?c . ?a p:q2 ?c . OPTIONAL { ?c p:q5 ?d \
+           } OPTIONAL { ?b p:q4 ?e } }",
+        zg 25 120 1100 1.2 );
+    ]
+  in
+  Fmt.pr "%-20s %8s %11s %10s %11s %9s %9s@." "workload" "answers"
+    "rescore(ms)" "static(ms)" "adaptive(ms)" "static-x" "adapt-x";
+  let adaptive_speedups = ref [] in
+  List.iter
+    (fun (name, forest, graph) ->
+      let runs = if !fast then 5 else 9 in
+      let dw = Wd_core.Domination_width.of_forest forest in
+      let reference =
+        Sparql.Eval.eval (Wdpt.Pattern_forest.to_algebra forest) graph
+      in
+      let verify variant got =
+        if not (Sparql.Mapping.Set.equal got reference) then begin
+          Fmt.epr "A10 %s: %s answers diverge from the reference evaluator@."
+            name variant;
+          exit 1
+        end
+      in
+      (* one warm plan cache per variant: compiled sources, games, and
+         (for the planned variants) node decisions are steady state, so
+         the timings isolate the join itself *)
+      let eval optimize =
+        let cache = Wd_core.Plan_cache.create () in
+        fun () ->
+          Wd_core.Enumerate.solutions ~maximality:(`Pebble dw) ~cache
+            ~optimize forest graph
+      in
+      let rescore = eval `Off
+      and static = eval `Static
+      and adaptive = eval `On in
+      (* interleaved round-robin sampling, as in A7: probe each variant
+         (verifying answers, sizing a >= 20ms batch), then sample the
+         three variants alternately so throughput drift hits the ratios
+         symmetrically *)
+      Gc.compact ();
+      let probe variant f =
+        let ans, t = time_once f in
+        verify variant ans;
+        ( max 1 (min 1000 (int_of_float (Float.ceil (0.02 /. Float.max t 1e-6)))),
+          f )
+      in
+      let variants =
+        [|
+          probe "rescore" rescore; probe "static" static;
+          probe "adaptive" adaptive;
+        |]
+      in
+      let samples = Array.map (fun _ -> ref []) variants in
+      for _ = 1 to runs do
+        Array.iteri
+          (fun i (batch, f) ->
+            let t0 = Unix.gettimeofday () in
+            for _ = 1 to batch do
+              ignore (f ())
+            done;
+            let t = (Unix.gettimeofday () -. t0) /. float_of_int batch in
+            samples.(i) := t :: !(samples.(i)))
+          variants
+      done;
+      let median_of i =
+        let sorted = List.sort compare !(samples.(i)) in
+        List.nth sorted (List.length sorted / 2)
+      in
+      let t_rescore = median_of 0
+      and t_static = median_of 1
+      and t_adaptive = median_of 2 in
+      let speedup_static = t_rescore /. t_static
+      and speedup_adaptive = t_rescore /. t_adaptive in
+      adaptive_speedups := speedup_adaptive :: !adaptive_speedups;
+      record ~experiment:"A10" ~metric:(name ^ ".rescore_ms") (ms t_rescore);
+      record ~experiment:"A10" ~metric:(name ^ ".static_ms") (ms t_static);
+      record ~experiment:"A10" ~metric:(name ^ ".adaptive_ms") (ms t_adaptive);
+      record ~experiment:"A10" ~metric:(name ^ ".speedup_static")
+        speedup_static;
+      record ~experiment:"A10" ~metric:(name ^ ".speedup_adaptive")
+        speedup_adaptive;
+      record ~experiment:"A10" ~metric:(name ^ ".answers")
+        (float_of_int (Sparql.Mapping.Set.cardinal reference));
+      Fmt.pr "%-20s %8d %11.3f %10.3f %11.3f %8.2fx %8.2fx@." name
+        (Sparql.Mapping.Set.cardinal reference)
+        (ms t_rescore) (ms t_static) (ms t_adaptive) speedup_static
+        speedup_adaptive)
+    workloads;
+  let median_speedup =
+    let sorted = List.sort compare !adaptive_speedups in
+    List.nth sorted (List.length sorted / 2)
+  in
+  record ~experiment:"A10" ~metric:"median_speedup_adaptive" median_speedup;
+  Fmt.pr
+    "@.median optimizer-on speedup vs per-prefix rescoring: %.2fx (target: \
+     >= 1.3x)@."
+    median_speedup
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks: one Test.make per table/figure           *)
 (* ------------------------------------------------------------------ *)
 
@@ -1557,7 +1705,11 @@ let experiments =
     ("T3", t3); ("T4", t4); ("F4", f4); ("T5", t5); ("F5", f5);
     ("F6", f6); ("F7", f7); ("T6", t6); ("T7", t7);
     ("A1", a1); ("A2", a2); ("A3", a3); ("A4", a4); ("A5", a5); ("A6", a6);
-    ("A7", a7); ("A8", a8);
+    (* A10 runs before A8: A8 leaves its borrowed worker domains alive
+       (pool registry), and idle domains tax every minor GC with
+       stop-the-world synchronization — uniform overhead that would
+       wash out A10's planner-mode ratios. *)
+    ("A7", a7); ("A10", a10); ("A8", a8);
     ("bechamel", bechamel_suite);
   ]
 
@@ -1569,7 +1721,7 @@ let () =
         fast := true;
         parse acc rest
     | "--json" :: rest ->
-        json_out := Some "BENCH_pr4.json";
+        json_out := Some "BENCH_pr7.json";
         parse acc rest
     | "--json-out" :: file :: rest ->
         json_out := Some file;

@@ -139,6 +139,17 @@ let pebbles_arg =
         ~doc:"Domination-width bound for the pebble algorithm (defaults to \
               the computed dw of the query).")
 
+let optimize_arg =
+  Arg.(
+    value
+    & opt (enum [ ("on", true); ("off", false) ]) true
+    & info [ "optimize" ] ~docv:"on|off"
+        ~doc:"Cost-based planning (default on): compiled per-node join \
+              orders from store statistics with adaptive fail-first \
+              refinement, and per-node pebble-vs-naive maximality choices. \
+              'off' falls back to exact per-prefix rescoring. Answers are \
+              identical either way.")
+
 (* Resource limits: a spec, from which each processing stage gets a fresh
    budget (so with --timeout T, planning and evaluation may each take up
    to T — worst case ~2T end to end). *)
@@ -200,7 +211,7 @@ let eval_cmd =
                 caller. 1 (the default) is exactly the sequential path; \
                 answers are identical for every N.")
   in
-  let run data query algorithm k spec explain domains =
+  let run data query algorithm k spec explain domains optimize =
     handle @@ fun () ->
     let graph = load_graph data in
     let pattern = load_query query in
@@ -233,7 +244,7 @@ let eval_cmd =
           in
           let plan =
             Wd_core.Engine.plan ~budget:(fresh_budget spec) ~hints ?force
-              pattern
+              ~optimize pattern
           in
           if explain then Fmt.pr "%a@." Wd_core.Engine.pp_plan plan;
           let sols, cache_stats =
@@ -254,7 +265,7 @@ let eval_cmd =
     (Cmd.info "eval" ~doc:"Evaluate a query over a data file.")
     Term.(
       const run $ data_arg $ query_arg $ algorithm_arg $ pebbles_arg
-      $ budget_term $ explain_arg $ domains_arg)
+      $ budget_term $ explain_arg $ domains_arg $ optimize_arg)
 
 let check_cmd =
   let run data query mapping algorithm k spec =
@@ -387,16 +398,20 @@ let clique_cmd =
     Term.(const run $ n_arg $ k_arg $ prob_arg $ seed_arg $ budget_term)
 
 let explain_cmd =
-  let run data query spec =
+  let run data query spec optimize =
     handle @@ fun () ->
     let graph = load_graph data in
     let pattern = load_query query in
     Fmt.pr "%a@." Wd_core.Explain.pp
-      (Wd_core.Explain.explain ~budget:(fresh_budget spec) pattern graph)
+      (Wd_core.Explain.explain ~budget:(fresh_budget spec) ~optimize pattern
+         graph)
   in
   Cmd.v
-    (Cmd.info "explain" ~doc:"Show the evaluation plan with cardinality estimates.")
-    Term.(const run $ data_arg $ query_arg $ budget_term)
+    (Cmd.info "explain"
+       ~doc:"Show the evaluation plan: cost-based join orders with \
+             estimated vs actual cardinalities and per-node \
+             pebble-vs-naive maximality verdicts.")
+    Term.(const run $ data_arg $ query_arg $ budget_term $ optimize_arg)
 
 let stats_cmd =
   let run data _spec =

@@ -46,15 +46,21 @@ type plan = {
   domination_width : int;
   width_source : width_source;
   algorithm : algorithm;
+  optimize : bool;
+      (** whether evaluation uses the cost-based planner: compiled
+          per-node join orders from store statistics with adaptive
+          fail-first refinement, and per-node pebble-vs-naive maximality
+          choices ({!Enumerate.optimize} [`On] vs [`Off]). On by
+          default; answers are identical either way (tested). *)
   cache : Plan_cache.t;
-      (** compiled hom sources and pebble games, reused across every
-          evaluation of this plan and invalidated when the graph's
-          {!Rdf.Graph.epoch} changes *)
+      (** compiled hom sources, cost-based node decisions, and pebble
+          games, reused across every evaluation of this plan and
+          invalidated when the graph's {!Rdf.Graph.epoch} changes *)
 }
 
 val plan :
   ?budget:Resource.Budget.t -> ?hints:hints -> ?force:algorithm ->
-  ?verdict_capacity:int -> ?plan_capacity:int ->
+  ?optimize:bool -> ?verdict_capacity:int -> ?plan_capacity:int ->
   Sparql.Algebra.t -> plan
 (** Build a plan. By default the pebble algorithm at the query's measured
     domination width is chosen (always exact); [force] overrides. A

@@ -6,6 +6,8 @@ module Encoded_hom = Encoded.Encoded_hom
 type maximality = [ `Hom | `Pebble of int ]
 type join = [ `Encoded | `Term ]
 
+type optimize = [ `Off | `Static | `On ]
+
 (* ------------------------------------------------------------------ *)
 (* Term-level join (the PR 2 baseline, kept for ablation A7)           *)
 (* ------------------------------------------------------------------ *)
@@ -72,8 +74,8 @@ let solutions_tree_term ~budget ~maximality ~kernel tree graph =
    the parent's solution array IS the child join's [pre] (no map union,
    no re-encoding), and terms only reappear at the solution boundary
    where the maximality test needs a mapping. *)
-let solutions_tree_encoded ~budget ~maximality ~kernel ~cache ~pool tree graph
-    =
+let solutions_tree_encoded ~budget ~maximality ~kernel ~cache ~pool ~optimize
+    tree graph =
   Budget.with_phase budget "enumerate" @@ fun () ->
   let results = ref Sparql.Mapping.Set.empty in
   let vars = Plan_cache.variables cache graph tree in
@@ -99,7 +101,35 @@ let solutions_tree_encoded ~budget ~maximality ~kernel ~cache ~pool tree graph
     not (List.exists (child_extends subtree mu) (Wdpt.Subtree.children subtree))
   in
   let source_of n = Plan_cache.node_source cache graph tree n in
+  let decision_of n = Plan_cache.node_decision ~budget cache graph tree n in
+  let strategy_of n =
+    match optimize with
+    | `Off -> Encoded_hom.Rescore
+    | `Static -> Encoded_hom.Fixed (decision_of n).Optimizer.Join_order.order
+    | `On -> Encoded_hom.Adaptive (decision_of n).Optimizer.Join_order.order
+  in
+  (* The optimizer's pebble-vs-naive verdict: when a child's estimated
+     extension count is tiny, an exact backtracking existence check on
+     ids beats staging the pebble game. Both tests are exact here (the
+     engine always plans k >= dw), so this is a cost choice only. *)
+  let choose_naive n =
+    optimize = `On && (decision_of n).Optimizer.Join_order.maximality = `Naive
+  in
+  let naive_test_ids ~budget n =
+    Plan_cache.naive_child_test ~budget ~strategy:(strategy_of n) cache graph
+      tree n
+  in
   let root_source = source_of Wdpt.Pattern_tree.root in
+  (* Compile every node's source and decision up front when optimizing:
+     worker domains must never touch the plan cache's tables (they are
+     plain Hashtbls), and the sequential path pays the same cost on first
+     visit anyway. *)
+  (if optimize <> `Off then
+     List.iter
+       (fun n ->
+         ignore (source_of n);
+         ignore (decision_of n))
+       (Wdpt.Pattern_tree.nodes tree));
   (* decoding any node's source decodes the whole shared array *)
   let decode h = Encoded_hom.decode root_source h in
   let add_solution mu =
@@ -114,7 +144,11 @@ let solutions_tree_encoded ~budget ~maximality ~kernel ~cache ~pool tree graph
     | Some (k, c) ->
         let tests =
           List.map
-            (Pebble_cache.stage_child_test_ids c ~budget ~k tree ~vars subtree)
+            (fun n ->
+              if choose_naive n then naive_test_ids ~budget n
+              else
+                Pebble_cache.stage_child_test_ids c ~budget ~k tree ~vars
+                  subtree n)
             (Wdpt.Subtree.children subtree)
         in
         fun h ->
@@ -145,12 +179,19 @@ let solutions_tree_encoded ~budget ~maximality ~kernel ~cache ~pool tree graph
     match par with
     | Some (pool, wbudgets, k, c) ->
         fun subtree homs ->
+          (* Workers always stage the pebble test, even for nodes the
+             optimizer would run naively: the naive verdict memo is a
+             plain shared Hashtbl (sequential path only), and the pool's
+             per-worker pebble views already amortize the staging cost
+             the naive choice exists to avoid. Both tests are exact, so
+             answers are unchanged. *)
           let stage slot =
             let budget = wbudgets.(slot) in
             let view = Pebble_cache.worker_view_for c slot in
             List.map
-              (Pebble_cache.stage_child_test_ids view ~budget ~k tree ~vars
-                 subtree)
+              (fun n ->
+                Pebble_cache.stage_child_test_ids view ~budget ~k tree ~vars
+                  subtree n)
               (Wdpt.Subtree.children subtree)
           in
           Parallel.Pool.fold_ordered pool ~init:stage
@@ -168,10 +209,12 @@ let solutions_tree_encoded ~budget ~maximality ~kernel ~cache ~pool tree graph
         if n > last then begin
           Budget.tick budget;
           let child_source = source_of n in
+          let strategy = strategy_of n in
           let homs' =
             List.concat_map
               (fun h ->
-                Encoded_hom.fold ~budget ~pre:h child_source ~init:[]
+                Encoded_hom.fold ~budget ~strategy ~pre:h child_source
+                  ~init:[]
                   ~f:(fun acc extension ->
                     (Array.copy extension :: acc, `Continue)))
               homs
@@ -182,8 +225,10 @@ let solutions_tree_encoded ~budget ~maximality ~kernel ~cache ~pool tree graph
   in
   let run () =
     let root_homs =
-      Encoded_hom.fold ~budget root_source ~init:[] ~f:(fun acc h ->
-          (Array.copy h :: acc, `Continue))
+      Encoded_hom.fold ~budget
+        ~strategy:(strategy_of Wdpt.Pattern_tree.root)
+        root_source ~init:[]
+        ~f:(fun acc h -> (Array.copy h :: acc, `Continue))
     in
     if root_homs <> [] then
       go (Wdpt.Subtree.root_only tree) root_homs Wdpt.Pattern_tree.root;
@@ -210,30 +255,30 @@ let defaults ~maximality ~kernel ~cache graph =
   | _, Some kernel -> kernel
   | `Hom, None -> Pebble_eval.Term
 
-let solutions_tree_with ~budget ~maximality ~kernel ~join ~cache ~pool tree
-    graph =
+let solutions_tree_with ~budget ~maximality ~kernel ~join ~cache ~pool
+    ~optimize tree graph =
   match join with
   | `Term -> solutions_tree_term ~budget ~maximality ~kernel tree graph
   | `Encoded ->
-      solutions_tree_encoded ~budget ~maximality ~kernel ~cache ~pool tree
-        graph
+      solutions_tree_encoded ~budget ~maximality ~kernel ~cache ~pool
+        ~optimize tree graph
 
 let solutions_tree ?(budget = Budget.unlimited) ?(maximality = `Hom) ?kernel
-    ?(join = `Encoded) ?cache ?(domains = 1) tree graph =
+    ?(join = `Encoded) ?cache ?(domains = 1) ?(optimize = `Off) tree graph =
   let cache =
     match cache with Some c -> c | None -> Plan_cache.create ()
   in
   let kernel = defaults ~maximality ~kernel ~cache graph in
   if domains <= 1 || join = `Term then
     solutions_tree_with ~budget ~maximality ~kernel ~join ~cache ~pool:None
-      tree graph
+      ~optimize tree graph
   else
     Parallel.Pool.borrow ~domains (fun pool ->
         solutions_tree_with ~budget ~maximality ~kernel ~join ~cache
-          ~pool:(Some pool) tree graph)
+          ~pool:(Some pool) ~optimize tree graph)
 
 let solutions ?(budget = Budget.unlimited) ?(maximality = `Hom) ?kernel
-    ?(join = `Encoded) ?cache ?(domains = 1) forest graph =
+    ?(join = `Encoded) ?cache ?(domains = 1) ?(optimize = `Off) forest graph =
   (* One plan cache (and hence one pebble cache) across the whole forest:
      trees share the graph and often the same child patterns, so games
      and verdicts carry over. *)
@@ -244,7 +289,7 @@ let solutions ?(budget = Budget.unlimited) ?(maximality = `Hom) ?kernel
       (fun acc tree ->
         Sparql.Mapping.Set.union acc
           (solutions_tree_with ~budget ~maximality ~kernel ~join ~cache ~pool
-             tree graph))
+             ~optimize tree graph))
       Sparql.Mapping.Set.empty forest
   in
   if domains <= 1 || join = `Term then run None
@@ -253,6 +298,8 @@ let solutions ?(budget = Budget.unlimited) ?(maximality = `Hom) ?kernel
        most) once per evaluation, not once per tree *)
     Parallel.Pool.borrow ~domains (fun pool -> run (Some pool))
 
-let count ?budget ?maximality ?kernel ?join ?cache ?domains forest graph =
+let count ?budget ?maximality ?kernel ?join ?cache ?domains ?optimize forest
+    graph =
   Sparql.Mapping.Set.cardinal
-    (solutions ?budget ?maximality ?kernel ?join ?cache ?domains forest graph)
+    (solutions ?budget ?maximality ?kernel ?join ?cache ?domains ?optimize
+       forest graph)

@@ -28,16 +28,32 @@ open Rdf
 type maximality = [ `Hom | `Pebble of int ]
 type join = [ `Encoded | `Term ]
 
+type optimize = [ `Off | `Static | `On ]
+(** Join planning mode of the encoded join (ablation A10):
+    - [`Off] (default): exact fail-first per-prefix rescoring — every
+      pattern of the node is re-counted at every depth (the PR 3
+      baseline, {!Encoded.Encoded_hom.Rescore});
+    - [`Static]: the cost-based compiled order of
+      {!Plan_cache.node_decision}, followed rigidly
+      ({!Encoded.Encoded_hom.Fixed});
+    - [`On]: the compiled order as seed with incremental fail-first
+      refinement — only patterns touched by a newly bound variable are
+      re-counted ({!Encoded.Encoded_hom.Adaptive}), and each node's
+      Lemma-1 test runs naively instead of through the pebble relaxation
+      when the optimizer estimates very few candidate extensions (both
+      exact under the planner's [dw ≤ k] invariant, so answers never
+      change — tested). *)
+
 val solutions_tree :
   ?budget:Resource.Budget.t ->
   ?maximality:maximality -> ?kernel:Pebble_eval.kernel ->
-  ?join:join -> ?cache:Plan_cache.t -> ?domains:int ->
+  ?join:join -> ?cache:Plan_cache.t -> ?domains:int -> ?optimize:optimize ->
   Wdpt.Pattern_tree.t -> Graph.t -> Sparql.Mapping.Set.t
 
 val solutions :
   ?budget:Resource.Budget.t ->
   ?maximality:maximality -> ?kernel:Pebble_eval.kernel ->
-  ?join:join -> ?cache:Plan_cache.t -> ?domains:int ->
+  ?join:join -> ?cache:Plan_cache.t -> ?domains:int -> ?optimize:optimize ->
   Wdpt.Pattern_forest.t -> Graph.t -> Sparql.Mapping.Set.t
 (** Equals {!Wdpt.Semantics.solutions} under [`Hom], and under
     [`Pebble k] whenever [dw(F) ≤ k] (tested). One {!Plan_cache.t} is
@@ -63,6 +79,6 @@ val solutions :
 val count :
   ?budget:Resource.Budget.t -> ?maximality:maximality ->
   ?kernel:Pebble_eval.kernel -> ?join:join -> ?cache:Plan_cache.t ->
-  ?domains:int ->
+  ?domains:int -> ?optimize:optimize ->
   Wdpt.Pattern_forest.t -> Graph.t -> int
 (** Number of distinct answers. *)

@@ -3,6 +3,7 @@ open Rdf
 type triple_plan = {
   triple : Triple.t;
   estimated : float;
+  actual : int;
 }
 
 type node_plan = {
@@ -10,6 +11,7 @@ type node_plan = {
   depth : int;
   new_vars : Variable.t list;
   triples : triple_plan list;
+  decision : Optimizer.Join_order.decision option;
 }
 
 type tree_plan = node_plan list
@@ -21,7 +23,26 @@ type t = {
   graph_triples : int;
 }
 
-let plan_tree stats tree =
+(* Exact matches of the pattern's constant positions against the encoded
+   store — the ground truth the cost model's base estimate approximates.
+   A constant the dictionary has never seen matches nothing. *)
+let actual_count enc triple =
+  let dict = Encoded.Encoded_graph.dictionary enc in
+  let pos t =
+    match t with
+    | Term.Var _ -> Ok None
+    | t -> (
+        match Dictionary.find dict t with
+        | Some id -> Ok (Some id)
+        | None -> Error ())
+  in
+  match
+    (pos triple.Triple.s, pos triple.Triple.p, pos triple.Triple.o)
+  with
+  | Ok s, Ok p, Ok o -> Encoded.Encoded_graph.match_count enc ?s ?p ?o ()
+  | _ -> 0
+
+let plan_tree stats enc decision_of tree =
   let rec walk node depth =
     let parent_vars =
       match Wdpt.Pattern_tree.parent tree node with
@@ -32,26 +53,47 @@ let plan_tree stats tree =
       Variable.Set.elements
         (Variable.Set.diff (Wdpt.Pattern_tree.vars_of_node tree node) parent_vars)
     in
-    let triples =
+    let base =
       Tgraphs.Tgraph.triples (Wdpt.Pattern_tree.pat tree node)
       |> List.map (fun triple ->
-             { triple; estimated = Stats.estimated_matches stats triple })
-      |> List.sort (fun a b -> compare a.estimated b.estimated)
+             {
+               triple;
+               estimated = Stats.estimated_matches stats triple;
+               actual = actual_count enc triple;
+             })
     in
-    { node; depth; new_vars; triples }
+    let decision = decision_of tree node in
+    let triples =
+      match decision with
+      | None ->
+          List.sort (fun a b -> compare a.estimated b.estimated) base
+      | Some d ->
+          (* the optimizer's compiled order: position j is the j-th join
+             step, aligned with [d.est_cards.(j)] *)
+          let arr = Array.of_list base in
+          Array.to_list
+            (Array.map (fun i -> arr.(i)) d.Optimizer.Join_order.order)
+    in
+    { node; depth; new_vars; triples; decision }
     :: List.concat_map
          (fun c -> walk c (depth + 1))
          (Wdpt.Pattern_tree.children tree node)
   in
   walk Wdpt.Pattern_tree.root 0
 
-let explain ?budget pattern graph =
+let explain ?budget ?optimize pattern graph =
   let stats = Stats.of_graph graph in
-  let plan = Engine.plan ?budget pattern in
+  let plan = Engine.plan ?budget ?optimize pattern in
+  let enc = Plan_cache.encoded plan.Engine.cache graph in
+  let decision_of tree n =
+    if plan.Engine.optimize then
+      Some (Plan_cache.node_decision ?budget plan.Engine.cache graph tree n)
+    else None
+  in
   {
     classification = Classify.classify ?budget pattern;
     plan;
-    trees = List.map (plan_tree stats) plan.Engine.forest;
+    trees = List.map (plan_tree stats enc decision_of) plan.Engine.forest;
     graph_triples = Stats.triples stats;
   }
 
@@ -72,13 +114,32 @@ let pp ppf t =
                   (String.concat ", "
                      (List.map (fun v -> "?" ^ Variable.to_string v) vs))
           in
-          Fmt.pf ppf "%s%snode %d%s@." indent
+          let decision_note =
+            match np.decision with
+            | None -> ""
+            | Some d ->
+                Fmt.str " [join: cost-based order, ~%.1f candidate(s)%s]"
+                  d.Optimizer.Join_order.est_candidates
+                  (if np.depth = 0 then ""
+                   else
+                     Fmt.str "; maximality test: %a"
+                       Optimizer.Join_order.pp_maximality
+                       d.Optimizer.Join_order.maximality)
+          in
+          Fmt.pf ppf "%s%snode %d%s%s@." indent
             (if np.depth = 0 then "" else "OPTIONAL ")
-            np.node vars_note;
-          List.iter
-            (fun tp ->
-              Fmt.pf ppf "%s  %a  ~%.1f matches@." indent Triple.pp tp.triple
-                tp.estimated)
+            np.node vars_note decision_note;
+          List.iteri
+            (fun j tp ->
+              match np.decision with
+              | Some d ->
+                  Fmt.pf ppf "%s  %a  est ~%.1f, actual %d@." indent
+                    Triple.pp tp.triple
+                    d.Optimizer.Join_order.est_cards.(j)
+                    tp.actual
+              | None ->
+                  Fmt.pf ppf "%s  %a  ~%.1f matches, actual %d@." indent
+                    Triple.pp tp.triple tp.estimated tp.actual)
             np.triples)
         tree_plan)
     t.trees

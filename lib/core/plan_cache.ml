@@ -25,7 +25,26 @@ let pp_stats ppf s =
 type tree_sources = {
   tvars : Variable.t array;
   node_sources : (Wdpt.Pattern_tree.node, Encoded.Encoded_hom.source) Hashtbl.t;
+  node_decisions :
+    (Wdpt.Pattern_tree.node, Optimizer.Join_order.decision) Hashtbl.t;
+      (* cost-based plans, computed against this entry's store — epoch
+         keyed like everything else here, so the server's cross-connection
+         cache serves optimized plans until the graph changes *)
+  naive_verdicts : (Wdpt.Pattern_tree.node, (int list, bool) Hashtbl.t) Hashtbl.t;
+      (* per-node existence-verdict memo for the naive maximality test:
+         the verdict of "does a child extension exist?" depends on the
+         candidate only through the child's own variable slots, so it is
+         keyed on those ids. Shared across evaluations of the same store
+         epoch — the naive path's counterpart of Pebble_cache's verdict
+         memo, without which warm naive re-evaluations would recompute
+         every exists-join the pebble path answers with a hash hit. *)
 }
+
+(* Cap on each per-node naive-verdict table: past this, new verdicts are
+   computed but not remembered. Crude compared to the pebble cache's LRU,
+   but the naive route is only ever chosen for nodes the optimizer
+   estimates a small candidate count for, so the cap is rarely felt. *)
+let naive_verdict_limit = 1 lsl 16
 
 type entry = {
   epoch : int;
@@ -148,6 +167,8 @@ let tree_sources t graph tree =
             Array.of_list
               (Variable.Set.elements (Wdpt.Pattern_tree.vars tree));
           node_sources = Hashtbl.create 8;
+          node_decisions = Hashtbl.create 8;
+          naive_verdicts = Hashtbl.create 8;
         }
       in
       e.trees <- (tree, ts) :: e.trees;
@@ -169,6 +190,71 @@ let node_source t graph tree n =
       t.hom_sources <- t.hom_sources + 1;
       Hashtbl.add ts.node_sources n source;
       source
+
+let node_decision ?budget t graph tree n =
+  let e = entry_for t graph in
+  let ts = tree_sources t graph tree in
+  match Hashtbl.find_opt ts.node_decisions n with
+  | Some d -> d
+  | None ->
+      let source = node_source t graph tree n in
+      (* Bound at node entry: the variables of the strict ancestors of
+         [n] — every subtree the enumerator extends into [n] from
+         contains the full root-to-parent path, so these are guaranteed
+         bound (further subtree nodes may bind more; the adaptive
+         strategy picks those up at run time). *)
+      let bound_set =
+        let rec up acc = function
+          | None -> acc
+          | Some m ->
+              up
+                (Variable.Set.union acc (Wdpt.Pattern_tree.vars_of_node tree m))
+                (Wdpt.Pattern_tree.parent tree m)
+        in
+        up Variable.Set.empty (Wdpt.Pattern_tree.parent tree n)
+      in
+      let bound_arr =
+        Array.map (fun v -> Variable.Set.mem v bound_set) ts.tvars
+      in
+      let d =
+        Optimizer.Join_order.compile ?budget e.enc
+          ~nvars:(Array.length ts.tvars)
+          ~bound:(fun v -> bound_arr.(v))
+          ~node:n
+          (Encoded.Encoded_hom.patterns source)
+      in
+      Hashtbl.add ts.node_decisions n d;
+      d
+
+let naive_child_test ?budget ?strategy t graph tree n =
+  let source = node_source t graph tree n in
+  let ts = tree_sources t graph tree in
+  let table =
+    match Hashtbl.find_opt ts.naive_verdicts n with
+    | Some h -> h
+    | None ->
+        let h = Hashtbl.create 64 in
+        Hashtbl.add ts.naive_verdicts n h;
+        h
+  in
+  (* A fold with [pre] depends on the prefix only through the child's own
+     variable slots; everything else in the assignment is invisible to
+     the child's patterns. *)
+  let slots = Array.of_list (Encoded.Encoded_hom.own_slots source) in
+  fun assignment ->
+    Option.iter Budget.tick budget;
+    let key = Array.fold_right (fun s acc -> assignment.(s) :: acc) slots [] in
+    match Hashtbl.find_opt table key with
+    | Some v -> v
+    | None ->
+        let v =
+          Encoded.Encoded_hom.fold ?budget ?strategy ~pre:assignment source
+            ~init:false
+            ~f:(fun _ _ -> (true, `Stop))
+        in
+        if Hashtbl.length table < naive_verdict_limit then
+          Hashtbl.add table key v;
+        v
 
 let stats t =
   let live =

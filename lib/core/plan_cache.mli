@@ -57,5 +57,33 @@ val node_source :
     compiled on first use and reused while [graph]'s entry stays
     cached. *)
 
+val node_decision :
+  ?budget:Resource.Budget.t ->
+  t -> Graph.t -> Wdpt.Pattern_tree.t -> Wdpt.Pattern_tree.node ->
+  Optimizer.Join_order.decision
+(** The cost-based plan of node [n] against [graph]'s statistics: join
+    order, per-step cardinality estimates, and the pebble-vs-naive
+    maximality verdict, compiled on first use ({!Optimizer.Join_order})
+    with the node's ancestors as the bound-variable seed, and cached for
+    as long as [graph]'s epoch entry lives — the server's
+    cross-connection plan cache serves these without re-deriving
+    anything. *)
+
+val naive_child_test :
+  ?budget:Resource.Budget.t ->
+  ?strategy:Encoded.Encoded_hom.strategy ->
+  t -> Graph.t -> Wdpt.Pattern_tree.t -> Wdpt.Pattern_tree.node ->
+  int array -> bool
+(** A memoized naive maximality test for child [n]: does any
+    homomorphism of [pat tree n] extend the given encoded assignment?
+    Verdicts are cached per node, keyed on the assignment's values at
+    the child's {!Encoded.Encoded_hom.own_slots} (the only slots the
+    answer depends on), for as long as [graph]'s epoch entry lives —
+    the naive counterpart of the pebble cache's verdict memo, chosen by
+    the optimizer when the child join is estimated cheaper to run
+    directly than to stage a pebble game for. Exact, like the pebble
+    test at [k >= dw]. Not safe for concurrent callers (the enumerator
+    only uses it from its sequential path). *)
+
 val stats : t -> stats
 val pp_stats : stats Fmt.t

@@ -1,9 +1,23 @@
+type predicate_stats = {
+  triples : int;
+  distinct_subjects : int;
+  distinct_objects : int;
+}
+
 type t = {
   epoch : int;
   dict : Rdf.Dictionary.t;
   spo : (int * int * int) array;
   pos : (int * int * int) array;
   osp : (int * int * int) array;
+  (* Planner statistics, derived lazily from the sorted arrays above and
+     memoized on the store (stores are immutable, so once computed a
+     figure never goes stale). The per-predicate table makes repeated
+     optimizer calls O(1) after the first query touching a predicate. *)
+  pstats : (int, predicate_stats) Hashtbl.t;
+  mutable subject_count : int;  (* -1 = not yet computed *)
+  mutable object_count : int;
+  mutable predicate_count : int;
 }
 
 let rot_spo (s, p, o) = (s, p, o)
@@ -26,6 +40,10 @@ let of_graph graph =
     spo = sorted_by rot_spo triples;
     pos = sorted_by rot_pos triples;
     osp = sorted_by rot_osp triples;
+    pstats = Hashtbl.create 16;
+    subject_count = -1;
+    object_count = -1;
+    predicate_count = -1;
   }
 
 (* Bounded MRU memo for [of_graph], keyed on the graph's epoch: graphs
@@ -129,3 +147,76 @@ let match_count t ?s ?p ?o () =
   | Some (arr, rot, k1, k2, k3) ->
       let start, stop = range arr rot k1 k2 k3 in
       stop - start
+
+(* ------------------------------------------------------------------ *)
+(* Planner statistics                                                  *)
+(* ------------------------------------------------------------------ *)
+
+(* Distinct values of one projected position within [start, stop) of a
+   sorted array. When the projection is the array's primary sort key the
+   distinct values form contiguous runs and a single linear pass counts
+   them; otherwise the column is extracted, sorted, and its runs counted.
+   Both are one-shot costs — every entry point below memoizes. *)
+let count_runs proj arr start stop =
+  let n = ref 0 and prev = ref min_int in
+  for i = start to stop - 1 do
+    let v = proj arr.(i) in
+    if !n = 0 || v <> !prev then begin
+      incr n;
+      prev := v
+    end
+  done;
+  !n
+
+let count_distinct_unsorted proj arr start stop =
+  let col = Array.init (stop - start) (fun i -> proj arr.(start + i)) in
+  Array.sort compare col;
+  let n = ref 0 and prev = ref min_int in
+  Array.iter
+    (fun v ->
+      if !n = 0 || v <> !prev then begin
+        incr n;
+        prev := v
+      end)
+    col;
+  !n
+
+let predicate_stats t p =
+  match Hashtbl.find_opt t.pstats p with
+  | Some s -> s
+  | None ->
+      (* t.pos stores raw (s, p, o) tuples sorted by (p, o, s): the
+         predicate's triples are one contiguous block, within which
+         distinct objects are runs of the o column; distinct subjects
+         need a sort of the s column. *)
+      let start, stop = range t.pos rot_pos p None None in
+      let s =
+        {
+          triples = stop - start;
+          distinct_objects =
+            count_runs (fun (_, _, o) -> o) t.pos start stop;
+          distinct_subjects =
+            count_distinct_unsorted (fun (s, _, _) -> s) t.pos start stop;
+        }
+      in
+      Hashtbl.replace t.pstats p s;
+      s
+
+let distinct_subjects t =
+  if t.subject_count < 0 then
+    t.subject_count <-
+      count_runs (fun (s, _, _) -> s) t.spo 0 (Array.length t.spo);
+  t.subject_count
+
+let distinct_objects t =
+  if t.object_count < 0 then
+    t.object_count <-
+      (* t.osp is sorted by (o, s, p), so o runs are contiguous *)
+      count_runs (fun (_, _, o) -> o) t.osp 0 (Array.length t.osp);
+  t.object_count
+
+let distinct_predicates t =
+  if t.predicate_count < 0 then
+    t.predicate_count <-
+      count_runs (fun (_, p, _) -> p) t.pos 0 (Array.length t.pos);
+  t.predicate_count

@@ -38,3 +38,32 @@ val match_count : t -> ?s:int -> ?p:int -> ?o:int -> unit -> int
 
 val iter_matching :
   t -> ?s:int -> ?p:int -> ?o:int -> f:(int * int * int -> unit) -> unit -> unit
+
+(** {2 Planner statistics}
+
+    Cardinality summaries for the cost-based optimizer, derived from the
+    sorted index arrays and memoized on the store (stores are immutable).
+    The first call per predicate costs a range scan; every later call is
+    a hash lookup, so plan-time estimation is O(1). {!Rdf.Stats} remains
+    the unencoded fallback for term-level consumers. *)
+
+type predicate_stats = {
+  triples : int;  (** number of triples with this predicate *)
+  distinct_subjects : int;
+  distinct_objects : int;
+}
+
+val predicate_stats : t -> int -> predicate_stats
+(** Statistics of one predicate (by dictionary id). An id that never
+    occurs as a predicate — including the negative absent-term sentinels —
+    yields all-zero stats. *)
+
+val distinct_subjects : t -> int
+(** Distinct subject ids across the whole store (runs of the SPO array). *)
+
+val distinct_objects : t -> int
+(** Distinct object ids across the whole store (runs of the OSP array). *)
+
+val distinct_predicates : t -> int
+(** Distinct predicate ids across the whole store (runs of the POS
+    array). *)

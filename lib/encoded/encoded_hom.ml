@@ -17,7 +17,7 @@ let absent_id = -2
 
 type source = {
   graph : Encoded_graph.t;
-  patterns : (pterm * pterm * pterm) list;
+  pats : (pterm * pterm * pterm) array;
   vars : Variable.t array;
       (* decode table for the whole assignment array — possibly wider than
          this source's own variables when a shared numbering is in use *)
@@ -25,7 +25,24 @@ type source = {
       (* indices (into [vars]) of the variables of the compiled t-graph;
          the domain of a decoded homomorphism, mirroring the term solver's
          "domain = vars(source)" contract *)
+  touch : int list array;
+      (* incidence: [touch.(v)] lists the indices (into [pats]) of the
+         patterns mentioning variable slot [v] — what the adaptive join
+         re-scores when [v] gets bound *)
 }
+
+(* How the backtracking join picks the next pattern at each depth. *)
+type strategy =
+  | Rescore
+      (* exact fail-first: re-score every remaining pattern at every
+         node entry (the pre-optimizer behaviour, kept as the fallback) *)
+  | Fixed of int array
+      (* a compiled static order (a permutation of pattern indices),
+         followed verbatim — zero scoring at run time *)
+  | Adaptive of int array
+      (* the compiled order seeds the ranking; scores are maintained
+         incrementally — only patterns touching a newly bound variable
+         are re-counted, everything else keeps its cached score *)
 
 let compile ?vars tgraph graph =
   let dict = Encoded_graph.dictionary graph in
@@ -55,18 +72,32 @@ let compile ?vars tgraph graph =
         | Some id -> Const id
         | None -> Const absent_id)
   in
-  let patterns =
-    List.map
-      (fun t ->
-        ( encode_term t.Triple.s,
-          encode_term t.Triple.p,
-          encode_term t.Triple.o ))
-      (Tgraphs.Tgraph.triples tgraph)
+  let pats =
+    Array.of_list
+      (List.map
+         (fun t ->
+           ( encode_term t.Triple.s,
+             encode_term t.Triple.p,
+             encode_term t.Triple.o ))
+         (Tgraphs.Tgraph.triples tgraph))
   in
-  { graph; patterns; vars = var_arr; own }
+  let touch = Array.make (Array.length var_arr) [] in
+  Array.iteri
+    (fun i (s, p, o) ->
+      let note = function
+        | Const _ -> ()
+        | Var v -> if not (List.mem i touch.(v)) then touch.(v) <- i :: touch.(v)
+      in
+      note s;
+      note p;
+      note o)
+    pats;
+  { graph; pats; vars = var_arr; own; touch }
 
 let graph source = source.graph
 let variables source = source.vars
+let patterns source = Array.copy source.pats
+let own_slots source = source.own
 
 let encode_pre source (pre : Tgraphs.Homomorphism.assignment) =
   let dict = Encoded_graph.dictionary source.graph in
@@ -112,9 +143,24 @@ let bound assignment = function
 let pattern_lookup assignment (s, p, o) =
   (bound assignment s, bound assignment p, bound assignment o)
 
-let fold ?(budget = Resource.Budget.unlimited) ?pre source ~init ~f =
+(* Check that [ord] is a permutation of [0 .. npat-1]. *)
+let validate_order npat ord =
+  if Array.length ord <> npat then
+    invalid_arg "Encoded_hom.fold: order is not a permutation of the patterns";
+  let seen = Array.make npat false in
+  Array.iter
+    (fun i ->
+      if i < 0 || i >= npat || seen.(i) then
+        invalid_arg
+          "Encoded_hom.fold: order is not a permutation of the patterns";
+      seen.(i) <- true)
+    ord
+
+let fold ?(budget = Resource.Budget.unlimited) ?(strategy = Rescore) ?pre
+    source ~init ~f =
   Resource.Budget.with_phase budget "hom" @@ fun () ->
-  let { graph; patterns; vars; _ } = source in
+  let { graph; pats; vars; touch; _ } = source in
+  let npat = Array.length pats in
   let nvars = Array.length vars in
   let assignment =
     match pre with
@@ -124,29 +170,89 @@ let fold ?(budget = Resource.Budget.unlimited) ?pre source ~init ~f =
           invalid_arg "Encoded_hom.fold: pre has the wrong width";
         Array.copy p
   in
-  let rec go remaining acc =
-    match remaining with
-    | [] -> f acc assignment
-    | _ ->
+  (* Zero-pattern node: exactly one homomorphism — the prefix itself.
+     Guarded explicitly (not via the depth = npat base case below) so the
+     degenerate shape can never trip over the strategy machinery. *)
+  if npat = 0 then fst (f init assignment)
+  else begin
+    let used = Array.make npat false in
+    let count_pat i =
+      let s, p, o = pattern_lookup assignment pats.(i) in
+      Encoded_graph.match_count graph ?s ?p ?o ()
+    in
+    (* [rank] breaks score ties (lower = preferred): the compiled order's
+       position under [Adaptive], the textual pattern order under
+       [Rescore] — which reproduces the pre-optimizer fail-first
+       tie-breaking exactly. *)
+    let mode, rank =
+      match strategy with
+      | Rescore -> (`Rescore, [||])
+      | Fixed ord ->
+          validate_order npat ord;
+          (`Fixed ord, [||])
+      | Adaptive ord ->
+          validate_order npat ord;
+          let rank = Array.make npat 0 in
+          Array.iteri (fun pos i -> rank.(i) <- pos) ord;
+          (`Adaptive, rank)
+    in
+    (* Lazily cached scores for the adaptive mode. A pattern's match
+       count only changes when one of its own variables is (un)bound, so
+       (un)binding [v] marks [touch.(v)] stale — a cheap flag — and the
+       count is recomputed only if the pattern is actually considered at
+       a later selection. Selection is therefore exact fail-first (every
+       compared score reflects the current assignment), but the number
+       of [match_count] probes is a subset of the Rescore strategy's:
+       patterns whose variables did not change keep their cached
+       score. *)
+    let score, stale =
+      match mode with
+      | `Adaptive -> (Array.make npat 0, Array.make npat true)
+      | `Rescore | `Fixed _ -> ([||], [||])
+    in
+    let select depth =
+      match mode with
+      | `Fixed ord -> ord.(depth)
+      | `Adaptive ->
+          let best = ref (-1) in
+          for i = 0 to npat - 1 do
+            if not used.(i) then begin
+              if stale.(i) then begin
+                score.(i) <- count_pat i;
+                stale.(i) <- false
+              end;
+              if
+                !best < 0
+                || score.(i) < score.(!best)
+                || (score.(i) = score.(!best) && rank.(i) < rank.(!best))
+              then best := i
+            end
+          done;
+          !best
+      | `Rescore ->
+          (* fail-first: pattern with the fewest matches under the
+             current prefix (including [pre]'s bindings), re-scored from
+             scratch at every node entry *)
+          let best = ref (-1) and best_count = ref max_int in
+          for i = 0 to npat - 1 do
+            if not used.(i) then begin
+              let c = count_pat i in
+              if c < !best_count then begin
+                best := i;
+                best_count := c
+              end
+            end
+          done;
+          !best
+    in
+    let rec go depth acc =
+      if depth = npat then f acc assignment
+      else begin
         Resource.Budget.tick budget;
-        (* fail-first: pattern with the fewest matches under the current
-           prefix (including [pre]'s bindings, so the ordering is
-           recomputed for every prefix, not fixed at compile time) *)
-        let scored =
-          List.map
-            (fun pat ->
-              let s, p, o = pattern_lookup assignment pat in
-              (Encoded_graph.match_count graph ?s ?p ?o (), pat))
-            remaining
-        in
-        let _, best =
-          List.fold_left
-            (fun (bc, bp) (c, p) -> if c < bc then (c, p) else (bc, bp))
-            (List.hd scored) (List.tl scored)
-        in
-        let rest = List.filter (fun p -> p != best) remaining in
-        let s, p, o = pattern_lookup assignment best in
-        let ps, pp, po = best in
+        let best = select depth in
+        used.(best) <- true;
+        let ((ps, pp, po) as pat) = pats.(best) in
+        let s, p, o = pattern_lookup assignment pat in
         let acc = ref acc in
         let continue_ = ref true in
         Encoded_graph.iter_matching graph ?s ?p ?o
@@ -168,22 +274,37 @@ let fold ?(budget = Resource.Budget.unlimited) ?pre source ~init ~f =
                     else false
               in
               let ok = unify_pos ps ts && unify_pos pp tp && unify_pos po to_ in
+              (* incremental refinement: only the patterns touching a
+                 variable bound by THIS triple can have changed their
+                 match count — flag them stale and let the next selection
+                 that actually considers them recompute *)
+              let touch_bound () =
+                List.iter
+                  (fun v -> List.iter (fun i -> stale.(i) <- true) touch.(v))
+                  !bound_here
+              in
+              if ok && mode = `Adaptive then touch_bound ();
               if ok then begin
-                match go rest !acc with
+                match go (depth + 1) !acc with
                 | acc', `Continue -> acc := acc'
                 | acc', `Stop ->
                     acc := acc';
                     continue_ := false
               end;
+              (* unbinding changes the same patterns' counts back *)
+              if ok && mode = `Adaptive then touch_bound ();
               List.iter (fun v -> assignment.(v) <- unassigned) !bound_here
             end)
           ();
+        used.(best) <- false;
         (!acc, if !continue_ then `Continue else `Stop)
-  in
-  fst (go patterns init)
+      end
+    in
+    fst (go 0 init)
+  end
 
-let iter ?budget ?pre source ~f =
-  fold ?budget ?pre source ~init:() ~f:(fun () assignment ->
+let iter ?budget ?strategy ?pre source ~f =
+  fold ?budget ?strategy ?pre source ~init:() ~f:(fun () assignment ->
       (f assignment, `Continue))
 
 let exists ?budget ?pre source =

@@ -16,6 +16,11 @@
 
 open Rdf
 
+type pterm =
+  | Const of int  (** a dictionary id (or {!absent_id}) *)
+  | Var of int  (** a dense variable slot into {!variables} *)
+(** One position of a compiled triple pattern. *)
+
 type source
 (** A t-graph compiled against a graph's dictionary (the graph is
     captured in the source). *)
@@ -32,6 +37,35 @@ val graph : source -> Encoded_graph.t
 val variables : source -> Variable.t array
 (** Decode table: variable of each dense id (the shared table when one
     was supplied to {!compile}). *)
+
+val patterns : source -> (pterm * pterm * pterm) array
+(** The compiled patterns, in the t-graph's triple order (a fresh copy).
+    Pattern indices in a {!strategy} order refer to positions in this
+    array — the optimizer reads it to compile join orders. *)
+
+val own_slots : source -> int list
+(** Indices (into {!variables}) of the compiled t-graph's {e own}
+    variables. A {!fold} with [pre] depends on [pre] only through these
+    slots — the key a caller needs to memoise existence verdicts on. *)
+
+(** How {!fold} picks the next pattern at each depth of the backtracking
+    join. *)
+type strategy =
+  | Rescore
+      (** exact fail-first: re-score {e every} remaining pattern at every
+          node entry with a fresh range count — the pre-optimizer
+          behaviour, kept as the fallback *)
+  | Fixed of int array
+      (** follow a compiled static order (a permutation of pattern
+          indices) verbatim; zero scoring at run time *)
+  | Adaptive of int array
+      (** fail-first with incremental re-ranking: the compiled order
+          seeds the ranking (and breaks score ties), scores start from
+          one range count per pattern under [pre], and afterwards only
+          the remaining patterns touching a {e newly bound} variable are
+          re-counted (scores are restored on backtrack). Selects exactly
+          the same fail-first pattern as {!Rescore} up to tie-breaking,
+          at a fraction of the counting work. *)
 
 val unassigned : int
 (** Sentinel for a free slot in an assignment array ([-1]). *)
@@ -51,6 +85,7 @@ val decode : source -> int array -> Tgraphs.Homomorphism.assignment
 
 val fold :
   ?budget:Resource.Budget.t ->
+  ?strategy:strategy ->
   ?pre:int array ->
   source ->
   init:'acc ->
@@ -59,11 +94,17 @@ val fold :
 (** Fold over all homomorphisms extending [pre] (an encoded assignment
     of {!variables}'s width, e.g. from {!encode_pre} or a previous
     solution), with early exit. [f] receives the {e live} working array:
-    copy it ([Array.copy]) to retain it beyond the callback. Fail-first
-    ordering is recomputed under the prefix. *)
+    copy it ([Array.copy]) to retain it beyond the callback. The
+    strategy (default {!Rescore}) only affects the order the search
+    explores patterns in — the set of homomorphisms folded over is the
+    same for every strategy (tested). A source with zero patterns folds
+    over exactly one homomorphism: [pre] itself. Raises
+    [Invalid_argument] if a strategy order is not a permutation of the
+    source's patterns. *)
 
 val iter :
   ?budget:Resource.Budget.t ->
+  ?strategy:strategy ->
   ?pre:int array -> source -> f:(int array -> unit) -> unit
 
 val exists :

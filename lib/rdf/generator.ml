@@ -65,6 +65,44 @@ let random_graph ~seed ~n ~predicates ~m =
   done;
   Graph.of_triples !triples
 
+let zipf ~seed ~n ~predicates ~m ?(exponent = 1.0) () =
+  let preds = Array.of_list predicates in
+  if Array.length preds = 0 then invalid_arg "Generator.zipf: no predicates";
+  if exponent < 0. then invalid_arg "Generator.zipf: negative exponent";
+  let state = Random.State.make [| seed; n; m; 6151 |] in
+  (* Inverse-CDF sampling over ranks 1..n: node 0 is the heaviest hub,
+     frequencies fall off as rank^-exponent. One cumulative table covers
+     subjects, objects, and (over its own rank space) predicates. *)
+  let cumulative k =
+    let c = Array.make k 0. in
+    let acc = ref 0. in
+    for i = 0 to k - 1 do
+      acc := !acc +. (1. /. (float_of_int (i + 1) ** exponent));
+      c.(i) <- !acc
+    done;
+    c
+  in
+  let draw c =
+    let total = c.(Array.length c - 1) in
+    let x = Random.State.float state total in
+    (* first index with cumulative mass >= x *)
+    let lo = ref 0 and hi = ref (Array.length c - 1) in
+    while !lo < !hi do
+      let mid = (!lo + !hi) / 2 in
+      if c.(mid) >= x then hi := mid else lo := mid + 1
+    done;
+    !lo
+  in
+  let nodes = cumulative n and pranks = cumulative (Array.length preds) in
+  let triples = ref [] in
+  for _ = 1 to m do
+    let s = node (draw nodes) in
+    let p = pred preds.(draw pranks) in
+    let o = node (draw nodes) in
+    triples := Triple.make s p o :: !triples
+  done;
+  Graph.of_triples !triples
+
 let social ~seed ~people =
   let state = Random.State.make [| seed; people; 104729 |] in
   let person i = Term.iri (Printf.sprintf "person:%d" i) in

@@ -33,6 +33,17 @@ val random_graph :
   seed:int -> n:int -> predicates:string list -> m:int -> Graph.t
 (** [m] random triples with predicates drawn from [predicates]. *)
 
+val zipf :
+  seed:int -> n:int -> predicates:string list -> m:int ->
+  ?exponent:float -> unit -> Graph.t
+(** [m] random triples over [n] nodes whose subject, object, and
+    predicate choices are Zipf-distributed ([exponent] defaults to 1.0;
+    0 recovers the uniform {!random_graph}): node [0] is the heaviest
+    hub, early predicates dominate. The resulting per-predicate
+    cardinalities and distinct-count profiles are heavily skewed — the
+    workload where a cost-based join order diverges most from a uniform
+    guess (bench A10). *)
+
 val social : seed:int -> people:int -> Graph.t
 (** A synthetic social network: people with [knows] edges (preferential
     attachment flavour), employers via [worksAt], cities via [livesIn],

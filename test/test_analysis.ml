@@ -464,6 +464,27 @@ let test_codebase_lint_raw_io () =
              && Astring.String.is_infix ~affix:"Unix.read" s)
            rendered))
 
+(* PR 7 satellite: the cost-based planner's greedy loop is itself an
+   exponential-adjacent kernel — it must stay under the budget
+   discipline, so its module is in the manifest and a tickless
+   replacement is flagged. *)
+let test_codebase_lint_optimizer () =
+  check Alcotest.bool "join_order.ml is in the kernel manifest" true
+    (List.mem "optimizer/join_order.ml" Lint_rules.kernel_modules);
+  with_scratch_tree
+    [ ("optimizer/join_order.ml", "let compile ps = Array.length ps\n") ]
+    (fun root ->
+      let violations =
+        Lint_rules.check_tree ~manifest:[ "optimizer/join_order.ml" ] ~root ()
+      in
+      check Alcotest.int "tickless planner flagged" 1 (List.length violations);
+      check Alcotest.bool "flagged with the module path" true
+        (List.exists
+           (fun v ->
+             Astring.String.is_infix ~affix:"optimizer/join_order.ml"
+               (Fmt.str "%a" Lint_rules.pp_violation v))
+           violations))
+
 (* ------------------------------------------------------------------ *)
 
 let () =
@@ -511,5 +532,7 @@ let () =
             test_codebase_lint_seeded;
           Alcotest.test_case "raw I/O confined to lib/server/io.ml" `Quick
             test_codebase_lint_raw_io;
+          Alcotest.test_case "optimizer planner is budget-disciplined" `Quick
+            test_codebase_lint_optimizer;
         ] );
     ]

@@ -1,0 +1,219 @@
+(* PR 7: the cost-based planner (lib/optimizer) and its integration.
+
+   The contract under test:
+   - the optimizer never changes answers: 300 random (query, store)
+     instances evaluated with --optimize off / static / on all agree
+     with the reference algebra evaluator;
+   - compiled orders are permutations of the node's patterns, estimates
+     are nonnegative and finite, and the cost model is monotone under
+     binding (more bound variables can only shrink an estimate);
+   - the zero-pattern guard in Encoded_hom.fold: a node with no triple
+     patterns yields exactly one homomorphism (the prefix itself) under
+     every strategy;
+   - --explain surfaces the decisions: compiled order, estimates next
+     to actuals, and the pebble-vs-naive maximality verdict. *)
+
+open Rdf
+module Enumerate = Wd_core.Enumerate
+module Explain = Wd_core.Explain
+module Join_order = Optimizer.Join_order
+module Cost_model = Optimizer.Cost_model
+module Encoded_graph = Encoded.Encoded_graph
+module Encoded_hom = Encoded.Encoded_hom
+
+let check = Alcotest.check
+
+(* ------------------------------------------------------------------ *)
+(* Differential fuzz: the optimizer is invisible in the answers        *)
+(* ------------------------------------------------------------------ *)
+
+let test_equivalence_300 () =
+  for s = 1 to 300 do
+    let pattern =
+      Workload.Query_families.random_wd_pattern ~seed:s ~triples:6 ~vars:6
+        ~preds:2 ~depth:3 ~union:2
+    in
+    let graph =
+      Rdf.Generator.random_graph ~seed:(s * 7 + 1) ~n:6
+        ~predicates:[ "q0"; "q1" ] ~m:18
+    in
+    let forest = Wdpt.Pattern_forest.of_algebra pattern in
+    let dw = Wd_core.Domination_width.of_forest forest in
+    let reference = Sparql.Eval.eval pattern graph in
+    List.iter
+      (fun (name, optimize) ->
+        let got =
+          Enumerate.solutions ~maximality:(`Pebble dw) ~optimize forest graph
+        in
+        if not (Sparql.Mapping.Set.equal got reference) then
+          Alcotest.failf
+            "seed %d: --optimize %s diverges from the reference evaluator\n\
+             query: %s"
+            s name
+            (Sparql.Printer.to_string pattern))
+      [ ("off", `Off); ("static", `Static); ("on", `On) ]
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Planner properties                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let nvars = 6
+
+(* Random compiled patterns over [nvars] slots: variables and small
+   constant ids (some absent from the store's dictionary, which must be
+   fine — absent ids just estimate to 0). *)
+let pterm_gen =
+  QCheck.Gen.(
+    frequency
+      [
+        (3, map (fun v -> Encoded_hom.Var v) (int_bound (nvars - 1)));
+        (2, map (fun c -> Encoded_hom.Const c) (int_bound 12));
+      ])
+
+let pattern_gen = QCheck.Gen.(triple pterm_gen pterm_gen pterm_gen)
+
+let instance_gen =
+  QCheck.Gen.(
+    map3
+      (fun seed pats bound_mask -> (seed, Array.of_list pats, bound_mask))
+      (int_bound 1_000_000)
+      (list_size (int_range 0 6) pattern_gen)
+      (array_size (return nvars) bool))
+
+let instance_arb =
+  QCheck.make instance_gen ~print:(fun (seed, pats, _) ->
+      Printf.sprintf "seed %d, %d patterns" seed (Array.length pats))
+
+let store seed =
+  Encoded_graph.of_graph
+    (Rdf.Generator.zipf ~seed:(1 + (seed mod 97)) ~n:20
+       ~predicates:[ "q0"; "q1"; "q2" ] ~m:60 ~exponent:1.2 ())
+
+let compile_prop =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~count:300 ~name:"orders are permutations, costs sane"
+       instance_arb
+       (fun (seed, pats, bound_mask) ->
+         let enc = store seed in
+         let d =
+           Join_order.compile enc ~nvars
+             ~bound:(fun v -> bound_mask.(v))
+             ~node:0 pats
+         in
+         let npat = Array.length pats in
+         let seen = Array.make npat false in
+         Array.iter
+           (fun i ->
+             if i < 0 || i >= npat || seen.(i) then
+               QCheck.Test.fail_report "order is not a permutation";
+             seen.(i) <- true)
+           d.Join_order.order;
+         Array.length d.Join_order.order = npat
+         && Array.length d.Join_order.est_cards = npat
+         && Array.for_all
+              (fun c -> c >= 0. && Float.is_finite c)
+              d.Join_order.est_cards
+         && d.Join_order.est_candidates >= 0.))
+
+let monotone_prop =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~count:300
+       ~name:"estimates are monotone under binding" instance_arb
+       (fun (seed, pats, bound_mask) ->
+         let enc = store seed in
+         Array.for_all
+           (fun pat ->
+             let loose = Cost_model.estimate enc ~bound:(fun _ -> false) pat in
+             let partial =
+               Cost_model.estimate enc ~bound:(fun v -> bound_mask.(v)) pat
+             in
+             let tight = Cost_model.estimate enc ~bound:(fun _ -> true) pat in
+             tight <= partial +. 1e-9 && partial <= loose +. 1e-9)
+           pats))
+
+(* ------------------------------------------------------------------ *)
+(* Zero-pattern guard                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let test_zero_pattern_fold () =
+  let enc =
+    Encoded_graph.of_graph
+      (Rdf.Generator.random_graph ~seed:3 ~n:5 ~predicates:[ "q0" ] ~m:10)
+  in
+  let source = Encoded_hom.compile Tgraphs.Tgraph.empty enc in
+  List.iter
+    (fun (name, strategy) ->
+      let folded =
+        Encoded_hom.fold ~strategy source ~init:[] ~f:(fun acc h ->
+            (Array.copy h :: acc, `Continue))
+      in
+      check Alcotest.int (name ^ ": exactly one homomorphism") 1
+        (List.length folded);
+      check Alcotest.int (name ^ ": empty count") 1
+        (Encoded_hom.count source))
+    [
+      ("rescore", Encoded_hom.Rescore);
+      ("fixed", Encoded_hom.Fixed [||]);
+      ("adaptive", Encoded_hom.Adaptive [||]);
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* Explain surfaces the decisions                                      *)
+(* ------------------------------------------------------------------ *)
+
+let explain_pattern =
+  Sparql.Parser.parse_exn
+    "{ ?a p:knows ?b . ?a p:worksAt ?w . OPTIONAL { ?b p:email ?m } }"
+
+let explain_graph = Generator.social ~seed:11 ~people:25
+
+let test_explain_decisions () =
+  let report = Explain.explain explain_pattern explain_graph in
+  List.iter
+    (fun tree_plan ->
+      List.iter
+        (fun np ->
+          match np.Explain.decision with
+          | None -> Alcotest.fail "optimizer on: a node plan lacks a decision"
+          | Some d ->
+              check Alcotest.int "order covers the node's triples"
+                (List.length np.Explain.triples)
+                (Array.length d.Join_order.order))
+        tree_plan)
+    report.Explain.trees;
+  let rendered = Fmt.str "%a" Explain.pp report in
+  check Alcotest.bool "maximality verdict is visible" true
+    (Astring.String.is_infix ~affix:"maximality test:" rendered);
+  check Alcotest.bool "estimates shown next to actuals" true
+    (Astring.String.is_infix ~affix:"est ~" rendered);
+  (* and with the optimizer off, no decisions are computed *)
+  let off = Explain.explain ~optimize:false explain_pattern explain_graph in
+  List.iter
+    (List.iter (fun np ->
+         check Alcotest.bool "optimizer off: no decision" true
+           (np.Explain.decision = None)))
+    off.Explain.trees
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  Alcotest.run "optimizer"
+    [
+      ( "equivalence",
+        [
+          Alcotest.test_case "300 random instances, three modes" `Quick
+            test_equivalence_300;
+        ] );
+      ("properties", [ compile_prop; monotone_prop ]);
+      ( "regressions",
+        [
+          Alcotest.test_case "zero-pattern node folds once" `Quick
+            test_zero_pattern_fold;
+        ] );
+      ( "explain",
+        [
+          Alcotest.test_case "decisions and verdicts surfaced" `Quick
+            test_explain_decisions;
+        ] );
+    ]

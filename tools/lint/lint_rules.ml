@@ -81,6 +81,7 @@ let kernel_modules =
     "encoded/encoded_hom.ml";
     "encoded/encoded_pebble.ml";
     "graphtheory/treewidth.ml";
+    "optimizer/join_order.ml";
     "pebble/pebble_game.ml";
     "sparql/eval.ml";
     "tgraph/cores.ml";
