@@ -54,7 +54,7 @@ let write_json file =
   let buf = Buffer.create 4096 in
   Buffer.add_string buf "{\n";
   Buffer.add_string buf "  \"schema_version\": 1,\n";
-  Buffer.add_string buf "  \"pr\": \"pr7\",\n";
+  Buffer.add_string buf "  \"pr\": \"pr8\",\n";
   Buffer.add_string buf
     (Printf.sprintf "  \"fast\": %b,\n" !fast);
   Buffer.add_string buf "  \"experiments\": {\n";
@@ -1605,6 +1605,172 @@ let a10 () =
     median_speedup
 
 (* ------------------------------------------------------------------ *)
+(* A11 — cold start: Turtle parse+encode vs compiled-store mmap        *)
+(* ------------------------------------------------------------------ *)
+
+let a11_read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+(* Minimal loopback HTTP client for the server-path measurement (same
+   shape as bench/server_bench.ml). *)
+let a11_http_request ~port raw =
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+    (fun () ->
+      Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+      let rec send off =
+        if off < String.length raw then
+          send
+            (off + Unix.write_substring fd raw off (String.length raw - off))
+      in
+      (try send 0 with
+      | Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET), _, _) -> ());
+      let buf = Bytes.create 4096 and out = Buffer.create 256 in
+      let rec drain () =
+        match Unix.read fd buf 0 (Bytes.length buf) with
+        | 0 -> ()
+        | n ->
+            Buffer.add_subbytes out buf 0 n;
+            drain ()
+        | exception Unix.Unix_error (Unix.ECONNRESET, _, _) -> ()
+      in
+      drain ();
+      Buffer.contents out)
+
+let a11 () =
+  header "A11" "cold start: Turtle parse+encode vs compiled-store mmap"
+    "ISSUE 8 tentpole: the on-disk store loads in O(pages touched)";
+  Fmt.pr "The same social graph reaches its first answer from a cold process@.";
+  Fmt.pr "two ways: parse the Turtle + encode (the pre-PR-8 path), or map the@.";
+  Fmt.pr "compiled store. Full answer sets are cross-checked, then the same@.";
+  Fmt.pr "ablation is run through the server: process start to first 200.@.@.";
+  let people = if !fast then 400 else 2000 in
+  let g = Rdf.Generator.social ~seed:11 ~people in
+  let ttl = Filename.temp_file "bench_a11" ".ttl" in
+  let wds = Filename.temp_file "bench_a11" ".wds" in
+  let cleanup () =
+    List.iter (fun p -> try Sys.remove p with Sys_error _ -> ()) [ ttl; wds ]
+  in
+  Fun.protect ~finally:cleanup @@ fun () ->
+  let oc = open_out ttl in
+  output_string oc (Rdf.Turtle.to_string g);
+  close_out oc;
+  let _, t_compile =
+    time_once (fun () -> Storage.save (Encoded.Encoded_graph.of_graph g) wds)
+  in
+  let query = "{ ?a p:knows ?b . OPTIONAL { ?b p:email ?m } }" in
+  let pattern = Sparql.Parser.parse_exn query in
+  let parse_path () =
+    match Rdf.Turtle.parse_graph_err ~source:ttl (a11_read_file ttl) with
+    | Ok g -> g
+    | Error _ -> failwith "A11: turtle reparse failed"
+  in
+  let store_path () = Storage.load_graph wds in
+  (* Time-to-first-solution, cold: graph load + plan + evaluate until
+     the first answer is accounted. Every run starts from nothing — the
+     store registry and MRU are dropped in between. *)
+  let ttfs load =
+    Encoded.Encoded_graph.clear_cache ();
+    let graph = load () in
+    let plan = Wd_core.Engine.plan pattern in
+    let budget = Resource.Budget.make ~max_solutions:1 () in
+    match Wd_core.Engine.solutions ~budget plan graph with
+    | _ -> ()
+    | exception Resource.Budget.Exhausted _ -> ()
+  in
+  let runs = 5 in
+  let _, t_parse = time_median ~runs (fun () -> ttfs parse_path) in
+  let _, t_mmap = time_median ~runs (fun () -> ttfs store_path) in
+  (* differential check: the two paths agree on the full answer set *)
+  Encoded.Encoded_graph.clear_cache ();
+  let full graph = Wd_core.Engine.solutions (Wd_core.Engine.plan pattern) graph in
+  let reference = full (parse_path ()) and mapped = full (store_path ()) in
+  if not (Sparql.Mapping.Set.equal reference mapped) then begin
+    Fmt.epr "A11: mapped-store answers diverge from the parsed graph@.";
+    exit 1
+  end;
+  let speedup = t_parse /. Float.max t_mmap 1e-9 in
+  Fmt.pr "%-26s %10s %12s %12s %8s@." "path" "answers" "compile(ms)"
+    "ttfs(ms)" "speedup";
+  Fmt.pr "%-26s %10d %12s %12.3f %8s@." "turtle-parse+encode"
+    (Sparql.Mapping.Set.cardinal reference) "-" (ms t_parse) "1.0x";
+  Fmt.pr "%-26s %10d %12.3f %12.3f %7.1fx@." "compiled-store-mmap"
+    (Sparql.Mapping.Set.cardinal mapped) (ms t_compile) (ms t_mmap) speedup;
+  record ~experiment:"A11" ~metric:"graph_triples" (float (Rdf.Graph.cardinal g));
+  record ~experiment:"A11" ~metric:"compile_ms" (ms t_compile);
+  record ~experiment:"A11" ~metric:"parse_ttfs_ms" (ms t_parse);
+  record ~experiment:"A11" ~metric:"mmap_ttfs_ms" (ms t_mmap);
+  record ~experiment:"A11" ~metric:"speedup_ttfs" speedup;
+  record ~experiment:"A11" ~metric:"answers_agree" 1.0;
+  (* Server path: process start (including graph load) to the first 200
+     on /sparql, heap vs store cold start. *)
+  let ttfa load =
+    Encoded.Encoded_graph.clear_cache ();
+    let t0 = Unix.gettimeofday () in
+    let graph = load () in
+    let server =
+      Wd_server.Server.start
+        {
+          Wd_server.Server.graph;
+          host = "127.0.0.1";
+          port = 0;
+          workers = 2;
+          domains = 1;
+          queue_capacity = 16;
+          admission =
+            {
+              Wd_server.Admission.request_fuel = 50_000_000;
+              request_timeout = 30.;
+              max_solutions = None;
+              global_fuel = None;
+              refill_rate = 0.;
+              max_inflight = 8;
+            };
+          max_request_bytes = 1 lsl 16;
+          io_timeout = 30.;
+          faults = Wd_server.Faults.none;
+          plan_capacity = 8;
+        }
+    in
+    let port = Wd_server.Server.port server in
+    let request =
+      Printf.sprintf "POST /sparql HTTP/1.1\r\nContent-Length: %d\r\n\r\n%s"
+        (String.length query) query
+    in
+    let response = a11_http_request ~port request in
+    let dt = Unix.gettimeofday () -. t0 in
+    let ok =
+      match String.split_on_char ' ' response with
+      | _ :: "200" :: _ -> true
+      | _ -> false
+    in
+    Wd_server.Server.initiate_drain server;
+    ignore (Wd_server.Server.join server);
+    if not ok then begin
+      Fmt.epr "A11: server path did not answer 200@.";
+      exit 1
+    end;
+    dt
+  in
+  let t_serve_parse = ttfa parse_path in
+  let t_serve_mmap = ttfa store_path in
+  let serve_speedup = t_serve_parse /. Float.max t_serve_mmap 1e-9 in
+  Fmt.pr "@.server time-to-first-answer: parse %.3fms, mmap %.3fms (%.1fx)@."
+    (ms t_serve_parse) (ms t_serve_mmap) serve_speedup;
+  record ~experiment:"A11" ~metric:"server_parse_ttfa_ms" (ms t_serve_parse);
+  record ~experiment:"A11" ~metric:"server_mmap_ttfa_ms" (ms t_serve_mmap);
+  record ~experiment:"A11" ~metric:"server_speedup_ttfa" serve_speedup;
+  Fmt.pr "@.cold-start speedup: %.1fx (target: >= 20x)@." speedup;
+  if speedup < 20. then begin
+    Fmt.epr "A11: cold-start speedup %.1fx below the 20x target@." speedup;
+    exit 1
+  end
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks: one Test.make per table/figure           *)
 (* ------------------------------------------------------------------ *)
 
@@ -1709,7 +1875,7 @@ let experiments =
        (pool registry), and idle domains tax every minor GC with
        stop-the-world synchronization — uniform overhead that would
        wash out A10's planner-mode ratios. *)
-    ("A7", a7); ("A10", a10); ("A8", a8);
+    ("A7", a7); ("A10", a10); ("A11", a11); ("A8", a8);
     ("bechamel", bechamel_suite);
   ]
 
@@ -1721,7 +1887,7 @@ let () =
         fast := true;
         parse acc rest
     | "--json" :: rest ->
-        json_out := Some "BENCH_pr7.json";
+        json_out := Some "BENCH_pr8.json";
         parse acc rest
     | "--json-out" :: file :: rest ->
         json_out := Some file;

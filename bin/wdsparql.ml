@@ -1,17 +1,23 @@
 (* wdsparql: command-line front end.
 
    Subcommands:
-     eval      evaluate a query over a Turtle data file
-     check     membership of a single mapping (naive or pebble algorithm)
-     width     structural analysis: all width measures and the regime
-     validate  well-designedness check with a diagnostic
-     analyze   static analyzer: verdict + spans, lints, width estimates
-     clique    solve k-CLIQUE via the hardness reduction (demo)
+     eval       evaluate a query over a Turtle data file
+     check      membership of a single mapping (naive or pebble algorithm)
+     width      structural analysis: all width measures and the regime
+     validate   well-designedness check with a diagnostic
+     analyze    static analyzer: verdict + spans, lints, width estimates
+     compile    compile a data file into an on-disk store (.wds)
+     store-info print a compiled store's header (optionally checksum it)
+     clique     solve k-CLIQUE via the hardness reduction (demo)
+
+   Everywhere a data file is expected, a compiled store is accepted too
+   (detected by its magic, or forced with --store); the store is mapped
+   instead of parsed.
 
    Every subcommand accepts --timeout/--fuel/--max-solutions resource
    limits. Exit codes: 0 success, 1 negative answer (check/validate/
    containment/fuzz), 2 user error (bad input), 3 budget exhausted,
-   4 internal error. *)
+   4 internal error, 5 unusable compiled store. *)
 
 open Cmdliner
 module Budget = Resource.Budget
@@ -37,9 +43,13 @@ let read_file path =
       E.fail (E.Io_error { path; msg })
 
 let load_graph path =
-  match Rdf.Turtle.parse_graph_err ~source:path (read_file path) with
-  | Ok g -> g
-  | Error e -> E.fail e
+  (* A compiled store drops in anywhere a Turtle file does: sniff the
+     magic and map it instead of parsing. *)
+  if Storage.looks_like_store path then Storage.load_graph path
+  else
+    match Rdf.Turtle.parse_graph_err ~source:path (read_file path) with
+    | Ok g -> g
+    | Error e -> E.fail e
 
 let load_query path_or_inline =
   let source, src =
@@ -102,9 +112,41 @@ let handle f =
 
 let data_arg =
   Arg.(
-    required
+    value
     & opt (some string) None
-    & info [ "d"; "data" ] ~docv:"FILE" ~doc:"Turtle data file.")
+    & info [ "d"; "data" ] ~docv:"FILE"
+        ~doc:"Turtle data file — or a compiled store (*.wds), detected by \
+              its magic and mapped instead of parsed.")
+
+let store_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "store" ] ~docv:"FILE"
+        ~doc:"Compiled store file (see the compile subcommand). Like \
+              passing it to --data, but refuses anything that is not a \
+              store.")
+
+(* One of --data/--store, resolved to a graph handle. The thunk is
+   called inside [handle] so store faults get their exit code. *)
+let require_graph data store () =
+  match data, store with
+  | Some _, Some _ ->
+      E.fail (E.Invalid_input "--data and --store are mutually exclusive")
+  | Some path, None -> load_graph path
+  | None, Some path -> Storage.load_graph path
+  | None, None ->
+      E.fail (E.Invalid_input "no data: pass --data FILE or --store FILE")
+
+let graph_term = Term.(const require_graph $ data_arg $ store_arg)
+
+let graph_opt_term =
+  let opt data store () =
+    match data, store with
+    | None, None -> None
+    | _ -> Some (require_graph data store ())
+  in
+  Term.(const opt $ data_arg $ store_arg)
 
 let query_arg =
   Arg.(
@@ -211,9 +253,9 @@ let eval_cmd =
                 caller. 1 (the default) is exactly the sequential path; \
                 answers are identical for every N.")
   in
-  let run data query algorithm k spec explain domains optimize =
+  let run load_data query algorithm k spec explain domains optimize =
     handle @@ fun () ->
-    let graph = load_graph data in
+    let graph = load_data () in
     let pattern = load_query query in
     let sols =
       match algorithm with
@@ -264,13 +306,13 @@ let eval_cmd =
   Cmd.v
     (Cmd.info "eval" ~doc:"Evaluate a query over a data file.")
     Term.(
-      const run $ data_arg $ query_arg $ algorithm_arg $ pebbles_arg
+      const run $ graph_term $ query_arg $ algorithm_arg $ pebbles_arg
       $ budget_term $ explain_arg $ domains_arg $ optimize_arg)
 
 let check_cmd =
-  let run data query mapping algorithm k spec =
+  let run load_data query mapping algorithm k spec =
     handle @@ fun () ->
-    let graph = load_graph data in
+    let graph = load_data () in
     let pattern = load_query query in
     let mu = parse_mapping mapping in
     let result =
@@ -293,7 +335,7 @@ let check_cmd =
   Cmd.v
     (Cmd.info "check" ~doc:"Decide membership of a mapping (wdEVAL).")
     Term.(
-      const run $ data_arg $ query_arg $ mapping_arg $ algorithm_arg
+      const run $ graph_term $ query_arg $ mapping_arg $ algorithm_arg
       $ pebbles_arg $ budget_term)
 
 let width_cmd =
@@ -332,17 +374,9 @@ let analyze_cmd =
                 width estimates and diagnostics (stable schema, see \
                 docs/ANALYSIS.md).")
   in
-  let data_opt_arg =
-    Arg.(
-      value
-      & opt (some string) None
-      & info [ "d"; "data" ] ~docv:"FILE"
-          ~doc:"Optional Turtle data file; enables the store-dependent \
-                lint rules (unsatisfiable-triple).")
-  in
-  let run query data json spec =
+  let run query load_data json spec =
     handle @@ fun () ->
-    let graph = Option.map load_graph data in
+    let graph = load_data () in
     let source, src =
       if Sys.file_exists query then (query, read_file query)
       else ("query", query)
@@ -365,7 +399,7 @@ let analyze_cmd =
        ~doc:"Static analysis: designedness verdict (well / weakly-well / \
              ill, with witness spans), lint findings, and static width \
              estimates. Exit 0 when clean, 1 when there are findings.")
-    Term.(const run $ query_arg $ data_opt_arg $ json_arg $ budget_term)
+    Term.(const run $ query_arg $ graph_opt_term $ json_arg $ budget_term)
 
 let clique_cmd =
   let n_arg =
@@ -398,9 +432,9 @@ let clique_cmd =
     Term.(const run $ n_arg $ k_arg $ prob_arg $ seed_arg $ budget_term)
 
 let explain_cmd =
-  let run data query spec optimize =
+  let run load_data query spec optimize =
     handle @@ fun () ->
-    let graph = load_graph data in
+    let graph = load_data () in
     let pattern = load_query query in
     Fmt.pr "%a@." Wd_core.Explain.pp
       (Wd_core.Explain.explain ~budget:(fresh_budget spec) ~optimize pattern
@@ -411,17 +445,17 @@ let explain_cmd =
        ~doc:"Show the evaluation plan: cost-based join orders with \
              estimated vs actual cardinalities and per-node \
              pebble-vs-naive maximality verdicts.")
-    Term.(const run $ data_arg $ query_arg $ budget_term $ optimize_arg)
+    Term.(const run $ graph_term $ query_arg $ budget_term $ optimize_arg)
 
 let stats_cmd =
-  let run data _spec =
+  let run load_data _spec =
     handle @@ fun () ->
-    let graph = load_graph data in
+    let graph = load_data () in
     Fmt.pr "%a@." Rdf.Stats.pp (Rdf.Stats.of_graph graph)
   in
   Cmd.v
     (Cmd.info "stats" ~doc:"Print graph statistics (per-predicate cardinalities).")
-    Term.(const run $ data_arg $ budget_term)
+    Term.(const run $ graph_term $ budget_term)
 
 let containment_cmd =
   let q2_arg =
@@ -522,6 +556,82 @@ let fuzz_cmd =
        ~doc:"Differential testing: all four evaluators on random instances.")
     Term.(const run $ runs_arg $ seed_arg $ budget_term)
 
+let compile_cmd =
+  let input_arg =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"DATA"
+          ~doc:"Input to compile: a Turtle file (or an existing store, \
+                which is rewritten canonically).")
+  in
+  let out_arg =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Output store path.")
+  in
+  let force_arg =
+    Arg.(
+      value & flag
+      & info [ "f"; "force" ] ~doc:"Overwrite an existing output file.")
+  in
+  let run input out force _spec =
+    handle @@ fun () ->
+    if Sys.file_exists out && not force then
+      E.fail
+        (E.Invalid_input
+           (Fmt.str "%s exists (pass --force to overwrite)" out));
+    let graph = load_graph input in
+    Storage.save (Encoded.Encoded_graph.of_graph_cached graph) out;
+    let i = Storage.info out in
+    Fmt.pr
+      "compiled %s: %d triple(s), %d term(s), %d predicate(s), %d bytes, \
+       stamp %#x@."
+      out i.Storage.triples i.Storage.terms i.Storage.predicates
+      i.Storage.file_bytes i.Storage.stamp
+  in
+  Cmd.v
+    (Cmd.info "compile"
+       ~doc:"Compile a data file into an on-disk store: dictionary, sorted \
+             index permutations and planner statistics in one mappable \
+             file, so later runs (and the server) cold-start without \
+             parsing or re-encoding.")
+    Term.(const run $ input_arg $ out_arg $ force_arg $ budget_term)
+
+let store_info_cmd =
+  let file_arg =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"STORE" ~doc:"Compiled store file.")
+  in
+  let verify_arg =
+    Arg.(
+      value & flag
+      & info [ "verify" ]
+          ~doc:"Also hash the payload against the header's content stamp \
+                (reads the whole file; exit 5 on mismatch).")
+  in
+  let run file verify =
+    handle @@ fun () ->
+    let i = Storage.info ~verify file in
+    Fmt.pr "store %s@." file;
+    Fmt.pr "  format version   %d@." i.Storage.version;
+    Fmt.pr "  triples          %d@." i.Storage.triples;
+    Fmt.pr "  terms            %d@." i.Storage.terms;
+    Fmt.pr "  predicates       %d@." i.Storage.predicates;
+    Fmt.pr "  file bytes       %d@." i.Storage.file_bytes;
+    Fmt.pr "  content stamp    %#x@." i.Storage.stamp;
+    Fmt.pr "  identity (epoch) %d@." i.Storage.identity;
+    if verify then Fmt.pr "  checksum         OK@."
+  in
+  Cmd.v
+    (Cmd.info "store-info"
+       ~doc:"Print a compiled store's header summary (counts, content \
+             stamp, stable identity) without loading its data.")
+    Term.(const run $ file_arg $ verify_arg)
+
 let serve_cmd =
   let port_arg =
     Arg.(
@@ -602,11 +712,11 @@ let serve_cmd =
       & info [ "plan-cache" ] ~docv:"N"
           ~doc:"Distinct query plans kept compiled across connections.")
   in
-  let run data port host workers domains spec global_fuel refill_rate
+  let run load_data port host workers domains spec global_fuel refill_rate
       max_inflight queue_cap max_request_bytes io_timeout fault_spec
       plan_cache =
     handle @@ fun () ->
-    let graph = load_graph data in
+    let graph = load_data () in
     let faults =
       match Wd_server.Faults.parse fault_spec with
       | Ok f -> f
@@ -656,7 +766,7 @@ let serve_cmd =
              from a refillable global token bucket; overload is shed with \
              503 + Retry-After; SIGINT/SIGTERM drains gracefully.")
     Term.(
-      const run $ data_arg $ port_arg $ host_arg $ workers_arg $ domains_arg
+      const run $ graph_term $ port_arg $ host_arg $ workers_arg $ domains_arg
       $ budget_term $ global_fuel_arg $ refill_rate_arg $ max_inflight_arg
       $ queue_cap_arg $ max_request_bytes_arg $ io_timeout_arg
       $ fault_spec_arg $ plan_cache_arg)
@@ -671,5 +781,5 @@ let () =
             eval_cmd; check_cmd; width_cmd; validate_cmd; analyze_cmd;
             explain_cmd;
             stats_cmd; containment_cmd; optimize_cmd; clique_cmd; fuzz_cmd;
-            serve_cmd;
+            compile_cmd; store_info_cmd; serve_cmd;
           ]))

@@ -4,12 +4,42 @@ type predicate_stats = {
   distinct_objects : int;
 }
 
+(* One sorted index permutation, behind a backend the query kernels never
+   see through: either a heap array of id triples (built by [of_graph])
+   or a closure-provided flat view (an mmap'd section of a compiled
+   store, [of_views]). Every access below goes through [clen]/[cget], so
+   binary search, range iteration and the statistics scans are byte-for-
+   byte the same code on both backends. The view indirection is a
+   closure call per probe — noise next to the comparisons of the binary
+   searches it feeds. *)
+type flat_view = { fn : int; fget : int -> int * int * int }
+
+type cells = Heap of (int * int * int) array | View of flat_view
+
+let clen = function Heap a -> Array.length a | View v -> v.fn
+let cget c i = match c with Heap a -> a.(i) | View v -> v.fget i
+
+(* Statistics a compiled store carries precomputed: the save-time cost
+   buys O(1) plan-time answers without scanning the mmap'd arrays. The
+   per-predicate closure may return [None] (unknown predicate), which
+   falls back to the scan path. *)
+type stats_seed = {
+  seed_subjects : int;
+  seed_objects : int;
+  seed_predicates : int;
+  seed_predicate : int -> predicate_stats option;
+}
+
 type t = {
-  epoch : int;
+  identity : int;
+      (* heap stores: the source graph's positive Graph.epoch; mapped
+         stores: the negative content-stamp identity — either way, what
+         every cross-evaluation cache keys on *)
   dict : Rdf.Dictionary.t;
-  spo : (int * int * int) array;
-  pos : (int * int * int) array;
-  osp : (int * int * int) array;
+  spo : cells;
+  pos : cells;
+  osp : cells;
+  seed : stats_seed option;
   (* Planner statistics, derived lazily from the sorted arrays above and
      memoized on the store (stores are immutable, so once computed a
      figure never goes stale). The per-predicate table makes repeated
@@ -35,11 +65,28 @@ let of_graph graph =
     List.map (Rdf.Dictionary.encode_triple dict) (Rdf.Graph.triples graph)
   in
   {
-    epoch = Rdf.Graph.epoch graph;
+    identity = Rdf.Graph.epoch graph;
     dict;
-    spo = sorted_by rot_spo triples;
-    pos = sorted_by rot_pos triples;
-    osp = sorted_by rot_osp triples;
+    spo = Heap (sorted_by rot_spo triples);
+    pos = Heap (sorted_by rot_pos triples);
+    osp = Heap (sorted_by rot_osp triples);
+    seed = None;
+    pstats = Hashtbl.create 16;
+    subject_count = -1;
+    object_count = -1;
+    predicate_count = -1;
+  }
+
+let of_views ~identity ~dict ~spo ~pos ~osp ?stats () =
+  if spo.fn <> pos.fn || pos.fn <> osp.fn then
+    invalid_arg "Encoded_graph.of_views: permutations disagree on length";
+  {
+    identity;
+    dict;
+    spo = View spo;
+    pos = View pos;
+    osp = View osp;
+    seed = stats;
     pstats = Hashtbl.create 16;
     subject_count = -1;
     object_count = -1;
@@ -54,7 +101,20 @@ let of_graph graph =
 let cache_capacity = 8
 let cache : (int * t) list ref = ref []
 
-let clear_cache () = cache := []
+(* Loaded persistent stores, pinned outside the MRU churn and keyed on
+   their stable identity: a deferred graph handle resolves here first,
+   so evaluating through the handle runs on the mmap'd arrays instead of
+   forcing the handle's term-level decode. Entries stay until
+   [clear_cache] (or a re-register of the same identity); dropping one
+   never unmaps anything a live evaluation still sees — every borrowed
+   view is a closure that keeps its mapping reachable on its own. *)
+let registered : (int, t) Hashtbl.t = Hashtbl.create 8
+
+let register t = Hashtbl.replace registered t.identity t
+
+let clear_cache () =
+  cache := [];
+  Hashtbl.reset registered
 
 let of_graph_cached graph =
   let rec take n = function
@@ -63,26 +123,33 @@ let of_graph_cached graph =
     | x :: rest -> x :: take (n - 1) rest
   in
   let key = Rdf.Graph.epoch graph in
-  match List.find_opt (fun (e, _) -> e = key) !cache with
-  | Some (_, enc) ->
-      (* move to front *)
-      cache := (key, enc) :: List.filter (fun (e, _) -> e <> key) !cache;
-      enc
-  | None ->
-      let enc = of_graph graph in
-      cache := take cache_capacity ((key, enc) :: !cache);
-      enc
+  match Hashtbl.find_opt registered key with
+  | Some enc -> enc
+  | None -> (
+      match List.find_opt (fun (e, _) -> e = key) !cache with
+      | Some (_, enc) ->
+          (* move to front *)
+          cache := (key, enc) :: List.filter (fun (e, _) -> e <> key) !cache;
+          enc
+      | None ->
+          let enc = of_graph graph in
+          cache := take cache_capacity ((key, enc) :: !cache);
+          enc)
 
-let epoch t = t.epoch
+let epoch t = t.identity
 let dictionary t = t.dict
-let cardinal t = Array.length t.spo
+let cardinal t = clen t.spo
+
+let nth_spo t i = cget t.spo i
+let nth_pos t i = cget t.pos i
+let nth_osp t i = cget t.osp i
 
 (* First index whose rotated key is >= [key]. *)
 let lower_bound arr rot key =
-  let lo = ref 0 and hi = ref (Array.length arr) in
+  let lo = ref 0 and hi = ref (clen arr) in
   while !lo < !hi do
     let mid = (!lo + !hi) / 2 in
-    if compare (rot arr.(mid)) key < 0 then lo := mid + 1 else hi := mid
+    if compare (rot (cget arr mid)) key < 0 then lo := mid + 1 else hi := mid
   done;
   !lo
 
@@ -102,10 +169,10 @@ let range arr rot k1 k2 k3 =
   let start = lower_bound arr rot low in
   (* upper: first strictly greater than the max-filled prefix *)
   let stop =
-    let lo = ref start and hi = ref (Array.length arr) in
+    let lo = ref start and hi = ref (clen arr) in
     while !lo < !hi do
       let mid = (!lo + !hi) / 2 in
-      if compare (rot arr.(mid)) high <= 0 then lo := mid + 1 else hi := mid
+      if compare (rot (cget arr mid)) high <= 0 then lo := mid + 1 else hi := mid
     done;
     !lo
   in
@@ -129,11 +196,14 @@ let mem t (s, p, o) =
 
 let iter_matching t ?s ?p ?o ~f () =
   match choose t ?s ?p ?o () with
-  | None -> Array.iter f t.spo
+  | None ->
+      for i = 0 to clen t.spo - 1 do
+        f (cget t.spo i)
+      done
   | Some (arr, rot, k1, k2, k3) ->
       let start, stop = range arr rot k1 k2 k3 in
       for i = start to stop - 1 do
-        f arr.(i)
+        f (cget arr i)
       done
 
 let matching t ?s ?p ?o () =
@@ -156,11 +226,13 @@ let match_count t ?s ?p ?o () =
    sorted array. When the projection is the array's primary sort key the
    distinct values form contiguous runs and a single linear pass counts
    them; otherwise the column is extracted, sorted, and its runs counted.
-   Both are one-shot costs — every entry point below memoizes. *)
+   Both are one-shot costs — every entry point below memoizes, and
+   compiled stores carry the figures precomputed ([stats_seed]) so the
+   scans never touch the mmap at all. *)
 let count_runs proj arr start stop =
   let n = ref 0 and prev = ref min_int in
   for i = start to stop - 1 do
-    let v = proj arr.(i) in
+    let v = proj (cget arr i) in
     if !n = 0 || v <> !prev then begin
       incr n;
       prev := v
@@ -169,7 +241,7 @@ let count_runs proj arr start stop =
   !n
 
 let count_distinct_unsorted proj arr start stop =
-  let col = Array.init (stop - start) (fun i -> proj arr.(start + i)) in
+  let col = Array.init (stop - start) (fun i -> proj (cget arr (start + i))) in
   Array.sort compare col;
   let n = ref 0 and prev = ref min_int in
   Array.iter
@@ -185,19 +257,25 @@ let predicate_stats t p =
   match Hashtbl.find_opt t.pstats p with
   | Some s -> s
   | None ->
-      (* t.pos stores raw (s, p, o) tuples sorted by (p, o, s): the
-         predicate's triples are one contiguous block, within which
-         distinct objects are runs of the o column; distinct subjects
-         need a sort of the s column. *)
-      let start, stop = range t.pos rot_pos p None None in
+      let seeded =
+        match t.seed with None -> None | Some seed -> seed.seed_predicate p
+      in
       let s =
-        {
-          triples = stop - start;
-          distinct_objects =
-            count_runs (fun (_, _, o) -> o) t.pos start stop;
-          distinct_subjects =
-            count_distinct_unsorted (fun (s, _, _) -> s) t.pos start stop;
-        }
+        match seeded with
+        | Some s -> s
+        | None ->
+            (* t.pos stores raw (s, p, o) tuples sorted by (p, o, s): the
+               predicate's triples are one contiguous block, within which
+               distinct objects are runs of the o column; distinct
+               subjects need a sort of the s column. *)
+            let start, stop = range t.pos rot_pos p None None in
+            {
+              triples = stop - start;
+              distinct_objects =
+                count_runs (fun (_, _, o) -> o) t.pos start stop;
+              distinct_subjects =
+                count_distinct_unsorted (fun (s, _, _) -> s) t.pos start stop;
+            }
       in
       Hashtbl.replace t.pstats p s;
       s
@@ -205,18 +283,25 @@ let predicate_stats t p =
 let distinct_subjects t =
   if t.subject_count < 0 then
     t.subject_count <-
-      count_runs (fun (s, _, _) -> s) t.spo 0 (Array.length t.spo);
+      (match t.seed with
+      | Some seed -> seed.seed_subjects
+      | None -> count_runs (fun (s, _, _) -> s) t.spo 0 (clen t.spo));
   t.subject_count
 
 let distinct_objects t =
   if t.object_count < 0 then
     t.object_count <-
-      (* t.osp is sorted by (o, s, p), so o runs are contiguous *)
-      count_runs (fun (_, _, o) -> o) t.osp 0 (Array.length t.osp);
+      (match t.seed with
+      | Some seed -> seed.seed_objects
+      | None ->
+          (* t.osp is sorted by (o, s, p), so o runs are contiguous *)
+          count_runs (fun (_, _, o) -> o) t.osp 0 (clen t.osp));
   t.object_count
 
 let distinct_predicates t =
   if t.predicate_count < 0 then
     t.predicate_count <-
-      count_runs (fun (_, p, _) -> p) t.pos 0 (Array.length t.pos);
+      (match t.seed with
+      | Some seed -> seed.seed_predicates
+      | None -> count_runs (fun (_, p, _) -> p) t.pos 0 (clen t.pos));
   t.predicate_count

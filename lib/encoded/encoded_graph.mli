@@ -9,19 +9,70 @@
 
 type t
 
+type flat_view = { fn : int; fget : int -> int * int * int }
+(** One sorted permutation provided as closures: [fn] triples, [fget i]
+    the i-th raw (s, p, o) id triple in the permutation's sort order.
+    How a compiled on-disk store ([Storage]) exposes its mmap'd index
+    sections without this module knowing about bytes, mappings, or
+    [Bigarray] — the join, pebble and statistics code paths are
+    backend-blind. [fget] must be pure and total on [0, fn). *)
+
+type predicate_stats = {
+  triples : int;  (** number of triples with this predicate *)
+  distinct_subjects : int;
+  distinct_objects : int;
+}
+
+type stats_seed = {
+  seed_subjects : int;
+  seed_objects : int;
+  seed_predicates : int;
+  seed_predicate : int -> predicate_stats option;
+}
+(** Save-time precomputed planner statistics of a compiled store;
+    [seed_predicate] may answer [None] (falls back to a range scan). *)
+
 val of_graph : Rdf.Graph.t -> t
 
+val of_views :
+  identity:int ->
+  dict:Rdf.Dictionary.t ->
+  spo:flat_view -> pos:flat_view -> osp:flat_view ->
+  ?stats:stats_seed -> unit -> t
+(** A store over externally provided sorted index views (the mmap
+    reader's constructor). [identity] is the store's stable identity —
+    negative content-stamp-derived for disk stores, disjoint from the
+    positive per-process {!Rdf.Graph.epoch} counter — and is what
+    {!epoch} returns. The three views must enumerate the same triple
+    multiset sorted by (s,p,o), (p,o,s) and (o,s,p) keys respectively;
+    raises [Invalid_argument] if their lengths disagree. *)
+
+val register : t -> unit
+(** Pin a store into the {!of_graph_cached} resolution table under its
+    {!epoch} identity, outside the MRU churn: a {!Rdf.Graph.deferred}
+    handle carrying the same identity then evaluates against this store
+    directly, never forcing its term-level decode. Re-registering the
+    same identity replaces the entry (same content by construction). *)
+
 val of_graph_cached : Rdf.Graph.t -> t
-(** Like {!of_graph}, but memoized on the graph's {!Rdf.Graph.epoch} in
+(** Like {!of_graph}, but resolved through the {!register}ed persistent
+    stores first and then memoized on the graph's {!Rdf.Graph.epoch} in
     a small bounded MRU cache, so evaluators that encode the same graph
     for every (mapping, child) test pay the encoding cost once. *)
 
 val epoch : t -> int
-(** The {!Rdf.Graph.epoch} of the graph this store was encoded from. *)
+(** The store's identity: the {!Rdf.Graph.epoch} of the graph a heap
+    store was encoded from, or the stable (negative) content-stamp
+    identity of a loaded disk store ({!of_views}). *)
 
 val clear_cache : unit -> unit
-(** Drop every entry of the {!of_graph_cached} memo (frees the encoded
-    copies; mainly for tests and benchmarks). *)
+(** Drop every entry of the {!of_graph_cached} memo and the
+    {!register}ed-store table (mainly for tests and benchmarks). Safe
+    while evaluations are in flight, including on worker domains: a
+    dropped mmap'd store stays alive — and its file mapped — for as
+    long as any live evaluation still holds it; a deferred graph handle
+    resolved after the drop falls back to its (slow but exact)
+    term-level decode. *)
 
 val dictionary : t -> Rdf.Dictionary.t
 val cardinal : t -> int
@@ -39,19 +90,23 @@ val match_count : t -> ?s:int -> ?p:int -> ?o:int -> unit -> int
 val iter_matching :
   t -> ?s:int -> ?p:int -> ?o:int -> f:(int * int * int -> unit) -> unit -> unit
 
+val nth_spo : t -> int -> int * int * int
+(** The i-th raw (s, p, o) triple of the SPO permutation — positional
+    access for the store writer (and tests); query code uses the
+    matching API above. *)
+
+val nth_pos : t -> int -> int * int * int
+val nth_osp : t -> int -> int * int * int
+
 (** {2 Planner statistics}
 
     Cardinality summaries for the cost-based optimizer, derived from the
     sorted index arrays and memoized on the store (stores are immutable).
     The first call per predicate costs a range scan; every later call is
-    a hash lookup, so plan-time estimation is O(1). {!Rdf.Stats} remains
-    the unencoded fallback for term-level consumers. *)
-
-type predicate_stats = {
-  triples : int;  (** number of triples with this predicate *)
-  distinct_subjects : int;
-  distinct_objects : int;
-}
+    a hash lookup, so plan-time estimation is O(1) — and O(1) from the
+    first call on compiled stores, which carry a {!stats_seed}.
+    {!Rdf.Stats} remains the unencoded fallback for term-level
+    consumers. *)
 
 val predicate_stats : t -> int -> predicate_stats
 (** Statistics of one predicate (by dictionary id). An id that never

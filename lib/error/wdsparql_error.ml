@@ -1,8 +1,16 @@
+type store_fault =
+  | Bad_magic
+  | Version_mismatch of { found : int; expected : int }
+  | Truncated
+  | Checksum_mismatch
+  | Corrupt
+
 type t =
   | Parse_error of { source : string; line : int; col : int; msg : string }
   | Not_well_designed of string
   | Budget_exhausted of { phase : string; spent : int }
   | Io_error of { path : string; msg : string }
+  | Store_error of { path : string; fault : store_fault; msg : string }
   | Invalid_input of string
   | Internal of string
 
@@ -33,12 +41,23 @@ let exit_ok = 0
 let exit_user_error = 2
 let exit_budget = 3
 let exit_internal = 4
+let exit_store = 5
 
 let exit_code = function
   | Parse_error _ | Not_well_designed _ | Io_error _ | Invalid_input _ ->
       exit_user_error
   | Budget_exhausted _ -> exit_budget
   | Internal _ -> exit_internal
+  | Store_error _ -> exit_store
+
+let pp_store_fault ppf = function
+  | Bad_magic -> Fmt.string ppf "not a wdsparql store (bad magic)"
+  | Version_mismatch { found; expected } ->
+      Fmt.pf ppf "store format version %d (this build reads version %d)"
+        found expected
+  | Truncated -> Fmt.string ppf "truncated store file"
+  | Checksum_mismatch -> Fmt.string ppf "content stamp mismatch"
+  | Corrupt -> Fmt.string ppf "corrupt store file"
 
 let pp ppf = function
   | Parse_error { source; line; col; msg } ->
@@ -53,6 +72,9 @@ let pp ppf = function
   | Io_error { path; msg } ->
       if path = "" then Fmt.pf ppf "I/O error: %s" msg
       else Fmt.pf ppf "%s: %s" path msg
+  | Store_error { path; fault; msg } ->
+      if msg = "" then Fmt.pf ppf "%s: %a" path pp_store_fault fault
+      else Fmt.pf ppf "%s: %a: %s" path pp_store_fault fault msg
   | Invalid_input msg -> Fmt.pf ppf "invalid input: %s" msg
   | Internal msg -> Fmt.pf ppf "internal error: %s" msg
 

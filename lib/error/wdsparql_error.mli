@@ -7,6 +7,19 @@
     a one-line diagnostic and pick the right exit code. See
     [docs/ROBUSTNESS.md]. *)
 
+(** What exactly is wrong with a compiled on-disk store ([Storage]). *)
+type store_fault =
+  | Bad_magic  (** the file does not start with the store magic *)
+  | Version_mismatch of { found : int; expected : int }
+      (** a store written by an incompatible format version *)
+  | Truncated  (** a section (or the header) extends past end-of-file *)
+  | Checksum_mismatch
+      (** the payload does not hash to the header's content stamp
+          (detected on [verify] loads) *)
+  | Corrupt
+      (** structurally invalid: overlapping or unsorted sections,
+          out-of-range ids, a broken dictionary blob, … *)
+
 type t =
   | Parse_error of { source : string; line : int; col : int; msg : string }
       (** Malformed Turtle/N-Triples/query text. [source] names the input
@@ -21,6 +34,10 @@ type t =
           {!Resource.Budget.Exhausted}. *)
   | Io_error of { path : string; msg : string }
       (** A file could not be read or written. *)
+  | Store_error of { path : string; fault : store_fault; msg : string }
+      (** A compiled store file is unusable — never a raw [Failure] or a
+          crash from a corrupt mapping; [msg] adds detail (may be
+          empty). *)
   | Invalid_input of string
       (** A malformed user-supplied argument (binding spec, bad [k], …). *)
   | Internal of string
@@ -48,7 +65,8 @@ val attempt : (unit -> 'a) -> 'a option
     [None]. Other classified errors are re-raised as {!Error}. *)
 
 (** Exit codes: [exit_user_error] = 2 (parse, IO, invalid input, not
-    well-designed), [exit_budget] = 3, [exit_internal] = 4. *)
+    well-designed), [exit_budget] = 3, [exit_internal] = 4,
+    [exit_store] = 5 (unusable compiled store). *)
 
 val exit_ok : int
 
@@ -58,8 +76,14 @@ val exit_budget : int
 
 val exit_internal : int
 
+val exit_store : int
+
 val exit_code : t -> int
 (** The process exit code the CLI uses for this error. *)
+
+val pp_store_fault : store_fault Fmt.t
+(** One-line rendering of a store fault (used inside {!pp} and by the
+    tests). *)
 
 val pp : t Fmt.t
 (** One-line human-readable rendering (no backtrace). *)

@@ -1,22 +1,78 @@
-type t = {
-  ids : (Term.t, int) Hashtbl.t;
-  mutable terms : Term.t array;
-  mutable size : int;
+(* Two backends share one interning façade:
+
+   - a plain heap dictionary (hash table + growable term array), built by
+     walking a graph — the historical representation;
+   - a read-only [view] (closure-provided decode/lookup, e.g. over an
+     mmap'd dictionary blob) plus a heap overflow region for terms
+     interned after the fact (query constants absent from the store).
+
+   View ids occupy [0 .. view_size); overflow ids continue from there, so
+   every id stays dense and array-indexable. Decoded view terms and
+   successful view lookups are memoized on the heap side — the decode
+   cost of a term is paid at most once per process, and a store that is
+   never decoded never materialises a single term. *)
+
+type view = {
+  view_size : int;
+  view_term : int -> Term.t;  (** decode, called with ids in [0, view_size) *)
+  view_find : Term.t -> int option;
 }
 
-let create () = { ids = Hashtbl.create 64; terms = Array.make 64 (Term.iri "x:x"); size = 0 }
+type t = {
+  ids : (Term.t, int) Hashtbl.t;
+      (* overflow terms, plus memoized successful view lookups *)
+  mutable terms : Term.t array;  (* overflow region, index id - base *)
+  mutable size : int;  (* total: base + overflow *)
+  base : view option;
+  decoded : (int, Term.t) Hashtbl.t;  (* view decode memo *)
+}
+
+let base_size t = match t.base with None -> 0 | Some v -> v.view_size
+
+let create () =
+  {
+    ids = Hashtbl.create 64;
+    terms = Array.make 64 (Term.iri "x:x");
+    size = 0;
+    base = None;
+    decoded = Hashtbl.create 0;
+  }
+
+let of_view view =
+  if view.view_size < 0 then invalid_arg "Dictionary.of_view: negative size";
+  {
+    ids = Hashtbl.create 64;
+    terms = Array.make 16 (Term.iri "x:x");
+    size = view.view_size;
+    base = Some view;
+    decoded = Hashtbl.create 256;
+  }
+
+let find t term =
+  match Hashtbl.find_opt t.ids term with
+  | Some id -> Some id
+  | None -> (
+      match t.base with
+      | None -> None
+      | Some v -> (
+          match v.view_find term with
+          | Some id ->
+              Hashtbl.replace t.ids term id;
+              Some id
+          | None -> None))
 
 let intern t term =
-  match Hashtbl.find_opt t.ids term with
+  match find t term with
   | Some id -> id
   | None ->
       let id = t.size in
-      if id = Array.length t.terms then begin
-        let bigger = Array.make (2 * id) term in
-        Array.blit t.terms 0 bigger 0 id;
+      let slot = id - base_size t in
+      if slot = Array.length t.terms then begin
+        let bigger = Array.make (2 * max 1 slot) term in
+        Array.blit t.terms 0 bigger 0 slot;
         t.terms <- bigger
       end;
-      t.terms.(id) <- term;
+      t.terms.(slot) <- term;
       Hashtbl.replace t.ids term id;
       t.size <- id + 1;
       id
@@ -33,11 +89,18 @@ let of_graph graph =
     (Graph.triples graph);
   t
 
-let find t term = Hashtbl.find_opt t.ids term
-
 let term_of t id =
   if id < 0 || id >= t.size then invalid_arg "Dictionary.term_of: unknown id"
-  else t.terms.(id)
+  else
+    let base = base_size t in
+    if id >= base then t.terms.(id - base)
+    else
+      match Hashtbl.find_opt t.decoded id with
+      | Some term -> term
+      | None ->
+          let term = (Option.get t.base).view_term id in
+          Hashtbl.replace t.decoded id term;
+          term
 
 let size t = t.size
 

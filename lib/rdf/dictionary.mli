@@ -6,7 +6,26 @@
 
 type t
 
+type view = {
+  view_size : int;
+  view_term : int -> Term.t;
+      (** decode; only ever called with ids in [0, view_size) *)
+  view_find : Term.t -> int option;
+      (** exact reverse lookup over the same id range *)
+}
+(** A read-only dictionary backend provided as closures — how an mmap'd
+    on-disk store exposes its term blob without this module (or any
+    other consumer) knowing about the byte layout. Both closures must be
+    pure; [view_term] may raise a structured error on a corrupt blob. *)
+
 val create : unit -> t
+
+val of_view : view -> t
+(** A dictionary over a read-only base [view]: ids [0, view_size) decode
+    through the view (memoized, so each term is materialised at most
+    once per process); {!intern} of a term the view does not know
+    allocates overflow ids from [view_size] upward, keeping the id space
+    dense. *)
 
 val of_terms : Term.t list -> t
 val of_graph : Graph.t -> t

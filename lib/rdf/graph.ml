@@ -1,4 +1,11 @@
-type t = Index.t
+(* A graph is its matching index plus an identity stamp. The index is
+   behind a lazy so that disk-loaded stores ({!deferred}) can hand out a
+   graph handle whose term-level representation is only materialised if
+   some term-level consumer (the naive evaluator, the analyzer's
+   store-dependent lints, Turtle printing) actually asks for it — the
+   encoded evaluation path runs entirely off the store registered under
+   the same identity and never forces it. *)
+type t = { epoch : int; index : Index.t Lazy.t }
 
 exception Not_ground of Triple.t
 
@@ -7,23 +14,35 @@ let check_ground triples =
     (fun triple -> if not (Triple.is_ground triple) then raise (Not_ground triple))
     triples
 
-let empty = Index.empty
+let of_eager idx = { epoch = Index.epoch idx; index = lazy idx }
+
+let empty = of_eager Index.empty
 
 let of_triples list =
   check_ground list;
-  Index.of_triples list
+  of_eager (Index.of_triples list)
 
 let of_index idx =
   check_ground (Index.triples idx);
-  idx
+  of_eager idx
 
-let to_index t = t
-let epoch = Index.epoch
-let triples = Index.triples
-let cardinal = Index.cardinal
-let mem = Index.mem
-let union = Index.union
-let dom = Index.iris
-let matching = Index.matching
-let equal = Index.equal
-let pp = Index.pp
+let deferred ~epoch thunk =
+  {
+    epoch;
+    index =
+      lazy
+        (let idx = thunk () in
+         check_ground (Index.triples idx);
+         idx);
+  }
+
+let to_index t = Lazy.force t.index
+let epoch t = t.epoch
+let triples t = Index.triples (to_index t)
+let cardinal t = Index.cardinal (to_index t)
+let mem t triple = Index.mem (to_index t) triple
+let union a b = of_eager (Index.union (to_index a) (to_index b))
+let dom t = Index.iris (to_index t)
+let matching t = Index.matching (to_index t)
+let equal a b = Index.equal (to_index a) (to_index b)
+let pp ppf t = Index.pp ppf (to_index t)

@@ -16,14 +16,27 @@ val of_triples : Triple.t list -> t
 val of_index : Index.t -> t
 (** Raises {!Not_ground} if the index contains a variable. *)
 
+val deferred : epoch:int -> (unit -> Index.t) -> t
+(** A graph handle whose term-level index is built on first use, for
+    stores that already live in an encoded form (a compiled on-disk
+    store): [epoch] is the caller-chosen identity — disk stores use a
+    negative content-stamp-derived value, disjoint from the positive
+    per-process {!Index.epoch} counter — and the thunk must reproduce
+    exactly the store's triples (groundness is checked when forced).
+    Callers on the encoded path never force it: they resolve the handle
+    through the store registered under the same identity. *)
+
 val to_index : t -> Index.t
 (** The underlying matching index (all triples ground). *)
 
 val epoch : t -> int
-(** Globally unique construction stamp inherited from {!Index.epoch}:
-    two graphs share an epoch iff they are the same store. Derived
-    graphs ({!union}, …) carry fresh epochs, so cross-evaluation caches
-    key their invalidation on this. *)
+(** Identity stamp: two graphs share an epoch iff they are the same
+    store. Graphs built in this process inherit the globally unique
+    {!Index.epoch} (positive, fresh per construction — derived graphs
+    like {!union} carry new ones); {!deferred} handles over compiled
+    on-disk stores carry a negative content-stamp identity that is
+    stable across loads, so cross-evaluation caches keyed on the epoch
+    survive a reload of the same file. *)
 
 val triples : t -> Triple.t list
 val cardinal : t -> int

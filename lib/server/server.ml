@@ -293,6 +293,7 @@ let error_payload ~draining e =
             base "budget_exhausted"
             @ [ ("phase", Json.String phase); ("spent", Json.Int spent) ] )
     | E.Io_error _ -> (500, base "io_error")
+    | E.Store_error _ -> (500, base "store_error")
     | E.Invalid_input _ -> (400, base "invalid_input")
     | E.Internal _ -> (500, base "internal")
   in

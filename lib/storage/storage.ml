@@ -1,0 +1,519 @@
+(* The compiled store: writer (plain buffered output, atomic rename) and
+   mmap reader. This module owns every byte-layout and mapping concern;
+   the rest of the codebase sees the result only through the closure
+   views of [Rdf.Dictionary.of_view] and [Encoded.Encoded_graph.of_views]
+   — a lint rule (tools/lint) keeps [Unix.map_file]/[Bigarray] confined
+   here. *)
+
+module E = Encoded.Encoded_graph
+module Err = Wdsparql_error
+module A1 = Bigarray.Array1
+
+let magic = "WDSTORE1"
+let format_version = 1
+let header_size = 256
+
+(* Detects reading a store on a machine of the other endianness (the
+   words would come back byte-swapped). Fits in 57 bits, so it is a
+   valid OCaml int everywhere we run. *)
+let byte_order_mark = 0x0123456789ABCDEF
+
+(* Header word offsets (bytes). The section table holds (offset, length)
+   pairs for the seven sections in [section_count] order: dict-offsets,
+   term-sort, dict-blob, spo, pos, osp, pstats. *)
+let off_version = 8
+let off_bom = 16
+let off_triples = 24
+let off_terms = 32
+let off_stamp = 40
+let off_preds = 48
+let off_distinct_s = 56
+let off_distinct_o = 64
+let off_distinct_p = 72
+let off_table = 80
+let section_count = 7
+
+let fail path fault msg = Err.fail (Err.Store_error { path; fault; msg })
+
+(* ------------------------------------------------------------------ *)
+(* Content stamp: FNV-1a folded into 62 bits so the stamp is a
+   non-negative OCaml int on every 64-bit platform (and so [-1 - stamp]
+   is always a valid negative identity).                               *)
+(* ------------------------------------------------------------------ *)
+
+let fnv_basis = 0x3bf29ce484222325
+let fnv_prime = 0x100000001b3
+let fnv_byte h b = ((h lxor b) * fnv_prime) land max_int
+
+let fnv_string h s =
+  let h = ref h in
+  String.iter (fun c -> h := fnv_byte !h (Char.code c)) s;
+  !h
+
+let identity_of_stamp stamp = -1 - stamp
+
+(* ------------------------------------------------------------------ *)
+(* Term serialization: a one-byte tag and the term's text. Both term
+   constructors reject the empty string, so entries are >= 2 bytes and
+   the byte comparison used by [term-sort] is total and unambiguous
+   (tags differ before texts are compared).                            *)
+(* ------------------------------------------------------------------ *)
+
+let serialize_term = function
+  | Rdf.Term.Iri i -> "I" ^ Rdf.Iri.to_string i
+  | Rdf.Term.Var v -> "V" ^ Rdf.Variable.to_string v
+
+let deserialize_term path s =
+  let corrupt msg = fail path Err.Corrupt msg in
+  if String.length s < 2 then corrupt "dictionary entry shorter than tag + text"
+  else
+    let text = String.sub s 1 (String.length s - 1) in
+    match s.[0] with
+    | 'I' -> (
+        try Rdf.Term.iri text
+        with Invalid_argument _ -> corrupt "invalid IRI in dictionary blob")
+    | 'V' -> (
+        try Rdf.Term.var text
+        with Invalid_argument _ ->
+          corrupt "invalid variable name in dictionary blob")
+    | _ -> corrupt "unknown term tag in dictionary blob"
+
+(* ------------------------------------------------------------------ *)
+(* Writer                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let add_word buf v = Buffer.add_int64_le buf (Int64.of_int v)
+
+let save enc path =
+  let n = E.cardinal enc in
+  let dict = E.dictionary enc in
+  let n_terms = Rdf.Dictionary.size dict in
+  (* Dictionary sections: blob + offsets in id order, and the ids sorted
+     by serialized bytes for the reader's reverse lookup. *)
+  let ser =
+    Array.init n_terms (fun id -> serialize_term (Rdf.Dictionary.term_of dict id))
+  in
+  let order = Array.init n_terms Fun.id in
+  Array.sort (fun a b -> String.compare ser.(a) ser.(b)) order;
+  let offsets = Buffer.create ((n_terms + 1) * 8) in
+  let blob = Buffer.create 1024 in
+  Array.iter
+    (fun s ->
+      add_word offsets (Buffer.length blob);
+      Buffer.add_string blob s)
+    ser;
+  add_word offsets (Buffer.length blob);
+  let term_sort = Buffer.create (n_terms * 8) in
+  Array.iter (fun id -> add_word term_sort id) order;
+  (* Index sections: the raw tuples of each permutation, in its order. *)
+  let index_section nth =
+    let buf = Buffer.create (n * 24) in
+    for i = 0 to n - 1 do
+      let s, p, o = nth enc i in
+      add_word buf s;
+      add_word buf p;
+      add_word buf o
+    done;
+    buf
+  in
+  let spo = index_section E.nth_spo
+  and pos = index_section E.nth_pos
+  and osp = index_section E.nth_osp in
+  (* Statistics rows: one per distinct predicate, ascending pid (the POS
+     permutation enumerates predicates in order). Computed now — loads
+     answer the planner from these without scanning the mapping. *)
+  let preds = ref [] in
+  let last = ref min_int in
+  for i = 0 to n - 1 do
+    let _, p, _ = E.nth_pos enc i in
+    if p <> !last then begin
+      preds := p :: !preds;
+      last := p
+    end
+  done;
+  let preds = List.rev !preds in
+  let pstats = Buffer.create 64 in
+  List.iter
+    (fun p ->
+      let s = E.predicate_stats enc p in
+      add_word pstats p;
+      add_word pstats s.E.triples;
+      add_word pstats s.E.distinct_subjects;
+      add_word pstats s.E.distinct_objects)
+    preds;
+  (* Payload assembly: sections 16-byte aligned, table recorded. *)
+  let payload = Buffer.create 4096 in
+  let table = Array.make section_count (0, 0) in
+  let add_section idx buf =
+    let pos = header_size + Buffer.length payload in
+    let pad = (16 - (pos mod 16)) mod 16 in
+    Buffer.add_string payload (String.make pad '\000');
+    table.(idx) <- (pos + pad, Buffer.length buf);
+    Buffer.add_buffer payload buf
+  in
+  add_section 0 offsets;
+  add_section 1 term_sort;
+  add_section 2 blob;
+  add_section 3 spo;
+  add_section 4 pos;
+  add_section 5 osp;
+  add_section 6 pstats;
+  let stamp = fnv_string fnv_basis (Buffer.contents payload) in
+  let header = Buffer.create header_size in
+  Buffer.add_string header magic;
+  add_word header format_version;
+  add_word header byte_order_mark;
+  add_word header n;
+  add_word header n_terms;
+  add_word header stamp;
+  add_word header (List.length preds);
+  add_word header (E.distinct_subjects enc);
+  add_word header (E.distinct_objects enc);
+  add_word header (E.distinct_predicates enc);
+  Array.iter
+    (fun (off, len) ->
+      add_word header off;
+      add_word header len)
+    table;
+  Buffer.add_string header
+    (String.make (header_size - Buffer.length header) '\000');
+  let io_fail msg = Err.fail (Err.Io_error { path; msg }) in
+  let tmp = path ^ ".tmp" in
+  let oc = try open_out_bin tmp with Sys_error msg -> io_fail msg in
+  (try
+     Buffer.output_buffer oc header;
+     Buffer.output_buffer oc payload;
+     close_out oc
+   with Sys_error msg ->
+     close_out_noerr oc;
+     (try Sys.remove tmp with Sys_error _ -> ());
+     io_fail msg);
+  try Sys.rename tmp path with Sys_error msg -> io_fail msg
+
+(* ------------------------------------------------------------------ *)
+(* Reader                                                              *)
+(* ------------------------------------------------------------------ *)
+
+type header = {
+  h_triples : int;
+  h_terms : int;
+  h_stamp : int;
+  h_preds : int;
+  h_distinct_s : int;
+  h_distinct_o : int;
+  h_distinct_p : int;
+  h_table : (int * int) array;
+  h_file_bytes : int;
+}
+
+(* Read and validate the fixed header through ordinary channel I/O (the
+   mappings come later, and only for a header that checked out). *)
+let read_header path ic =
+  let size = in_channel_length ic in
+  if size < String.length magic then
+    fail path Err.Bad_magic "file shorter than the store magic";
+  let found_magic = really_input_string ic (String.length magic) in
+  if not (String.equal found_magic magic) then
+    fail path Err.Bad_magic "not a compiled store";
+  if size < header_size then fail path Err.Truncated "incomplete header";
+  let rest = really_input_string ic (header_size - String.length magic) in
+  let header = found_magic ^ rest in
+  let word off = Int64.to_int (String.get_int64_le header off) in
+  let version = word off_version in
+  if version <> format_version then
+    fail path
+      (Err.Version_mismatch { found = version; expected = format_version })
+      "";
+  if word off_bom <> byte_order_mark then
+    fail path Err.Corrupt "byte-order mark mismatch (endianness or corruption)";
+  let h =
+    {
+      h_triples = word off_triples;
+      h_terms = word off_terms;
+      h_stamp = word off_stamp;
+      h_preds = word off_preds;
+      h_distinct_s = word off_distinct_s;
+      h_distinct_o = word off_distinct_o;
+      h_distinct_p = word off_distinct_p;
+      h_table =
+        Array.init section_count (fun k ->
+            (word (off_table + (16 * k)), word (off_table + (16 * k) + 8)));
+      h_file_bytes = size;
+    }
+  in
+  if h.h_triples < 0 || h.h_terms < 0 || h.h_preds < 0 || h.h_stamp < 0 then
+    fail path Err.Corrupt "negative count in header";
+  if
+    h.h_distinct_s < 0
+    || h.h_distinct_s > h.h_terms
+    || h.h_distinct_o < 0
+    || h.h_distinct_o > h.h_terms
+    || h.h_distinct_p < 0
+    || h.h_distinct_p > h.h_terms
+  then fail path Err.Corrupt "distinct-count statistics out of range";
+  let expected_len =
+    [|
+      8 * (h.h_terms + 1);
+      8 * h.h_terms;
+      -1 (* blob: free-form length *);
+      24 * h.h_triples;
+      24 * h.h_triples;
+      24 * h.h_triples;
+      32 * h.h_preds;
+    |]
+  in
+  Array.iteri
+    (fun k (off, len) ->
+      if off < header_size || len < 0 || len > size || off > size - len then
+        fail path Err.Truncated
+          (Printf.sprintf "section %d extends past end-of-file" k);
+      if expected_len.(k) >= 0 && len <> expected_len.(k) then
+        fail path Err.Corrupt
+          (Printf.sprintf "section %d length disagrees with header counts" k))
+    h.h_table;
+  h
+
+let map_section path fd kind ~pos ~bytes ~elt_bytes =
+  if bytes = 0 then None
+  else
+    try
+      let g =
+        Unix.map_file fd ~pos:(Int64.of_int pos) kind Bigarray.c_layout false
+          [| bytes / elt_bytes |]
+      in
+      Some (Bigarray.array1_of_genarray g)
+    with Unix.Unix_error (e, _, _) ->
+      Err.fail
+        (Err.Io_error
+           { path; msg = "mmap failed: " ^ Unix.error_message e })
+
+let verify_stamp path fd h =
+  let payload_bytes = h.h_file_bytes - header_size in
+  let stamp =
+    match
+      map_section path fd Bigarray.char ~pos:header_size ~bytes:payload_bytes
+        ~elt_bytes:1
+    with
+    | None -> fnv_basis
+    | Some bytes ->
+        let hash = ref fnv_basis in
+        for i = 0 to payload_bytes - 1 do
+          hash := fnv_byte !hash (Char.code (A1.get bytes i))
+        done;
+        !hash
+  in
+  if stamp <> h.h_stamp then
+    fail path Err.Checksum_mismatch
+      (Printf.sprintf "payload hashes to %#x, header says %#x" stamp h.h_stamp)
+
+let with_store path f =
+  let ic =
+    try open_in_bin path
+    with Sys_error msg -> Err.fail (Err.Io_error { path; msg })
+  in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () ->
+      let h = read_header path ic in
+      (* The mappings outlive the descriptor: closing the channel after
+         [f] returns does not unmap anything. *)
+      f h (Unix.descr_of_in_channel ic))
+
+(* The dictionary view over the mapped offsets / sort / blob sections.
+   Offsets are validated at each decode (not eagerly: an O(n_terms)
+   scan would defeat the O(pages touched) load), so a corrupt blob
+   surfaces as [Store_error Corrupt] at first touch, never a crash —
+   every mapping access below is bounds-checked by Bigarray. *)
+let dict_view path ~offsets ~term_sort ~blob ~blob_len ~n_terms =
+  let entry id =
+    let lo = A1.get offsets id and hi = A1.get offsets (id + 1) in
+    if lo < 0 || hi < lo || hi > blob_len then
+      fail path Err.Corrupt
+        (Printf.sprintf "dictionary offsets for id %d out of range" id);
+    (lo, hi - lo)
+  in
+  let blob_get =
+    match blob with
+    | Some b -> fun i -> A1.get b i
+    | None ->
+        fun _ -> fail path Err.Corrupt "term refers into an empty blob"
+  in
+  let view_term id =
+    let lo, len = entry id in
+    deserialize_term path (String.init len (fun i -> blob_get (lo + i)))
+  in
+  (* Compare term [id]'s bytes against [probe] without materialising the
+     entry. *)
+  let compare_entry id probe =
+    let lo, len = entry id in
+    let plen = String.length probe in
+    let rec go i =
+      if i = len || i = plen then compare len plen
+      else
+        let c = Char.compare (blob_get (lo + i)) probe.[i] in
+        if c <> 0 then c else go (i + 1)
+    in
+    go 0
+  in
+  let sorted_id rank =
+    match term_sort with
+    | None -> fail path Err.Corrupt "term-sort section missing"
+    | Some ts ->
+        let id = A1.get ts rank in
+        if id < 0 || id >= n_terms then
+          fail path Err.Corrupt "term-sort id out of range"
+        else id
+  in
+  let view_find term =
+    let probe = serialize_term term in
+    let lo = ref 0 and hi = ref n_terms in
+    while !lo < !hi do
+      let mid = (!lo + !hi) / 2 in
+      if compare_entry (sorted_id mid) probe < 0 then lo := mid + 1
+      else hi := mid
+    done;
+    if !lo >= n_terms then None
+    else
+      let id = sorted_id !lo in
+      if compare_entry id probe = 0 then Some id else None
+  in
+  { Rdf.Dictionary.view_size = n_terms; view_term; view_find }
+
+let triple_view path section n =
+  match section with
+  | None ->
+      {
+        E.fn = 0;
+        fget = (fun _ -> fail path Err.Corrupt "probe into an empty index");
+      }
+  | Some a ->
+      {
+        E.fn = n;
+        fget =
+          (fun i -> (A1.get a (3 * i), A1.get a ((3 * i) + 1), A1.get a ((3 * i) + 2)));
+      }
+
+(* Per-predicate rows, pid-ascending; checked eagerly (rows = distinct
+   predicates, a tiny section) so binary search is sound. A predicate
+   with no row genuinely has no triples: the writer emits a row for
+   every distinct predicate. *)
+let stats_seed path ~pstats ~h =
+  let zero = { E.triples = 0; distinct_subjects = 0; distinct_objects = 0 } in
+  let row rank =
+    match pstats with
+    | None -> fail path Err.Corrupt "statistics row missing"
+    | Some a ->
+        ( A1.get a (4 * rank),
+          {
+            E.triples = A1.get a ((4 * rank) + 1);
+            distinct_subjects = A1.get a ((4 * rank) + 2);
+            distinct_objects = A1.get a ((4 * rank) + 3);
+          } )
+  in
+  for rank = 0 to h.h_preds - 1 do
+    let pid, s = row rank in
+    if
+      pid < 0
+      || s.E.triples < 0
+      || s.E.distinct_subjects < 0
+      || s.E.distinct_objects < 0
+      || (rank > 0 && pid <= fst (row (rank - 1)))
+    then fail path Err.Corrupt "statistics rows unsorted or out of range"
+  done;
+  let seed_predicate p =
+    let lo = ref 0 and hi = ref h.h_preds in
+    while !lo < !hi do
+      let mid = (!lo + !hi) / 2 in
+      if fst (row mid) < p then lo := mid + 1 else hi := mid
+    done;
+    if !lo < h.h_preds then
+      let pid, s = row !lo in
+      Some (if pid = p then s else zero)
+    else Some zero
+  in
+  {
+    E.seed_subjects = h.h_distinct_s;
+    seed_objects = h.h_distinct_o;
+    seed_predicates = h.h_distinct_p;
+    seed_predicate;
+  }
+
+let load ?(verify = false) path =
+  with_store path (fun h fd ->
+      if verify then verify_stamp path fd h;
+      let sec k = h.h_table.(k) in
+      let map_ints k =
+        let pos, bytes = sec k in
+        map_section path fd Bigarray.int ~pos ~bytes ~elt_bytes:8
+      in
+      let offsets =
+        match map_ints 0 with
+        | Some a -> a
+        | None -> fail path Err.Corrupt "dictionary offsets section empty"
+      in
+      let term_sort = map_ints 1 in
+      let blob =
+        let pos, bytes = sec 2 in
+        map_section path fd Bigarray.char ~pos ~bytes ~elt_bytes:1
+      in
+      let dict =
+        Rdf.Dictionary.of_view
+          (dict_view path ~offsets ~term_sort ~blob ~blob_len:(snd (sec 2))
+             ~n_terms:h.h_terms)
+      in
+      E.of_views
+        ~identity:(identity_of_stamp h.h_stamp)
+        ~dict
+        ~spo:(triple_view path (map_ints 3) h.h_triples)
+        ~pos:(triple_view path (map_ints 4) h.h_triples)
+        ~osp:(triple_view path (map_ints 5) h.h_triples)
+        ~stats:(stats_seed path ~pstats:(map_ints 6) ~h)
+        ())
+
+let load_graph ?verify path =
+  let enc = load ?verify path in
+  E.register enc;
+  (* The deferred term-level decode: only forced by consumers outside
+     the encoded path (naive evaluation, printing); runs on the same
+     dictionary, so decoded terms are shared with the store's memo. *)
+  Rdf.Graph.deferred ~epoch:(E.epoch enc) (fun () ->
+      let dict = E.dictionary enc in
+      let acc = ref [] in
+      for i = E.cardinal enc - 1 downto 0 do
+        acc := Rdf.Dictionary.decode_triple dict (E.nth_spo enc i) :: !acc
+      done;
+      Rdf.Index.of_triples !acc)
+
+type info = {
+  version : int;
+  triples : int;
+  terms : int;
+  predicates : int;
+  stamp : int;
+  identity : int;
+  file_bytes : int;
+}
+
+let info ?(verify = false) path =
+  with_store path (fun h fd ->
+      if verify then verify_stamp path fd h;
+      {
+        version = format_version;
+        triples = h.h_triples;
+        terms = h.h_terms;
+        predicates = h.h_preds;
+        stamp = h.h_stamp;
+        identity = identity_of_stamp h.h_stamp;
+        file_bytes = h.h_file_bytes;
+      })
+
+let looks_like_store path =
+  match open_in_bin path with
+  | exception Sys_error _ -> false
+  | ic ->
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () ->
+          match really_input_string ic (String.length magic) with
+          | s -> String.equal s magic
+          | exception End_of_file -> false)

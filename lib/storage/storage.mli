@@ -1,0 +1,95 @@
+(** The compiled on-disk store: a versioned binary format holding a
+    dictionary-encoded graph — term blob, the three sorted index
+    permutations, and the planner statistics — so a cold process maps the
+    file and answers queries without parsing or re-encoding anything.
+
+    {2 File layout (format version 1)}
+
+    A fixed 256-byte header followed by seven 16-byte-aligned sections
+    (see [docs/PERFORMANCE.md] for the diagram):
+
+    - header: magic ["WDSTORE1"], format version, a byte-order mark,
+      triple/term/predicate counts, the content stamp, the three
+      distinct-count statistics, and a (offset, length) table of the
+      sections;
+    - [dict-offsets]: [n_terms + 1] ints delimiting each term's bytes in
+      the blob;
+    - [term-sort]: the term ids sorted by their serialized bytes, so the
+      reverse lookup (term → id) is a binary search over the mapping;
+    - [dict-blob]: the serialized terms, each a one-byte tag ('I' IRI,
+      'V' variable) followed by the term's text;
+    - [spo] / [pos] / [osp]: the raw (s, p, o) id triples of each
+      permutation in its sort order, 3 ints per triple — exactly what
+      {!Encoded.Encoded_graph} binary-searches;
+    - [pstats]: per-predicate statistics rows (pid, triples,
+      distinct subjects, distinct objects), sorted by pid.
+
+    All integers are 64-bit little-endian words; the byte-order mark
+    rejects a store read on a machine of the other endianness. The
+    content stamp is an FNV-1a hash of the payload (everything after the
+    header), folded to 62 bits: it gives the store its stable identity
+    (see {!load}) and backs the optional checksum verification.
+
+    {2 Failure discipline}
+
+    Every way a file can be unusable — wrong magic, newer format
+    version, truncation, corrupt structure, checksum mismatch — raises
+    {!Wdsparql_error.Store_error} with the precise fault; a corrupt
+    store never surfaces as a raw [Failure], [Invalid_argument], or a
+    crash inside a mapping. Validation is layered: header and section
+    table eagerly at load, dictionary bytes lazily at first decode of
+    each term (keeping the load itself O(pages touched)), and the full
+    payload only under [~verify:true]. *)
+
+type info = {
+  version : int;
+  triples : int;
+  terms : int;
+  predicates : int;  (** distinct predicates (= [pstats] rows) *)
+  stamp : int;  (** FNV-1a content stamp from the header *)
+  identity : int;
+      (** the negative epoch loaded handles carry; [-1 - stamp] *)
+  file_bytes : int;
+}
+
+val magic : string
+(** The 8-byte magic prefix, ["WDSTORE1"]. *)
+
+val format_version : int
+
+val looks_like_store : string -> bool
+(** Whether the file starts with {!magic} — the cheap sniff the CLI uses
+    to accept a compiled store anywhere a Turtle file is. False on any
+    read error. *)
+
+val save : Encoded.Encoded_graph.t -> string -> unit
+(** [save enc path] compiles the store to [path] (atomically: written to
+    a temporary sibling and renamed over). Statistics for every distinct
+    predicate are computed now so loads never pay for them. Raises
+    {!Wdsparql_error.Io_error} on filesystem failure. *)
+
+val load : ?verify:bool -> string -> Encoded.Encoded_graph.t
+(** [load path] maps the store and wraps its sections into an encoded
+    graph backed by the mapping — no parsing, no allocation proportional
+    to the data; the OS pages parts in as queries touch them. The
+    result's {!Encoded.Encoded_graph.epoch} is the stable negative
+    identity [-1 - stamp], so loading the same file twice (even across
+    processes) yields the same identity and plan caches keyed on it
+    survive. [~verify:true] additionally hashes the whole payload
+    against the header's content stamp (reads every page).
+
+    Raises {!Wdsparql_error.Store_error} on an unusable file and
+    {!Wdsparql_error.Io_error} if it cannot be opened. *)
+
+val load_graph : ?verify:bool -> string -> Rdf.Graph.t
+(** {!load}, then {!Encoded.Encoded_graph.register} the store and return
+    a {!Rdf.Graph.deferred} handle carrying its identity: the handle
+    drops into every API that takes a graph, the encoded evaluation path
+    resolves it straight to the mapped store, and only term-level
+    consumers (the naive evaluator, Turtle printing) force its lazy
+    decode. *)
+
+val info : ?verify:bool -> string -> info
+(** Header summary without touching the data sections (except under
+    [~verify:true], which checksums the payload). Same errors as
+    {!load}. *)

@@ -485,6 +485,42 @@ let test_codebase_lint_optimizer () =
                (Fmt.str "%a" Lint_rules.pp_violation v))
            violations))
 
+(* PR 8 satellite: the compiled store's mapping layer is confined to
+   lib/storage — a Unix.map_file or Bigarray access anywhere else means
+   the byte layout leaked past the closure views. *)
+let test_codebase_lint_mmap () =
+  with_scratch_tree
+    [
+      (* seeded violation: a mapping outside lib/storage, line 2 *)
+      ( "encoded/shortcut.ml",
+        "let open_it fd = fd\n\
+         let arr fd = Unix.map_file fd Bigarray.int Bigarray.c_layout false\n"
+      );
+      (* the storage library itself is allowed *)
+      ( "storage/storage.ml",
+        "let map fd k = Unix.map_file fd k Bigarray.c_layout false [| 1 |]\n"
+      );
+      (* string/comment mentions elsewhere do not count *)
+      ( "rdf/dictionary.ml",
+        "let doc = \"Bigarray.Array1\" (* no Unix.map_file here *)\n" );
+    ]
+    (fun root ->
+      let violations = Lint_rules.check_tree ~manifest:[] ~root () in
+      let rendered =
+        List.map (Fmt.str "%a" Lint_rules.pp_violation) violations
+      in
+      (* the seeded file mentions both needles on line 2; both count *)
+      check Alcotest.bool "seeded mapping violation reported" true
+        (List.exists
+           (fun s ->
+             Astring.String.is_infix ~affix:"encoded/shortcut.ml:2" s
+             && Astring.String.is_infix ~affix:"Unix.map_file" s)
+           rendered);
+      check Alcotest.bool "only the seeded file is flagged" true
+        (List.for_all
+           (fun s -> Astring.String.is_infix ~affix:"encoded/shortcut.ml" s)
+           rendered))
+
 (* ------------------------------------------------------------------ *)
 
 let () =
@@ -534,5 +570,7 @@ let () =
             test_codebase_lint_raw_io;
           Alcotest.test_case "optimizer planner is budget-disciplined" `Quick
             test_codebase_lint_optimizer;
+          Alcotest.test_case "mapped-store bytes confined to lib/storage"
+            `Quick test_codebase_lint_mmap;
         ] );
     ]

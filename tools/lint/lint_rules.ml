@@ -102,6 +102,17 @@ let raw_io_needles =
 
 let raw_io_allowed rel = rel = "server/io.ml"
 
+(* The byte-layout and mapping concerns of the compiled store are
+   confined to lib/storage: everything else consumes a store through the
+   closure views ([Rdf.Dictionary.of_view],
+   [Encoded_graph.of_views]). A [Unix.map_file] or any [Bigarray]
+   access elsewhere means the abstraction leaked — the query kernels
+   must stay backend-blind. *)
+let mmap_needles = [ "Unix.map_file"; "Bigarray." ]
+
+let mmap_allowed rel =
+  String.length rel >= 8 && String.sub rel 0 8 = "storage/"
+
 let contains ~needle hay =
   let nl = String.length needle and hl = String.length hay in
   let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
@@ -174,7 +185,28 @@ let check_file ?(manifest = kernel_modules) ?(wins_allowed = wins_allowed)
           | None -> None)
         raw_io_needles
   in
-  missing_tick @ forbidden_wins @ forbidden_raw_io
+  let forbidden_mmap =
+    if mmap_allowed rel then []
+    else
+      List.filter_map
+        (fun needle ->
+          match line_of ~needle stripped with
+          | Some line ->
+              Some
+                {
+                  path = rel;
+                  line;
+                  message =
+                    Printf.sprintf
+                      "%s outside lib/storage: mapped-store bytes are \
+                       confined there; consume stores through the \
+                       Dictionary/Encoded_graph view constructors"
+                      needle;
+                }
+          | None -> None)
+        mmap_needles
+  in
+  missing_tick @ forbidden_wins @ forbidden_raw_io @ forbidden_mmap
 
 let check_tree ?(manifest = kernel_modules)
     ?(wins_allowed = default_wins_allowed) ~root () =

@@ -6,7 +6,10 @@
       exponential loop can run unbounded — the PR-1 discipline;
     - [Pebble_game.wins] may only be called under [lib/core] and
       [lib/pebble]: everything else must go through the cached engine
-      entry points, never the raw game.
+      entry points, never the raw game;
+    - [Unix.map_file] and [Bigarray] are confined to [lib/storage]: the
+      rest of the tree consumes a compiled store only through the
+      closure views, keeping the query kernels backend-blind.
 
     Matching is performed on source text with OCaml comments and string
     literals blanked out, so mentions in documentation or error messages
