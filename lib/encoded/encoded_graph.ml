@@ -110,11 +110,18 @@ let cache : (int * t) list ref = ref []
    view is a closure that keeps its mapping reachable on its own. *)
 let registered : (int, t) Hashtbl.t = Hashtbl.create 8
 
-let register t = Hashtbl.replace registered t.identity t
+(* Guards [cache] and [registered]: worker domains resolve stores
+   through [of_graph_cached] while the main domain may [register] or
+   [clear_cache], so every touch of either table is serialized. *)
+let cache_lock = Mutex.create ()
+
+let register t =
+  Mutex.protect cache_lock (fun () -> Hashtbl.replace registered t.identity t)
 
 let clear_cache () =
-  cache := [];
-  Hashtbl.reset registered
+  Mutex.protect cache_lock (fun () ->
+      cache := [];
+      Hashtbl.reset registered)
 
 let of_graph_cached graph =
   let rec take n = function
@@ -123,18 +130,37 @@ let of_graph_cached graph =
     | x :: rest -> x :: take (n - 1) rest
   in
   let key = Rdf.Graph.epoch graph in
-  match Hashtbl.find_opt registered key with
+  let cached =
+    Mutex.protect cache_lock (fun () ->
+        match Hashtbl.find_opt registered key with
+        | Some enc -> Some enc
+        | None -> (
+            match List.find_opt (fun (e, _) -> e = key) !cache with
+            | Some (_, enc) ->
+                (* move to front *)
+                cache :=
+                  (key, enc) :: List.filter (fun (e, _) -> e <> key) !cache;
+                Some enc
+            | None -> None))
+  in
+  match cached with
   | Some enc -> enc
-  | None -> (
-      match List.find_opt (fun (e, _) -> e = key) !cache with
-      | Some (_, enc) ->
-          (* move to front *)
-          cache := (key, enc) :: List.filter (fun (e, _) -> e <> key) !cache;
-          enc
-      | None ->
-          let enc = of_graph graph in
-          cache := take cache_capacity ((key, enc) :: !cache);
-          enc)
+  | None ->
+      (* Encode outside the lock — sorting three permutations can be
+         long, and a concurrent duplicate build is only wasted work. *)
+      let enc = of_graph graph in
+      Mutex.protect cache_lock (fun () ->
+          match
+            ( Hashtbl.find_opt registered key,
+              List.find_opt (fun (e, _) -> e = key) !cache )
+          with
+          | Some winner, _ | None, Some (_, winner) ->
+              (* another domain finished (or registered) first: keep one
+                 canonical store per identity so memo hits stay shared *)
+              winner
+          | None, None ->
+              cache := take cache_capacity ((key, enc) :: !cache);
+              enc)
 
 let epoch t = t.identity
 let dictionary t = t.dict

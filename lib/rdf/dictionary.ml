@@ -10,7 +10,13 @@
    every id stays dense and array-indexable. Decoded view terms and
    successful view lookups are memoized on the heap side — the decode
    cost of a term is paid at most once per process, and a store that is
-   never decoded never materialises a single term. *)
+   never decoded never materialises a single term.
+
+   Domain safety: heap dictionaries are built single-threaded and are
+   read-only afterwards, so their lookup/decode paths stay lock-free.
+   View-backed dictionaries mutate their memo tables on the read path
+   (and parallel evaluation decodes on worker domains), so every path
+   that touches a view dictionary's mutable state runs under [lock]. *)
 
 type view = {
   view_size : int;
@@ -25,6 +31,8 @@ type t = {
   mutable size : int;  (* total: base + overflow *)
   base : view option;
   decoded : (int, Term.t) Hashtbl.t;  (* view decode memo *)
+  lock : Mutex.t;
+      (* guards [ids]/[decoded]/[terms]/[size] when [base] is [Some _] *)
 }
 
 let base_size t = match t.base with None -> 0 | Some v -> v.view_size
@@ -36,6 +44,7 @@ let create () =
     size = 0;
     base = None;
     decoded = Hashtbl.create 0;
+    lock = Mutex.create ();
   }
 
 let of_view view =
@@ -46,9 +55,11 @@ let of_view view =
     size = view.view_size;
     base = Some view;
     decoded = Hashtbl.create 256;
+    lock = Mutex.create ();
   }
 
-let find t term =
+(* Requires [t.lock] held when [t.base] is [Some _]. *)
+let find_unlocked t term =
   match Hashtbl.find_opt t.ids term with
   | Some id -> Some id
   | None -> (
@@ -61,8 +72,14 @@ let find t term =
               Some id
           | None -> None))
 
-let intern t term =
-  match find t term with
+let find t term =
+  match t.base with
+  | None -> find_unlocked t term
+  | Some _ -> Mutex.protect t.lock (fun () -> find_unlocked t term)
+
+(* Requires [t.lock] held when [t.base] is [Some _]. *)
+let intern_unlocked t term =
+  match find_unlocked t term with
   | Some id -> id
   | None ->
       let id = t.size in
@@ -77,6 +94,11 @@ let intern t term =
       t.size <- id + 1;
       id
 
+let intern t term =
+  match t.base with
+  | None -> intern_unlocked t term
+  | Some _ -> Mutex.protect t.lock (fun () -> intern_unlocked t term)
+
 let of_terms terms =
   let t = create () in
   List.iter (fun term -> ignore (intern t term)) terms;
@@ -90,17 +112,22 @@ let of_graph graph =
   t
 
 let term_of t id =
-  if id < 0 || id >= t.size then invalid_arg "Dictionary.term_of: unknown id"
-  else
-    let base = base_size t in
-    if id >= base then t.terms.(id - base)
-    else
-      match Hashtbl.find_opt t.decoded id with
-      | Some term -> term
-      | None ->
-          let term = (Option.get t.base).view_term id in
-          Hashtbl.replace t.decoded id term;
-          term
+  match t.base with
+  | None ->
+      if id < 0 || id >= t.size then invalid_arg "Dictionary.term_of: unknown id"
+      else t.terms.(id)
+  | Some v ->
+      Mutex.protect t.lock (fun () ->
+          if id < 0 || id >= t.size then
+            invalid_arg "Dictionary.term_of: unknown id"
+          else if id >= v.view_size then t.terms.(id - v.view_size)
+          else
+            match Hashtbl.find_opt t.decoded id with
+            | Some term -> term
+            | None ->
+                let term = v.view_term id in
+                Hashtbl.replace t.decoded id term;
+                term)
 
 let size t = t.size
 

@@ -25,7 +25,14 @@ val of_view : view -> t
     through the view (memoized, so each term is materialised at most
     once per process); {!intern} of a term the view does not know
     allocates overflow ids from [view_size] upward, keeping the id space
-    dense. *)
+    dense.
+
+    View-backed dictionaries memoize on the read path, so {!find},
+    {!term_of} and {!intern} on them are serialized behind an internal
+    mutex and are safe to call from concurrent worker domains (the view
+    closures themselves must be pure, as required above). Heap
+    dictionaries ({!create}, {!of_graph}, …) take no lock: build them
+    before fanning out and treat them as read-only while shared. *)
 
 val of_terms : Term.t list -> t
 val of_graph : Graph.t -> t

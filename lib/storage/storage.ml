@@ -183,12 +183,28 @@ let save enc path =
   (try
      Buffer.output_buffer oc header;
      Buffer.output_buffer oc payload;
+     flush oc;
+     (* The temp file's bytes must reach the disk before the rename
+        publishes it, or a crash right after could leave a truncated
+        store at the final path — the rename is atomic against readers
+        only; durability needs the fsync. *)
+     Unix.fsync (Unix.descr_of_out_channel oc);
      close_out oc
-   with Sys_error msg ->
+   with e ->
      close_out_noerr oc;
      (try Sys.remove tmp with Sys_error _ -> ());
-     io_fail msg);
-  try Sys.rename tmp path with Sys_error msg -> io_fail msg
+     (match e with
+     | Sys_error msg -> io_fail msg
+     | Unix.Unix_error (err, _, _) -> io_fail (Unix.error_message err)
+     | e -> raise e));
+  (try Sys.rename tmp path with Sys_error msg -> io_fail msg);
+  (* Persist the rename itself. Best-effort: some filesystems refuse
+     directory opens or fsync, and the store is already fully written. *)
+  match Unix.openfile (Filename.dirname path) [ Unix.O_RDONLY ] 0 with
+  | exception Unix.Unix_error _ -> ()
+  | dir ->
+      (try Unix.fsync dir with Unix.Unix_error _ -> ());
+      Unix.close dir
 
 (* ------------------------------------------------------------------ *)
 (* Reader                                                              *)
@@ -271,6 +287,24 @@ let read_header path ic =
         fail path Err.Corrupt
           (Printf.sprintf "section %d length disagrees with header counts" k))
     h.h_table;
+  (* Sections must also be pairwise disjoint: in-bounds but overlapping
+     offsets would alias dictionary/index bytes and yield wrong answers
+     without any out-of-bounds access to catch it. *)
+  let order = Array.init section_count Fun.id in
+  Array.sort
+    (fun a b -> compare (fst h.h_table.(a)) (fst h.h_table.(b)))
+    order;
+  let last_end = ref header_size in
+  Array.iter
+    (fun k ->
+      let off, len = h.h_table.(k) in
+      if len > 0 then begin
+        if off < !last_end then
+          fail path Err.Corrupt
+            (Printf.sprintf "section %d overlaps another section" k);
+        last_end := off + len
+      end)
+    order;
   h
 
 let map_section path fd kind ~pos ~bytes ~elt_bytes =

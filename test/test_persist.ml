@@ -342,6 +342,66 @@ let test_version_gate () =
           | Some (Err.Version_mismatch { found = 9; expected = 1 }) -> ()
           | _ -> Alcotest.fail "expected Version_mismatch {found = 9}"))
 
+(* In-bounds but overlapping sections must be rejected as Corrupt: the
+   per-section bounds and length checks alone would admit them, and the
+   aliased bytes would silently yield wrong answers. *)
+let test_overlapping_sections () =
+  let g = graph_of 7 in
+  with_store_file (E.of_graph g) (fun path ->
+      let whole = read_file path in
+      let b = Bytes.of_string whole in
+      (* The section table starts at byte 80, one (offset, length) pair of
+         two 64-bit words per section. Point section 1 (term-sort) at
+         section 0's offset: both sections stay inside the file and keep
+         their expected lengths, so only the disjointness check fires. *)
+      let sec0_off = Bytes.get_int64_le b 80 in
+      Bytes.set_int64_le b (80 + 16) sec0_off;
+      let tmp = Filename.temp_file "wdsparql_overlap" ".wds" in
+      Fun.protect
+        ~finally:(fun () -> try Sys.remove tmp with Sys_error _ -> ())
+        (fun () ->
+          write_file tmp (Bytes.to_string b);
+          Alcotest.(check (option fault_t))
+            "overlapping sections rejected" (Some Err.Corrupt)
+            (fault_of (fun () -> Storage.load tmp))))
+
+(* Regression: view-backed dictionaries memoize decodes and reverse
+   lookups on the read path, so concurrent access from worker domains
+   must be serialized — unsynchronized Hashtbl mutation can lose
+   entries, answer wrongly, or loop. Hammer one loaded store's
+   dictionary from several domains at once, staggered so first-decode
+   collisions on the shared memo are likely, and check every answer. *)
+let test_parallel_dictionary () =
+  let g = graph_of 23 in
+  let enc = E.of_graph g in
+  with_store_file enc (fun path ->
+      let l = Storage.load path in
+      let dl = E.dictionary l in
+      let d = E.dictionary enc in
+      let n = Rdf.Dictionary.size d in
+      let expected = Array.init n (Rdf.Dictionary.term_of d) in
+      let worker k () =
+        let ok = ref true in
+        for round = 1 to 3 do
+          ignore round;
+          for i = 0 to n - 1 do
+            let id = (i + (k * n / 4)) mod n in
+            let t = Rdf.Dictionary.term_of dl id in
+            ok :=
+              !ok
+              && Rdf.Term.equal t expected.(id)
+              && Rdf.Dictionary.find dl t = Some id
+          done
+        done;
+        !ok
+      in
+      let domains = List.init 4 (fun k -> Domain.spawn (worker k)) in
+      List.iter
+        (fun dom ->
+          Alcotest.(check bool) "parallel decode agrees" true
+            (Domain.join dom))
+        domains)
+
 let test_not_a_store () =
   let tmp = Filename.temp_file "wdsparql_notastore" ".ttl" in
   Fun.protect
@@ -389,7 +449,14 @@ let () =
             test_bit_flips;
           Alcotest.test_case "future version rejected" `Quick
             test_version_gate;
+          Alcotest.test_case "overlapping sections rejected" `Quick
+            test_overlapping_sections;
           Alcotest.test_case "non-store inputs rejected" `Quick
             test_not_a_store;
+        ] );
+      ( "concurrency",
+        [
+          Alcotest.test_case "dictionary decode from 4 domains" `Quick
+            test_parallel_dictionary;
         ] );
     ]
