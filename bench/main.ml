@@ -54,7 +54,10 @@ let write_json file =
   let buf = Buffer.create 4096 in
   Buffer.add_string buf "{\n";
   Buffer.add_string buf "  \"schema_version\": 1,\n";
-  Buffer.add_string buf "  \"pr\": \"pr8\",\n";
+  Buffer.add_string buf "  \"pr\": \"pr9\",\n";
+  Buffer.add_string buf
+    (Printf.sprintf "  \"host_cores\": %d,\n"
+       (Domain.recommended_domain_count ()));
   Buffer.add_string buf
     (Printf.sprintf "  \"fast\": %b,\n" !fast);
   Buffer.add_string buf "  \"experiments\": {\n";
@@ -1716,6 +1719,7 @@ let a11 () =
       Wd_server.Server.start
         {
           Wd_server.Server.graph;
+          reload = None;
           host = "127.0.0.1";
           port = 0;
           workers = 2;
@@ -1769,6 +1773,205 @@ let a11 () =
     Fmt.epr "A11: cold-start speedup %.1fx below the 20x target@." speedup;
     exit 1
   end
+
+(* ------------------------------------------------------------------ *)
+(* A12 — incremental deltas: append+query vs full recompile+query      *)
+(* ------------------------------------------------------------------ *)
+
+let a12_copy_file src dst =
+  let oc = open_out_bin dst in
+  output_string oc (a11_read_file src);
+  close_out oc
+
+let a12 () =
+  header "A12" "incremental updates: append+query vs recompile+query"
+    "ISSUE 9 tentpole: updates are O(delta); loads replay only segments";
+  Fmt.pr "A compiled social graph receives a delta of d triples. The@.";
+  Fmt.pr "incremental path appends one segment (never rewriting the base)@.";
+  Fmt.pr "and reloads through the overlay; the baseline recompiles the@.";
+  Fmt.pr "whole store. Both end in a cold time-to-first-solution, and the@.";
+  Fmt.pr "two stores are checked answer- and statistics-identical. A shard@.";
+  Fmt.pr "of the same store then shows the p-bound query maps only the@.";
+  Fmt.pr "members that own its predicates.@.@.";
+  (* The ratio needs a base big enough that recompiling it dominates
+     the fixed cold-query cost both paths share — the fast tier is
+     larger here than in A11 for that reason. *)
+  let people = if !fast then 2500 else 5000 in
+  let g = Rdf.Generator.social ~seed:13 ~people in
+  let base_triples = Rdf.Graph.triples g in
+  let wds = Filename.temp_file "bench_a12" ".wds" in
+  let inc = Filename.temp_file "bench_a12_inc" ".wds" in
+  let whole = Filename.temp_file "bench_a12_full" ".wds" in
+  let man = Filename.temp_file "bench_a12_man" ".man" in
+  let slices = 8 in
+  let cleanup () =
+    let chained =
+      List.concat_map
+        (fun p -> [ p; Storage.seg_path p 1; Storage.seg_path p 2 ])
+        [ wds; inc; whole ]
+    in
+    let members = List.init slices (fun k -> Printf.sprintf "%s.s%d" man k) in
+    List.iter
+      (fun p -> try Sys.remove p with Sys_error _ -> ())
+      (chained @ (man :: members))
+  in
+  Fun.protect ~finally:cleanup @@ fun () ->
+  Storage.save (Encoded.Encoded_graph.of_graph g) wds;
+  let query = "{ ?a p:knows ?b . OPTIONAL { ?b p:email ?m } }" in
+  let pattern = Sparql.Parser.parse_exn query in
+  let ttfs load =
+    Encoded.Encoded_graph.clear_cache ();
+    let graph = load () in
+    let plan = Wd_core.Engine.plan pattern in
+    let budget = Resource.Budget.make ~max_solutions:1 () in
+    match Wd_core.Engine.solutions ~budget plan graph with
+    | _ -> ()
+    | exception Resource.Budget.Exhausted _ -> ()
+  in
+  (* Delta triples: fresh nodes knowing each other through [p:knows],
+     so every append grows the dictionary and moves the query's answer
+     set — the differential check below is not vacuous. *)
+  let delta d =
+    List.init d (fun i ->
+        Rdf.Triple.make
+          (Rdf.Term.iri (Printf.sprintf "urn:delta%d:%d" d i))
+          (Rdf.Term.iri "p:knows")
+          (Rdf.Term.iri (Printf.sprintf "urn:delta%d:%d" d (i + 1))))
+  in
+  (* best-of-N on both paths symmetrically: a stray major GC inside a
+     ~4ms timed region would otherwise dominate the ratio *)
+  let best l = List.fold_left Float.min infinity l in
+  let runs = 5 in
+  Fmt.pr "%-8s %15s %18s %9s@." "delta" "append+query(ms)"
+    "recompile+query(ms)" "speedup";
+  let speedups =
+    List.map
+      (fun d ->
+        let adds = delta d in
+        let t_inc =
+          best
+            (List.init runs (fun _ ->
+                 (* every run starts a fresh chain on a pristine base *)
+                 (try Sys.remove (Storage.seg_path inc 1)
+                  with Sys_error _ -> ());
+                 a12_copy_file wds inc;
+                 snd
+                   (time_once (fun () ->
+                        ignore (Storage.append ~adds inc);
+                        ttfs (fun () -> Storage.load_graph inc)))))
+        in
+        let t_full =
+          best
+            (List.init runs (fun _ ->
+                 snd
+                   (time_once (fun () ->
+                        let g' = Rdf.Graph.of_triples (base_triples @ adds) in
+                        Storage.save (Encoded.Encoded_graph.of_graph g') whole;
+                        ttfs (fun () -> Storage.load_graph whole)))))
+        in
+        let speedup = t_full /. Float.max t_inc 1e-9 in
+        Fmt.pr "%-8d %15.3f %18.3f %8.1fx@." d (ms t_inc) (ms t_full) speedup;
+        record ~experiment:"A12"
+          ~metric:(Printf.sprintf "append_ms_%d" d)
+          (ms t_inc);
+        record ~experiment:"A12"
+          ~metric:(Printf.sprintf "recompile_ms_%d" d)
+          (ms t_full);
+        record ~experiment:"A12" ~metric:(Printf.sprintf "speedup_%d" d) speedup;
+        (d, speedup))
+      [ 1; 10; 1000 ]
+  in
+  record ~experiment:"A12" ~metric:"graph_triples"
+    (float (Rdf.Graph.cardinal g));
+  (* Differential, on the largest delta (the chain and the recompiled
+     store of the last timed round are still on disk): the overlay must
+     be indistinguishable from the monolithic recompile. *)
+  Encoded.Encoded_graph.clear_cache ();
+  let full graph =
+    Wd_core.Engine.solutions (Wd_core.Engine.plan pattern) graph
+  in
+  let reference = full (Storage.load_graph whole) in
+  let got = full (Storage.load_graph inc) in
+  if not (Sparql.Mapping.Set.equal reference got) then begin
+    Fmt.epr "A12: overlay answers diverge from the recompiled store@.";
+    exit 1
+  end;
+  record ~experiment:"A12" ~metric:"answers_agree" 1.0;
+  let module E = Encoded.Encoded_graph in
+  let mono = Storage.load whole and overlay = Storage.load inc in
+  let dm = E.dictionary mono and dv = E.dictionary overlay in
+  let stats_ok =
+    ref
+      (E.cardinal mono = E.cardinal overlay
+      && E.distinct_subjects mono = E.distinct_subjects overlay
+      && E.distinct_objects mono = E.distinct_objects overlay
+      && E.distinct_predicates mono = E.distinct_predicates overlay)
+  in
+  (* planner statistics compared through terms: the two id spaces differ *)
+  for id = 0 to Rdf.Dictionary.size dm - 1 do
+    match Rdf.Dictionary.find dv (Rdf.Dictionary.term_of dm id) with
+    | None -> stats_ok := false
+    | Some vid ->
+        let a = E.predicate_stats mono id
+        and b = E.predicate_stats overlay vid in
+        if
+          (a.E.triples, a.E.distinct_subjects, a.E.distinct_objects)
+          <> (b.E.triples, b.E.distinct_subjects, b.E.distinct_objects)
+          || E.match_count mono ~p:id () <> E.match_count overlay ~p:vid ()
+        then stats_ok := false
+  done;
+  if not !stats_ok then begin
+    Fmt.epr "A12: overlay planner statistics diverge from the recompile@.";
+    exit 1
+  end;
+  record ~experiment:"A12" ~metric:"stats_agree" 1.0;
+  (* compact round-trip: folding the chain must reproduce, bit for bit,
+     the stamp a fresh compile of the same triples produces *)
+  let { Storage.folded; compact_stamp } = Storage.compact inc in
+  let fresh_stamp = (Storage.info whole).Storage.stamp in
+  if folded <> 1 || compact_stamp <> fresh_stamp then begin
+    Fmt.epr "A12: compact stamp %#x differs from fresh compile %#x@."
+      compact_stamp fresh_stamp;
+    exit 1
+  end;
+  record ~experiment:"A12" ~metric:"compact_stamp_equal" 1.0;
+  Fmt.pr "@.compact(base + 1k segment) stamp == fresh compile stamp: ok@.";
+  (* lazy-shard ablation: the p-bound query must fault in only the
+     members owning its two predicates, not the whole shard set *)
+  ignore (Storage.shard ~slices ~src:whole man);
+  Encoded.Encoded_graph.clear_cache ();
+  let sharded = Storage.load man in
+  E.register sharded;
+  let graph =
+    Rdf.Graph.deferred ~epoch:(E.epoch sharded) (fun () ->
+        failwith "A12: sharded handle left the encoded path")
+  in
+  ignore (full graph);
+  let touched =
+    Option.value ~default:slices (E.members_touched sharded)
+  in
+  Fmt.pr "shard ablation: %d of %d members touched by the p-bound query@."
+    touched slices;
+  record ~experiment:"A12" ~metric:"shard_members_touched" (float touched);
+  record ~experiment:"A12" ~metric:"shard_slices" (float slices);
+  if touched >= slices then begin
+    Fmt.epr "A12: p-bound query mapped all %d members — routing is eager@."
+      slices;
+    exit 1
+  end;
+  (* hard gate: small-delta updates must be >= 10x cheaper end to end.
+     The 1k-delta point is informative under --fast (the base graph is
+     small enough that recompiling it is itself cheap). *)
+  List.iter
+    (fun (d, s) ->
+      if (d < 1000 || not !fast) && s < 10. then begin
+        Fmt.epr "A12: append speedup %.1fx at delta %d below the 10x target@."
+          s d;
+        exit 1
+      end)
+    speedups;
+  Fmt.pr "@.incremental-update speedup at delta 1: %.1fx (target: >= 10x)@."
+    (List.assoc 1 speedups)
 
 (* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks: one Test.make per table/figure           *)
@@ -1875,7 +2078,7 @@ let experiments =
        (pool registry), and idle domains tax every minor GC with
        stop-the-world synchronization — uniform overhead that would
        wash out A10's planner-mode ratios. *)
-    ("A7", a7); ("A10", a10); ("A11", a11); ("A8", a8);
+    ("A7", a7); ("A10", a10); ("A11", a11); ("A12", a12); ("A8", a8);
     ("bechamel", bechamel_suite);
   ]
 
@@ -1887,7 +2090,7 @@ let () =
         fast := true;
         parse acc rest
     | "--json" :: rest ->
-        json_out := Some "BENCH_pr8.json";
+        json_out := Some "BENCH_pr9.json";
         parse acc rest
     | "--json-out" :: file :: rest ->
         json_out := Some file;

@@ -47,7 +47,10 @@ let write_json file =
       [] ordered
   in
   let buf = Buffer.create 4096 in
-  Buffer.add_string buf "{\n  \"schema_version\": 1,\n  \"pr\": \"pr6\",\n";
+  Buffer.add_string buf "{\n  \"schema_version\": 1,\n  \"pr\": \"pr9\",\n";
+  Buffer.add_string buf
+    (Printf.sprintf "  \"host_cores\": %d,\n"
+       (Domain.recommended_domain_count ()));
   Buffer.add_string buf (Printf.sprintf "  \"fast\": %b,\n" !fast);
   Buffer.add_string buf "  \"experiments\": {\n";
   List.iteri
@@ -255,6 +258,7 @@ let base_config ?(workers = 4) ?(queue = 64) ?(inflight = 64)
     ?(io_timeout = 2.) ?(faults = Faults.none) () =
   {
     Server.graph = Lazy.force graph;
+    reload = None;
     host = "127.0.0.1";
     port = 0;
     workers;
@@ -322,6 +326,7 @@ let overload_run ~experiment ~queue ~inflight =
       {
         (base_config ~workers ~queue ~inflight ()) with
         Server.graph = Lazy.force overload_graph;
+        reload = None;
       }
   in
   let port = Server.port t in

@@ -616,21 +616,162 @@ let store_info_cmd =
   let run file verify =
     handle @@ fun () ->
     let i = Storage.info ~verify file in
-    Fmt.pr "store %s@." file;
+    let kind =
+      match i.Storage.chain with
+      | Storage.Single -> "store"
+      | Storage.Chained _ -> "store (chained)"
+      | Storage.Sharded _ -> "shard manifest"
+    in
+    Fmt.pr "%s %s@." kind file;
     Fmt.pr "  format version   %d@." i.Storage.version;
-    Fmt.pr "  triples          %d@." i.Storage.triples;
+    Fmt.pr "  live triples     %d@." i.Storage.triples;
+    if i.Storage.base_triples <> i.Storage.triples then
+      Fmt.pr "  base triples     %d@." i.Storage.base_triples;
     Fmt.pr "  terms            %d@." i.Storage.terms;
     Fmt.pr "  predicates       %d@." i.Storage.predicates;
     Fmt.pr "  file bytes       %d@." i.Storage.file_bytes;
+    if i.Storage.total_bytes <> i.Storage.file_bytes then
+      Fmt.pr "  total bytes      %d@." i.Storage.total_bytes;
     Fmt.pr "  content stamp    %#x@." i.Storage.stamp;
+    if i.Storage.chain_stamp <> i.Storage.stamp then
+      Fmt.pr "  chain stamp      %#x@." i.Storage.chain_stamp;
     Fmt.pr "  identity (epoch) %d@." i.Storage.identity;
+    Fmt.pr "  sections@.";
+    List.iter
+      (fun s ->
+        Fmt.pr "    %-14s %d bytes@." s.Storage.sec_name s.Storage.sec_bytes)
+      i.Storage.sections;
+    (match i.Storage.chain with
+    | Storage.Single -> ()
+    | Storage.Chained segs ->
+        Fmt.pr "  chain            base + %d delta segment(s)@."
+          (List.length segs);
+        List.iter
+          (fun s ->
+            Fmt.pr "    %s  +%d -%d triple(s), %d new term(s), stamp %#x, \
+                    chain %#x, %d bytes@."
+              (Filename.basename s.Storage.seg_file)
+              s.Storage.seg_adds s.Storage.seg_dels s.Storage.seg_new_terms
+              s.Storage.seg_stamp s.Storage.seg_chain_stamp
+              s.Storage.seg_bytes)
+          segs
+    | Storage.Sharded { slices; members } ->
+        Fmt.pr "  chain            %d shard slice(s)@." slices;
+        List.iter
+          (fun m ->
+            Fmt.pr "    slice %-3d %s  %d triple(s), stamp %#x, %d bytes@."
+              m.Storage.mem_slice m.Storage.mem_file m.Storage.mem_triples
+              m.Storage.mem_stamp m.Storage.mem_bytes)
+          members);
     if verify then Fmt.pr "  checksum         OK@."
   in
   Cmd.v
     (Cmd.info "store-info"
-       ~doc:"Print a compiled store's header summary (counts, content \
-             stamp, stable identity) without loading its data.")
+       ~doc:"Print a compiled store's header summary — counts, per-section \
+             byte sizes, content stamp, stable identity, and the delta \
+             segment chain or shard members — without loading its data.")
     Term.(const run $ file_arg $ verify_arg)
+
+let append_cmd =
+  let store_arg =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"STORE" ~doc:"Compiled store to append to.")
+  in
+  let add_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "add" ] ~docv:"FILE" ~doc:"Turtle file of triples to add.")
+  in
+  let remove_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "remove" ] ~docv:"FILE"
+          ~doc:"Turtle file of triples to delete.")
+  in
+  let run store add remove =
+    handle @@ fun () ->
+    if add = None && remove = None then
+      E.fail (E.Invalid_input "append: pass --add and/or --remove");
+    let triples_of = function
+      | None -> []
+      | Some file -> Rdf.Graph.triples (load_graph file)
+    in
+    let adds = triples_of add and dels = triples_of remove in
+    match Storage.append ~adds ~dels store with
+    | None -> Fmt.pr "append %s: no net change, nothing written@." store
+    | Some r ->
+        Fmt.pr
+          "appended %s: +%d -%d triple(s), %d new term(s), chain stamp %#x@."
+          r.Storage.app_file r.Storage.app_adds r.Storage.app_dels
+          r.Storage.app_new_terms r.Storage.app_chain_stamp
+  in
+  Cmd.v
+    (Cmd.info "append"
+       ~doc:"Write the next delta segment for a compiled store — O(delta), \
+             never rewriting the base. The delta is normalized against the \
+             live contents first (duplicate adds and deletes of absent \
+             triples drop out); an empty net delta writes nothing. Loads \
+             and the server's SIGHUP reload pick segments up \
+             automatically.")
+    Term.(const run $ store_arg $ add_arg $ remove_arg)
+
+let compact_cmd =
+  let store_arg =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"STORE" ~doc:"Compiled store (base of the chain).")
+  in
+  let run store =
+    handle @@ fun () ->
+    let r = Storage.compact store in
+    Fmt.pr "compacted %s: folded %d segment(s), stamp %#x@." store
+      r.Storage.folded r.Storage.compact_stamp
+  in
+  Cmd.v
+    (Cmd.info "compact"
+       ~doc:"Fold a store's delta segments into a fresh monolithic base \
+             (atomically) and delete them. The result is bit-identical to \
+             compiling the same triples from scratch — same content \
+             stamp.")
+    Term.(const run $ store_arg)
+
+let shard_cmd =
+  let store_arg =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"STORE" ~doc:"Compiled store to split.")
+  in
+  let out_arg =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Manifest output path.")
+  in
+  let slices_arg =
+    Arg.(
+      value & opt int 8
+      & info [ "slices" ] ~docv:"N"
+          ~doc:"Member stores to split into (by predicate hash).")
+  in
+  let run store out slices =
+    handle @@ fun () ->
+    let r = Storage.shard ~slices ~src:store out in
+    Fmt.pr "sharded %s: %d member(s) behind manifest %s, stamp %#x@." store
+      r.Storage.sh_slices r.Storage.sh_file r.Storage.sh_stamp
+  in
+  Cmd.v
+    (Cmd.info "shard"
+       ~doc:"Split a compiled store into member stores partitioned by \
+             predicate hash, behind a small manifest. Loading the manifest \
+             maps members lazily: a predicate-bound query touches only the \
+             owning member's file.")
+    Term.(const run $ store_arg $ out_arg $ slices_arg)
 
 let serve_cmd =
   let port_arg =
@@ -747,6 +888,10 @@ let serve_cmd =
     Wd_server.Server.run
       {
         Wd_server.Server.graph;
+        (* SIGHUP re-runs the loader: a store file picks up delta
+           segments appended since startup, without dropping
+           connections *)
+        reload = Some load_data;
         host;
         port;
         workers;
@@ -781,5 +926,6 @@ let () =
             eval_cmd; check_cmd; width_cmd; validate_cmd; analyze_cmd;
             explain_cmd;
             stats_cmd; containment_cmd; optimize_cmd; clique_cmd; fuzz_cmd;
-            compile_cmd; store_info_cmd; serve_cmd;
+            compile_cmd; store_info_cmd; append_cmd; compact_cmd; shard_cmd;
+            serve_cmd;
           ]))

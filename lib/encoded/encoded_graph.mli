@@ -24,13 +24,16 @@ type predicate_stats = {
 }
 
 type stats_seed = {
-  seed_subjects : int;
-  seed_objects : int;
-  seed_predicates : int;
+  seed_subjects : int option;
+  seed_objects : int option;
+  seed_predicates : int option;
   seed_predicate : int -> predicate_stats option;
 }
 (** Save-time precomputed planner statistics of a compiled store;
-    [seed_predicate] may answer [None] (falls back to a range scan). *)
+    [seed_predicate] may answer [None] (falls back to a range scan),
+    and the global distinct counts may be [None] when a delta overlay
+    has invalidated the base store's figures (falls back to a one-shot
+    counting scan over the merged views). *)
 
 val of_graph : Rdf.Graph.t -> t
 
@@ -46,6 +49,32 @@ val of_views :
     {!epoch} returns. The three views must enumerate the same triple
     multiset sorted by (s,p,o), (p,o,s) and (o,s,p) keys respectively;
     raises [Invalid_argument] if their lengths disagree. *)
+
+val union :
+  identity:int ->
+  dict:Rdf.Dictionary.t ->
+  members:t Lazy.t array ->
+  owner:(int -> int) ->
+  total:int ->
+  ?stats:stats_seed -> unit -> t
+(** A sharded store: the union of [members], which must partition the
+    triple set {e by predicate} — every triple of a given predicate id
+    [p] lives in member [owner p] (an index into [members], clamped to
+    member 0 if out of range). [dict] is the shared dictionary (every
+    member of a shard set carries the full term table, so ids are
+    global). [total] is the live triple count across all members.
+
+    Members are forced lazily: a predicate-bound lookup touches only the
+    owning member (so only that member's pages fault in), a
+    predicate-free pattern fans out over all members, and positional
+    access ([nth_*]) materializes a one-shot k-way merge. Safe to share
+    across domains — member forcing and the merge are serialized on an
+    internal lock. *)
+
+val members_touched : t -> int option
+(** [Some n] for a {!union} store: how many member stores have been
+    forced so far (the lazy-mapping ablation counter). [None] for flat
+    stores. *)
 
 val register : t -> unit
 (** Pin a store into the {!of_graph_cached} resolution table under its

@@ -4,6 +4,8 @@ type store_fault =
   | Truncated
   | Checksum_mismatch
   | Corrupt
+  | Delta_chain_broken of { expected_parent : int; found_parent : int }
+  | Manifest_mismatch of { member : string }
 
 type t =
   | Parse_error of { source : string; line : int; col : int; msg : string }
@@ -58,6 +60,13 @@ let pp_store_fault ppf = function
   | Truncated -> Fmt.string ppf "truncated store file"
   | Checksum_mismatch -> Fmt.string ppf "content stamp mismatch"
   | Corrupt -> Fmt.string ppf "corrupt store file"
+  | Delta_chain_broken { expected_parent; found_parent } ->
+      Fmt.pf ppf
+        "delta segment does not extend this base (segment expects parent \
+         stamp %#x, chain is at %#x)"
+        found_parent expected_parent
+  | Manifest_mismatch { member } ->
+      Fmt.pf ppf "shard member %s disagrees with the manifest" member
 
 let pp ppf = function
   | Parse_error { source; line; col; msg } ->

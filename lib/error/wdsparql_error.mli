@@ -19,6 +19,13 @@ type store_fault =
   | Corrupt
       (** structurally invalid: overlapping or unsorted sections,
           out-of-range ids, a broken dictionary blob, … *)
+  | Delta_chain_broken of { expected_parent : int; found_parent : int }
+      (** a delta segment whose recorded parent stamp does not match the
+          chain it sits on — the base was rewritten (or a [compact] was
+          interrupted) under the segment *)
+  | Manifest_mismatch of { member : string }
+      (** a shard member store is missing or no longer matches the stamp
+          pinned in the manifest *)
 
 type t =
   | Parse_error of { source : string; line : int; col : int; msg : string }

@@ -27,6 +27,12 @@ val of_view : view -> t
     allocates overflow ids from [view_size] upward, keeping the id space
     dense.
 
+    The view closures need not read a single array: [lib/storage] hands
+    in views composed from a base store plus its delta segments (the
+    segment dictionary-growth blocks extend the id space past the base),
+    and shard members share one manifest-wide view. The contract is only
+    what the signature says — total, pure, and [view_size]-dense.
+
     View-backed dictionaries memoize on the read path, so {!find},
     {!term_of} and {!intern} on them are serialized behind an internal
     mutex and are safe to call from concurrent worker domains (the view

@@ -15,6 +15,9 @@ module E = Wdsparql_error
 
 type config = {
   graph : Rdf.Graph.t;
+  reload : (unit -> Rdf.Graph.t) option;
+      (* re-resolve the graph (e.g. re-discover a store's delta
+         segments); run by a worker between requests on [request_reload] *)
   host : string;
   port : int;  (* 0 = ephemeral, see [port] *)
   workers : int;
@@ -49,6 +52,12 @@ type t = {
   port : int;
   started_at : float;
   stop : bool Atomic.t;
+  graph : Rdf.Graph.t Atomic.t;
+      (* the graph requests snapshot; swapped whole by a reload, so
+         in-flight evaluations keep the store they started on *)
+  reload_pending : bool Atomic.t;
+  reloads : int Atomic.t;
+  reload_failures : int Atomic.t;
   queue : job Queue.t;
   queue_lock : Mutex.t;
   next_index : int Atomic.t;  (* 1-based request index, accept order *)
@@ -157,6 +166,10 @@ let create config =
     port;
     started_at = Unix.gettimeofday ();
     stop = Atomic.make false;
+    graph = Atomic.make config.graph;
+    reload_pending = Atomic.make false;
+    reloads = Atomic.make 0;
+    reload_failures = Atomic.make 0;
     queue = Queue.create ();
     queue_lock = Mutex.create ();
     next_index = Atomic.make 1;
@@ -187,8 +200,10 @@ let draining t = Atomic.get t.stop
 (* The query-plan cache                                                *)
 (* ------------------------------------------------------------------ *)
 
-let plan_key t query =
-  Printf.sprintf "%d#%s" (Rdf.Graph.epoch t.config.graph) query
+(* Keyed on the snapshot's epoch: after a reload the new store has a new
+   identity, so stale plans age out of the LRU instead of answering. *)
+let plan_key graph query =
+  Printf.sprintf "%d#%s" (Rdf.Graph.epoch graph) query
 
 (* Retire an entry's accumulated counters so the /stats totals stay
    monotonic across evictions (mirrors Plan_cache's own retired
@@ -220,8 +235,8 @@ let compile_plan ~budget pattern =
   in
   Engine.plan ~budget ~hints ~plan_capacity:1 pattern
 
-let plan_entry_for t ~budget query =
-  let key = plan_key t query in
+let plan_entry_for t ~graph ~budget query =
+  let key = plan_key graph query in
   let stamp () = Atomic.fetch_and_add t.plan_stamp 1 in
   Mutex.lock t.plans_lock;
   match Hashtbl.find_opt t.plans key with
@@ -424,7 +439,10 @@ let handle_sparql t conn ~deadline ~idx ~fault req =
       let starve = fault = Some Faults.Starve in
       let outcome =
         with_admission t ~idx ~starve @@ fun budget ->
-        let key, entry = plan_entry_for t ~budget query in
+        (* one snapshot per request: the plan key and the evaluation see
+           the same store even if a reload lands mid-request *)
+        let graph = Atomic.get t.graph in
+        let key, entry = plan_entry_for t ~graph ~budget query in
         if fault = Some Faults.Poison then entry.poisoned <- true;
         Mutex.lock entry.lock;
         Fun.protect
@@ -436,7 +454,7 @@ let handle_sparql t conn ~deadline ~idx ~fault req =
             end;
             let answers =
               Engine.solutions ~budget ~domains:t.config.domains entry.plan
-                t.config.graph
+                graph
             in
             Json.to_string (results_json entry.plan answers))
       in
@@ -468,7 +486,7 @@ let handle_analyze t conn ~deadline ~idx ~fault req =
       let outcome =
         with_admission t ~idx ~starve @@ fun budget ->
         match
-          Analysis.Analyzer.of_source ~graph:t.config.graph ~budget
+          Analysis.Analyzer.of_source ~graph:(Atomic.get t.graph) ~budget
             ~source:"query" query
         with
         | Ok report -> Json.to_string (Analysis.Analyzer.to_json report)
@@ -521,7 +539,10 @@ let stats_json t =
             ("draining", Json.Bool (Atomic.get t.stop));
             ("requests", Json.Int (Atomic.get t.next_index - 1));
             ("inflight", Json.Int (Admission.inflight t.admission));
-            ("queue_depth", Json.Int queue_depth) ] );
+            ("queue_depth", Json.Int queue_depth);
+            ("graph_epoch", Json.Int (Rdf.Graph.epoch (Atomic.get t.graph)));
+            ("reloads", Json.Int (Atomic.get t.reloads));
+            ("reload_failures", Json.Int (Atomic.get t.reload_failures)) ] );
       ( "responses",
         Json.Obj
           (List.map
@@ -629,8 +650,25 @@ let pop_job t =
   Mutex.unlock t.queue_lock;
   j
 
+(* Service a pending reload between requests. The compare-and-set means
+   exactly one worker runs the thunk; the graph handle is swapped whole,
+   so connections never see a half-reloaded store and none are dropped.
+   A failing reload (e.g. a broken segment chain just appended) keeps
+   the old graph serving and is only counted. *)
+let maybe_reload t =
+  match t.config.reload with
+  | None -> ()
+  | Some thunk ->
+      if Atomic.compare_and_set t.reload_pending true false then (
+        match thunk () with
+        | g ->
+            Atomic.set t.graph g;
+            Atomic.incr t.reloads
+        | exception _ -> Atomic.incr t.reload_failures)
+
 let worker_loop t =
   let rec serve () =
+    maybe_reload t;
     match pop_job t with
     | Some job ->
         (* once draining, queued requests are not evaluated — they get a
@@ -712,6 +750,7 @@ let start config =
   t
 
 let initiate_drain t = Atomic.set t.stop true
+let request_reload t = Atomic.set t.reload_pending true
 
 let cancel_active t =
   Mutex.lock t.active_lock;
@@ -742,7 +781,11 @@ let install_signal_handlers t =
   let handler = Sys.Signal_handle (fun _ -> initiate_drain t) in
   (try Sys.set_signal Sys.sigterm handler
    with Invalid_argument _ | Sys_error _ -> ());
-  try Sys.set_signal Sys.sigint handler
+  (try Sys.set_signal Sys.sigint handler
+   with Invalid_argument _ | Sys_error _ -> ());
+  (* SIGHUP = pick up appended delta segments; only sets a flag, a
+     worker does the load between requests *)
+  try Sys.set_signal Sys.sighup (Sys.Signal_handle (fun _ -> request_reload t))
   with Invalid_argument _ | Sys_error _ -> ()
 
 let run config =

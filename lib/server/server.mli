@@ -12,6 +12,10 @@
 
 type config = {
   graph : Rdf.Graph.t;
+  reload : (unit -> Rdf.Graph.t) option;
+      (** how to re-resolve the graph on {!request_reload} — e.g. reload
+          a store file, picking up freshly appended delta segments.
+          [None] disables reloading. *)
   host : string;
   port : int;  (** 0 = pick an ephemeral port; see {!port} *)
   workers : int;  (** worker threads handling connections *)
@@ -49,8 +53,19 @@ val join : t -> Analysis.Json.t
     threads joined — and return the final stats snapshot (the same
     document [/stats] serves). *)
 
+val request_reload : t -> unit
+(** Ask for the graph to be re-resolved through [config.reload] (a no-op
+    when it is [None]). Async-signal-safe (only sets a flag): a single
+    worker runs the thunk between requests and swaps the graph handle
+    atomically — no connection is dropped, in-flight evaluations finish
+    on the store they started with, and plan-cache entries for the old
+    epoch age out of the LRU. A failing reload keeps the old graph and
+    increments the [reload_failures] stat. *)
+
 val install_signal_handlers : t -> unit
-(** Route SIGINT and SIGTERM to {!initiate_drain}. *)
+(** Route SIGINT and SIGTERM to {!initiate_drain}, and SIGHUP to
+    {!request_reload} (pick up appended delta segments without a
+    restart). *)
 
 val stats_json : t -> Analysis.Json.t
 (** The live stats document: request/response counters, admission and

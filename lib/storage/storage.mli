@@ -3,10 +3,10 @@
     permutations, and the planner statistics — so a cold process maps the
     file and answers queries without parsing or re-encoding anything.
 
-    {2 File layout (format version 1)}
+    {2 File layout (format version 2)}
 
-    A fixed 256-byte header followed by seven 16-byte-aligned sections
-    (see [docs/PERFORMANCE.md] for the diagram):
+    The base store is a fixed 256-byte header followed by seven
+    16-byte-aligned sections (see [docs/PERFORMANCE.md] for diagrams):
 
     - header: magic ["WDSTORE1"], format version, a byte-order mark,
       triple/term/predicate counts, the content stamp, the three
@@ -24,59 +24,132 @@
     - [pstats]: per-predicate statistics rows (pid, triples,
       distinct subjects, distinct objects), sorted by pid.
 
+    Format v2 keeps the base layout byte for byte and adds two multi-file
+    shapes around it:
+
+    - {b Delta segments} [<base>.d1, <base>.d2, ...] (magic
+      ["WDSDELT1"]): append-only add/delete logs with a dictionary-growth
+      block, each pinned to its parent by the chain stamp it extends.
+      {!load} discovers the chain and merges it over the base through
+      positional overlay views ({!Overlay}) — O(Δ log n) setup, no
+      rewrite of the base; {!append} writes one in O(Δ).
+    - {b Shard manifests} (magic ["WDSMANI1"]): a small file naming
+      member stores that partition the triples by predicate hash slice,
+      each member pinned by its content stamp. {!load} wraps them into a
+      lazily-forced union — a predicate-bound query maps only the owning
+      member.
+
     All integers are 64-bit little-endian words; the byte-order mark
-    rejects a store read on a machine of the other endianness. The
-    content stamp is an FNV-1a hash of the payload (everything after the
-    header), folded to 62 bits: it gives the store its stable identity
-    (see {!load}) and backs the optional checksum verification.
+    rejects a store read on a machine of the other endianness. Content
+    stamps are FNV-1a hashes of the payload folded to 62 bits; the
+    identity of a chained or sharded store folds the member stamps, so
+    every distinct (base, segments) prefix and every manifest has a
+    distinct stable identity.
 
     {2 Failure discipline}
 
-    Every way a file can be unusable — wrong magic, newer format
-    version, truncation, corrupt structure, checksum mismatch — raises
-    {!Wdsparql_error.Store_error} with the precise fault; a corrupt
-    store never surfaces as a raw [Failure], [Invalid_argument], or a
-    crash inside a mapping. Validation is layered: header and section
-    table eagerly at load, dictionary bytes lazily at first decode of
-    each term (keeping the load itself O(pages touched)), and the full
-    payload only under [~verify:true]. *)
+    Every way a file can be unusable — wrong magic, a file shorter than
+    the magic ({!Wdsparql_error.Truncated}, distinguished from
+    {!Wdsparql_error.Bad_magic} by whether the bytes prefix a known
+    magic), newer format version, corrupt structure, checksum mismatch, a
+    segment whose parent stamp does not extend the chain
+    ({!Wdsparql_error.Delta_chain_broken}), a gap in the segment
+    numbering, or a shard member missing or disagreeing with its manifest
+    ({!Wdsparql_error.Manifest_mismatch}) — raises
+    {!Wdsparql_error.Store_error} with the precise fault; a corrupt store
+    never surfaces as a raw [Failure], [Invalid_argument], or a crash
+    inside a mapping. Validation is layered: headers, section tables and
+    chain linkage eagerly at load, dictionary bytes lazily at first
+    decode, and full payloads only under [~verify:true]. *)
+
+type section_info = {
+  sec_name : string;
+  sec_bytes : int;  (** section length, before alignment padding *)
+}
+
+type segment_info = {
+  seg_file : string;
+  seg_adds : int;
+  seg_dels : int;
+  seg_new_terms : int;
+  seg_stamp : int;  (** this segment's own payload stamp *)
+  seg_chain_stamp : int;  (** the chain stamp after applying it *)
+  seg_bytes : int;
+}
+
+type member_info = {
+  mem_file : string;  (** as recorded in the manifest (relative) *)
+  mem_slice : int;
+  mem_stamp : int;
+  mem_triples : int;
+  mem_bytes : int;
+}
+
+type chain =
+  | Single  (** a plain base store, no segments *)
+  | Chained of segment_info list  (** base + delta segments, in order *)
+  | Sharded of { slices : int; members : member_info list }
 
 type info = {
   version : int;
-  triples : int;
-  terms : int;
-  predicates : int;  (** distinct predicates (= [pstats] rows) *)
-  stamp : int;  (** FNV-1a content stamp from the header *)
-  identity : int;
-      (** the negative epoch loaded handles carry; [-1 - stamp] *)
-  file_bytes : int;
+  triples : int;  (** live triples after applying the whole chain *)
+  base_triples : int;  (** triples in the base file alone *)
+  terms : int;  (** dictionary size including segment growth *)
+  predicates : int;  (** distinct predicates of the base ([pstats] rows) *)
+  stamp : int;  (** the base (or manifest) file's own content stamp *)
+  chain_stamp : int;  (** stamp folded over the whole chain; = [stamp]
+                          for [Single] and [Sharded] *)
+  identity : int;  (** the negative epoch loaded handles carry;
+                       [-1 - chain_stamp] *)
+  file_bytes : int;  (** the base (or manifest) file alone *)
+  total_bytes : int;  (** including segments / members *)
+  sections : section_info list;
+  chain : chain;
 }
 
 val magic : string
-(** The 8-byte magic prefix, ["WDSTORE1"]. *)
+(** The 8-byte base-store magic prefix, ["WDSTORE1"]. *)
 
 val format_version : int
 
 val looks_like_store : string -> bool
-(** Whether the file starts with {!magic} — the cheap sniff the CLI uses
-    to accept a compiled store anywhere a Turtle file is. False on any
-    read error. *)
+(** Whether the file starts with a store or manifest magic — the cheap
+    sniff the CLI uses to accept a compiled store anywhere a Turtle file
+    is. False on any read error. *)
+
+val is_manifest : string -> bool
+(** Whether the file starts with the shard-manifest magic. Raises
+    {!Wdsparql_error.Io_error} if it cannot be opened. *)
+
+val seg_path : string -> int -> string
+(** [seg_path base k] is the path of the k-th delta segment
+    ([base ^ ".d" ^ k]; segments are numbered from 1). *)
 
 val save : Encoded.Encoded_graph.t -> string -> unit
 (** [save enc path] compiles the store to [path] (atomically: written to
-    a temporary sibling and renamed over). Statistics for every distinct
-    predicate are computed now so loads never pay for them. Raises
+    a temporary sibling and renamed over, fsync'd). Statistics for every
+    distinct predicate are computed now so loads never pay for them.
+    Does {e not} touch delta segments of an earlier store at [path] —
+    callers replacing a chained store should {!compact} instead. Raises
     {!Wdsparql_error.Io_error} on filesystem failure. *)
 
 val load : ?verify:bool -> string -> Encoded.Encoded_graph.t
 (** [load path] maps the store and wraps its sections into an encoded
     graph backed by the mapping — no parsing, no allocation proportional
-    to the data; the OS pages parts in as queries touch them. The
-    result's {!Encoded.Encoded_graph.epoch} is the stable negative
-    identity [-1 - stamp], so loading the same file twice (even across
-    processes) yields the same identity and plan caches keyed on it
-    survive. [~verify:true] additionally hashes the whole payload
-    against the header's content stamp (reads every page).
+    to the base data; the OS pages parts in as queries touch them.
+
+    If delta segments exist, they are read eagerly (O(Δ)), validated
+    against the chain, and merged over the base through overlay views;
+    planner statistics of predicates the delta touches are recomputed
+    exactly from the merged views, untouched predicates keep their
+    precomputed rows. If [path] is a shard manifest, members are checked
+    against their pinned stamps and wrapped into a lazy union.
+
+    The result's {!Encoded.Encoded_graph.epoch} is the stable negative
+    identity [-1 - chain_stamp], so loading the same file (plus the same
+    segments) twice — even across processes — yields the same identity
+    and plan caches keyed on it survive. [~verify:true] additionally
+    hashes every payload against its header stamp (reads every page).
 
     Raises {!Wdsparql_error.Store_error} on an unusable file and
     {!Wdsparql_error.Io_error} if it cannot be opened. *)
@@ -90,6 +163,62 @@ val load_graph : ?verify:bool -> string -> Rdf.Graph.t
     decode. *)
 
 val info : ?verify:bool -> string -> info
-(** Header summary without touching the data sections (except under
-    [~verify:true], which checksums the payload). Same errors as
-    {!load}. *)
+(** Header, section and chain summary without touching the data sections
+    (except under [~verify:true], which checksums every payload).
+    Validates chain linkage and shard-member pins like {!load}, but does
+    not map or decode anything. Same errors as {!load}. *)
+
+(** {2 Incremental updates} *)
+
+type append_result = {
+  app_file : string;  (** the segment file written *)
+  app_adds : int;  (** net additions recorded (after normalization) *)
+  app_dels : int;  (** net deletions recorded *)
+  app_new_terms : int;  (** dictionary growth *)
+  app_chain_stamp : int;  (** the chain stamp after this segment *)
+}
+
+val append :
+  ?adds:Rdf.Triple.t list -> ?dels:Rdf.Triple.t list -> string ->
+  append_result option
+(** [append ~adds ~dels path] writes the next delta segment for the
+    chain at [path] — O(Δ) in the delta size, never rewriting the base.
+    The delta is normalized against the live overlay first: adds already
+    present and deletions of absent triples drop out (and a triple in
+    both lists nets to "present"). Returns [None] — writing nothing —
+    if the normalized delta is empty. New terms are interned in
+    canonical order, so the segment bytes (and the resulting chain
+    stamp) depend only on the store content and the delta.
+
+    Raises {!Wdsparql_error.Invalid_input} if [path] is a shard
+    manifest (append to the plain store and re-shard instead). *)
+
+type compact_result = {
+  folded : int;  (** segments folded into the base *)
+  compact_stamp : int;  (** the new base's content stamp *)
+}
+
+val compact : string -> compact_result
+(** Fold the whole chain at [path] into a fresh monolithic base store
+    (atomically) and delete the segments. The compacted store's stamp
+    equals what a fresh compile of the same triple set produces — the
+    round-trip is exact. Crash safety: the new base is renamed into
+    place before segments are unlinked; a crash in the window leaves
+    stale segments whose parent stamp no longer matches, which the next
+    {!load} rejects with {!Wdsparql_error.Delta_chain_broken} instead of
+    silently replaying them. *)
+
+type shard_result = {
+  sh_file : string;
+  sh_slices : int;
+  sh_stamp : int;
+  sh_members : string list;  (** member file basenames, slice order *)
+}
+
+val shard : ?slices:int -> src:string -> string -> shard_result
+(** [shard ~src out] splits the store at [src] (chain applied) into
+    [slices] member stores [out.s0 .. out.s<k-1>] partitioned by
+    predicate hash, plus the manifest at [out]. Each member is a
+    complete standalone store carrying the full dictionary (ids stay
+    global across members). [slices] defaults to 8; raises
+    {!Wdsparql_error.Invalid_input} outside [1, 4096]. *)

@@ -521,6 +521,27 @@ let test_codebase_lint_mmap () =
            (fun s -> Astring.String.is_infix ~affix:"encoded/shortcut.ml" s)
            rendered))
 
+(* PR 9 satellite: the segment-merge kernel behind delta overlays walks
+   every composed delta entry at load — it is in the budget manifest, so
+   a tickless replacement is flagged. *)
+let test_codebase_lint_overlay () =
+  check Alcotest.bool "overlay.ml is in the kernel manifest" true
+    (List.mem "storage/overlay.ml" Lint_rules.kernel_modules);
+  with_scratch_tree
+    [ ("storage/overlay.ml", "let merge adds dels = (adds, dels)\n") ]
+    (fun root ->
+      let violations =
+        Lint_rules.check_tree ~manifest:[ "storage/overlay.ml" ] ~root ()
+      in
+      check Alcotest.int "tickless merge kernel flagged" 1
+        (List.length violations);
+      check Alcotest.bool "flagged with the module path" true
+        (List.exists
+           (fun v ->
+             Astring.String.is_infix ~affix:"storage/overlay.ml"
+               (Fmt.str "%a" Lint_rules.pp_violation v))
+           violations))
+
 (* ------------------------------------------------------------------ *)
 
 let () =
@@ -572,5 +593,7 @@ let () =
             test_codebase_lint_optimizer;
           Alcotest.test_case "mapped-store bytes confined to lib/storage"
             `Quick test_codebase_lint_mmap;
+          Alcotest.test_case "segment-merge kernel is budget-disciplined"
+            `Quick test_codebase_lint_overlay;
         ] );
     ]

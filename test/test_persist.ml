@@ -227,13 +227,14 @@ let test_truncation () =
       Fun.protect
         ~finally:(fun () -> try Sys.remove tmp with Sys_error _ -> ())
         (fun () ->
-          (* below the magic: Bad_magic *)
+          (* below the magic: the bytes still prefix a store magic, so
+             this is a short file, not a foreign one — Truncated *)
           List.iter
             (fun len ->
               write_file tmp (String.sub whole 0 len);
               Alcotest.(check (option fault_t))
                 (Printf.sprintf "truncated to %d bytes" len)
-                (Some Err.Bad_magic)
+                (Some Err.Truncated)
                 (fault_of (fun () -> Storage.load tmp)))
             [ 0; 4; 7 ];
           (* inside the header: Truncated *)
@@ -339,7 +340,7 @@ let test_version_gate () =
         (fun () ->
           write_file tmp (Bytes.to_string b);
           match fault_of (fun () -> Storage.load tmp) with
-          | Some (Err.Version_mismatch { found = 9; expected = 1 }) -> ()
+          | Some (Err.Version_mismatch { found = 9; expected = 2 }) -> ()
           | _ -> Alcotest.fail "expected Version_mismatch {found = 9}"))
 
 (* In-bounds but overlapping sections must be rejected as Corrupt: the

@@ -293,6 +293,7 @@ let smoke_config () =
   let fuel = 200_000 in
   {
     Server.graph = Rdf.Generator.social ~seed:3 ~people:12;
+    reload = None;
     host = "127.0.0.1";
     port = 0;
     workers = 2;
@@ -366,6 +367,89 @@ let test_smoke () =
       check Alcotest.int "every server descriptor closed" fd_baseline
         (Io.live ()))
 
+(* PR 9: SIGHUP-style reload picks up freshly appended delta segments
+   without dropping the listener or in-flight connections. *)
+let test_reload_picks_up_segments () =
+  let dir = Filename.temp_file "wdsparql_srv_reload" "" in
+  Sys.remove dir;
+  Sys.mkdir dir 0o700;
+  Fun.protect
+    ~finally:(fun () ->
+      Array.iter
+        (fun e -> try Sys.remove (Filename.concat dir e) with Sys_error _ -> ())
+        (Sys.readdir dir);
+      try Sys.rmdir dir with Sys_error _ -> ())
+    (fun () ->
+      let path = Filename.concat dir "s.wds" in
+      let g = Rdf.Generator.path ~n:3 ~pred:"knows" in
+      Storage.save (Encoded.Encoded_graph.of_graph g) path;
+      let config =
+        {
+          (smoke_config ()) with
+          Server.graph = Storage.load_graph path;
+          reload = Some (fun () -> Storage.load_graph path);
+          admission =
+            {
+              Admission.request_fuel = 200_000;
+              request_timeout = 5.;
+              max_solutions = None;
+              global_fuel = None;
+              refill_rate = 0.;
+              max_inflight = 4;
+            };
+        }
+      in
+      let t = Server.start config in
+      let port = Server.port t in
+      let count_bindings body =
+        (* one "?a ↦" pair per solution: count subject keys *)
+        let rec go i n =
+          match Astring.String.find_sub ~start:i ~sub:"{\"a\"" body with
+          | Some j -> go (j + 1) (n + 1)
+          | None -> n
+        in
+        go 0 0
+      in
+      Fun.protect
+        ~finally:(fun () ->
+          Server.initiate_drain t;
+          ignore (Server.join t))
+        (fun () ->
+          let before = post_query ~port "{ ?a p:knows ?b }" in
+          check Alcotest.int "query before reload is 200" 200
+            (response_status before);
+          check Alcotest.int "two edges before the append" 2
+            (count_bindings before);
+          (* append a segment behind the server's back, then signal *)
+          let knows = Rdf.Term.iri "p:knows" in
+          let n k = Rdf.Term.iri (Printf.sprintf "n:%d" k) in
+          (match
+             Storage.append ~adds:[ Rdf.Triple.make (n 3) knows (n 4) ] path
+           with
+          | Some _ -> ()
+          | None -> Alcotest.fail "append was a no-op");
+          Server.request_reload t;
+          (* a worker services the reload between requests; poll *)
+          let deadline = Unix.gettimeofday () +. 5. in
+          let rec wait () =
+            let resp = post_query ~port "{ ?a p:knows ?b }" in
+            check Alcotest.int "query during reload window is 200" 200
+              (response_status resp);
+            if count_bindings resp = 3 then ()
+            else if Unix.gettimeofday () > deadline then
+              Alcotest.failf "reload never surfaced (last saw %d bindings)"
+                (count_bindings resp)
+            else begin
+              Thread.delay 0.05;
+              wait ()
+            end
+          in
+          wait ();
+          let stats = get ~port "/stats" in
+          check Alcotest.bool "stats count the reload" true
+            (Astring.String.is_infix ~affix:"\"reloads\": 1" stats
+            || Astring.String.is_infix ~affix:"\"reloads\":1" stats)))
+
 let () =
   Alcotest.run "server"
     [
@@ -396,5 +480,7 @@ let () =
       ( "smoke",
         [
           Alcotest.test_case "serve, shed, reject, drain" `Quick test_smoke;
+          Alcotest.test_case "reload picks up appended segments" `Quick
+            test_reload_picks_up_segments;
         ] );
     ]

@@ -84,6 +84,7 @@ let kernel_modules =
     "optimizer/join_order.ml";
     "pebble/pebble_game.ml";
     "sparql/eval.ml";
+    "storage/overlay.ml";
     "tgraph/cores.ml";
     "tgraph/homomorphism.ml";
     "wdpt/subtree.ml";
