@@ -54,7 +54,7 @@ let write_json file =
   let buf = Buffer.create 4096 in
   Buffer.add_string buf "{\n";
   Buffer.add_string buf "  \"schema_version\": 1,\n";
-  Buffer.add_string buf "  \"pr\": \"pr9\",\n";
+  Buffer.add_string buf "  \"pr\": \"pr10\",\n";
   Buffer.add_string buf
     (Printf.sprintf "  \"host_cores\": %d,\n"
        (Domain.recommended_domain_count ()));
@@ -1974,6 +1974,150 @@ let a12 () =
     (List.assoc 1 speedups)
 
 (* ------------------------------------------------------------------ *)
+(* A13 — pre-plan pruning ablation and canonical plan-cache keying     *)
+(* ------------------------------------------------------------------ *)
+
+let a13 () =
+  header "A13" "semantic pruning: plan the residual, not the query"
+    "ISSUE 10 tentpole: satisfiability-driven rewrites feed the planner";
+  Fmt.pr "Queries with provably-dead subtrees (unsatisfiable OPT arms,@.";
+  Fmt.pr "contradictory UNION branches, duplicate conjuncts, whole-pattern@.";
+  Fmt.pr "contradictions). Pruning off: the query is evaluated as written@.";
+  Fmt.pr "(the tractable engine if it is core, the algebra evaluator@.";
+  Fmt.pr "otherwise — FILTERs are outside the engine's fragment). Pruning@.";
+  Fmt.pr "on: Prune.run first, then the engine on the residual (or no@.";
+  Fmt.pr "evaluation at all when the residual is Empty). Answers are@.";
+  Fmt.pr "checked identical, and against the reference evaluator.@.@.";
+  let people = if !fast then 150 else 400 in
+  let g = Rdf.Generator.social ~seed:17 ~people in
+  Fmt.pr "store: social graph, %d people, %d triples@.@." people
+    (Rdf.Graph.cardinal g);
+  let workloads =
+    [
+      ( "dead-opt-arm",
+        "{ ?a p:knows ?b OPTIONAL { ?b p:email ?m FILTER (?m != ?m) } }" );
+      ( "unsat-union-branch",
+        "{ { ?a p:knows ?b . ?b p:email ?m FILTER (!BOUND(?a)) } UNION { ?a \
+         p:knows ?b . ?b p:knows ?c } }" );
+      ( "duplicate-conjuncts",
+        "{ ?a p:knows ?b . ?a p:knows ?b . ?b p:knows ?c . ?b p:knows ?c }" );
+      ( "dead-opt-plus-duplicates",
+        "{ ?a p:knows ?b . ?a p:knows ?b OPTIONAL { ?b p:email ?m FILTER (?m \
+         != ?m) } }" );
+      ( "whole-query-contradiction",
+        "{ ?a p:knows ?b . ?b p:email ?m FILTER (?m != ?m) }" );
+    ]
+  in
+  let runs = if !fast then 3 else 5 in
+  Fmt.pr "%-28s %14s %13s %9s %9s@." "workload" "pruned-off(ms)"
+    "pruned-on(ms)" "speedup" "rewrites";
+  let speedups =
+    List.map
+      (fun (name, text) ->
+        let pattern = Sparql.Parser.parse_exn text in
+        let off () =
+          (* what answering the query as written costs: the engine when
+             the text is already core, the algebra evaluator otherwise *)
+          if Sparql.Algebra.is_core pattern then
+            Wd_core.Engine.solutions (Wd_core.Engine.plan pattern) g
+          else Sparql.Eval.eval pattern g
+        in
+        let on () =
+          (* prune time included: the ablation measures the pipeline *)
+          match (Analysis.Prune.run pattern).Analysis.Prune.outcome with
+          | Analysis.Prune.Empty -> Sparql.Mapping.Set.empty
+          | Analysis.Prune.Pattern residual ->
+              Wd_core.Engine.solutions (Wd_core.Engine.plan residual) g
+        in
+        let answers_off, t_off = time_median ~runs off in
+        let answers_on, t_on = time_median ~runs on in
+        if not (Sparql.Mapping.Set.equal answers_off answers_on) then begin
+          Fmt.epr "A13: pruning changed the answers of %s@." name;
+          exit 1
+        end;
+        if
+          not
+            (Sparql.Mapping.Set.equal answers_on (Sparql.Eval.eval pattern g))
+        then begin
+          Fmt.epr "A13: %s diverges from the reference evaluator@." name;
+          exit 1
+        end;
+        let rewrites =
+          List.length (Analysis.Prune.run pattern).Analysis.Prune.rewrites
+        in
+        let speedup = t_off /. Float.max t_on 1e-9 in
+        Fmt.pr "%-28s %14.3f %13.3f %8.1fx %9d@." name (ms t_off) (ms t_on)
+          speedup rewrites;
+        record ~experiment:"A13"
+          ~metric:(Printf.sprintf "pruneoff_ms_%s" name)
+          (ms t_off);
+        record ~experiment:"A13"
+          ~metric:(Printf.sprintf "pruneon_ms_%s" name)
+          (ms t_on);
+        record ~experiment:"A13"
+          ~metric:(Printf.sprintf "speedup_%s" name)
+          speedup;
+        speedup)
+      workloads
+  in
+  record ~experiment:"A13" ~metric:"answers_agree" 1.0;
+  let median_speedup =
+    let sorted = List.sort compare speedups in
+    List.nth sorted (List.length sorted / 2)
+  in
+  record ~experiment:"A13" ~metric:"median_speedup" median_speedup;
+  Fmt.pr "@.median pruning speedup: %.1fx (target: >= 1.2x)@." median_speedup;
+  if median_speedup < 1.2 then begin
+    Fmt.epr "A13: median pruning speedup %.2fx below the 1.2x target@."
+      median_speedup;
+    exit 1
+  end;
+  (* canonical plan-cache keying: spelling variants of the same query
+     (renamed variables, reordered conjuncts, swapped UNION branches,
+     flipped equalities) must collapse onto one cache entry. A raw-text
+     key only ever hits on byte-identical repeats. *)
+  let variants =
+    [
+      "{ ?a p:knows ?b . ?b p:email ?m }";
+      "{ ?x p:knows ?y . ?y p:email ?e }";
+      "{ ?b p:email ?m . ?a p:knows ?b }";
+      "{ ?a p:knows ?b OPTIONAL { ?b p:email ?m } }";
+      "{ ?s p:knows ?o OPTIONAL { ?o p:email ?mail } }";
+      "{ { ?a p:knows ?b } UNION { ?a p:worksAt ?b } }";
+      "{ { ?x p:worksAt ?y } UNION { ?x p:knows ?y } }";
+      "{ ?a p:knows ?b FILTER (?a = ?b) }";
+      "{ ?a p:knows ?b FILTER (?b = ?a) }";
+      "{ ?q p:knows ?r FILTER (?q = ?r) }";
+    ]
+  in
+  let canonical_groups = 4 in
+  let seen_keys = Hashtbl.create 16 and seen_texts = Hashtbl.create 16 in
+  let key_hits = ref 0 and text_hits = ref 0 in
+  List.iter
+    (fun text ->
+      let canon = Analysis.Canonical.of_pattern (Sparql.Parser.parse_exn text) in
+      if Hashtbl.mem seen_keys canon.Analysis.Canonical.key then incr key_hits
+      else Hashtbl.add seen_keys canon.Analysis.Canonical.key ();
+      if Hashtbl.mem seen_texts text then incr text_hits
+      else Hashtbl.add seen_texts text ())
+    variants;
+  let n = List.length variants in
+  let canonical_rate = float !key_hits /. float n in
+  let raw_rate = float !text_hits /. float n in
+  Fmt.pr "@.canonical plan-cache keying over %d variant spellings:@." n;
+  Fmt.pr "  canonical-key hit rate %.2f (%d entries), raw-text hit rate %.2f@."
+    canonical_rate (Hashtbl.length seen_keys) raw_rate;
+  record ~experiment:"A13" ~metric:"canonical_hit_rate" canonical_rate;
+  record ~experiment:"A13" ~metric:"canonical_entries"
+    (float (Hashtbl.length seen_keys));
+  record ~experiment:"A13" ~metric:"raw_text_hit_rate" raw_rate;
+  if Hashtbl.length seen_keys <> canonical_groups then begin
+    Fmt.epr "A13: %d canonical entries for %d equivalence groups@."
+      (Hashtbl.length seen_keys) canonical_groups;
+    exit 1
+  end
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks: one Test.make per table/figure           *)
 (* ------------------------------------------------------------------ *)
 
@@ -2078,7 +2222,8 @@ let experiments =
        (pool registry), and idle domains tax every minor GC with
        stop-the-world synchronization — uniform overhead that would
        wash out A10's planner-mode ratios. *)
-    ("A7", a7); ("A10", a10); ("A11", a11); ("A12", a12); ("A8", a8);
+    ("A7", a7); ("A10", a10); ("A11", a11); ("A12", a12); ("A13", a13);
+    ("A8", a8);
     ("bechamel", bechamel_suite);
   ]
 
@@ -2090,7 +2235,7 @@ let () =
         fast := true;
         parse acc rest
     | "--json" :: rest ->
-        json_out := Some "BENCH_pr9.json";
+        json_out := Some "BENCH_pr10.json";
         parse acc rest
     | "--json-out" :: file :: rest ->
         json_out := Some file;

@@ -61,6 +61,18 @@ let load_query path_or_inline =
   | Ok p -> p
   | Error msg -> E.fail (E.Parse_error { source; line = 0; col = 0; msg })
 
+(* Like [load_query], but with source spans — the eval path runs the
+   pre-plan pruning rewrites, whose diagnostics point into the query. *)
+let load_query_spanned path_or_inline =
+  let source, src =
+    if Sys.file_exists path_or_inline then
+      (path_or_inline, read_file path_or_inline)
+    else ("query", path_or_inline)
+  in
+  match Sparql.Parser.parse_spanned src with
+  | Ok (p, spans) -> (p, spans)
+  | Error msg -> E.fail (E.Parse_error { source; line = 0; col = 0; msg })
+
 let parse_mapping spec =
   (* "x=person:ann,y=person:bob" *)
   String.split_on_char ',' spec
@@ -256,7 +268,7 @@ let eval_cmd =
   let run load_data query algorithm k spec explain domains optimize =
     handle @@ fun () ->
     let graph = load_data () in
-    let pattern = load_query query in
+    let pattern, spans = load_query_spanned query in
     let sols =
       match algorithm with
       | Some `Reference ->
@@ -266,39 +278,64 @@ let eval_cmd =
           Wdpt.Semantics.solutions
             ~budget:(fresh_budget ~solutions:true spec)
             forest graph
-      | Some `Pebble | None ->
+      | Some `Pebble | None -> (
           let force = Option.map (fun k -> Wd_core.Engine.Pebble k) k in
-          (* Static width estimation up front: the exact dw it measures is
-             handed to [Engine.plan] as a hint, so planning skips its own
-             exponential recomputation; under a tight budget the static
-             bound is the degradation target. *)
-          let hints =
-            if Sparql.Algebra.is_core pattern then begin
-              let est =
-                Analysis.Width_est.estimate ~budget:(fresh_budget spec)
-                  (Wdpt.Pattern_forest.of_algebra pattern)
+          (* Store-independent semantic analysis before planning: the
+             pruning rewrites (unsatisfiable OPT arms, dead UNION
+             branches, duplicate triples) are sound — the residual has
+             exactly the original's solutions — so the planner only ever
+             sees the residual. *)
+          let pruned = Analysis.Prune.run ~spans pattern in
+          if explain then begin
+            Fmt.pr "satisfiability: %a@." Analysis.Satisfiability.pp
+              (Analysis.Satisfiability.decide_quietly
+                 ~fuel:Analysis.Lints.satisfiability_fuel pattern);
+            Fmt.pr "canonical: %s@."
+              (Analysis.Canonical.of_pattern pattern).Analysis.Canonical.hash;
+            List.iter
+              (fun d -> Fmt.pr "%a@." Analysis.Diagnostic.pp d)
+              pruned.Analysis.Prune.rewrites
+          end;
+          match pruned.Analysis.Prune.outcome with
+          | Analysis.Prune.Empty ->
+              (* proven unsatisfiable: the answer set is empty on every
+                 graph — nothing to plan or evaluate *)
+              if explain then
+                Fmt.pr "plan: skipped — the pattern is unsatisfiable@.";
+              Sparql.Mapping.Set.empty
+          | Analysis.Prune.Pattern residual ->
+              (* Static width estimation up front: the exact dw it
+                 measures is handed to [Engine.plan] as a hint, so
+                 planning skips its own exponential recomputation; under
+                 a tight budget the static bound is the degradation
+                 target. Measured on the residual — the pattern planned. *)
+              let hints =
+                if Sparql.Algebra.is_core residual then begin
+                  let est =
+                    Analysis.Width_est.estimate ~budget:(fresh_budget spec)
+                      (Wdpt.Pattern_forest.of_algebra residual)
+                  in
+                  if explain then
+                    Fmt.pr "static width: %a@." Analysis.Width_est.pp est;
+                  Analysis.Width_est.hints est
+                end
+                else Wd_core.Engine.no_hints
+              in
+              let plan =
+                Wd_core.Engine.plan ~budget:(fresh_budget spec) ~hints ?force
+                  ~optimize residual
+              in
+              if explain then Fmt.pr "%a@." Wd_core.Engine.pp_plan plan;
+              let sols, cache_stats =
+                Wd_core.Engine.solutions_stats
+                  ~budget:(fresh_budget ~solutions:true spec)
+                  ~domains plan graph
               in
               if explain then
-                Fmt.pr "static width: %a@." Analysis.Width_est.pp est;
-              Analysis.Width_est.hints est
-            end
-            else Wd_core.Engine.no_hints
-          in
-          let plan =
-            Wd_core.Engine.plan ~budget:(fresh_budget spec) ~hints ?force
-              ~optimize pattern
-          in
-          if explain then Fmt.pr "%a@." Wd_core.Engine.pp_plan plan;
-          let sols, cache_stats =
-            Wd_core.Engine.solutions_stats
-              ~budget:(fresh_budget ~solutions:true spec)
-              ~domains plan graph
-          in
-          if explain then
-            Option.iter
-              (Fmt.pr "%a@." Wd_core.Plan_cache.pp_stats)
-              cache_stats;
-          sols
+                Option.iter
+                  (Fmt.pr "%a@." Wd_core.Plan_cache.pp_stats)
+                  cache_stats;
+              sols)
     in
     Fmt.pr "%d solution(s)@." (Sparql.Mapping.Set.cardinal sols);
     Sparql.Mapping.Set.iter (fun mu -> Fmt.pr "%a@." Sparql.Mapping.pp mu) sols

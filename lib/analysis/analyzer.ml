@@ -13,6 +13,9 @@ type report = {
   designedness : Designedness.t;
   width : width_info;
   diagnostics : Diagnostic.t list;
+  satisfiability : Satisfiability.verdict;
+  canonical : Canonical.t;
+  pruned : Prune.t;
 }
 
 let span spans p = Spans.find_or_dummy spans p
@@ -108,9 +111,38 @@ let analyze ?graph ?budget ?(source = "query") ~spans pattern =
   and dom = Option.map Graph.dom graph in
   let lint_diags = Lints.check ?stats ?dom ~spans pattern in
   let wd_diags = List.filter_map (problem_diag ~spans) designedness.problems in
-  let diagnostics = List.stable_sort Diagnostic.compare (wd_diags @ lint_diags) in
-  let width = width_of ?budget ~designedness pattern in
-  { source; pattern; spans; designedness; width; diagnostics }
+  let satisfiability =
+    Satisfiability.decide_quietly ~fuel:Lints.satisfiability_fuel pattern
+  in
+  let canonical = Canonical.of_pattern pattern in
+  let pruned = Prune.run ~spans pattern in
+  let diagnostics =
+    List.stable_sort Diagnostic.compare
+      (wd_diags @ lint_diags @ pruned.Prune.rewrites)
+  in
+  (* Width bounds are measured on the residual pattern the planner will
+     actually see; pruning preserves well-designedness (see Prune), so
+     the verdict of the original still governs. An empty residual has
+     nothing to measure. *)
+  let width =
+    match pruned.Prune.outcome with
+    | Prune.Empty ->
+        Width_unavailable
+          "the pattern is unsatisfiable: its answer set is empty on every \
+           graph"
+    | Prune.Pattern residual -> width_of ?budget ~designedness residual
+  in
+  {
+    source;
+    pattern;
+    spans;
+    designedness;
+    width;
+    diagnostics;
+    satisfiability;
+    canonical;
+    pruned;
+  }
 
 let of_source ?graph ?budget ?(source = "query") text =
   match Sparql.Parser.parse_spanned text with
@@ -144,10 +176,28 @@ let to_json r =
   Json.Obj
     [
       ("analyzer", Json.String "wdsparql-analyze");
-      ("schema", Json.Int 1);
+      ("schema", Json.Int 2);
       ("source", Json.String r.source);
       ( "verdict",
         Json.String (Designedness.verdict_to_string r.designedness.verdict) );
+      ( "satisfiability",
+        Json.Obj
+          (( "verdict",
+             Json.String (Satisfiability.verdict_name r.satisfiability) )
+          ::
+          (match r.satisfiability with
+          | Satisfiability.Unknown why -> [ ("reason", Json.String why) ]
+          | Satisfiability.Sat _ | Satisfiability.Unsat -> [])) );
+      ("canonical_hash", Json.String r.canonical.Canonical.hash);
+      ( "prune",
+        Json.Obj
+          [
+            ("changed", Json.Bool r.pruned.Prune.changed);
+            ( "empty",
+              Json.Bool (r.pruned.Prune.outcome = Prune.Empty) );
+            ( "rewrites",
+              Json.Int (List.length r.pruned.Prune.rewrites) );
+          ] );
       ( "width",
         match r.width with
         | Width w -> Width_est.to_json w
@@ -159,6 +209,14 @@ let to_json r =
 let pp ppf r =
   Fmt.pf ppf "%s: %s" r.source
     (Designedness.verdict_to_string r.designedness.verdict);
+  Fmt.pf ppf "@.satisfiability: %a" Satisfiability.pp r.satisfiability;
+  Fmt.pf ppf "@.canonical: %s" r.canonical.Canonical.hash;
+  if r.pruned.Prune.changed then
+    Fmt.pf ppf "@.prune: %d rewrite(s)%s"
+      (List.length r.pruned.Prune.rewrites)
+      (if r.pruned.Prune.outcome = Prune.Empty then
+         ", residual is empty"
+       else "");
   (match r.width with
   | Width w -> Fmt.pf ppf "@.width: %a" Width_est.pp w
   | Width_unavailable why -> Fmt.pf ppf "@.width: n/a — %s" why);

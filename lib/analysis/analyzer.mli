@@ -18,7 +18,16 @@ type report = {
   spans : Sparql.Spans.t;
   designedness : Designedness.t;
   width : width_info;
-  diagnostics : Diagnostic.t list;  (** sorted by span, then rule *)
+      (** measured on the pruned residual, the pattern the planner sees *)
+  diagnostics : Diagnostic.t list;
+      (** sorted by span, then rule — includes the [prune-*] rewrite
+          diagnostics *)
+  satisfiability : Satisfiability.verdict;
+      (** store-independent verdict for the whole pattern, decided under
+          a private fuel slice (inconclusive → [Unknown]) *)
+  canonical : Canonical.t;
+      (** order-normalized alpha-renamed form; its hash keys plan caches *)
+  pruned : Prune.t;  (** the residual pattern and the applied rewrites *)
 }
 
 val analyze :
@@ -53,8 +62,10 @@ val node_spans :
     node's triples (resolved structurally against the parse). *)
 
 val to_json : report -> Json.t
-(** Stable machine-readable report: analyzer/schema tag, source, verdict,
-    width object (or the unavailability reason), sorted diagnostics. *)
+(** Stable machine-readable report (schema 2): analyzer/schema tag,
+    source, designedness verdict, satisfiability verdict (plus reason
+    when unknown), canonical hash, prune summary, width object (or the
+    unavailability reason), sorted diagnostics. *)
 
 val pp : report Fmt.t
 (** Human-readable rendering: verdict, width summary, findings. *)

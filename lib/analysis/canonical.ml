@@ -1,0 +1,231 @@
+open Rdf
+module A = Sparql.Algebra
+module C = Sparql.Condition
+
+type t = {
+  pattern : A.t;
+  key : string;
+  hash : string;
+  to_canonical : Variable.t Variable.Map.t;
+  to_original : Variable.t Variable.Map.t;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Variable collection and renaming                                    *)
+(* ------------------------------------------------------------------ *)
+
+(* Pre-order first-occurrence list of the variables of a pattern: triple
+   positions s, p, o; a filter's condition after its body; SELECT sets
+   contribute (sorted) after everything else, so projected-but-unused
+   variables still get canonical names. *)
+let occurrence_order p =
+  let seen = Hashtbl.create 16 in
+  let order = ref [] in
+  let visit v =
+    if not (Hashtbl.mem seen v) then begin
+      Hashtbl.add seen v ();
+      order := v :: !order
+    end
+  in
+  let term = function Term.Var v -> visit v | Term.Iri _ -> () in
+  let rec cond = function
+    | C.Bound v -> visit v
+    | C.Eq (a, b) ->
+        term a;
+        term b
+    | C.Not c -> cond c
+    | C.And (a, b) | C.Or (a, b) ->
+        cond a;
+        cond b
+  in
+  let selects = ref [] in
+  let rec walk = function
+    | A.Triple t ->
+        term t.Triple.s;
+        term t.Triple.p;
+        term t.Triple.o
+    | A.And (a, b) | A.Opt (a, b) | A.Union (a, b) ->
+        walk a;
+        walk b
+    | A.Filter (q, c) ->
+        walk q;
+        cond c
+    | A.Select (vars, q) ->
+        walk q;
+        selects := vars :: !selects
+  in
+  walk p;
+  List.iter
+    (fun vars -> List.iter visit (Variable.Set.elements vars))
+    (List.rev !selects);
+  List.rev !order
+
+let rename_term m = function
+  | Term.Var v as t -> (
+      match Variable.Map.find_opt v m with
+      | Some v' -> Term.Var v'
+      | None -> t)
+  | Term.Iri _ as t -> t
+
+let rec rename_cond m = function
+  | C.Bound v ->
+      C.Bound (Option.value (Variable.Map.find_opt v m) ~default:v)
+  | C.Eq (a, b) -> C.Eq (rename_term m a, rename_term m b)
+  | C.Not c -> C.Not (rename_cond m c)
+  | C.And (a, b) -> C.And (rename_cond m a, rename_cond m b)
+  | C.Or (a, b) -> C.Or (rename_cond m a, rename_cond m b)
+
+let rec rename_pattern m = function
+  | A.Triple t -> A.Triple (Triple.map (rename_term m) t)
+  | A.And (a, b) -> A.And (rename_pattern m a, rename_pattern m b)
+  | A.Opt (a, b) -> A.Opt (rename_pattern m a, rename_pattern m b)
+  | A.Union (a, b) -> A.Union (rename_pattern m a, rename_pattern m b)
+  | A.Filter (q, c) -> A.Filter (rename_pattern m q, rename_cond m c)
+  | A.Select (vars, q) ->
+      A.Select
+        ( Variable.Set.map
+            (fun v -> Option.value (Variable.Map.find_opt v m) ~default:v)
+            vars,
+          rename_pattern m q )
+
+(* ------------------------------------------------------------------ *)
+(* Structure normalization                                             *)
+(* ------------------------------------------------------------------ *)
+
+(* The name-blind sort fingerprint of a subpattern: its rendering after
+   renaming its own variables locally by first occurrence. Distinguishes
+   {?x p ?x} from {?x p ?y} without depending on the author's names. *)
+let skeleton p =
+  let order = occurrence_order p in
+  let m, _ =
+    List.fold_left
+      (fun (m, i) v ->
+        (Variable.Map.add v (Variable.of_string (Printf.sprintf "v%d" i)) m,
+         i + 1))
+      (Variable.Map.empty, 0)
+      order
+  in
+  Fmt.str "%a" A.pp (rename_pattern m p)
+
+let cond_skeleton c =
+  skeleton (A.Filter (A.Triple (Triple.make (Term.iri "urn:_") (Term.iri "urn:_") (Term.iri "urn:_")), c))
+
+let rec and_parts = function
+  | A.And (a, b) -> and_parts a @ and_parts b
+  | q -> [ q ]
+
+let rec union_parts = function
+  | A.Union (a, b) -> union_parts a @ union_parts b
+  | q -> [ q ]
+
+let rec or_parts = function
+  | C.Or (a, b) -> or_parts a @ or_parts b
+  | c -> [ c ]
+
+let rec cand_parts = function
+  | C.And (a, b) -> cand_parts a @ cand_parts b
+  | c -> [ c ]
+
+let sort_by_skeleton render parts =
+  List.stable_sort
+    (fun a b -> String.compare (render a) (render b))
+    parts
+
+let dedup equal parts =
+  List.fold_left
+    (fun acc p -> if List.exists (equal p) acc then acc else p :: acc)
+    [] parts
+  |> List.rev
+
+(* Orientation of an equality by a name-blind order: constants before
+   variables, constants among themselves by IRI order. Var-var pairs
+   cannot be oriented blindly and are fixed by the post-rename pass. *)
+let orient_eq a b =
+  let rank = function Term.Iri _ -> 0 | Term.Var _ -> 1 in
+  match (a, b) with
+  | Term.Iri i, Term.Iri j when Iri.compare j i < 0 -> C.Eq (b, a)
+  | _ -> if rank b < rank a then C.Eq (b, a) else C.Eq (a, b)
+
+let rec norm_cond c =
+  match c with
+  | C.Bound _ -> c
+  | C.Eq (a, b) -> orient_eq a b
+  | C.Not c -> C.Not (norm_cond c)
+  | C.And _ ->
+      cand_parts c |> List.map norm_cond
+      |> sort_by_skeleton cond_skeleton
+      |> dedup C.equal
+      |> fun parts -> List.fold_left (fun acc p -> C.And (acc, p)) (List.hd parts) (List.tl parts)
+  | C.Or _ ->
+      or_parts c |> List.map norm_cond
+      |> sort_by_skeleton cond_skeleton
+      |> dedup C.equal
+      |> fun parts -> List.fold_left (fun acc p -> C.Or (acc, p)) (List.hd parts) (List.tl parts)
+
+let rec normalize p =
+  match p with
+  | A.Triple _ -> p
+  | A.And _ ->
+      and_parts p |> List.map normalize |> sort_by_skeleton skeleton
+      |> A.and_all
+  | A.Union _ ->
+      union_parts p |> List.map normalize |> sort_by_skeleton skeleton
+      |> A.union_all
+  | A.Opt (a, b) -> A.Opt (normalize a, normalize b)
+  | A.Filter (q, c) -> A.Filter (normalize q, norm_cond c)
+  | A.Select (vars, q) -> A.Select (vars, normalize q)
+
+(* After alpha-renaming, variable names are canonical, so var-var
+   equalities can be oriented and condition chains re-sorted on the
+   concrete rendering (plain commutativity — still sound). *)
+let rec post_cond c =
+  match c with
+  | C.Bound _ -> c
+  | C.Eq (a, b) -> if Term.compare b a < 0 then C.Eq (b, a) else C.Eq (a, b)
+  | C.Not c -> C.Not (post_cond c)
+  | C.And _ ->
+      cand_parts c |> List.map post_cond
+      |> sort_by_skeleton (Fmt.str "%a" C.pp)
+      |> dedup C.equal
+      |> fun parts -> List.fold_left (fun acc p -> C.And (acc, p)) (List.hd parts) (List.tl parts)
+  | C.Or _ ->
+      or_parts c |> List.map post_cond
+      |> sort_by_skeleton (Fmt.str "%a" C.pp)
+      |> dedup C.equal
+      |> fun parts -> List.fold_left (fun acc p -> C.Or (acc, p)) (List.hd parts) (List.tl parts)
+
+let rec post_pattern = function
+  | A.Triple _ as p -> p
+  | A.And (a, b) -> A.And (post_pattern a, post_pattern b)
+  | A.Opt (a, b) -> A.Opt (post_pattern a, post_pattern b)
+  | A.Union (a, b) -> A.Union (post_pattern a, post_pattern b)
+  | A.Filter (q, c) -> A.Filter (post_pattern q, post_cond c)
+  | A.Select (vars, q) -> A.Select (vars, post_pattern q)
+
+(* ------------------------------------------------------------------ *)
+(* Entry points                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let of_pattern p =
+  let normalized = normalize p in
+  let order = occurrence_order normalized in
+  let to_canonical, to_original, _ =
+    List.fold_left
+      (fun (fwd, bwd, i) v ->
+        let v' = Variable.of_string (Printf.sprintf "v%d" i) in
+        (Variable.Map.add v v' fwd, Variable.Map.add v' v bwd, i + 1))
+      (Variable.Map.empty, Variable.Map.empty, 0)
+      order
+  in
+  let pattern = post_pattern (rename_pattern to_canonical normalized) in
+  let key = Fmt.str "%a" A.pp pattern in
+  let hash = Digest.to_hex (Digest.string key) in
+  { pattern; key; hash; to_canonical; to_original }
+
+let original_var t v =
+  Option.value (Variable.Map.find_opt v t.to_original) ~default:v
+
+let rename_back t mu =
+  Sparql.Mapping.to_list mu
+  |> List.map (fun (v, iri) -> (original_var t v, iri))
+  |> Sparql.Mapping.of_list

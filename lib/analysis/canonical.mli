@@ -1,0 +1,46 @@
+(** Order-normalized, alpha-renamed canonical forms of patterns, so plan
+    caches keyed on the canonical form hit across syntactically different
+    but equivalent queries.
+
+    The canonical form is computed in three sound steps: AND and UNION
+    chains are flattened and stably sorted by a variable-name-blind
+    structural fingerprint (both operators are commutative and
+    associative; OPT is neither and keeps its shape), FILTER conditions
+    are normalized (∧/∨ chains flattened, sorted and deduplicated,
+    equalities oriented), and finally every variable is renamed to
+    [v0, v1, …] in first-occurrence order over the normalized tree.
+
+    The form is {e best-effort} canonical: the result is always
+    equivalent to the input up to the recorded variable bijection
+    (property-tested against the reference evaluator), and two queries
+    that differ only by conjunct/branch order, condition order, equality
+    orientation or variable names map to the same key in all but
+    pathological symmetric cases (structurally indistinguishable
+    conjuncts whose cross-links differ). Canonicalization never merges
+    two inequivalent queries — distinct patterns render to distinct
+    keys, the sorting and renaming steps are equivalence-preserving, and
+    the hash is only a digest of the key (cache consumers compare keys,
+    not hashes). *)
+
+type t = {
+  pattern : Sparql.Algebra.t;  (** the canonical pattern *)
+  key : string;
+      (** deterministic rendering of [pattern] — the collision-free cache
+          key *)
+  hash : string;  (** hex digest of [key], for display and JSON *)
+  to_canonical : Rdf.Variable.t Rdf.Variable.Map.t;
+      (** original variable → canonical variable (a bijection) *)
+  to_original : Rdf.Variable.t Rdf.Variable.Map.t;  (** its inverse *)
+}
+
+val of_pattern : Sparql.Algebra.t -> t
+
+val original_var : t -> Rdf.Variable.t -> Rdf.Variable.t
+(** Map a canonical variable back to the query's own name (identity for
+    variables outside the bijection). *)
+
+val rename_back : t -> Sparql.Mapping.t -> Sparql.Mapping.t
+(** Rename a solution over the canonical pattern into the original
+    query's variable names. Required for sharing evaluation results
+    across alpha-variant queries: answers of the canonical pattern bind
+    canonical names. *)

@@ -21,10 +21,11 @@ type t = {
   span : Span.t;
   message : string;
   related : related list;
+  heuristic : bool;
 }
 
-let make ~rule ~severity ~span ?(related = []) message =
-  { rule; severity; span; message; related }
+let make ~rule ~severity ~span ?(related = []) ?(heuristic = false) message =
+  { rule; severity; span; message; related; heuristic }
 
 let compare a b =
   match Span.compare a.span b.span with
@@ -75,7 +76,7 @@ let span_of_json = function
 
 let to_json d =
   Json.Obj
-    [
+    ([
       ("rule", Json.String d.rule);
       ("severity", Json.String (severity_to_string d.severity));
       ("span", span_to_json d.span);
@@ -88,6 +89,7 @@ let to_json d =
                  [ ("span", span_to_json r.where); ("note", Json.String r.note) ])
              d.related) );
     ]
+    @ if d.heuristic then [ ("heuristic", Json.Bool true) ] else [])
 
 let of_json j =
   let ( let* ) = Result.bind in
@@ -127,14 +129,19 @@ let of_json j =
               (Ok []) items
             |> Result.map List.rev)
   in
-  Ok { rule; severity; span; message; related }
+  let heuristic =
+    match Json.member "heuristic" j with Some (Json.Bool b) -> b | _ -> false
+  in
+  Ok { rule; severity; span; message; related; heuristic }
 
 (* ---------------- human-readable ---------------- *)
 
 let pp ppf d =
-  Fmt.pf ppf "%a: %s[%s]: %s" Span.pp d.span
+  Fmt.pf ppf "%a: %s[%s]%s: %s" Span.pp d.span
     (severity_to_string d.severity)
-    d.rule d.message;
+    d.rule
+    (if d.heuristic then " (heuristic)" else "")
+    d.message;
   List.iter
     (fun r -> Fmt.pf ppf "@.  note: %s at %a" r.note Span.pp r.where)
     d.related

@@ -19,11 +19,19 @@ type t = {
   span : Sparql.Span.t;  (** primary location; {!Sparql.Span.dummy} if unknown *)
   message : string;
   related : related list;
+  heuristic : bool;
+      (** [true] when the finding came from a best-effort fallback (e.g.
+          the store-vocabulary check behind [unsatisfiable-triple] when
+          the exact decision procedure was inconclusive) rather than a
+          decision procedure; such findings may change with the store or
+          budget. Encoded in JSON as ["heuristic": true], omitted when
+          false. *)
 }
 
 val make :
   rule:string -> severity:severity -> span:Sparql.Span.t ->
-  ?related:related list -> string -> t
+  ?related:related list -> ?heuristic:bool -> string -> t
+(** [heuristic] defaults to [false]. *)
 
 val compare : t -> t -> int
 (** Span order, then rule id, then message — the stable output order. *)

@@ -105,7 +105,14 @@ let possibly_unbound ~spans p =
   walk p;
   from_projection @ List.rev !from_filters
 
-let unsatisfiable ~stats ~dom ~spans p =
+(* Fuel slice for the exact satisfiability subcall: enough to decide any
+   query a person writes, small enough that an adversarial OPT/FILTER
+   tower degrades to the labeled heuristic instead of burning. *)
+let satisfiability_fuel = 50_000
+
+(* The old store-vocabulary reading of [unsatisfiable-triple], retained
+   as the labeled fallback: per-triple, store-dependent, best-effort. *)
+let vocabulary_findings ~rule ~severity ~heuristic ~stats ~dom ~spans p =
   let diags = ref [] in
   let check_triple occ t =
     let reason =
@@ -126,9 +133,8 @@ let unsatisfiable ~stats ~dom ~spans p =
     match reason with
     | Some r ->
         diags :=
-          Diagnostic.make ~rule:"unsatisfiable-triple"
-            ~severity:Diagnostic.Warning ~span:(span spans occ)
-            (Fmt.str "triple pattern can never match: %s" r)
+          Diagnostic.make ~rule ~severity ~span:(span spans occ) ~heuristic
+            (Fmt.str "triple pattern can never match this store: %s" r)
           :: !diags
     | None -> ()
   in
@@ -141,6 +147,44 @@ let unsatisfiable ~stats ~dom ~spans p =
   in
   walk p;
   List.rev !diags
+
+(* Exact, store-independent reading: the Zhang–Van den Bussche decision
+   procedure on the whole pattern. Only when it is inconclusive (capped
+   equality structure, exhausted fuel slice) does the store-vocabulary
+   heuristic run, and its findings say so. *)
+let unsatisfiable ?stats ?dom ~spans p =
+  match Satisfiability.decide_quietly ~fuel:satisfiability_fuel p with
+  | Satisfiability.Unsat ->
+      [
+        Diagnostic.make ~rule:"unsatisfiable-triple"
+          ~severity:Diagnostic.Warning ~span:(span spans p)
+          "pattern is unsatisfiable: no graph yields a solution (decision \
+           procedure)";
+      ]
+  | Satisfiability.Sat _ -> []
+  | Satisfiability.Unknown why -> (
+      match (stats, dom) with
+      | Some stats, Some dom ->
+          List.map
+            (fun d ->
+              {
+                d with
+                Diagnostic.message =
+                  d.Diagnostic.message
+                  ^ Fmt.str " (heuristic fallback: %s)" why;
+              })
+            (vocabulary_findings ~rule:"unsatisfiable-triple"
+               ~severity:Diagnostic.Warning ~heuristic:true ~stats ~dom ~spans
+               p)
+      | _ -> [])
+
+(* Store-vocabulary mismatches as their own, openly store-dependent rule:
+   a semantically satisfiable triple whose constant never occurs in the
+   loaded store still returns nothing from {e this} store — usually a
+   typo or a stale prefix. *)
+let vocabulary_mismatch ~stats ~dom ~spans p =
+  vocabulary_findings ~rule:"vocabulary-mismatch" ~severity:Diagnostic.Info
+    ~heuristic:false ~stats ~dom ~spans p
 
 let dead_optional ~spans p =
   let diags = ref [] in
@@ -253,11 +297,12 @@ let duplicate_triples ~spans p =
 let check ?stats ?dom ~spans p =
   let store_rule =
     match (stats, dom) with
-    | Some stats, Some dom -> unsatisfiable ~stats ~dom ~spans p
+    | Some stats, Some dom -> vocabulary_mismatch ~stats ~dom ~spans p
     | _ -> []
   in
   projected_unused ~spans p
   @ possibly_unbound ~spans p
+  @ unsatisfiable ?stats ?dom ~spans p
   @ store_rule
   @ dead_optional ~spans p
   @ union_normal_form ~spans p

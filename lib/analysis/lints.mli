@@ -10,9 +10,16 @@
       projection or in a FILTER whose every binding occurrence (triple
       pattern) lies inside an OPT right arm — no solution is required to
       bind it, so the use can observe an unbound variable.
-    - [unsatisfiable-triple] (warning, needs a store): a triple pattern
-      with a constant predicate/subject/object that does not occur in the
-      loaded store's vocabulary — the triple can never match.
+    - [unsatisfiable-triple] (warning): the pattern is semantically
+      unsatisfiable — the store-independent decision procedure
+      ({!Satisfiability.decide}) proved no graph yields a solution. When
+      the procedure is inconclusive and a store is loaded, the old
+      store-vocabulary check runs as a fallback whose findings carry
+      [heuristic: true].
+    - [vocabulary-mismatch] (info, needs a store): a triple pattern with
+      a constant predicate/subject/object that does not occur in the
+      loaded store's vocabulary — satisfiable in general, but it never
+      matches {e this} store.
     - [dead-optional] (warning): an OPT whose right arm introduces no new
       variable over its left arm; it never extends any solution (NR
       normal form erases it).
@@ -24,12 +31,20 @@
 
 open Rdf
 
+val satisfiability_fuel : int
+(** The private fuel slice behind each exact-satisfiability subcall: the
+    analyzer's verdict and this rule stay cheap and total even on
+    adversarial OPT/FILTER towers. *)
+
 val check :
   ?stats:Stats.t ->
   ?dom:Iri.Set.t ->
   spans:Sparql.Spans.t ->
   Sparql.Algebra.t ->
   Diagnostic.t list
-(** All lint findings, in traversal order (the analyzer sorts). The
-    store-dependent [unsatisfiable-triple] rule only runs when [stats]
-    and [dom] (see {!Rdf.Stats.of_graph}, {!Rdf.Graph.dom}) are given. *)
+(** All lint findings, in traversal order (the analyzer sorts).
+    [unsatisfiable-triple] is store-independent (its verdict never
+    changes with [stats]/[dom]); the store-dependent parts — the
+    [vocabulary-mismatch] rule and the labeled heuristic fallback of
+    [unsatisfiable-triple] — only run when [stats] and [dom] (see
+    {!Rdf.Stats.of_graph}, {!Rdf.Graph.dom}) are given. *)

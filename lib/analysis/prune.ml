@@ -1,0 +1,148 @@
+open Rdf
+module A = Sparql.Algebra
+module Spans = Sparql.Spans
+
+type outcome = Empty | Pattern of A.t
+
+type t = {
+  outcome : outcome;
+  rewrites : Diagnostic.t list;
+  changed : bool;
+}
+
+let default_decision_fuel = 20_000
+
+(* A subtree without filters is always satisfiable (instantiate every
+   variable with a fresh distinct IRI), so satisfiability subcalls are
+   only worth their budget where a FILTER is in play. *)
+let rec has_filter = function
+  | A.Triple _ -> false
+  | A.And (a, b) | A.Opt (a, b) | A.Union (a, b) ->
+      has_filter a || has_filter b
+  | A.Filter _ -> true
+  | A.Select (_, q) -> has_filter q
+
+let rec conjuncts = function
+  | A.And (a, b) -> conjuncts a @ conjuncts b
+  | q -> [ q ]
+
+let run ?(decision_fuel = default_decision_fuel) ?(spans = Spans.empty) p =
+  let rewrites = ref [] in
+  let emit ~rule ~span message =
+    rewrites :=
+      Diagnostic.make ~rule ~severity:Diagnostic.Info ~span message
+        :: !rewrites
+  in
+  let span_of occ = Spans.find_or_dummy spans occ in
+  let unsat q =
+    has_filter q
+    && Satisfiability.decide_quietly ~fuel:decision_fuel q
+       = Satisfiability.Unsat
+  in
+  (* Bottom-up; unchanged subtrees keep their physical identity so the
+     residual still resolves in the span table. *)
+  let rec go p =
+    match p with
+    | A.Triple _ -> (Pattern p, false)
+    | A.And _ ->
+        let parts = conjuncts p in
+        let results = List.map go parts in
+        if List.exists (fun (o, _) -> o = Empty) results then (Empty, true)
+        else begin
+          let child_changed =
+            List.exists (fun (_, changed) -> changed) results
+          in
+          let kept_rev, deduped =
+            (* duplicate-triple elimination across the conjunction scope:
+               structural equality on the original occurrences, keeping
+               the first *)
+            List.fold_left2
+              (fun (kept, deduped) (outcome, _) original ->
+                let q =
+                  match outcome with Pattern q -> q | Empty -> assert false
+                in
+                match q with
+                | A.Triple t
+                  when List.exists
+                         (function
+                           | A.Triple t' -> Triple.equal t t'
+                           | _ -> false)
+                         kept ->
+                    emit ~rule:"prune-duplicate-triple" ~span:(span_of original)
+                      (Fmt.str
+                         "duplicate triple %a dropped from the conjunction \
+                          (join idempotence)"
+                         Triple.pp t);
+                    (kept, true)
+                | q -> (q :: kept, deduped))
+              ([], false) results parts
+          in
+          let kept = List.rev kept_rev in
+          if not (child_changed || deduped) then (Pattern p, false)
+          else (Pattern (A.and_all kept), true)
+        end
+    | A.Union (a, b) -> (
+        let branch (outcome, changed) original =
+          (* a branch that is unsatisfiable on its own contributes the
+             empty set on every graph *)
+          match outcome with
+          | Empty -> (Empty, true)
+          | Pattern q ->
+              if unsat q then begin
+                emit ~rule:"prune-unsat-union-branch" ~span:(span_of original)
+                  "UNION branch is unsatisfiable: it contributes no \
+                   solutions and is dropped";
+                (Empty, true)
+              end
+              else (Pattern q, changed)
+        in
+        match (branch (go a) a, branch (go b) b) with
+        | (Empty, _), (Empty, _) -> (Empty, true)
+        | (Empty, _), (Pattern q, _) | (Pattern q, _), (Empty, _) ->
+            (Pattern q, true)
+        | (Pattern qa, ca), (Pattern qb, cb) ->
+            if ca || cb then (Pattern (A.Union (qa, qb)), true)
+            else (Pattern p, false))
+    | A.Opt (a, b) -> (
+        match (go a, go b) with
+        | (Empty, _), _ -> (Empty, true)
+        | (Pattern qa, _), (Empty, _) ->
+            emit ~rule:"prune-unsat-optional" ~span:(span_of p)
+              "OPTIONAL arm is unsatisfiable: the left-outer-join \
+               degenerates to its mandatory side";
+            (Pattern qa, true)
+        | (Pattern qa, ca), (Pattern qb, cb) ->
+            if unsat (A.And (qa, qb)) then begin
+              emit ~rule:"prune-unsat-optional" ~span:(span_of p)
+                "OPTIONAL arm can never join its mandatory side (the \
+                 conjunction is unsatisfiable): the arm is dropped";
+              (Pattern qa, true)
+            end
+            else if ca || cb then (Pattern (A.Opt (qa, qb)), true)
+            else (Pattern p, false))
+    | A.Filter (q, c) -> (
+        match go q with
+        | Empty, _ -> (Empty, true)
+        | Pattern q', changed ->
+            let node = if changed then A.Filter (q', c) else p in
+            if unsat node then begin
+              emit ~rule:"prune-filter-false" ~span:(span_of p)
+                "FILTER can never hold: the subtree is unsatisfiable and \
+                 collapses to the empty pattern";
+              (Empty, true)
+            end
+            else (Pattern node, changed))
+    | A.Select (vars, q) -> (
+        match go q with
+        | Empty, _ -> (Empty, true)
+        | Pattern q', changed ->
+            if changed then (Pattern (A.Select (vars, q')), true)
+            else (Pattern p, false))
+  in
+  let outcome, changed = go p in
+  { outcome; rewrites = List.rev !rewrites; changed }
+
+let residual_vars_dropped ~original t =
+  match t.outcome with
+  | Empty -> A.vars original
+  | Pattern q -> Variable.Set.diff (A.vars original) (A.vars q)

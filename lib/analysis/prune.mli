@@ -1,0 +1,55 @@
+(** Pre-plan pattern rewrites, each proven sound against the algebra
+    semantics (and differentially fuzzed): the planner then measures
+    widths and compiles join orders for the residual query actually
+    worth evaluating.
+
+    Rules, each emitting a span-carrying {!Diagnostic.t}:
+    - [prune-unsat-optional]: [Opt (a, b)] where [And (a, b)] is
+      unsatisfiable becomes [a] — the join side is empty on every graph,
+      so the left-outer-join degenerates to exactly [⟦a⟧].
+    - [prune-unsat-union-branch]: an unsatisfiable UNION branch is
+      dropped ([⟦Union (a, b)⟧ = ⟦a⟧ ∪ ⟦b⟧] and the branch contributes
+      ∅ on every graph).
+    - [prune-filter-false]: a FILTER subtree that is unsatisfiable as a
+      whole (in particular [FILTER (false)]) collapses to the empty
+      pattern.
+    - [prune-duplicate-triple]: a triple repeated inside one conjunction
+      scope is dropped (join idempotence over set semantics).
+
+    Emptiness propagates soundly: [And (∅, x) = ∅], [Union (∅, x) = x],
+    [Opt (x, ∅) = x], [Opt (∅, x) = ∅], [Filter/Select of ∅ = ∅].
+    Satisfiability verdicts come from {!Satisfiability.decide_quietly}
+    under a private fuel slice; only a definitive [Unsat] triggers a
+    rewrite — [Unknown] never does. Pruning a well-designed pattern
+    yields a well-designed pattern (a dropped OPT arm's variables that
+    occur elsewhere are already in the arm's left sibling, by
+    well-designedness of the input). *)
+
+type outcome =
+  | Empty
+      (** the whole pattern is unsatisfiable: the answer set is empty on
+          every graph, no evaluation needed *)
+  | Pattern of Sparql.Algebra.t  (** the residual pattern to plan *)
+
+type t = {
+  outcome : outcome;
+  rewrites : Diagnostic.t list;
+      (** one [prune-*] diagnostic per applied rewrite, in application
+          order *)
+  changed : bool;  (** whether any rewrite fired *)
+}
+
+val run :
+  ?decision_fuel:int -> ?spans:Sparql.Spans.t -> Sparql.Algebra.t -> t
+(** Rewrite bottom-up. Satisfiability subcalls each run under a private
+    budget of [decision_fuel] steps (default [20_000]); an exhausted or
+    undecided subcall simply leaves that subtree alone, so [run] is
+    total and never raises. [spans] (from
+    {!Sparql.Parser.parse_spanned}) locates the rewrites; without it
+    diagnostics carry dummy spans. Unchanged subtrees are returned
+    physically intact, so span lookups on the residual still resolve. *)
+
+val residual_vars_dropped : original:Sparql.Algebra.t -> t -> Rdf.Variable.Set.t
+(** Variables of the original pattern that no longer occur in the
+    residual (they were only bound in pruned subtrees, so no solution
+    ever bound them anyway). Useful for keeping result heads faithful. *)

@@ -1,0 +1,403 @@
+open Rdf
+module A = Sparql.Algebra
+module C = Sparql.Condition
+module Budget = Resource.Budget
+
+type verdict =
+  | Sat of { witness : Graph.t }
+  | Unsat
+  | Unknown of string
+
+let verdict_name = function
+  | Sat _ -> "sat"
+  | Unsat -> "unsat"
+  | Unknown _ -> "unknown"
+
+let pp ppf = function
+  | Sat { witness } ->
+      Fmt.pf ppf "sat (witness: %d triple(s))" (Graph.cardinal witness)
+  | Unsat -> Fmt.pf ppf "unsat"
+  | Unknown why -> Fmt.pf ppf "unknown (%s)" why
+
+(* Equality atoms past this stay undecided: the assignment enumeration is
+   2^atoms, and a filter with that many independent equalities is not a
+   query anyone wrote — report Unknown instead of burning the budget. *)
+let max_atoms = 16
+
+(* ------------------------------------------------------------------ *)
+(* Scenarios                                                           *)
+(* ------------------------------------------------------------------ *)
+
+(* One choice of matched OPT arms / UNION branches: the mandatory
+   triples, the variables bound under that choice, and each FILTER
+   condition paired with the bound set in scope at its point. *)
+type scenario = {
+  sc_triples : Triple.t list;
+  sc_bound : Variable.Set.t;
+  sc_filters : (C.t * Variable.Set.t) list;
+}
+
+let merge budget a b =
+  Budget.tick budget;
+  {
+    sc_triples = a.sc_triples @ b.sc_triples;
+    sc_bound = Variable.Set.union a.sc_bound b.sc_bound;
+    sc_filters = a.sc_filters @ b.sc_filters;
+  }
+
+let rec scenarios budget p =
+  Budget.tick budget;
+  match p with
+  | A.Triple t ->
+      [ { sc_triples = [ t ]; sc_bound = Triple.vars t; sc_filters = [] } ]
+  | A.And (a, b) ->
+      let sa = scenarios budget a and sb = scenarios budget b in
+      List.concat_map (fun x -> List.map (merge budget x) sb) sa
+  | A.Union (a, b) -> scenarios budget a @ scenarios budget b
+  | A.Opt (a, b) ->
+      (* skip the arm, or take it: scen(a) ∪ scen(a AND b) *)
+      let sa = scenarios budget a and sb = scenarios budget b in
+      sa @ List.concat_map (fun x -> List.map (merge budget x) sb) sa
+  | A.Filter (q, c) ->
+      List.map
+        (fun s -> { s with sc_filters = (c, s.sc_bound) :: s.sc_filters })
+        (scenarios budget q)
+  | A.Select (vars, q) ->
+      (* projection narrows what later (outer) filters may see; the
+         triples stay mandatory *)
+      List.map
+        (fun s -> { s with sc_bound = Variable.Set.inter s.sc_bound vars })
+        (scenarios budget q)
+
+(* ------------------------------------------------------------------ *)
+(* Per-scenario constraint solving                                     *)
+(* ------------------------------------------------------------------ *)
+
+(* Simplify a condition against the bound set at its point: BOUND(v)
+   becomes a constant, and an equality with an unbound side is false
+   ([Condition.satisfies] semantics — no SPARQL error algebra here).
+   What remains is a boolean combination of equalities over bound
+   variables and constants. *)
+type simplified = Strue | Sfalse | Residual of C.t
+
+let rec simplify bound = function
+  | C.Bound v -> if Variable.Set.mem v bound then Strue else Sfalse
+  | C.Eq (a, b) -> (
+      let grounded = function
+        | Rdf.Term.Var v -> Variable.Set.mem v bound
+        | Rdf.Term.Iri _ -> true
+      in
+      if not (grounded a && grounded b) then Sfalse
+      else
+        match (a, b) with
+        | Rdf.Term.Iri i, Rdf.Term.Iri j ->
+            if Iri.equal i j then Strue else Sfalse
+        | _ ->
+            if Rdf.Term.equal a b then Strue else Residual (C.Eq (a, b)))
+  | C.Not c -> (
+      match simplify bound c with
+      | Strue -> Sfalse
+      | Sfalse -> Strue
+      | Residual c -> Residual (C.Not c))
+  | C.And (a, b) -> (
+      match (simplify bound a, simplify bound b) with
+      | Sfalse, _ | _, Sfalse -> Sfalse
+      | Strue, x | x, Strue -> x
+      | Residual a, Residual b -> Residual (C.And (a, b)))
+  | C.Or (a, b) -> (
+      match (simplify bound a, simplify bound b) with
+      | Strue, _ | _, Strue -> Strue
+      | Sfalse, x | x, Sfalse -> x
+      | Residual a, Residual b -> Residual (C.Or (a, b)))
+
+(* The distinct equality atoms of residual conditions, orientation
+   normalized so [?x = ?y] and [?y = ?x] share an atom. *)
+let atom_of a b = if Rdf.Term.compare a b <= 0 then (a, b) else (b, a)
+
+let rec collect_atoms acc = function
+  | C.Eq (a, b) ->
+      let atom = atom_of a b in
+      if List.exists (fun (x, y) ->
+             Rdf.Term.equal x (fst atom) && Rdf.Term.equal y (snd atom))
+           acc
+      then acc
+      else atom :: acc
+  | C.Not c -> collect_atoms acc c
+  | C.And (a, b) | C.Or (a, b) -> collect_atoms (collect_atoms acc a) b
+  | C.Bound _ -> acc
+
+(* Evaluate a residual condition under a truth assignment of the atoms. *)
+let rec eval_residual lookup = function
+  | C.Eq (a, b) -> lookup (atom_of a b)
+  | C.Not c -> not (eval_residual lookup c)
+  | C.And (a, b) -> eval_residual lookup a && eval_residual lookup b
+  | C.Or (a, b) -> eval_residual lookup a || eval_residual lookup b
+  | C.Bound _ -> assert false (* simplified away *)
+
+(* Union-find over the terms of the atoms. *)
+type uf = { parent : int array; index : (Rdf.Term.t * int) list }
+
+let uf_of_atoms atoms =
+  let index = ref [] and n = ref 0 in
+  let intern t =
+    match
+      List.find_opt (fun (t', _) -> Rdf.Term.equal t t') !index
+    with
+    | Some (_, i) -> i
+    | None ->
+        let i = !n in
+        index := (t, i) :: !index;
+        incr n;
+        i
+  in
+  Array.iter (fun (a, b) -> ignore (intern a); ignore (intern b)) atoms;
+  { parent = Array.init !n Fun.id; index = !index }
+
+let rec uf_find u i = if u.parent.(i) = i then i else uf_find u u.parent.(i)
+
+let uf_union u i j =
+  let ri = uf_find u i and rj = uf_find u j in
+  if ri <> rj then u.parent.(ri) <- rj
+
+let uf_index u t =
+  match List.find_opt (fun (t', _) -> Rdf.Term.equal t t') u.index with
+  | Some (_, i) -> i
+  | None -> invalid_arg "Satisfiability: term not interned"
+
+(* Apply the assignment's equalities; check that no class acquires two
+   distinct constants and that every disequality separates classes —
+   over the infinite IRI domain that is the whole theory. *)
+let theory_consistent atoms mask =
+  let u = uf_of_atoms atoms in
+  Array.iteri
+    (fun i (a, b) ->
+      if mask land (1 lsl i) <> 0 then uf_union u (uf_index u a) (uf_index u b))
+    atoms;
+  let constants_ok =
+    (* two distinct IRIs are distinct nodes; merged roots mean the
+       equalities forced them equal *)
+    let pinned = Hashtbl.create 8 in
+    List.for_all
+      (fun (t, i) ->
+        match t with
+        | Rdf.Term.Var _ -> true
+        | Rdf.Term.Iri iri -> (
+            let root = uf_find u i in
+            match Hashtbl.find_opt pinned root with
+            | Some other -> Iri.equal other iri
+            | None ->
+                Hashtbl.add pinned root iri;
+                true))
+      u.index
+  in
+  constants_ok
+  && Array.for_all Fun.id
+       (Array.mapi
+          (fun i (a, b) ->
+            mask land (1 lsl i) <> 0
+            || uf_find u (uf_index u a) <> uf_find u (uf_index u b))
+          atoms)
+
+(* ------------------------------------------------------------------ *)
+(* Witness construction                                                *)
+(* ------------------------------------------------------------------ *)
+
+(* IRIs already claimed by the pattern: fresh witness nodes must avoid
+   them so "fresh" really means "distinct from everything constrained". *)
+let claimed_iris p =
+  let of_triples =
+    List.fold_left
+      (fun acc t -> Iri.Set.union acc (Triple.iris t))
+      Iri.Set.empty (A.triples p)
+  in
+  let rec of_cond acc = function
+    | C.Bound _ -> acc
+    | C.Eq (a, b) ->
+        let add acc = function
+          | Rdf.Term.Iri i -> Iri.Set.add i acc
+          | Rdf.Term.Var _ -> acc
+        in
+        add (add acc a) b
+    | C.Not c -> of_cond acc c
+    | C.And (a, b) | C.Or (a, b) -> of_cond (of_cond acc a) b
+  in
+  let rec walk acc = function
+    | A.Triple _ -> acc
+    | A.And (a, b) | A.Opt (a, b) | A.Union (a, b) -> walk (walk acc a) b
+    | A.Filter (q, c) -> walk (of_cond acc c) q
+    | A.Select (_, q) -> walk acc q
+  in
+  walk of_triples p
+
+let fresh_iri ~avoid counter =
+  let rec go () =
+    let candidate = Iri.of_string (Printf.sprintf "urn:wdsat:w%d" !counter) in
+    incr counter;
+    if Iri.Set.mem candidate avoid then go () else candidate
+  in
+  go ()
+
+(* A concrete graph realizing a consistent (scenario, assignment):
+   every triple variable gets its equality-class representative — the
+   class constant when pinned, a per-class fresh IRI otherwise — and
+   the graph is the image of the scenario's triples. *)
+let witness_graph ~avoid scenario atoms mask =
+  let u = uf_of_atoms atoms in
+  Array.iteri
+    (fun i (a, b) ->
+      if mask land (1 lsl i) <> 0 then uf_union u (uf_index u a) (uf_index u b))
+    atoms;
+  let counter = ref 0 in
+  let class_rep = Hashtbl.create 8 in
+  let pinned root =
+    List.find_map
+      (fun (t, i) ->
+        match t with
+        | Rdf.Term.Iri iri when uf_find u i = root -> Some iri
+        | _ -> None)
+      u.index
+  in
+  let rep_of_root root =
+    match Hashtbl.find_opt class_rep root with
+    | Some iri -> iri
+    | None ->
+        let iri =
+          match pinned root with
+          | Some iri -> iri
+          | None -> fresh_iri ~avoid counter
+        in
+        Hashtbl.add class_rep root iri;
+        iri
+  in
+  let var_values = Hashtbl.create 8 in
+  let value_of v =
+    match Hashtbl.find_opt var_values v with
+    | Some iri -> iri
+    | None ->
+        let iri =
+          match
+            List.find_opt
+              (fun (t, _) -> Rdf.Term.equal t (Rdf.Term.Var v))
+              u.index
+          with
+          | Some (_, i) -> rep_of_root (uf_find u i)
+          | None -> fresh_iri ~avoid counter
+        in
+        Hashtbl.add var_values v iri;
+        iri
+  in
+  let ground t =
+    Triple.map
+      (function
+        | Rdf.Term.Var v -> Rdf.Term.Iri (value_of v)
+        | Rdf.Term.Iri _ as c -> c)
+      t
+  in
+  Graph.of_triples (List.map ground scenario.sc_triples)
+
+(* ------------------------------------------------------------------ *)
+(* The decision procedure                                              *)
+(* ------------------------------------------------------------------ *)
+
+type scenario_outcome =
+  | Witness of Graph.t
+  | Consistent_unverified
+  | Inconsistent
+  | Undecided of string
+
+let solve_scenario budget pattern ~avoid scenario =
+  let residuals =
+    List.fold_left
+      (fun acc (c, bound) ->
+        match acc with
+        | Error _ -> acc
+        | Ok residuals -> (
+            match simplify bound c with
+            | Strue -> acc
+            | Sfalse -> Error `Contradiction
+            | Residual r -> Ok (r :: residuals)))
+      (Ok []) scenario.sc_filters
+  in
+  match residuals with
+  | Error `Contradiction -> Inconsistent
+  | Ok residuals -> (
+      let atoms =
+        Array.of_list (List.fold_left collect_atoms [] residuals)
+      in
+      let k = Array.length atoms in
+      if k > max_atoms then
+        Undecided
+          (Printf.sprintf
+             "a scenario has %d equality atoms (procedure caps at %d)" k
+             max_atoms)
+      else begin
+        let consistent = ref false in
+        let verified = ref None in
+        let mask = ref 0 in
+        while !verified = None && !mask < 1 lsl k do
+          Budget.tick budget;
+          let m = !mask in
+          let lookup atom =
+            let rec idx i =
+              if i >= k then invalid_arg "Satisfiability: unknown atom"
+              else
+                let x, y = atoms.(i) in
+                if Rdf.Term.equal x (fst atom) && Rdf.Term.equal y (snd atom)
+                then i
+                else idx (i + 1)
+            in
+            m land (1 lsl idx 0) <> 0
+          in
+          if
+            List.for_all (eval_residual lookup) residuals
+            && theory_consistent atoms m
+          then begin
+            consistent := true;
+            (* the candidate witness can accidentally re-match a skipped
+               OPT arm and flip a filter — only the reference evaluator's
+               word counts *)
+            let g = witness_graph ~avoid scenario atoms m in
+            if not (Sparql.Mapping.Set.is_empty (Sparql.Eval.eval ~budget pattern g))
+            then verified := Some g
+          end;
+          mask := m + 1
+        done;
+        match !verified with
+        | Some g -> Witness g
+        | None -> if !consistent then Consistent_unverified else Inconsistent
+      end)
+
+let decide ?(budget = Budget.unlimited) pattern =
+  Budget.with_phase budget "satisfiability" @@ fun () ->
+  let avoid = claimed_iris pattern in
+  let all = scenarios budget pattern in
+  let consistent_unverified = ref false in
+  let undecided = ref None in
+  let rec first = function
+    | [] -> None
+    | s :: rest -> (
+        match solve_scenario budget pattern ~avoid s with
+        | Witness g -> Some (Sat { witness = g })
+        | Consistent_unverified ->
+            consistent_unverified := true;
+            first rest
+        | Undecided why ->
+            if !undecided = None then undecided := Some why;
+            first rest
+        | Inconsistent -> first rest)
+  in
+  match first all with
+  | Some v -> v
+  | None -> (
+      match !undecided with
+      | Some why -> Unknown why
+      | None ->
+          if !consistent_unverified then
+            Unknown "consistent scenarios exist but no witness verified"
+          else Unsat)
+
+let decide_quietly ~fuel pattern =
+  match decide ~budget:(Budget.make ~fuel ()) pattern with
+  | v -> v
+  | exception Budget.Exhausted { spent; _ } ->
+      Unknown (Printf.sprintf "budget exhausted after %d steps" spent)

@@ -1,0 +1,57 @@
+(** Store-independent satisfiability of patterns with BOUND/equality
+    FILTERs, after Zhang & Van den Bussche ("On the satisfiability problem
+    for SPARQL patterns"): a pattern is satisfiable iff {e some} graph
+    gives it a solution.
+
+    The procedure enumerates {e scenarios} — one per choice of matched
+    OPTIONAL arms and UNION branches: the mandatory triples, the variables
+    bound under that choice, and every FILTER condition paired with the
+    bound set {e at its point} (a filter inside an optional arm never sees
+    variables bound only by later arms). Each scenario's conditions are
+    then decided by constraint propagation: BOUND atoms collapse against
+    the local bound set, the remaining equality atoms are solved by
+    truth-assignment enumeration over a union-find with disequality and
+    distinct-constant checks — complete because the IRI domain is
+    infinite, so distinct classes can always be separated.
+
+    - {b Unsat} is sound and complete unconditionally: every real solution
+      of the pattern on any graph induces a consistent scenario, so if
+      every scenario is inconsistent no graph has a solution.
+    - {b Sat} is certified by construction: a consistent scenario yields a
+      candidate witness graph (class representatives, fresh IRIs for
+      unconstrained classes), which is only reported after the reference
+      evaluator {!Sparql.Eval.eval} confirms a solution on it. The check
+      is necessary: a consistent skip-scenario of an OPTIONAL can be
+      accidentally re-matched by the constructed witness, e.g.
+      [FILTER(OPT({?x p ?y},{?x p ?z}), !BOUND(?z))] is unsatisfiable even
+      though its skip-scenario is consistent.
+    - {b Unknown} is the honest remainder: consistent scenarios exist but
+      none verified, or a scenario's equality structure exceeds the
+      internal atom cap. Callers must not treat it as either verdict. *)
+
+type verdict =
+  | Sat of { witness : Rdf.Graph.t }
+      (** satisfiable; [witness] is a graph on which the reference
+          evaluator returns at least one solution (re-checked in tests) *)
+  | Unsat  (** no graph whatsoever yields a solution *)
+  | Unknown of string
+      (** undecided, with the reason; treat as "possibly satisfiable" *)
+
+val decide : ?budget:Resource.Budget.t -> Sparql.Algebra.t -> verdict
+(** Decide satisfiability. Store-independent: the verdict depends only on
+    the pattern. Ticks [budget] per scenario, per scenario merge and per
+    truth assignment under phase ["satisfiability"], raising
+    {!Resource.Budget.Exhausted} like every exponential kernel — the
+    scenario count is exponential in the OPT/UNION nesting and the
+    assignment count in the number of equality atoms (capped; beyond the
+    cap the scenario reports {!Unknown} instead of burning). *)
+
+val decide_quietly : fuel:int -> Sparql.Algebra.t -> verdict
+(** {!decide} under a private fuel slice, with exhaustion folded into
+    [Unknown] — the total, never-raising form the lint rule and the
+    pruner use. *)
+
+val verdict_name : verdict -> string
+(** ["sat"], ["unsat"], ["unknown"] — the JSON encoding. *)
+
+val pp : verdict Fmt.t

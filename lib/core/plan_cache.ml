@@ -7,14 +7,17 @@ type stats = {
   invalidations : int;
   plan_evictions : int;
   live_entries : int;
+  decision_hits : int;
+  decision_misses : int;
 }
 
 let pp_stats ppf s =
   Fmt.pf ppf
     "@[<v>%a@ plan cache: %d hom sources compiled, %d invalidations, %d \
-     evictions, %d live entries@]"
+     evictions, %d live entries, %d/%d join-order decisions reused@]"
     Pebble_cache.pp_stats s.pebble s.hom_sources s.invalidations
-    s.plan_evictions s.live_entries
+    s.plan_evictions s.live_entries s.decision_hits
+    (s.decision_hits + s.decision_misses)
 
 (* Per-tree compiled join artefacts. Every node pattern of a tree is
    compiled against ONE shared variable table covering vars(T), so the
@@ -71,6 +74,10 @@ type t = {
   mutable retired : Pebble_cache.stats;
       (* accumulated stats of pebble caches dropped by eviction, so
          [stats] reports the plan's whole history *)
+  decisions : Optimizer.Decision_cache.t;
+      (* join-order memo shared across entries and trees: epoch is part
+         of its key, so an evicted store's decisions age out by FIFO
+         instead of being flushed *)
 }
 
 let zero_pebble_stats =
@@ -106,6 +113,7 @@ let create ?verdict_capacity ?(plan_capacity = default_plan_capacity) () =
     invalidations = 0;
     plan_evictions = 0;
     retired = zero_pebble_stats;
+    decisions = Optimizer.Decision_cache.create ();
   }
 
 let entry_for t graph =
@@ -217,7 +225,8 @@ let node_decision ?budget t graph tree n =
         Array.map (fun v -> Variable.Set.mem v bound_set) ts.tvars
       in
       let d =
-        Optimizer.Join_order.compile ?budget e.enc
+        Optimizer.Decision_cache.compile ?budget t.decisions ~epoch:e.epoch
+          e.enc
           ~nvars:(Array.length ts.tvars)
           ~bound:(fun v -> bound_arr.(v))
           ~node:n
@@ -262,10 +271,13 @@ let stats t =
       (fun acc e -> add_pebble_stats acc (Pebble_cache.stats e.pebble))
       zero_pebble_stats t.entries
   in
+  let d = Optimizer.Decision_cache.stats t.decisions in
   {
     pebble = add_pebble_stats t.retired live;
     hom_sources = t.hom_sources;
     invalidations = t.invalidations;
     plan_evictions = t.plan_evictions;
     live_entries = List.length t.entries;
+    decision_hits = d.Optimizer.Decision_cache.hits;
+    decision_misses = d.Optimizer.Decision_cache.misses;
   }

@@ -32,6 +32,12 @@ type stats = {
   plan_evictions : int;
       (** entries dropped because the store capacity was exceeded *)
   live_entries : int;  (** entries currently held *)
+  decision_hits : int;
+      (** join-order decisions served from the cross-tree
+          {!Optimizer.Decision_cache} memo — structurally identical node
+          joins (same patterns up to slot renaming, same bound split,
+          same store epoch) planned once *)
+  decision_misses : int;  (** decisions actually compiled *)
 }
 
 val create : ?verdict_capacity:int -> ?plan_capacity:int -> unit -> t

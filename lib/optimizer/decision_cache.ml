@@ -1,0 +1,79 @@
+module H = Encoded.Encoded_hom
+
+type key = { epoch : int; signature : string }
+
+type t = {
+  capacity : int;
+  table : (key, Join_order.decision) Hashtbl.t;
+  queue : key Queue.t;  (* insertion order, for FIFO eviction *)
+  mutable hits : int;
+  mutable misses : int;
+}
+
+type stats = { hits : int; misses : int; entries : int }
+
+let create ?(capacity = 512) () =
+  if capacity < 1 then
+    invalid_arg "Decision_cache.create: capacity must be positive";
+  {
+    capacity;
+    table = Hashtbl.create 64;
+    queue = Queue.create ();
+    hits = 0;
+    misses = 0;
+  }
+
+(* Slots renamed by first occurrence, each carrying its bound bit: the
+   exact inputs [Join_order.compile] reads from the patterns. Two nodes
+   with equal signatures against the same store get equal plans. *)
+let signature ~bound patterns =
+  let buf = Buffer.create 64 in
+  let rename = Hashtbl.create 8 in
+  let next = ref 0 in
+  let term = function
+    | H.Const id ->
+        Buffer.add_char buf 'c';
+        Buffer.add_string buf (string_of_int id)
+    | H.Var v ->
+        let i =
+          match Hashtbl.find_opt rename v with
+          | Some i -> i
+          | None ->
+              let i = !next in
+              incr next;
+              Hashtbl.add rename v i;
+              i
+        in
+        Buffer.add_char buf (if bound v then 'b' else 'v');
+        Buffer.add_string buf (string_of_int i)
+  in
+  Array.iter
+    (fun (s, p, o) ->
+      term s;
+      Buffer.add_char buf ' ';
+      term p;
+      Buffer.add_char buf ' ';
+      term o;
+      Buffer.add_char buf '.')
+    patterns;
+  Buffer.contents buf
+
+let compile ?budget t ~epoch enc ~nvars ~bound ~node patterns =
+  let key = { epoch; signature = signature ~bound patterns } in
+  match Hashtbl.find_opt t.table key with
+  | Some d ->
+      t.hits <- t.hits + 1;
+      if d.Join_order.node = node then d else { d with Join_order.node = node }
+  | None ->
+      t.misses <- t.misses + 1;
+      let d = Join_order.compile ?budget enc ~nvars ~bound ~node patterns in
+      if Hashtbl.length t.table >= t.capacity then (
+        match Queue.take_opt t.queue with
+        | Some oldest -> Hashtbl.remove t.table oldest
+        | None -> ());
+      Hashtbl.replace t.table key d;
+      Queue.push key t.queue;
+      d
+
+let stats (t : t) =
+  { hits = t.hits; misses = t.misses; entries = Hashtbl.length t.table }

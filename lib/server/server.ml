@@ -11,6 +11,8 @@ module Engine = Wd_core.Engine
 module Plan_cache = Wd_core.Plan_cache
 module Pebble_cache = Wd_core.Pebble_cache
 module Json = Analysis.Json
+module Canonical = Analysis.Canonical
+module Prune = Analysis.Prune
 module E = Wdsparql_error
 
 type config = {
@@ -30,8 +32,12 @@ type config = {
   plan_capacity : int;  (* distinct cached query plans *)
 }
 
-(* One cached query plan, shared by every connection that asks the same
-   query against the same store epoch. The analyzer's width hints are
+(* One cached query plan, shared by every connection whose query has the
+   same {e canonical form} ({!Analysis.Canonical}) against the same
+   store epoch — alpha-variants and reordered conjuncts hit the same
+   entry. The plan is compiled from the canonical (pruned) pattern, so
+   its solutions bind canonical variable names; each request renames
+   them back through its own bijection. The analyzer's width hints are
    computed once, when the entry is built, and persist in [plan] for
    all later requests — the cross-call hint persistence the CLI lacks.
    [lock] serializes evaluations of this entry (the underlying
@@ -40,6 +46,9 @@ type config = {
 type plan_entry = {
   plan : Engine.plan;
   lock : Mutex.t;
+  first_query : string;
+      (* raw text of the query that built the entry: a later hit with
+         different text is a cross-query canonical hit, counted apart *)
   mutable poisoned : bool;  (* fault injection: next use fails + evicts *)
   mutable last_used : int;  (* LRU stamp *)
 }
@@ -70,6 +79,9 @@ type t = {
   mutable plans_retired : Plan_cache.stats;  (* under plans_lock *)
   plans_compiled : int Atomic.t;
   plan_hits : int Atomic.t;
+  canonical_hits : int Atomic.t;
+      (* plan-cache hits where the raw query text differed from the text
+         that built the entry: value delivered by canonicalization alone *)
   plan_evictions : int Atomic.t;
   responses : (int * int Atomic.t) list;
   disconnects : int Atomic.t;  (* no response: peer gone or write failed *)
@@ -102,6 +114,8 @@ let zero_plan_stats =
     invalidations = 0;
     plan_evictions = 0;
     live_entries = 0;
+    decision_hits = 0;
+    decision_misses = 0;
   }
 
 let add_pebble (a : Pebble_cache.stats) (b : Pebble_cache.stats) =
@@ -122,6 +136,8 @@ let add_plan_stats (a : Plan_cache.stats) (b : Plan_cache.stats) =
     invalidations = a.invalidations + b.invalidations;
     plan_evictions = a.plan_evictions + b.plan_evictions;
     live_entries = a.live_entries + b.live_entries;
+    decision_hits = a.decision_hits + b.decision_hits;
+    decision_misses = a.decision_misses + b.decision_misses;
   }
 
 let tracked_statuses = [ 200; 400; 404; 405; 408; 413; 422; 500; 503 ]
@@ -182,6 +198,7 @@ let create config =
     plans_retired = zero_plan_stats;
     plans_compiled = Atomic.make 0;
     plan_hits = Atomic.make 0;
+    canonical_hits = Atomic.make 0;
     plan_evictions = Atomic.make 0;
     responses = List.map (fun s -> (s, Atomic.make 0)) tracked_statuses;
     disconnects = Atomic.make 0;
@@ -200,10 +217,13 @@ let draining t = Atomic.get t.stop
 (* The query-plan cache                                                *)
 (* ------------------------------------------------------------------ *)
 
-(* Keyed on the snapshot's epoch: after a reload the new store has a new
-   identity, so stale plans age out of the LRU instead of answering. *)
-let plan_key graph query =
-  Printf.sprintf "%d#%s" (Rdf.Graph.epoch graph) query
+(* Keyed on the snapshot's epoch and the query's canonical rendering
+   (the full key, not its hash — collision-free by construction): after
+   a reload the new store has a new identity, so stale plans age out of
+   the LRU instead of answering; within an epoch, alpha-variant and
+   reordered spellings of one query share a single compiled plan. *)
+let plan_key graph (canon : Canonical.t) =
+  Printf.sprintf "%d#%s" (Rdf.Graph.epoch graph) canon.Canonical.key
 
 (* Retire an entry's accumulated counters so the /stats totals stay
    monotonic across evictions (mirrors Plan_cache's own retired
@@ -223,6 +243,16 @@ let evict_entry t key =
   Mutex.unlock t.plans_lock
 
 let compile_plan ~budget pattern =
+  (* The pattern is canonical; plan its pruned residual — unsatisfiable
+     OPT arms, dead UNION branches and duplicate triples never reach the
+     planner. An empty residual means the query is unsatisfiable; plan
+     the unpruned pattern (it yields nothing) rather than special-casing
+     an always-empty entry. *)
+  let pattern =
+    match (Prune.run pattern).Prune.outcome with
+    | Prune.Pattern residual -> residual
+    | Prune.Empty -> pattern
+  in
   (* Static width estimation up front, persisted with the entry: the
      exact dw it measures lets [Engine.plan] skip its own exponential
      recomputation for every later request of the same query. *)
@@ -236,38 +266,49 @@ let compile_plan ~budget pattern =
   Engine.plan ~budget ~hints ~plan_capacity:1 pattern
 
 let plan_entry_for t ~graph ~budget query =
-  let key = plan_key graph query in
+  (* Parse and canonicalize before the cache probe: the key is the
+     canonical form, so hits no longer depend on the query's spelling.
+     Both are cheap next to a compile, and parsing stays outside the
+     lock either way. *)
+  let pattern =
+    match Sparql.Parser.parse query with
+    | Ok p -> p
+    | Error msg ->
+        E.fail (E.Parse_error { source = "query"; line = 0; col = 0; msg })
+  in
+  let canon = Canonical.of_pattern pattern in
+  let key = plan_key graph canon in
   let stamp () = Atomic.fetch_and_add t.plan_stamp 1 in
+  let count_hit e =
+    Atomic.incr t.plan_hits;
+    if not (String.equal e.first_query query) then
+      Atomic.incr t.canonical_hits
+  in
   Mutex.lock t.plans_lock;
   match Hashtbl.find_opt t.plans key with
   | Some e ->
       e.last_used <- stamp ();
-      Atomic.incr t.plan_hits;
+      count_hit e;
       Mutex.unlock t.plans_lock;
-      (key, e)
+      (key, e, canon)
   | None -> (
       Mutex.unlock t.plans_lock;
       (* compile outside the lock — compilation can be expensive and
          must not stall requests for other queries *)
-      let pattern =
-        match Sparql.Parser.parse query with
-        | Ok p -> p
-        | Error msg ->
-            E.fail (E.Parse_error { source = "query"; line = 0; col = 0; msg })
-      in
-      let plan = compile_plan ~budget pattern in
+      let plan = compile_plan ~budget canon.Canonical.pattern in
       Atomic.incr t.plans_compiled;
       let fresh =
-        { plan; lock = Mutex.create (); poisoned = false;
-          last_used = stamp () }
+        { plan; lock = Mutex.create (); first_query = query;
+          poisoned = false; last_used = stamp () }
       in
       Mutex.lock t.plans_lock;
       match Hashtbl.find_opt t.plans key with
       | Some e ->
           (* lost a compile race: use the winner, drop ours silently *)
           e.last_used <- stamp ();
+          count_hit e;
           Mutex.unlock t.plans_lock;
-          (key, e)
+          (key, e, canon)
       | None ->
           Hashtbl.replace t.plans key fresh;
           if Hashtbl.length t.plans > t.config.plan_capacity then begin
@@ -287,7 +328,7 @@ let plan_entry_for t ~graph ~budget query =
             | None -> ()
           end;
           Mutex.unlock t.plans_lock;
-          (key, fresh))
+          (key, fresh, canon))
 
 (* ------------------------------------------------------------------ *)
 (* Request handling                                                    *)
@@ -330,9 +371,15 @@ let respond t conn ~deadline ?headers ~status body =
   | () -> count_status t status
   | exception (Io.Timeout | Io.Disconnected) -> Atomic.incr t.disconnects
 
-let results_json plan answers =
+(* The plan's solutions bind canonical variable names; [canon] is the
+   requesting query's bijection, renaming heads and bindings back to the
+   names the client wrote. *)
+let results_json ~canon plan answers =
   let vars =
-    Rdf.Variable.Set.elements (Wdpt.Pattern_forest.vars plan.Engine.forest)
+    List.map
+      (Canonical.original_var canon)
+      (Rdf.Variable.Set.elements (Wdpt.Pattern_forest.vars plan.Engine.forest))
+    |> List.sort_uniq Rdf.Variable.compare
   in
   let binding mu =
     Json.Obj
@@ -342,7 +389,7 @@ let results_json plan answers =
              Json.Obj
                [ ("type", Json.String "uri");
                  ("value", Json.String (Rdf.Iri.to_string iri)) ] ))
-         (Sparql.Mapping.to_list mu))
+         (Sparql.Mapping.to_list (Canonical.rename_back canon mu)))
   in
   Json.Obj
     [ ( "head",
@@ -442,7 +489,7 @@ let handle_sparql t conn ~deadline ~idx ~fault req =
         (* one snapshot per request: the plan key and the evaluation see
            the same store even if a reload lands mid-request *)
         let graph = Atomic.get t.graph in
-        let key, entry = plan_entry_for t ~graph ~budget query in
+        let key, entry, canon = plan_entry_for t ~graph ~budget query in
         if fault = Some Faults.Poison then entry.poisoned <- true;
         Mutex.lock entry.lock;
         Fun.protect
@@ -456,7 +503,7 @@ let handle_sparql t conn ~deadline ~idx ~fault req =
               Engine.solutions ~budget ~domains:t.config.domains entry.plan
                 graph
             in
-            Json.to_string (results_json entry.plan answers))
+            Json.to_string (results_json ~canon entry.plan answers))
       in
       match outcome with
       | `Draining ->
@@ -573,8 +620,13 @@ let stats_json t =
           [ ("entries", Json.Int live);
             ("compiled", Json.Int (Atomic.get t.plans_compiled));
             ("entry_hits", Json.Int (Atomic.get t.plan_hits));
+            ("canonical_hits", Json.Int (Atomic.get t.canonical_hits));
             ("entry_evictions", Json.Int (Atomic.get t.plan_evictions));
             ("hom_sources", Json.Int totals.Plan_cache.hom_sources);
+            ( "decisions",
+              Json.Obj
+                [ ("hits", Json.Int totals.Plan_cache.decision_hits);
+                  ("misses", Json.Int totals.Plan_cache.decision_misses) ] );
             ( "pebble",
               Json.Obj
                 [ ("hits", Json.Int p.Pebble_cache.hits);

@@ -131,9 +131,11 @@ let diagnostic_gen =
   in
   let severity = oneofl Analysis.Diagnostic.[ Error; Warning; Info ] in
   map
-    (fun (rule, severity, span, message, related) ->
-      Analysis.Diagnostic.make ~rule ~severity ~span ~related message)
-    (tup5 nasty_string severity span nasty_string (list_size (int_bound 3) related))
+    (fun (rule, severity, span, message, related, heuristic) ->
+      Analysis.Diagnostic.make ~rule ~severity ~span ~related ~heuristic message)
+    (tup6 nasty_string severity span nasty_string
+       (list_size (int_bound 3) related)
+       bool)
 
 let diagnostic_arb =
   QCheck.make
@@ -268,14 +270,285 @@ let test_lint_triggers () =
     (Analysis.Analyzer.has_findings clean)
 
 let test_unsatisfiable_triple () =
+  (* exact reading: the decision procedure needs no store *)
+  let storeless = analyze "{ ?x p:p ?y FILTER (?x != ?x) }" in
+  check Alcotest.bool "exact unsat fires without a store" true
+    (has_rule "unsatisfiable-triple" storeless);
+  let exact =
+    List.find
+      (fun d -> d.Analysis.Diagnostic.rule = "unsatisfiable-triple")
+      storeless.Analysis.Analyzer.diagnostics
+  in
+  check Alcotest.bool "the exact finding is not heuristic" false
+    exact.Analysis.Diagnostic.heuristic;
+  (* a satisfiable query over an absent predicate is a vocabulary
+     mismatch of this store, not unsatisfiability *)
   let graph = Testutil.graph_of_seed 7 in
-  (* generator predicates are q0/q1: p:nosuch never occurs *)
+  (* generator predicates are p:q0/p:q1: p:nosuch never occurs *)
   let report = analyze ~graph "{ ?x p:nosuch ?y }" in
-  check Alcotest.bool "unsatisfiable-triple fires with a store" true
+  check Alcotest.bool "satisfiable query is not called unsatisfiable" false
     (has_rule "unsatisfiable-triple" report);
-  let without_store = analyze "{ ?x p:nosuch ?y }" in
-  check Alcotest.bool "rule needs a store" false
-    (has_rule "unsatisfiable-triple" without_store)
+  check Alcotest.bool "vocabulary-mismatch fires with a store" true
+    (has_rule "vocabulary-mismatch" report);
+  check Alcotest.bool "vocabulary-mismatch needs a store" false
+    (has_rule "vocabulary-mismatch" (analyze "{ ?x p:nosuch ?y }"));
+  (* an undecided pattern plus a store: the old vocabulary check runs as
+     the fallback, and its findings say so *)
+  let undecided =
+    "{ { ?x p:nosuch ?y OPTIONAL { ?x p:nosuch ?z } } FILTER (!BOUND(?z)) }"
+  in
+  (match
+     Analysis.Satisfiability.decide_quietly
+       ~fuel:Analysis.Lints.satisfiability_fuel
+       (fst (parse undecided))
+   with
+  | Analysis.Satisfiability.Unknown _ -> ()
+  | v ->
+      Alcotest.failf "expected an undecided verdict, got %s"
+        (Analysis.Satisfiability.verdict_name v));
+  match
+    List.find_opt
+      (fun d -> d.Analysis.Diagnostic.rule = "unsatisfiable-triple")
+      (analyze ~graph undecided).Analysis.Analyzer.diagnostics
+  with
+  | None -> Alcotest.fail "expected the labeled heuristic fallback"
+  | Some d ->
+      check Alcotest.bool "the fallback finding is heuristic" true
+        d.Analysis.Diagnostic.heuristic;
+      check Alcotest.bool "its JSON carries the heuristic flag" true
+        (Astring.String.is_infix ~affix:"\"heuristic\""
+           (Analysis.Json.to_string (Analysis.Diagnostic.to_json d)))
+
+(* ------------------------------------------------------------------ *)
+(* Satisfiability, canonical forms, pruning (tentpole)                 *)
+(* ------------------------------------------------------------------ *)
+
+module Sat = Analysis.Satisfiability
+module Canon = Analysis.Canonical
+module Prune = Analysis.Prune
+module C = Sparql.Condition
+
+let decide src = Sat.decide_quietly ~fuel:100_000 (fst (parse src))
+
+let test_satisfiability_cases () =
+  (match decide "{ ?x p:p ?y }" with
+  | Sat.Sat { witness } ->
+      check Alcotest.bool "the witness graph verifies" false
+        (Sparql.Mapping.Set.is_empty
+           (Sparql.Eval.eval (fst (parse "{ ?x p:p ?y }")) witness))
+  | v -> Alcotest.failf "expected sat, got %s" (Sat.verdict_name v));
+  let unsat name src =
+    match decide src with
+    | Sat.Unsat -> ()
+    | v -> Alcotest.failf "%s: expected unsat, got %s" name (Sat.verdict_name v)
+  in
+  unsat "x != x" "{ ?x p:p ?y FILTER (?x != ?x) }";
+  unsat "!BOUND on a mandatory variable" "{ ?x p:p ?y FILTER (!BOUND(?x)) }";
+  unsat "two distinct constants" "{ ?x p:p ?y FILTER (?x = p:a && ?x = p:b) }";
+  unsat "equality with its own negation"
+    "{ ?x p:p ?y FILTER (?x = ?y && ?y != ?x) }";
+  unsat "contradiction inside a union branch, both branches"
+    "{ { ?x p:p ?y FILTER (?x != ?x) } UNION { ?x p:q ?y FILTER (?y != ?y) } }";
+  (* a contradictory OPT arm is skippable: the pattern stays satisfiable *)
+  (match decide "{ ?x p:p ?y OPTIONAL { ?x p:p ?z FILTER (?z != ?z) } }" with
+  | Sat.Sat _ -> ()
+  | v ->
+      Alcotest.failf "skippable OPT arm: expected sat, got %s"
+        (Sat.verdict_name v));
+  (* the OPT re-match trap: the skip-scenario is consistent but every
+     graph re-matches the arm — the verdict must never be Sat *)
+  match
+    decide "{ { ?x p:p ?y OPTIONAL { ?x p:p ?z } } FILTER (!BOUND(?z)) }"
+  with
+  | Sat.Sat _ -> Alcotest.fail "re-match trap misreported sat"
+  | Sat.Unsat | Sat.Unknown _ -> ()
+
+(* Random patterns over the generator vocabulary (predicates p:q0/p:q1,
+   nodes n:0..n:5) with FILTERs mixing BOUND, equality, negation and
+   connectives — satisfiable ones frequently have solutions on
+   [Testutil.graph_of_seed] stores, so the differential test bites. *)
+let random_filtered_pattern seed =
+  let st = Random.State.make [| seed; 4242 |] in
+  let var () = Printf.sprintf "v%d" (Random.State.int st 5) in
+  let const () = Term.iri (Printf.sprintf "n:%d" (Random.State.int st 6)) in
+  let term () =
+    if Random.State.int st 4 = 0 then const () else Term.var (var ())
+  in
+  let triple () =
+    A.triple
+      (Triple.make (term ())
+         (Term.iri (Printf.sprintf "p:q%d" (Random.State.int st 2)))
+         (term ()))
+  in
+  let rec cond depth =
+    if depth = 0 then
+      match Random.State.int st 3 with
+      | 0 -> C.bound (var ())
+      | 1 -> C.eq (Term.var (var ())) (term ())
+      | _ -> C.neq (Term.var (var ())) (term ())
+    else
+      match Random.State.int st 4 with
+      | 0 -> C.Not (cond (depth - 1))
+      | 1 -> C.And (cond (depth - 1), cond (depth - 1))
+      | 2 -> C.Or (cond (depth - 1), cond (depth - 1))
+      | _ -> cond 0
+  in
+  let rec go depth =
+    if depth = 0 then triple ()
+    else
+      match Random.State.int st 8 with
+      | 0 | 1 -> triple ()
+      | 2 | 3 -> A.and_ (go (depth - 1)) (go (depth - 1))
+      | 4 -> A.opt (go (depth - 1)) (go (depth - 1))
+      | 5 -> A.union (go (depth - 1)) (go (depth - 1))
+      | _ -> A.filter (go (depth - 1)) (cond (1 + Random.State.int st 2))
+  in
+  go (2 + Random.State.int st 2)
+
+let satisfiability_differential =
+  qcheck ~count:320 "verdicts agree with the reference evaluator" seed_arb
+    (fun seed ->
+      let p = random_filtered_pattern seed in
+      match Sat.decide_quietly ~fuel:100_000 p with
+      | Sat.Unsat ->
+          (* unsat is a universal claim: no store may yield a solution *)
+          List.for_all
+            (fun i ->
+              Sparql.Mapping.Set.is_empty
+                (Sparql.Eval.eval p (Testutil.graph_of_seed (seed + i))))
+            [ 0; 1; 2 ]
+      | Sat.Sat { witness } ->
+          not (Sparql.Mapping.Set.is_empty (Sparql.Eval.eval p witness))
+      | Sat.Unknown _ -> true)
+
+let prune_soundness =
+  qcheck ~count:300 "pruning never changes answers" seed_arb (fun seed ->
+      let p = random_filtered_pattern seed in
+      let pruned = Prune.run p in
+      List.for_all
+        (fun i ->
+          let g = Testutil.graph_of_seed (seed + i) in
+          let expected = Sparql.Eval.eval p g in
+          let actual =
+            match pruned.Prune.outcome with
+            | Prune.Empty -> Sparql.Mapping.Set.empty
+            | Prune.Pattern residual -> Sparql.Eval.eval residual g
+          in
+          Sparql.Mapping.Set.equal expected actual)
+        [ 0; 1 ])
+
+let test_prune_rules () =
+  let run src = Prune.run (fst (parse src)) in
+  let rules r = List.map (fun d -> d.Analysis.Diagnostic.rule) r.Prune.rewrites in
+  (* contradictory whole pattern: Empty, no evaluation needed *)
+  let r = run "{ ?x p:p ?y FILTER (?x != ?x) }" in
+  check Alcotest.bool "filter-false prunes to Empty" true
+    (r.Prune.outcome = Prune.Empty && r.Prune.changed);
+  check Alcotest.bool "filter-false diagnostic emitted" true
+    (List.mem "prune-filter-false" (rules r));
+  (* contradictory OPT arm: the left side survives alone *)
+  let r = run "{ ?x p:p ?y OPTIONAL { ?x p:q ?z FILTER (?z != ?z) } }" in
+  (match r.Prune.outcome with
+  | Prune.Pattern residual ->
+      check Testutil.algebra "unsat OPT arm dropped"
+        (fst (parse "{ ?x p:p ?y }"))
+        residual
+  | Prune.Empty -> Alcotest.fail "left side must survive");
+  check Alcotest.bool "unsat-optional diagnostic emitted" true
+    (List.mem "prune-unsat-optional" (rules r));
+  (* contradictory UNION branch: the other branch survives *)
+  let r =
+    run "{ { ?x p:p ?y FILTER (?x != ?x) } UNION { ?x p:q ?y } }"
+  in
+  (match r.Prune.outcome with
+  | Prune.Pattern residual ->
+      check Testutil.algebra "unsat UNION branch dropped"
+        (fst (parse "{ ?x p:q ?y }"))
+        residual
+  | Prune.Empty -> Alcotest.fail "the live branch must survive");
+  (* duplicate triple in one conjunction scope *)
+  let r = run "{ ?x p:p ?y . ?x p:p ?y }" in
+  (match r.Prune.outcome with
+  | Prune.Pattern residual ->
+      check Testutil.algebra "duplicate conjunct dropped"
+        (fst (parse "{ ?x p:p ?y }"))
+        residual
+  | Prune.Empty -> Alcotest.fail "deduplication must keep one copy");
+  check Alcotest.bool "duplicate-triple diagnostic emitted" true
+    (List.mem "prune-duplicate-triple" (rules r));
+  (* a clean query is returned physically intact, no diagnostics *)
+  let p = fst (parse "{ ?x p:p ?y OPTIONAL { ?y p:q ?z } }") in
+  let r = Prune.run p in
+  (match r.Prune.outcome with
+  | Prune.Pattern residual ->
+      check Alcotest.bool "clean pattern physically unchanged" true
+        (residual == p)
+  | Prune.Empty -> Alcotest.fail "clean pattern pruned away");
+  check Alcotest.bool "no rewrites on a clean pattern" false r.Prune.changed
+
+let canonical_key src = (Canon.of_pattern (fst (parse src))).Canon.key
+
+let test_canonical_keys () =
+  let same name a b =
+    check Alcotest.string name (canonical_key a) (canonical_key b)
+  in
+  same "conjunct order" "{ ?a p:p ?b . ?c p:q ?d }"
+    "{ ?c p:q ?d . ?a p:p ?b }";
+  same "alpha renaming" "{ ?x p:p ?y OPTIONAL { ?y p:q ?z } }"
+    "{ ?s p:p ?o OPTIONAL { ?o p:q ?m } }";
+  same "union branch order" "{ { ?x p:p ?y } UNION { ?x p:q ?y } }"
+    "{ { ?a p:q ?b } UNION { ?a p:p ?b } }";
+  same "equality orientation" "{ ?x p:p ?y FILTER (?x = ?y) }"
+    "{ ?x p:p ?y FILTER (?y = ?x) }";
+  same "condition order" "{ ?x p:p ?y FILTER (BOUND(?x) && BOUND(?y)) }"
+    "{ ?x p:p ?y FILTER (BOUND(?y) && BOUND(?x)) }";
+  check Alcotest.bool "distinct queries keep distinct keys" false
+    (String.equal (canonical_key "{ ?x p:p ?y }")
+       (canonical_key "{ ?x p:q ?y }"));
+  (* OPT is not commutative: swapped arms must not collide *)
+  check Alcotest.bool "OPT arms are not interchangeable" false
+    (String.equal
+       (canonical_key "{ ?x p:p ?y OPTIONAL { ?x p:q ?z } }")
+       (canonical_key "{ ?x p:q ?z OPTIONAL { ?x p:p ?y } }"))
+
+let canonical_rename_back =
+  qcheck ~count:200 "canonical eval + rename_back = original eval" seed_arb
+    (fun seed ->
+      let p = Testutil.wd_pattern_of_seed seed in
+      let canon = Canon.of_pattern p in
+      let g = Testutil.graph_of_seed (seed + 1) in
+      let renamed =
+        Sparql.Mapping.Set.fold
+          (fun mu acc ->
+            Sparql.Mapping.Set.add (Canon.rename_back canon mu) acc)
+          (Sparql.Eval.eval canon.Canon.pattern g)
+          Sparql.Mapping.Set.empty
+      in
+      Sparql.Mapping.Set.equal renamed (Sparql.Eval.eval p g))
+
+let canonical_key_stable_under_renaming =
+  qcheck ~count:200 "generated patterns: key survives variable renaming"
+    seed_arb (fun seed ->
+      let p = Testutil.wd_pattern_of_seed seed in
+      let rename t =
+        match t with
+        | Term.Var v -> Term.var ("fresh_" ^ Variable.to_string v)
+        | t -> t
+      in
+      let rec map_pattern = function
+        | A.Triple t ->
+            A.triple
+              (Triple.make (rename t.Triple.s) t.Triple.p (rename t.Triple.o))
+        | A.And (a, b) -> A.and_ (map_pattern a) (map_pattern b)
+        | A.Opt (a, b) -> A.opt (map_pattern a) (map_pattern b)
+        | A.Union (a, b) -> A.union (map_pattern a) (map_pattern b)
+        | A.Filter (q, c) -> A.filter (map_pattern q) c
+        | A.Select (vs, q) -> A.select vs (map_pattern q)
+      in
+      (* wd generator families are FILTER/SELECT-free, so the condition
+         and projection arms above never rename inconsistently *)
+      String.equal (Canon.of_pattern p).Canon.key
+        (Canon.of_pattern (map_pattern p)).Canon.key)
 
 (* ------------------------------------------------------------------ *)
 (* Width estimates and Engine.plan hints                               *)
@@ -542,6 +815,50 @@ let test_codebase_lint_overlay () =
                (Fmt.str "%a" Lint_rules.pp_violation v))
            violations))
 
+(* PR 10 satellite: a module that creates a Mutex advertises multi-domain
+   use — every mutation of its top-level Hashtbls must then take the
+   lock, or it is a data race. lib/parallel owns the locking discipline
+   and is exempt. *)
+let test_codebase_lint_domain_safety () =
+  check Alcotest.bool "satisfiability.ml is in the kernel manifest" true
+    (List.mem "analysis/satisfiability.ml" Lint_rules.kernel_modules);
+  with_scratch_tree
+    [
+      (* seeded violation: unguarded replace on a top-level table, line 3 *)
+      ( "encoded/cachey.ml",
+        "let lock = Mutex.create ()\n\
+         let table = Hashtbl.create 7\n\
+         let put k v = Hashtbl.replace table k v\n" );
+      (* the guarded form is clean (and exercises the type annotation) *)
+      ( "core/guarded.ml",
+        "let lock = Mutex.create ()\n\
+         let table : (int, int) Hashtbl.t = Hashtbl.create 7\n\
+         let put k v = Mutex.protect lock (fun () -> Hashtbl.replace table k v)\n"
+      );
+      (* no mutex, no multi-domain claim: a plain table is fine *)
+      ( "rdf/plain.ml",
+        "let table = Hashtbl.create 7\nlet put k v = Hashtbl.add table k v\n" );
+      (* the parallel runtime is exempt *)
+      ( "parallel/pool.ml",
+        "let lock = Mutex.create ()\n\
+         let table = Hashtbl.create 7\n\
+         let put k v = Hashtbl.replace table k v\n" );
+    ]
+    (fun root ->
+      let violations = Lint_rules.check_tree ~manifest:[] ~root () in
+      let rendered =
+        List.map (Fmt.str "%a" Lint_rules.pp_violation) violations
+      in
+      check Alcotest.int "exactly the seeded violation" 1
+        (List.length violations);
+      check Alcotest.bool "reported with file:line and the table name" true
+        (List.exists
+           (fun s ->
+             Astring.String.is_infix ~affix:"encoded/cachey.ml:3" s
+             && Astring.String.is_infix ~affix:"Hashtbl.replace" s
+             && Astring.String.is_infix ~affix:"table" s)
+           rendered))
+
 (* ------------------------------------------------------------------ *)
 
 let () =
@@ -570,8 +887,27 @@ let () =
         [
           Alcotest.test_case "every rule fires on its minimal query" `Quick
             test_lint_triggers;
-          Alcotest.test_case "unsatisfiable-triple needs a store" `Quick
-            test_unsatisfiable_triple;
+          Alcotest.test_case "unsatisfiable-triple is store-independent"
+            `Quick test_unsatisfiable_triple;
+        ] );
+      ( "satisfiability",
+        [
+          Alcotest.test_case "hand-written verdicts" `Quick
+            test_satisfiability_cases;
+          satisfiability_differential;
+        ] );
+      ( "prune",
+        [
+          Alcotest.test_case "each rewrite rule fires and is exact" `Quick
+            test_prune_rules;
+          prune_soundness;
+        ] );
+      ( "canonical",
+        [
+          Alcotest.test_case "equivalent spellings share a key" `Quick
+            test_canonical_keys;
+          canonical_rename_back;
+          canonical_key_stable_under_renaming;
         ] );
       ( "width",
         [
@@ -595,5 +931,7 @@ let () =
             `Quick test_codebase_lint_mmap;
           Alcotest.test_case "segment-merge kernel is budget-disciplined"
             `Quick test_codebase_lint_overlay;
+          Alcotest.test_case "mutexed modules lock their tables" `Quick
+            test_codebase_lint_domain_safety;
         ] );
     ]

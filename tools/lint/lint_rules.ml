@@ -73,6 +73,7 @@ let strip src =
 
 let kernel_modules =
   [
+    "analysis/satisfiability.ml";
     "core/domination_width.ml";
     "core/enumerate.ml";
     "core/pebble_cache.ml";
@@ -128,6 +129,142 @@ let line_of ~needle hay =
     else go (i + 1) (if hay.[i] = '\n' then line + 1 else line)
   in
   go 0 1
+
+(* Every occurrence of [needle], as (byte offset, 1-based line). *)
+let occurrences ~needle hay =
+  let nl = String.length needle and hl = String.length hay in
+  let rec go i line acc =
+    if i + nl > hl then List.rev acc
+    else
+      let acc =
+        if String.sub hay i nl = needle then (i, line) :: acc else acc
+      in
+      go (i + 1) (if hay.[i] = '\n' then line + 1 else line) acc
+  in
+  go 0 1 []
+
+(* Shared-state discipline for the multi-domain build: a module that
+   creates its own [Mutex.t] is advertising that it is touched from more
+   than one domain, so every mutation of one of its top-level hash
+   tables must be under a lock — an unguarded [Hashtbl.replace]/[add]
+   next to a mutex is a data race waiting for a second domain. The
+   check is lexical: from the mutation, scan back to the top-level
+   binding it lives in; a [Mutex.protect] or [Mutex.lock] in between
+   counts as the guard. lib/parallel houses the concurrency primitives
+   themselves and is exempt. *)
+let domain_safety_allowed rel =
+  String.length rel >= 9 && String.sub rel 0 9 = "parallel/"
+
+let is_ident s =
+  s <> ""
+  && String.for_all
+       (fun c ->
+         (c >= 'a' && c <= 'z')
+         || (c >= 'A' && c <= 'Z')
+         || (c >= '0' && c <= '9')
+         || c = '_' || c = '\'')
+       s
+
+let starts_with ~prefix s =
+  String.length s >= String.length prefix
+  && String.sub s 0 (String.length prefix) = prefix
+
+(* "let NAME [: type] = Hashtbl.create …" at column 0 of a stripped
+   line: a top-level table binding (parameterized lets — functions that
+   build local tables — have their parameters between NAME and '=' and
+   do not match). *)
+let table_of_line line =
+  if not (starts_with ~prefix:"let " line) then None
+  else
+    match String.index_opt line '=' with
+    | None -> None
+    | Some eq ->
+        let rhs =
+          String.trim (String.sub line (eq + 1) (String.length line - eq - 1))
+        in
+        if not (starts_with ~prefix:"Hashtbl.create" rhs) then None
+        else
+          let lhs = String.sub line 4 (eq - 4) in
+          let lhs =
+            match String.index_opt lhs ':' with
+            | Some c -> String.sub lhs 0 c
+            | None -> lhs
+          in
+          let name = String.trim lhs in
+          if is_ident name then Some name else None
+
+let unguarded_table_mutations ~rel stripped =
+  if domain_safety_allowed rel then []
+  else if not (contains ~needle:"Mutex.create" stripped) then []
+  else begin
+    let lines = Array.of_list (String.split_on_char '\n' stripped) in
+    (* byte offset where each line starts, for the backward scans *)
+    let starts = Array.make (Array.length lines) 0 in
+    let _ =
+      Array.iteri
+        (fun i l ->
+          if i + 1 < Array.length starts then
+            starts.(i + 1) <- starts.(i) + String.length l + 1)
+        lines
+    in
+    let tables =
+      Array.to_list lines |> List.filter_map table_of_line
+    in
+    let binding_start_of line =
+      (* nearest enclosing top-level binding: the last column-0 [let]
+         at or above [line] (0-based index) *)
+      let rec up i =
+        if i < 0 then 0
+        else if starts_with ~prefix:"let " lines.(i) then starts.(i)
+        else up (i - 1)
+      in
+      up line
+    in
+    let boundary_ok off len =
+      (* the table name must end at a word boundary — [Hashtbl.replace t]
+         must not match [Hashtbl.replace t.plans] for a table [t] *)
+      let j = off + len in
+      j >= String.length stripped
+      ||
+      let c = stripped.[j] in
+      not
+        ((c >= 'a' && c <= 'z')
+        || (c >= 'A' && c <= 'Z')
+        || (c >= '0' && c <= '9')
+        || c = '_' || c = '\'' || c = '.')
+    in
+    List.concat_map
+      (fun name ->
+        List.concat_map
+          (fun op ->
+            let needle = Printf.sprintf "Hashtbl.%s %s" op name in
+            List.filter_map
+              (fun (off, line) ->
+                if not (boundary_ok off (String.length needle)) then None
+                else
+                  let start = binding_start_of (line - 1) in
+                  let span = String.sub stripped start (off - start) in
+                  if
+                    contains ~needle:"Mutex.protect" span
+                    || contains ~needle:"Mutex.lock" span
+                  then None
+                  else
+                    Some
+                      {
+                        path = rel;
+                        line;
+                        message =
+                          Printf.sprintf
+                            "unguarded Hashtbl.%s on top-level table %s in \
+                             a module that creates a Mutex: take the lock \
+                             (Mutex.protect/Mutex.lock) before mutating \
+                             shared state"
+                            op name;
+                      })
+              (occurrences ~needle stripped))
+          [ "replace"; "add" ])
+      tables
+  end
 
 let default_wins_allowed = wins_allowed
 
@@ -208,6 +345,7 @@ let check_file ?(manifest = kernel_modules) ?(wins_allowed = wins_allowed)
         mmap_needles
   in
   missing_tick @ forbidden_wins @ forbidden_raw_io @ forbidden_mmap
+  @ unguarded_table_mutations ~rel stripped
 
 let check_tree ?(manifest = kernel_modules)
     ?(wins_allowed = default_wins_allowed) ~root () =
